@@ -1,0 +1,108 @@
+//! Runtime changeset augmentation with encoded library knowledge
+//! (paper §5.2.1, step 3).
+//!
+//! "For PyTorch, it suffices to encode two facts: (a) the model may be
+//! updated via the optimizer; and (b) the optimizer may be updated via the
+//! learning rate schedule. […] This changeset augmentation is done at runtime
+//! rather than statically, so Flor has an opportunity to check whether any
+//! object in the changeset is an instance of a PyTorch optimizer or learning
+//! rate scheduler."
+//!
+//! The analysis crate is independent of the interpreter, so the runtime type
+//! information arrives through the [`TypeOracle`] trait: given a variable
+//! name, the oracle reports the names of further objects reachable through
+//! library side-effect edges (optimizer → its model, scheduler → its
+//! optimizer). Augmentation closes the changeset over those edges to a
+//! fixpoint, so `scheduler → optimizer → model` chains resolve in one call.
+
+/// Runtime type/alias information provider.
+pub trait TypeOracle {
+    /// Objects that the named object may mutate through encoded library
+    /// facts (e.g. an optimizer mutates its model). Names not bound to
+    /// library objects return an empty list.
+    fn reaches(&self, name: &str) -> Vec<String>;
+}
+
+/// Closes `changeset` over the oracle's side-effect edges (fixpoint).
+/// Preserves first-seen order; inferred names append after the originals.
+pub fn augment_changeset(changeset: &[String], oracle: &dyn TypeOracle) -> Vec<String> {
+    let mut out: Vec<String> = changeset.to_vec();
+    let mut frontier = 0usize;
+    while frontier < out.len() {
+        let name = out[frontier].clone();
+        for reached in oracle.reaches(&name) {
+            if !out.contains(&reached) {
+                out.push(reached);
+            }
+        }
+        frontier += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapOracle(HashMap<String, Vec<String>>);
+
+    impl TypeOracle for MapOracle {
+        fn reaches(&self, name: &str) -> Vec<String> {
+            self.0.get(name).cloned().unwrap_or_default()
+        }
+    }
+
+    fn oracle(edges: &[(&str, &[&str])]) -> MapOracle {
+        MapOracle(
+            edges
+                .iter()
+                .map(|(k, vs)| (k.to_string(), vs.iter().map(|v| v.to_string()).collect()))
+                .collect(),
+        )
+    }
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn optimizer_reaches_model() {
+        // The Figure 6 outcome: {optimizer} augments to {optimizer, net}.
+        let o = oracle(&[("optimizer", &["net"])]);
+        assert_eq!(
+            augment_changeset(&names(&["optimizer"]), &o),
+            names(&["optimizer", "net"])
+        );
+    }
+
+    #[test]
+    fn scheduler_chain_closes_transitively() {
+        let o = oracle(&[("sched", &["optimizer"]), ("optimizer", &["net"])]);
+        assert_eq!(
+            augment_changeset(&names(&["sched"]), &o),
+            names(&["sched", "optimizer", "net"])
+        );
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let o = oracle(&[("optimizer", &["net"])]);
+        assert_eq!(
+            augment_changeset(&names(&["optimizer", "net"]), &o),
+            names(&["optimizer", "net"])
+        );
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let o = oracle(&[("a", &["b"]), ("b", &["a"])]);
+        assert_eq!(augment_changeset(&names(&["a"]), &o), names(&["a", "b"]));
+    }
+
+    #[test]
+    fn unknown_names_pass_through() {
+        let o = oracle(&[]);
+        assert_eq!(augment_changeset(&names(&["x", "y"]), &o), names(&["x", "y"]));
+    }
+}

@@ -1,0 +1,335 @@
+//! The six side-effect rules of the paper's Table 1.
+//!
+//! | Rule | Pattern | ΔChangeset |
+//! |---|---|---|
+//! | 0 | `v1..vn = u1..um` ∧ ∃ vi ∈ changeset | **No Estimate** |
+//! | 1 | `v1..vn = obj.method(a1..am)` | `{obj, v1..vn}` |
+//! | 2 | `v1..vn = func(a1..am)` | `{v1..vn}` |
+//! | 3 | `v1..vn = u1..um` | `{v1..vn}` |
+//! | 4 | `obj.method(a1..am)` | `{obj}` |
+//! | 5 | `func(a1..am)` | **No Estimate** |
+//!
+//! Rules are sorted in descending precedence; at most one rule activates per
+//! statement. "No Estimate" means the analysis cannot bound the statement's
+//! side effects, so the enclosing loop is refused (left uninstrumented, to be
+//! fully re-executed on replay).
+//!
+//! Two deliberate interpretation notes (documented in DESIGN.md):
+//! - assignment targets may be attribute/subscript chains (`net.lr = x`);
+//!   the *root name* of the chain is what enters the changeset, since Flor
+//!   checkpoints whole objects;
+//! - `log(...)` / `flor.log(...)` statements are Flor's own side-effect-free
+//!   logging primitive and are exempt from rule 5 (they write to the log
+//!   stream, which Flor captures separately — they never touch program
+//!   state). Without this exemption every loop containing a pre-existing log
+//!   statement would be refused.
+
+use flor_lang::ast::{Expr, Stmt};
+use std::collections::BTreeSet;
+
+/// Which of Table 1's rules matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Assignment clobbering a changed variable → refuse.
+    Rule0,
+    /// Assignment from a method call.
+    Rule1,
+    /// Assignment from a function call.
+    Rule2,
+    /// Plain assignment.
+    Rule3,
+    /// Bare method call.
+    Rule4,
+    /// Bare function call → refuse.
+    Rule5,
+}
+
+impl RuleId {
+    /// Table row number.
+    pub fn number(self) -> u8 {
+        match self {
+            RuleId::Rule0 => 0,
+            RuleId::Rule1 => 1,
+            RuleId::Rule2 => 2,
+            RuleId::Rule3 => 3,
+            RuleId::Rule4 => 4,
+            RuleId::Rule5 => 5,
+        }
+    }
+}
+
+/// The effect of matching one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleApplication {
+    /// Names to add to the changeset.
+    Delta {
+        /// Which rule produced the delta.
+        rule: RuleId,
+        /// Root names added to the changeset.
+        names: Vec<String>,
+    },
+    /// The analysis cannot bound this statement's effects.
+    NoEstimate {
+        /// Which rule (0 or 5) refused.
+        rule: RuleId,
+        /// Explanation for diagnostics.
+        reason: String,
+    },
+    /// Statement activates no rule (control flow, imports, literals, log
+    /// statements).
+    NoMatch,
+}
+
+/// Root names of the assignment targets (`net.lr` → `net`).
+fn target_roots(targets: &[Expr]) -> Option<Vec<String>> {
+    let mut roots = Vec::with_capacity(targets.len());
+    for t in targets {
+        roots.push(t.root_name()?.to_string());
+    }
+    Some(roots)
+}
+
+/// Matches a single statement against Table 1, given the changeset
+/// accumulated so far (needed by rule 0).
+pub fn match_rule(stmt: &Stmt, changeset: &BTreeSet<String>) -> RuleApplication {
+    // Flor's own logging primitive is exempt (see module docs).
+    if stmt.is_log_stmt() {
+        return RuleApplication::NoMatch;
+    }
+    match stmt {
+        Stmt::Assign { targets, value } => {
+            let roots = match target_roots(targets) {
+                Some(r) => r,
+                None => {
+                    return RuleApplication::NoEstimate {
+                        rule: RuleId::Rule0,
+                        reason: "assignment target is not a name/attribute chain".into(),
+                    }
+                }
+            };
+            // Rule 0 (highest precedence): clobbering a changed variable.
+            if let Some(hit) = roots.iter().find(|r| changeset.contains(*r)) {
+                return RuleApplication::NoEstimate {
+                    rule: RuleId::Rule0,
+                    reason: format!("assignment to already-changed variable {hit:?}"),
+                };
+            }
+            match value {
+                Expr::Call { func, .. } => match func.as_ref() {
+                    // Rule 1: v1..vn = obj.method(...)
+                    Expr::Attr { obj, .. } => {
+                        let mut names = roots;
+                        if let Some(root) = obj.root_name() {
+                            names.insert(0, root.to_string());
+                        }
+                        RuleApplication::Delta {
+                            rule: RuleId::Rule1,
+                            names,
+                        }
+                    }
+                    // Rule 2: v1..vn = func(...)
+                    _ => RuleApplication::Delta {
+                        rule: RuleId::Rule2,
+                        names: roots,
+                    },
+                },
+                // Rule 3: v1..vn = u1..um
+                _ => RuleApplication::Delta {
+                    rule: RuleId::Rule3,
+                    names: roots,
+                },
+            }
+        }
+        Stmt::ExprStmt { expr } => {
+            // Bare non-call expressions have no effects.
+            let Expr::Call { func, .. } = expr else {
+                return RuleApplication::NoMatch;
+            };
+            match &**func {
+                // Rule 4: obj.method(...)
+                Expr::Attr { obj, .. } => {
+                    if let Some(root) = obj.root_name() {
+                        RuleApplication::Delta {
+                            rule: RuleId::Rule4,
+                            names: vec![root.to_string()],
+                        }
+                    } else {
+                        RuleApplication::NoEstimate {
+                            rule: RuleId::Rule5,
+                            reason: "method call on non-name receiver".into(),
+                        }
+                    }
+                }
+                // Rule 5: func(...) — side effects beyond scope.
+                _ => RuleApplication::NoEstimate {
+                    rule: RuleId::Rule5,
+                    reason: format!(
+                        "call to function {:?} with unknowable side effects",
+                        flor_lang::printer::print_expr(func)
+                    ),
+                },
+            }
+        }
+        // Control flow, imports, pass: no rule (bodies are walked by the
+        // changeset builder).
+        _ => RuleApplication::NoMatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_lang::parse;
+
+    fn stmt(src: &str) -> Stmt {
+        parse(src).unwrap().body.remove(0)
+    }
+
+    fn empty() -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn with(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rule1_assignment_from_method_call() {
+        let app = match_rule(&stmt("loss, preds = net.eval(batch)\n"), &empty());
+        assert_eq!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule1,
+                names: vec!["net".into(), "loss".into(), "preds".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn rule2_assignment_from_function_call() {
+        let app = match_rule(&stmt("preds = softmax(logits)\n"), &empty());
+        assert_eq!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule2,
+                names: vec!["preds".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn rule3_plain_assignment() {
+        let app = match_rule(&stmt("lr = 0.1 * decay\n"), &empty());
+        assert_eq!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule3,
+                names: vec!["lr".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn rule4_bare_method_call() {
+        let app = match_rule(&stmt("optimizer.step()\n"), &empty());
+        assert_eq!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule4,
+                names: vec!["optimizer".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn rule5_bare_function_call_refuses() {
+        let app = match_rule(&stmt("evaluate(net, data)\n"), &empty());
+        assert!(matches!(
+            app,
+            RuleApplication::NoEstimate { rule: RuleId::Rule5, .. }
+        ));
+    }
+
+    #[test]
+    fn rule0_takes_precedence_over_rule3() {
+        let app = match_rule(&stmt("x = x + 1\n"), &with(&["x"]));
+        assert!(matches!(
+            app,
+            RuleApplication::NoEstimate { rule: RuleId::Rule0, .. }
+        ));
+    }
+
+    #[test]
+    fn rule0_takes_precedence_over_rule1() {
+        // Even a method-call assignment is refused if it clobbers a changed
+        // variable — rule 0 is highest precedence.
+        let app = match_rule(&stmt("opt = factory.make(opt)\n"), &with(&["opt"]));
+        assert!(matches!(
+            app,
+            RuleApplication::NoEstimate { rule: RuleId::Rule0, .. }
+        ));
+    }
+
+    #[test]
+    fn assignment_not_in_changeset_is_fine() {
+        let app = match_rule(&stmt("y = x + 1\n"), &with(&["x"]));
+        assert!(matches!(app, RuleApplication::Delta { rule: RuleId::Rule3, .. }));
+    }
+
+    #[test]
+    fn attr_target_contributes_root() {
+        let app = match_rule(&stmt("net.lr = 0.5\n"), &empty());
+        assert_eq!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule3,
+                names: vec!["net".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn attr_target_already_changed_triggers_rule0() {
+        let app = match_rule(&stmt("net.lr = 0.5\n"), &with(&["net"]));
+        assert!(matches!(
+            app,
+            RuleApplication::NoEstimate { rule: RuleId::Rule0, .. }
+        ));
+    }
+
+    #[test]
+    fn chained_method_receiver_uses_root() {
+        let app = match_rule(&stmt("net.layers[0].reset()\n"), &empty());
+        assert_eq!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule4,
+                names: vec!["net".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn log_statement_is_exempt() {
+        assert_eq!(match_rule(&stmt("log(\"loss\", loss)\n"), &empty()), RuleApplication::NoMatch);
+        assert_eq!(
+            match_rule(&stmt("flor.log(\"loss\", loss)\n"), &empty()),
+            RuleApplication::NoMatch
+        );
+    }
+
+    #[test]
+    fn control_flow_no_match() {
+        assert_eq!(match_rule(&stmt("import flor\n"), &empty()), RuleApplication::NoMatch);
+        assert_eq!(match_rule(&stmt("pass\n"), &empty()), RuleApplication::NoMatch);
+        assert_eq!(
+            match_rule(&stmt("for i in r:\n    pass\n"), &empty()),
+            RuleApplication::NoMatch
+        );
+    }
+
+    #[test]
+    fn bare_literal_no_match() {
+        assert_eq!(match_rule(&stmt("42\n"), &empty()), RuleApplication::NoMatch);
+    }
+}

@@ -1,0 +1,165 @@
+//! Loop-scope filtering (paper §5.2.1, step 2).
+//!
+//! "Flor removes from the changeset any variable that is defined in the body
+//! of the loop (henceforth 'loop-scoped variable'), under the assumption that
+//! this variable is local to the loop and is not read after the end of the
+//! loop. Loop-scoped variables are very common and can be large, so this
+//! filtering step is necessary for controlling overhead on record."
+//!
+//! A name is loop-scoped iff it is defined (plain-name assigned, or a loop
+//! variable) inside the loop body **and** was not already defined before the
+//! loop in the enclosing program — FlorScript, like Python, has no block
+//! scope, so "defined in the loop" only makes a variable loop-local when the
+//! loop is its first definition.
+
+use flor_lang::ast::{Expr, Stmt};
+use std::collections::BTreeSet;
+
+/// Names defined by a statement sequence, in order, stopping at (and not
+/// descending into) the statement `until` points at — used to compute the
+/// set of names defined *before* a given loop.
+pub fn defined_before(
+    body: &[Stmt],
+    target: &Stmt,
+    defined: &mut BTreeSet<String>,
+) -> bool {
+    for stmt in body {
+        if std::ptr::eq(stmt, target) {
+            return true;
+        }
+        match stmt {
+            Stmt::Assign { targets, .. } => {
+                for t in targets {
+                    if let Expr::Name(n) = t {
+                        defined.insert(n.clone());
+                    }
+                }
+            }
+            Stmt::For { var, body, .. } => {
+                defined.insert(var.clone());
+                if defined_before(body, target, defined) {
+                    return true;
+                }
+            }
+            Stmt::If { then, orelse, .. }
+                if defined_before(then, target, defined)
+                    || defined_before(orelse, target, defined) =>
+            {
+                return true;
+            }
+            Stmt::SkipBlock { body, .. } if defined_before(body, target, defined) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Applies the loop-scope filter: removes from `raw_changeset` every name
+/// that the loop defines (`loop_defined`) unless it was already defined
+/// before the loop (`pre_defined`).
+pub fn filter_loop_scoped(
+    raw_changeset: &[String],
+    loop_defined: &BTreeSet<String>,
+    pre_defined: &BTreeSet<String>,
+) -> Vec<String> {
+    raw_changeset
+        .iter()
+        .filter(|name| !loop_defined.contains(*name) || pre_defined.contains(*name))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_lang::parse;
+
+    #[test]
+    fn filter_drops_fresh_loop_locals() {
+        let raw = vec!["batch".to_string(), "preds".to_string(), "optimizer".to_string()];
+        let loop_defined: BTreeSet<String> =
+            ["batch", "preds"].iter().map(|s| s.to_string()).collect();
+        let pre_defined = BTreeSet::new();
+        assert_eq!(
+            filter_loop_scoped(&raw, &loop_defined, &pre_defined),
+            vec!["optimizer".to_string()]
+        );
+    }
+
+    #[test]
+    fn filter_keeps_predefined_names() {
+        // avg_loss initialized before the loop must survive the filter even
+        // though the loop assigns it.
+        let raw = vec!["avg_loss".to_string(), "optimizer".to_string()];
+        let loop_defined: BTreeSet<String> = ["avg_loss"].iter().map(|s| s.to_string()).collect();
+        let pre_defined: BTreeSet<String> = ["avg_loss"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            filter_loop_scoped(&raw, &loop_defined, &pre_defined),
+            vec!["avg_loss".to_string(), "optimizer".to_string()]
+        );
+    }
+
+    #[test]
+    fn defined_before_walks_program_order() {
+        let prog = parse(
+            "\
+net = resnet()
+opt = sgd(net)
+for e in range(3):
+    opt.step()
+",
+        )
+        .unwrap();
+        let target = &prog.body[2];
+        let mut defined = BTreeSet::new();
+        let found = defined_before(&prog.body, target, &mut defined);
+        assert!(found);
+        assert!(defined.contains("net"));
+        assert!(defined.contains("opt"));
+        assert!(!defined.contains("e"));
+    }
+
+    #[test]
+    fn defined_before_sees_outer_loop_vars_for_inner_loop() {
+        let prog = parse(
+            "\
+for e in range(3):
+    acc = 0
+    for b in loader.epoch():
+        opt.step()
+",
+        )
+        .unwrap();
+        // Find the inner loop.
+        let inner = match &prog.body[0] {
+            Stmt::For { body, .. } => &body[1],
+            _ => unreachable!(),
+        };
+        let mut defined = BTreeSet::new();
+        let found = defined_before(&prog.body, inner, &mut defined);
+        assert!(found);
+        assert!(defined.contains("e"), "outer loop var visible");
+        assert!(defined.contains("acc"), "outer loop body assignment visible");
+        assert!(!defined.contains("b"));
+    }
+
+    #[test]
+    fn defined_before_stops_at_target() {
+        let prog = parse(
+            "\
+a = 1
+for e in range(3):
+    opt.step()
+b = 2
+",
+        )
+        .unwrap();
+        let target = &prog.body[1];
+        let mut defined = BTreeSet::new();
+        defined_before(&prog.body, target, &mut defined);
+        assert!(defined.contains("a"));
+        assert!(!defined.contains("b"), "later definitions must not count");
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench: serialization vs I/O cost (the paper's §5.1
+//! microbenchmark — "serialization is typically much more expensive than
+//! I/O: by an average factor of 4.3×").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use flor_chkpt::{compress, decode, encode, CVal};
+
+fn checkpoint_payload(tensors: usize, numel: usize) -> CVal {
+    CVal::Map(
+        (0..tensors)
+            .map(|i| {
+                let data: Vec<u8> = (0..numel * 4).map(|j| ((i * 31 + j) % 251) as u8).collect();
+                (format!("param.{i}"), CVal::Bytes(data))
+            })
+            .collect(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let payload = checkpoint_payload(16, 16 * 1024);
+    let encoded = encode(&payload);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| encode(std::hint::black_box(&payload))));
+    group.bench_function("decode", |b| {
+        b.iter(|| decode(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.bench_function("compress", |b| {
+        b.iter(|| compress::compress(std::hint::black_box(&encoded)))
+    });
+    let compressed = compress::compress(&encoded);
+    group.bench_function("decompress", |b| {
+        b.iter(|| compress::decompress(std::hint::black_box(&compressed)).unwrap())
+    });
+    // The paper's serialize-vs-write comparison: encode+compress (the
+    // serialization side) vs a raw disk write of the encoded bytes.
+    let dir = std::env::temp_dir().join(format!("flor-bench-codec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("payload.bin");
+    group.bench_function("disk_write", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |bytes| std::fs::write(&path, bytes).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: live record overhead (Figure 11's live counterpart) —
+//! vanilla execution vs recorded execution of the cv_train mini workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flor_bench::scripts;
+use flor_core::record::{record, run_vanilla, RecordOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_record(c: &mut Criterion) {
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    let mut group = c.benchmark_group("record_vs_vanilla");
+    group.sample_size(10);
+    group.bench_function("vanilla", |b| {
+        b.iter(|| run_vanilla(scripts::CV_TRAIN).unwrap())
+    });
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            let run = RUN.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "flor-bench-record-{}-{run}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            record(scripts::CV_TRAIN, &RecordOptions::new(dir)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Runs the design-choice ablations (lean checkpointing, adaptive
+//! checkpointing) on the live miniature workloads.
+fn main() {
+    println!("=== Ablation — lean checkpointing (changeset vs full environment) ===");
+    print!("{}", flor_bench::ablations::lean());
+    println!("\n=== Ablation — adaptive checkpointing (live) ===");
+    print!("{}", flor_bench::ablations::adaptive_live());
+}

@@ -1,0 +1,4 @@
+//! Runs every table and figure regenerator and prints the combined report.
+fn main() {
+    print!("{}", flor_bench::all_experiments());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5: background materialization strategies.
+//!
+//! Pass a payload size in MiB as the first argument (default 16).
+fn main() {
+    let mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    println!("=== Figure 5 — background materialization ===");
+    print!("{}", flor_bench::figures::fig05(mib << 20));
+}

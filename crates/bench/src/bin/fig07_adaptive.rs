@@ -1,0 +1,5 @@
+//! Regenerates Figure 7: adaptive checkpointing's impact on record overhead.
+fn main() {
+    println!("=== Figure 7 — adaptive checkpointing impact ===");
+    print!("{}", flor_bench::figures::fig07());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10: parallel replay time as fraction of vanilla.
+fn main() {
+    println!("=== Figure 10 — parallel replay fraction (4 GPUs) ===");
+    print!("{}", flor_bench::figures::fig10());
+}

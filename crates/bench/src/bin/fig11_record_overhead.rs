@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: record overhead per workload (simulated paper
+//! scale plus a live miniature measurement).
+fn main() {
+    println!("=== Figure 11 — record overhead ===");
+    print!("{}", flor_bench::figures::fig11());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12: replay latency by probe position.
+fn main() {
+    println!("=== Figure 12 — replay latency by probe position ===");
+    print!("{}", flor_bench::figures::fig12());
+}

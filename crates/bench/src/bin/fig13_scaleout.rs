@@ -1,0 +1,5 @@
+//! Regenerates Figure 13: RsNt replay scale-out across machines.
+fn main() {
+    println!("=== Figure 13 — RsNt scale-out ===");
+    print!("{}", flor_bench::figures::fig13());
+}

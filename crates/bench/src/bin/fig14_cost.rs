@@ -1,0 +1,5 @@
+//! Regenerates Figure 14: serial vs parallel replay cost.
+fn main() {
+    println!("=== Figure 14 — serial vs parallel cost ===");
+    print!("{}", flor_bench::figures::fig14());
+}

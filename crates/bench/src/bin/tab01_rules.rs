@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the static side-effect analysis rules.
+fn main() {
+    println!("=== Table 1 — side-effect analysis rules ===");
+    print!("{}", flor_bench::tables::tab01());
+}

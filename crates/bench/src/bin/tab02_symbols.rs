@@ -1,0 +1,5 @@
+//! Regenerates Table 2: adaptive-checkpointing symbols, live.
+fn main() {
+    println!("=== Table 2 — adaptive checkpointing symbols ===");
+    print!("{}", flor_bench::tables::tab02());
+}

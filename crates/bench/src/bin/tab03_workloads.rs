@@ -1,0 +1,5 @@
+//! Regenerates Table 3: the evaluation workloads.
+fn main() {
+    println!("=== Table 3 — evaluation workloads ===");
+    print!("{}", flor_bench::tables::tab03());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4: checkpoint sizes and S3 storage costs.
+fn main() {
+    println!("=== Table 4 — checkpoint sizes and S3 cost ===");
+    print!("{}", flor_bench::tables::tab04());
+}

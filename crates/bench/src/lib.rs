@@ -1,0 +1,46 @@
+//! # flor-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6). One binary per artifact
+//! (`cargo run -p flor-bench --release --bin fig11_record_overhead`, …),
+//! plus `all_experiments`, which runs the lot and prints a combined report
+//! (this is what EXPERIMENTS.md records).
+//!
+//! Two kinds of numbers appear side by side:
+//!
+//! - **live** measurements from the miniature workloads (seconds-scale
+//!   training through the real record/replay engine), and
+//! - **paper-scale** simulations from `flor-sim`, which drive the same
+//!   controller/planner code with Table 3/4 magnitudes.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod scripts;
+pub mod tables;
+pub mod util;
+
+/// Runs every experiment and returns the combined report text.
+pub fn all_experiments() -> String {
+    let mut out = String::new();
+    for (title, body) in [
+        ("Table 1 — side-effect analysis rules", tables::tab01()),
+        ("Table 2 — adaptive checkpointing symbols (live)", tables::tab02()),
+        ("Table 3 — evaluation workloads", tables::tab03()),
+        ("Table 4 — checkpoint sizes and S3 cost", tables::tab04()),
+        ("Figure 5 — background materialization", figures::fig05(16 << 20)),
+        ("Figure 7 — adaptive checkpointing impact", figures::fig07()),
+        ("Figure 10 — parallel replay fraction (4 GPUs)", figures::fig10()),
+        ("Figure 11 — record overhead", figures::fig11()),
+        ("Figure 12 — replay latency by probe position", figures::fig12()),
+        ("Figure 13 — RsNt scale-out", figures::fig13()),
+        ("Figure 14 — serial vs parallel cost", figures::fig14()),
+        ("Ablation — lean checkpointing", ablations::lean()),
+        ("Ablation — adaptive checkpointing (live)", ablations::adaptive_live()),
+    ] {
+        out.push_str(&format!("\n=== {title} ===\n"));
+        out.push_str(&body);
+    }
+    out
+}

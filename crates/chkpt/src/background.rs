@@ -1,0 +1,494 @@
+//! Background materialization — the paper's §5.1 and Figure 5.
+//!
+//! "State materialization is expensive because it requires serializing
+//! complex Python objects into byte arrays, and then writing those arrays to
+//! disk. Of the two, serialization is typically much more expensive than
+//! I/O […] we'd like to take materialization (both serialization and I/O)
+//! off the main thread — which is dedicated to model training — and do it in
+//! the background."
+//!
+//! Four strategies reproduce Figure 5's design space. What differs is *what
+//! work happens on the caller (training) thread* during [`Materializer::submit`]:
+//!
+//! | Strategy | On caller thread | In background |
+//! |---|---|---|
+//! | [`Strategy::Baseline`]    | serialize + compress + write | — (cloudpickle) |
+//! | [`Strategy::IpcQueue`]    | serialize                    | compress + write (multiprocessing queue) |
+//! | [`Strategy::Plasma`]      | O(1) handle transfer          | serialize + compress + write, per job |
+//! | [`Strategy::ForkBatched`] | O(1) handle transfer, batched | serialize + compress + write, per batch (the paper's `fork()`) |
+//!
+//! The paper batches "5000 objects" per fork; we batch [`BATCH_OBJECTS`]
+//! snapshot objects per background dispatch. The measured quantity in
+//! Figure 5 — main-thread blocked time — is tracked per submit and exposed
+//! via [`Materializer::stats`].
+
+use crate::store::CheckpointStore;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Objects per background dispatch for [`Strategy::ForkBatched`]
+/// (the paper's fork batching, scaled to the miniature workloads).
+pub const BATCH_OBJECTS: usize = 8;
+
+/// A deferred-serialization snapshot: cheap to create on the training
+/// thread, serialized by a background worker. This is the moral equivalent
+/// of the copy-on-write pages a `fork()`ed child reads.
+pub trait SerializeSnapshot: Send + Sync {
+    /// Serializes the snapshot to checkpoint payload bytes.
+    fn serialize(&self) -> Vec<u8>;
+    /// Approximate payload size (for batching heuristics and stats).
+    fn approx_bytes(&self) -> usize;
+    /// Number of logical objects inside this snapshot (the unit the paper
+    /// batches by).
+    fn object_count(&self) -> usize {
+        1
+    }
+}
+
+/// A ready-made snapshot over already-encoded bytes.
+pub struct BytesSnapshot(pub Vec<u8>);
+
+impl SerializeSnapshot for BytesSnapshot {
+    fn serialize(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+    fn approx_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// What a submit carries.
+pub enum Payload {
+    /// Serialization already happened on the caller.
+    Bytes(Vec<u8>),
+    /// Serialization deferred to the background (COW-style handle).
+    Deferred(Arc<dyn SerializeSnapshot>),
+}
+
+impl Payload {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::Deferred(s) => s.approx_bytes(),
+        }
+    }
+}
+
+/// The Figure 5 strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Serialize and write synchronously on the training thread
+    /// (cloudpickle baseline).
+    Baseline,
+    /// Serialize on the training thread, write in the background
+    /// (Python `multiprocessing` queue).
+    IpcQueue,
+    /// Hand the object handle to the background immediately, one job at a
+    /// time (Apache Plasma-style shared-memory transfer).
+    Plasma,
+    /// Hand object handles to the background in batches — the paper's
+    /// `fork()` mechanism and Flor's default.
+    ForkBatched,
+}
+
+/// Counters exposed by [`Materializer::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaterializerStats {
+    /// Nanoseconds the *training thread* spent inside `submit` (plus the
+    /// caller-side part of `flush`) — Figure 5's y-axis.
+    pub main_thread_ns: u64,
+    /// Checkpoints submitted.
+    pub jobs: u64,
+    /// Uncompressed bytes across all submitted checkpoints.
+    pub raw_bytes: u64,
+    /// Background dispatches (batches for ForkBatched, jobs otherwise).
+    pub dispatches: u64,
+}
+
+struct Job {
+    block_id: String,
+    seq: u64,
+    payload: Payload,
+}
+
+enum WorkerMsg {
+    One(Job),
+    Batch(Vec<Job>),
+    Shutdown,
+}
+
+/// Asynchronous checkpoint writer with a pluggable strategy.
+pub struct Materializer {
+    store: Arc<CheckpointStore>,
+    strategy: Strategy,
+    tx: Option<Sender<WorkerMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Mutex<Vec<Job>>,
+    pending_objects: Mutex<usize>,
+    in_flight: Arc<AtomicU64>,
+    main_thread_ns: AtomicU64,
+    jobs: AtomicU64,
+    raw_bytes: AtomicU64,
+    dispatches: AtomicU64,
+    errors: Arc<Mutex<Vec<String>>>,
+}
+
+impl Materializer {
+    /// Creates a materializer over a shared store.
+    ///
+    /// `workers` background threads are spawned for the asynchronous
+    /// strategies (ignored by `Baseline`). The paper observes "we have never
+    /// seen more than two live children at any point", so 2 is the default
+    /// used throughout flor-rs.
+    pub fn new(store: Arc<CheckpointStore>, strategy: Strategy, workers: usize) -> Self {
+        let (tx, rx) = unbounded::<WorkerMsg>();
+        let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let in_flight: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        if strategy != Strategy::Baseline {
+            for _ in 0..workers.max(1) {
+                let rx = rx.clone();
+                let store = store.clone();
+                let errors = errors.clone();
+                let in_flight = in_flight.clone();
+                handles.push(std::thread::spawn(move || loop {
+                    match rx.recv() {
+                        Ok(WorkerMsg::One(job)) => {
+                            write_job(&store, job, &errors);
+                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Ok(WorkerMsg::Batch(jobs)) => {
+                            for job in jobs {
+                                write_job(&store, job, &errors);
+                            }
+                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Ok(WorkerMsg::Shutdown) | Err(_) => return,
+                    }
+                }));
+            }
+        }
+        Materializer {
+            store,
+            strategy,
+            tx: Some(tx),
+            workers: handles,
+            pending: Mutex::new(Vec::new()),
+            pending_objects: Mutex::new(0),
+            in_flight,
+            main_thread_ns: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            raw_bytes: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+            errors,
+        }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Submits one checkpoint. The caller-visible cost of this call is the
+    /// quantity Figure 5 measures.
+    pub fn submit(&self, block_id: &str, seq: u64, payload: Payload) {
+        let start = Instant::now();
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.raw_bytes
+            .fetch_add(payload.approx_bytes() as u64, Ordering::Relaxed);
+        match self.strategy {
+            Strategy::Baseline => {
+                // Everything on the training thread.
+                let bytes = match payload {
+                    Payload::Bytes(b) => b,
+                    Payload::Deferred(s) => s.serialize(),
+                };
+                if let Err(e) = self.store.put(block_id, seq, &bytes) {
+                    self.errors.lock().push(e.to_string());
+                }
+                self.dispatches.fetch_add(1, Ordering::Relaxed);
+            }
+            Strategy::IpcQueue => {
+                // Serialize on the training thread (the multiprocessing
+                // pickling step), ship bytes to the writer.
+                let bytes = match payload {
+                    Payload::Bytes(b) => b,
+                    Payload::Deferred(s) => s.serialize(),
+                };
+                self.send(WorkerMsg::One(Job {
+                    block_id: block_id.to_string(),
+                    seq,
+                    payload: Payload::Bytes(bytes),
+                }));
+                self.dispatches.fetch_add(1, Ordering::Relaxed);
+            }
+            Strategy::Plasma => {
+                self.send(WorkerMsg::One(Job {
+                    block_id: block_id.to_string(),
+                    seq,
+                    payload,
+                }));
+                self.dispatches.fetch_add(1, Ordering::Relaxed);
+            }
+            Strategy::ForkBatched => {
+                let objects = match &payload {
+                    Payload::Deferred(s) => s.object_count(),
+                    Payload::Bytes(_) => 1,
+                };
+                let mut pending = self.pending.lock();
+                pending.push(Job {
+                    block_id: block_id.to_string(),
+                    seq,
+                    payload,
+                });
+                let mut count = self.pending_objects.lock();
+                *count += objects;
+                if *count >= BATCH_OBJECTS {
+                    let batch = std::mem::take(&mut *pending);
+                    *count = 0;
+                    drop(count);
+                    drop(pending);
+                    self.send(WorkerMsg::Batch(batch));
+                    self.dispatches.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.main_thread_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn send(&self, msg: WorkerMsg) {
+        if let Some(tx) = &self.tx {
+            if matches!(msg, WorkerMsg::One(_) | WorkerMsg::Batch(_)) {
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+            }
+            // Receiver lives as long as the workers; failure means shutdown.
+            if tx.send(msg).is_err() {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Flushes pending batches and blocks until all background work is
+    /// durable. Call at end of run (record exit).
+    ///
+    /// Only the dispatch itself is charged to `main_thread_ns`: Figure 5's
+    /// metric is "how long the main thread takes to finish executing,
+    /// ignoring any child processes and letting them run in the
+    /// background" — the durability barrier happens after the training
+    /// program's work is done.
+    pub fn flush(&self) {
+        let start = Instant::now();
+        let batch = {
+            let mut pending = self.pending.lock();
+            *self.pending_objects.lock() = 0;
+            std::mem::take(&mut *pending)
+        };
+        if !batch.is_empty() {
+            self.send(WorkerMsg::Batch(batch));
+            self.dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.main_thread_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Durability barrier: wait for the in-flight message count to reach
+        // zero (not charged to the Figure 5 metric).
+        if self.strategy != Strategy::Baseline {
+            while self.in_flight.load(Ordering::Acquire) > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// Counters so far. `main_thread_ns` is meaningful after [`flush`].
+    ///
+    /// [`flush`]: Materializer::flush
+    pub fn stats(&self) -> MaterializerStats {
+        MaterializerStats {
+            main_thread_ns: self.main_thread_ns.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Background write errors observed so far (surfaced to deferred checks).
+    pub fn errors(&self) -> Vec<String> {
+        self.errors.lock().clone()
+    }
+}
+
+impl Drop for Materializer {
+    fn drop(&mut self) {
+        self.flush();
+        for _ in 0..self.workers.len() {
+            self.send(WorkerMsg::Shutdown);
+        }
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn write_job(store: &CheckpointStore, job: Job, errors: &Mutex<Vec<String>>) {
+    let bytes = match job.payload {
+        Payload::Bytes(b) => b,
+        Payload::Deferred(s) => s.serialize(),
+    };
+    if let Err(e) = store.put(&job.block_id, job.seq, &bytes) {
+        errors.lock().push(format!("background write failed: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpstore(tag: &str) -> Arc<CheckpointStore> {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-mat-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(CheckpointStore::open(dir).unwrap())
+    }
+
+    /// A snapshot whose serialization is deliberately slow, to make the
+    /// main-thread-time ordering observable.
+    struct SlowSnapshot {
+        bytes: Vec<u8>,
+        delay_us: u64,
+    }
+
+    impl SerializeSnapshot for SlowSnapshot {
+        fn serialize(&self) -> Vec<u8> {
+            std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
+            self.bytes.clone()
+        }
+        fn approx_bytes(&self) -> usize {
+            self.bytes.len()
+        }
+    }
+
+    fn run_strategy(strategy: Strategy, tag: &str) -> (MaterializerStats, Arc<CheckpointStore>) {
+        let store = tmpstore(tag);
+        let mat = Materializer::new(store.clone(), strategy, 2);
+        for seq in 0..12 {
+            mat.submit(
+                "sb_0",
+                seq,
+                Payload::Deferred(Arc::new(SlowSnapshot {
+                    bytes: vec![seq as u8; 2000],
+                    delay_us: 300,
+                })),
+            );
+        }
+        mat.flush();
+        (mat.stats(), store)
+    }
+
+    #[test]
+    fn all_strategies_persist_everything() {
+        for (strategy, tag) in [
+            (Strategy::Baseline, "base"),
+            (Strategy::IpcQueue, "ipc"),
+            (Strategy::Plasma, "plasma"),
+            (Strategy::ForkBatched, "fork"),
+        ] {
+            let (stats, store) = run_strategy(strategy, tag);
+            assert_eq!(stats.jobs, 12, "{strategy:?}");
+            assert_eq!(store.count("sb_0"), 12, "{strategy:?}");
+            for seq in 0..12 {
+                assert_eq!(
+                    store.get("sb_0", seq).unwrap(),
+                    vec![seq as u8; 2000],
+                    "{strategy:?} seq {seq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_pays_serialization_on_main_thread() {
+        // Baseline must serialize 12 × 300µs on the caller; ForkBatched's
+        // caller does O(1) handle pushes. Use generous margins (CI noise).
+        let (base, _) = run_strategy(Strategy::Baseline, "cmp-base");
+        let (fork, _) = run_strategy(Strategy::ForkBatched, "cmp-fork");
+        assert!(
+            base.main_thread_ns > 12 * 300 * 1000,
+            "baseline main-thread {}ns",
+            base.main_thread_ns
+        );
+        assert!(
+            fork.main_thread_ns < base.main_thread_ns,
+            "fork {} !< baseline {}",
+            fork.main_thread_ns,
+            base.main_thread_ns
+        );
+    }
+
+    #[test]
+    fn ipc_queue_also_pays_serialization() {
+        let (ipc, _) = run_strategy(Strategy::IpcQueue, "cmp-ipc");
+        assert!(
+            ipc.main_thread_ns > 12 * 300 * 1000,
+            "ipc serializes on caller: {}ns",
+            ipc.main_thread_ns
+        );
+    }
+
+    #[test]
+    fn fork_batches_dispatches() {
+        let (fork, _) = run_strategy(Strategy::ForkBatched, "batch");
+        // 12 jobs at 1 object each, batch size 8 → 2 data dispatches
+        // (+ flush rendezvous counted separately per worker? no — those are
+        // not counted in dispatches for data; we sent 1 batch at 8, then
+        // flush ships the remaining 4 as 1 batch).
+        assert!(
+            fork.dispatches <= 3,
+            "expected few batched dispatches, got {}",
+            fork.dispatches
+        );
+        let (plasma, _) = run_strategy(Strategy::Plasma, "nobatch");
+        assert_eq!(plasma.dispatches, 12);
+    }
+
+    #[test]
+    fn flush_is_a_barrier() {
+        let store = tmpstore("barrier");
+        let mat = Materializer::new(store.clone(), Strategy::ForkBatched, 2);
+        mat.submit(
+            "sb_0",
+            0,
+            Payload::Deferred(Arc::new(SlowSnapshot {
+                bytes: vec![1; 100],
+                delay_us: 5_000,
+            })),
+        );
+        mat.flush();
+        // After flush the checkpoint must be durable.
+        assert!(store.contains("sb_0", 0));
+    }
+
+    #[test]
+    fn drop_flushes_outstanding_work() {
+        let store = tmpstore("drop");
+        {
+            let mat = Materializer::new(store.clone(), Strategy::ForkBatched, 1);
+            mat.submit("sb_0", 0, Payload::Bytes(vec![9; 50]));
+            // No explicit flush.
+        }
+        assert!(store.contains("sb_0", 0));
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let (stats, _) = run_strategy(Strategy::Plasma, "stats");
+        assert_eq!(stats.raw_bytes, 12 * 2000);
+    }
+}

@@ -1,0 +1,406 @@
+//! Tagged binary value codec — the `cloudpickle` stand-in.
+//!
+//! [`CVal`] is the interchange representation: checkpoint producers (the
+//! interpreter's object graph, native `Checkpointable` state) lower
+//! themselves to a `CVal` tree, which encodes to a self-describing byte
+//! stream. The format is versioned (one magic byte) and length-prefixed
+//! throughout, so truncation and corruption are detected rather than
+//! misread.
+//!
+//! Layout (all integers little-endian; lengths are LEB128 varints):
+//!
+//! ```text
+//! stream  := MAGIC value
+//! value   := tag payload
+//! tag     := u8
+//! Unit    0x00 —
+//! Bool    0x01 u8
+//! I64     0x02 zigzag varint
+//! F64     0x03 8 bytes
+//! Str     0x04 len bytes(utf8)
+//! Bytes   0x05 len bytes
+//! List    0x06 count value*
+//! Map     0x07 count (str value)*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: u8 = 0xF1;
+
+/// A checkpointable value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CVal {
+    /// Nothing (Python `None`).
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes (tensor payloads).
+    Bytes(Vec<u8>),
+    /// Ordered sequence.
+    List(Vec<CVal>),
+    /// Ordered string-keyed map (insertion order preserved — determinism
+    /// matters for byte-identical re-encoding).
+    Map(Vec<(String, CVal)>),
+}
+
+impl CVal {
+    /// Builds a map from key/value pairs.
+    pub fn map(pairs: Vec<(impl Into<String>, CVal)>) -> CVal {
+        CVal::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&CVal> {
+        match self {
+            CVal::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size in bytes (used by materialization
+    /// batching and the spool cost model).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            CVal::Unit | CVal::Bool(_) => 1,
+            CVal::I64(_) | CVal::F64(_) => 8,
+            CVal::Str(s) => s.len() + 5,
+            CVal::Bytes(b) => b.len() + 5,
+            CVal::List(items) => items.iter().map(CVal::approx_bytes).sum::<usize>() + 5,
+            CVal::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| k.len() + 5 + v.approx_bytes())
+                .sum::<usize>()
+                + 5,
+        }
+    }
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(message: impl Into<String>) -> CodecError {
+    CodecError {
+        message: message.into(),
+    }
+}
+
+/// Encodes a value tree to bytes.
+pub fn encode(val: &CVal) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(val.approx_bytes() + 16);
+    buf.put_u8(MAGIC);
+    encode_into(val, &mut buf);
+    buf.to_vec()
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn encode_into(val: &CVal, buf: &mut BytesMut) {
+    match val {
+        CVal::Unit => buf.put_u8(0x00),
+        CVal::Bool(b) => {
+            buf.put_u8(0x01);
+            buf.put_u8(*b as u8);
+        }
+        CVal::I64(i) => {
+            buf.put_u8(0x02);
+            put_varint(buf, zigzag(*i));
+        }
+        CVal::F64(x) => {
+            buf.put_u8(0x03);
+            buf.put_f64_le(*x);
+        }
+        CVal::Str(s) => {
+            buf.put_u8(0x04);
+            put_varint(buf, s.len() as u64);
+            buf.put_slice(s.as_bytes());
+        }
+        CVal::Bytes(b) => {
+            buf.put_u8(0x05);
+            put_varint(buf, b.len() as u64);
+            buf.put_slice(b);
+        }
+        CVal::List(items) => {
+            buf.put_u8(0x06);
+            put_varint(buf, items.len() as u64);
+            for item in items {
+                encode_into(item, buf);
+            }
+        }
+        CVal::Map(pairs) => {
+            buf.put_u8(0x07);
+            put_varint(buf, pairs.len() as u64);
+            for (k, v) in pairs {
+                put_varint(buf, k.len() as u64);
+                buf.put_slice(k.as_bytes());
+                encode_into(v, buf);
+            }
+        }
+    }
+}
+
+/// Decodes bytes produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<CVal, CodecError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if !buf.has_remaining() {
+        return Err(err("empty input"));
+    }
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(err(format!("bad magic byte {magic:#x}")));
+    }
+    let val = decode_one(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(err(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(val)
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(err("truncated varint"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(err("varint overflow"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn get_len(buf: &mut Bytes) -> Result<usize, CodecError> {
+    let n = get_varint(buf)? as usize;
+    if n > buf.remaining() {
+        return Err(err(format!(
+            "declared length {n} exceeds remaining {} bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(n)
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    let n = get_len(buf)?;
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| err("invalid utf-8 in string"))
+}
+
+fn decode_one(buf: &mut Bytes) -> Result<CVal, CodecError> {
+    if !buf.has_remaining() {
+        return Err(err("truncated value"));
+    }
+    match buf.get_u8() {
+        0x00 => Ok(CVal::Unit),
+        0x01 => {
+            if !buf.has_remaining() {
+                return Err(err("truncated bool"));
+            }
+            match buf.get_u8() {
+                0 => Ok(CVal::Bool(false)),
+                1 => Ok(CVal::Bool(true)),
+                other => Err(err(format!("bad bool byte {other}"))),
+            }
+        }
+        0x02 => Ok(CVal::I64(unzigzag(get_varint(buf)?))),
+        0x03 => {
+            if buf.remaining() < 8 {
+                return Err(err("truncated f64"));
+            }
+            Ok(CVal::F64(buf.get_f64_le()))
+        }
+        0x04 => Ok(CVal::Str(get_str(buf)?)),
+        0x05 => {
+            let n = get_len(buf)?;
+            Ok(CVal::Bytes(buf.copy_to_bytes(n).to_vec()))
+        }
+        0x06 => {
+            let n = get_varint(buf)? as usize;
+            // Each element takes at least one byte.
+            if n > buf.remaining() {
+                return Err(err("list count exceeds remaining bytes"));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_one(buf)?);
+            }
+            Ok(CVal::List(items))
+        }
+        0x07 => {
+            let n = get_varint(buf)? as usize;
+            if n > buf.remaining() {
+                return Err(err("map count exceeds remaining bytes"));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = get_str(buf)?;
+                let v = decode_one(buf)?;
+                pairs.push((k, v));
+            }
+            Ok(CVal::Map(pairs))
+        }
+        tag => Err(err(format!("unknown tag {tag:#x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: CVal) {
+        let bytes = encode(&v);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        roundtrip(CVal::Unit);
+        roundtrip(CVal::Bool(true));
+        roundtrip(CVal::Bool(false));
+        roundtrip(CVal::I64(0));
+        roundtrip(CVal::I64(-1));
+        roundtrip(CVal::I64(i64::MAX));
+        roundtrip(CVal::I64(i64::MIN));
+        roundtrip(CVal::F64(3.25));
+        roundtrip(CVal::F64(f64::NEG_INFINITY));
+        roundtrip(CVal::Str("héllo\nworld".into()));
+        roundtrip(CVal::Str(String::new()));
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        roundtrip(CVal::Bytes(vec![0, 1, 2, 255]));
+        roundtrip(CVal::List(vec![CVal::I64(1), CVal::Str("a".into()), CVal::Unit]));
+        roundtrip(CVal::map(vec![
+            ("weights", CVal::Bytes(vec![1; 100])),
+            ("step", CVal::I64(42)),
+            ("nested", CVal::List(vec![CVal::Bool(false)])),
+        ]));
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        let bytes = encode(&CVal::F64(f64::NAN));
+        match decode(&bytes).unwrap() {
+            CVal::F64(x) => assert!(x.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_order_is_preserved() {
+        let v = CVal::map(vec![("z", CVal::I64(1)), ("a", CVal::I64(2))]);
+        match decode(&encode(&v)).unwrap() {
+            CVal::Map(pairs) => {
+                assert_eq!(pairs[0].0, "z");
+                assert_eq!(pairs[1].0, "a");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = CVal::map(vec![("a", CVal::List(vec![CVal::F64(1.5); 10]))]);
+        assert_eq!(encode(&v), encode(&v));
+    }
+
+    #[test]
+    fn truncation_always_detected() {
+        let v = CVal::map(vec![
+            ("k1", CVal::Bytes(vec![7; 64])),
+            ("k2", CVal::List(vec![CVal::I64(-5), CVal::Str("x".into())])),
+        ]);
+        let bytes = encode(&v);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = encode(&CVal::I64(7));
+        bytes.push(0x00);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = encode(&CVal::I64(7));
+        bytes[0] = 0x00;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let bytes = vec![MAGIC, 0x42];
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // Claim a 2^60-byte string in a tiny buffer.
+        let mut bytes = vec![MAGIC, 0x04];
+        // varint for a huge number
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f]);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn get_on_map() {
+        let v = CVal::map(vec![("a", CVal::I64(1))]);
+        assert_eq!(v.get("a"), Some(&CVal::I64(1)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(CVal::Unit.get("a"), None);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_payload() {
+        let small = CVal::I64(1);
+        let big = CVal::Bytes(vec![0; 10_000]);
+        assert!(big.approx_bytes() > small.approx_bytes() * 100);
+    }
+}

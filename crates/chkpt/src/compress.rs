@@ -1,0 +1,331 @@
+//! LZ77-style compression — the gzip stand-in for checkpoint spooling.
+//!
+//! "The checkpoints materialized by Flor record were compressed by a
+//! background process, before being spooled to an S3 bucket" (paper §6.2,
+//! Table 4). Checkpoint payloads are dominated by f32 tensors with long
+//! zero runs (fresh gradients, momentum buffers, padding), which LZ back
+//! references capture well.
+//!
+//! Format: `magic(2) | original_len varint | token*` where each token is a
+//! flag byte introducing 8 items; flag bit 0 = literal byte, 1 = match
+//! `(offset: u16 LE, len: u8)` with `len` biased by the minimum match length (4).
+
+const MAGIC: [u8; 2] = [0xF1, 0x02];
+const WINDOW: usize = 1 << 16; // u16 offsets
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 254;
+const HASH_BITS: u32 = 15;
+
+/// Decompression failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compress error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+fn err(m: impl Into<String>) -> CompressError {
+    CompressError { message: m.into() }
+}
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos).ok_or_else(|| err("truncated varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(err("varint overflow"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Compresses a byte slice.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    put_varint(&mut out, input.len() as u64);
+
+    // Single-entry hash table of most recent position per 4-byte prefix.
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+
+    // Token accumulation: flag byte position + item count.
+    let mut flag_pos = out.len();
+    out.push(0);
+    let mut flag_bits = 0u8;
+    let mut flag_count = 0u8;
+
+    let push_item = |out: &mut Vec<u8>, is_match: bool, payload: &[u8],
+                         flag_pos: &mut usize, flag_bits: &mut u8, flag_count: &mut u8| {
+        if *flag_count == 8 {
+            out[*flag_pos] = *flag_bits;
+            *flag_pos = out.len();
+            out.push(0);
+            *flag_bits = 0;
+            *flag_count = 0;
+        }
+        if is_match {
+            *flag_bits |= 1 << *flag_count;
+        }
+        *flag_count += 1;
+        out.extend_from_slice(payload);
+    };
+
+    while i < input.len() {
+        let mut matched = false;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(&input[i..]);
+            let cand = table[h];
+            table[h] = i;
+            if cand != usize::MAX && i - cand <= WINDOW && cand < i {
+                // Extend the match.
+                let max_len = (input.len() - i).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < max_len && input[cand + len] == input[i + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH {
+                    let offset = (i - cand) as u32;
+                    // offset stored as u16; distance WINDOW encodes as 0
+                    let off16 = if offset == WINDOW as u32 {
+                        0u16
+                    } else {
+                        offset as u16
+                    };
+                    let payload = [
+                        off16.to_le_bytes()[0],
+                        off16.to_le_bytes()[1],
+                        (len - MIN_MATCH) as u8,
+                    ];
+                    push_item(
+                        &mut out, true, &payload, &mut flag_pos, &mut flag_bits, &mut flag_count,
+                    );
+                    // Index a few positions inside the match for better
+                    // downstream matches.
+                    let end = (i + len).min(input.len().saturating_sub(MIN_MATCH));
+                    let mut j = i + 1;
+                    while j < end {
+                        table[hash4(&input[j..])] = j;
+                        j += 1;
+                    }
+                    i += len;
+                    matched = true;
+                }
+            }
+        }
+        if !matched {
+            push_item(
+                &mut out,
+                false,
+                &input[i..i + 1],
+                &mut flag_pos,
+                &mut flag_bits,
+                &mut flag_count,
+            );
+            i += 1;
+        }
+    }
+    out[flag_pos] = flag_bits;
+    out
+}
+
+/// Decompresses bytes produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if data.len() < 3 || data[0..2] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let mut pos = 2usize;
+    let original_len = get_varint(data, &mut pos)? as usize;
+    // Sanity bound: the declared length can't exceed the maximum expansion
+    // of the remaining payload (8 items of up to MAX_MATCH bytes per 25-byte
+    // group, i.e. far less than 512x).
+    if original_len > data.len().saturating_mul(512).max(1024) {
+        return Err(err("implausible declared length"));
+    }
+    let mut out = Vec::with_capacity(original_len);
+
+    while out.len() < original_len {
+        let flags = *data.get(pos).ok_or_else(|| err("truncated flag byte"))?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= original_len {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let b0 = *data.get(pos).ok_or_else(|| err("truncated match"))?;
+                let b1 = *data.get(pos + 1).ok_or_else(|| err("truncated match"))?;
+                let lb = *data.get(pos + 2).ok_or_else(|| err("truncated match"))?;
+                pos += 3;
+                let off16 = u16::from_le_bytes([b0, b1]);
+                let offset = if off16 == 0 { WINDOW } else { off16 as usize };
+                let len = lb as usize + MIN_MATCH;
+                if offset > out.len() {
+                    return Err(err("match offset before start of output"));
+                }
+                let start = out.len() - offset;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                let b = *data.get(pos).ok_or_else(|| err("truncated literal"))?;
+                pos += 1;
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != original_len {
+        return Err(err(format!(
+            "decompressed {} bytes, expected {original_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on `input` (original / compressed; > 1 means
+/// the data shrank).
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    input.len() as f64 / compress(input).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "roundtrip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        roundtrip(&vec![0u8; 100_000]);
+        roundtrip(&b"abcabcabcabcabcabc".repeat(100));
+    }
+
+    #[test]
+    fn roundtrip_binary_tensorish() {
+        // f32 bytes with zero runs, like a momentum buffer.
+        let mut data = Vec::new();
+        for i in 0..10_000u32 {
+            if i % 7 == 0 {
+                data.extend_from_slice(&(i as f32).to_le_bytes());
+            } else {
+                data.extend_from_slice(&0f32.to_le_bytes());
+            }
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        // Pseudo-random bytes (xorshift) — worst case, must still roundtrip.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+        // Overhead on incompressible data stays modest (< 15%).
+        assert!(compress(&data).len() < data.len() + data.len() / 7 + 32);
+    }
+
+    #[test]
+    fn zeros_compress_well() {
+        let data = vec![0u8; 1 << 20];
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 50,
+            "1MiB of zeros compressed to {} bytes",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        data.extend(vec![9u8; 30_000]);
+        data.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corruption_detected_or_roundtrip_fails_loudly() {
+        let data = b"hello world hello world hello world".repeat(10);
+        let mut c = compress(&data);
+        // Truncations must error, never panic.
+        for cut in 0..c.len().min(64) {
+            let _ = decompress(&c[..cut]);
+        }
+        // Bad magic errors.
+        c[0] = 0;
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut data = MAGIC.to_vec();
+        // Declared length ~ 2^60 with no payload.
+        data.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f]);
+        assert!(decompress(&data).is_err());
+    }
+
+    #[test]
+    fn ratio_reports_sensibly() {
+        assert!(ratio(&vec![0u8; 10_000]) > 10.0);
+        assert!((ratio(b"") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_match_copies_correctly() {
+        // "aaaa..." forces matches whose source overlaps the destination.
+        let data = vec![b'a'; 1000];
+        roundtrip(&data);
+    }
+}

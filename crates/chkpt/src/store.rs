@@ -1,0 +1,458 @@
+//! The on-disk checkpoint store.
+//!
+//! One store per recorded run. Layout under the root directory:
+//!
+//! ```text
+//! root/
+//!   MANIFEST              one line per checkpoint: "<block_id>\t<seq>\t<file>\t<bytes>\t<crc32>"
+//!   ckpt/<block>.<seq>    compressed, CRC-protected checkpoint payloads
+//!   artifacts/<name>      named artifacts (recorded source, record logs)
+//! ```
+//!
+//! Every entry is compressed ([`crate::compress`]) and carries a CRC32 so
+//! that corruption and truncation surface as [`StoreError::Corrupt`] instead
+//! of silent replay anomalies. Multiple checkpoints per block (`seq`
+//! 0, 1, 2, …) correspond to the paper's "a loop may generate zero or many
+//! Loop End Checkpoints, depending on how many times it is executed".
+
+use crate::compress::{compress, decompress};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Store failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// No checkpoint for the requested block/seq.
+    Missing {
+        /// Requested block id.
+        block_id: String,
+        /// Requested sequence number.
+        seq: u64,
+    },
+    /// Entry exists but its payload fails CRC or decompression.
+    Corrupt {
+        /// Affected block id.
+        block_id: String,
+        /// Affected sequence number.
+        seq: u64,
+        /// Detail.
+        detail: String,
+    },
+    /// Malformed manifest.
+    BadManifest(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Missing { block_id, seq } => {
+                write!(f, "no checkpoint for block {block_id:?} seq {seq}")
+            }
+            StoreError::Corrupt { block_id, seq, detail } => {
+                write!(f, "corrupt checkpoint {block_id:?}.{seq}: {detail}")
+            }
+            StoreError::BadManifest(d) => write!(f, "bad manifest: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Metadata of one stored checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptMeta {
+    /// SkipBlock id.
+    pub block_id: String,
+    /// Execution sequence number of this block (0-based).
+    pub seq: u64,
+    /// Compressed on-disk size.
+    pub stored_bytes: u64,
+    /// Uncompressed payload size.
+    pub raw_bytes: u64,
+}
+
+/// CRC32 (IEEE, reflected) — hand-rolled so corruption detection has no
+/// external dependency.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Build the table once.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Index entry: file name, raw byte length, CRC32 of the raw payload.
+type IndexEntry = (String, u64, u32);
+
+/// An on-disk checkpoint store (thread-safe; background materializer workers
+/// share it).
+pub struct CheckpointStore {
+    root: PathBuf,
+    /// (block, seq) → entry
+    index: Mutex<BTreeMap<(String, u64), IndexEntry>>,
+}
+
+impl CheckpointStore {
+    /// Creates (or opens) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("ckpt"))?;
+        fs::create_dir_all(root.join("artifacts"))?;
+        let store = CheckpointStore {
+            root,
+            index: Mutex::new(BTreeMap::new()),
+        };
+        store.load_manifest()?;
+        Ok(store)
+    }
+
+    /// Store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("MANIFEST")
+    }
+
+    fn load_manifest(&self) -> Result<(), StoreError> {
+        let path = self.manifest_path();
+        if !path.exists() {
+            return Ok(());
+        }
+        let text = fs::read_to_string(&path)?;
+        let mut index = self.index.lock();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 5 {
+                return Err(StoreError::BadManifest(format!(
+                    "line {}: expected 5 fields, got {}",
+                    lineno + 1,
+                    parts.len()
+                )));
+            }
+            let seq: u64 = parts[1]
+                .parse()
+                .map_err(|_| StoreError::BadManifest(format!("line {}: bad seq", lineno + 1)))?;
+            let raw: u64 = parts[3]
+                .parse()
+                .map_err(|_| StoreError::BadManifest(format!("line {}: bad size", lineno + 1)))?;
+            let crc: u32 = parts[4]
+                .parse()
+                .map_err(|_| StoreError::BadManifest(format!("line {}: bad crc", lineno + 1)))?;
+            index.insert(
+                (parts[0].to_string(), seq),
+                (parts[2].to_string(), raw, crc),
+            );
+        }
+        Ok(())
+    }
+
+    fn append_manifest(&self, line: &str) -> Result<(), StoreError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.manifest_path())?;
+        // Single write_all of the whole line: O_APPEND guarantees the line
+        // lands atomically even with concurrent materializer workers.
+        f.write_all(format!("{line}\n").as_bytes())?;
+        Ok(())
+    }
+
+    /// Writes a checkpoint payload for `(block_id, seq)`.
+    ///
+    /// Compresses, CRC-stamps, writes the file, then records the entry in
+    /// the manifest (write-ahead of the manifest entry means a crash leaves
+    /// at worst an orphaned file, never a manifest entry without data).
+    pub fn put(&self, block_id: &str, seq: u64, payload: &[u8]) -> Result<CkptMeta, StoreError> {
+        assert!(
+            !block_id.contains(['\t', '\n', '/']),
+            "block id {block_id:?} contains reserved characters"
+        );
+        let crc = crc32(payload);
+        let compressed = compress(payload);
+        let file = format!("{block_id}.{seq:06}");
+        let path = self.root.join("ckpt").join(&file);
+        fs::write(&path, &compressed)?;
+        self.append_manifest(&format!(
+            "{block_id}\t{seq}\t{file}\t{}\t{crc}",
+            payload.len()
+        ))?;
+        self.index.lock().insert(
+            (block_id.to_string(), seq),
+            (file, payload.len() as u64, crc),
+        );
+        Ok(CkptMeta {
+            block_id: block_id.to_string(),
+            seq,
+            stored_bytes: compressed.len() as u64,
+            raw_bytes: payload.len() as u64,
+        })
+    }
+
+    /// Reads and verifies the checkpoint payload for `(block_id, seq)`.
+    pub fn get(&self, block_id: &str, seq: u64) -> Result<Vec<u8>, StoreError> {
+        let entry = self
+            .index
+            .lock()
+            .get(&(block_id.to_string(), seq))
+            .cloned();
+        let (file, raw_len, crc) = entry.ok_or_else(|| StoreError::Missing {
+            block_id: block_id.to_string(),
+            seq,
+        })?;
+        let compressed = fs::read(self.root.join("ckpt").join(&file))?;
+        let payload = decompress(&compressed).map_err(|e| StoreError::Corrupt {
+            block_id: block_id.to_string(),
+            seq,
+            detail: e.message,
+        })?;
+        if payload.len() as u64 != raw_len || crc32(&payload) != crc {
+            return Err(StoreError::Corrupt {
+                block_id: block_id.to_string(),
+                seq,
+                detail: "crc or length mismatch".into(),
+            });
+        }
+        Ok(payload)
+    }
+
+    /// True if a checkpoint exists for `(block_id, seq)`.
+    pub fn contains(&self, block_id: &str, seq: u64) -> bool {
+        self.index
+            .lock()
+            .contains_key(&(block_id.to_string(), seq))
+    }
+
+    /// Number of checkpoints stored for a block.
+    pub fn count(&self, block_id: &str) -> u64 {
+        self.index
+            .lock()
+            .keys()
+            .filter(|(b, _)| b == block_id)
+            .count() as u64
+    }
+
+    /// Highest stored sequence number for a block, if any.
+    pub fn latest_seq(&self, block_id: &str) -> Option<u64> {
+        self.index
+            .lock()
+            .keys()
+            .filter(|(b, _)| b == block_id)
+            .map(|(_, s)| *s)
+            .max()
+    }
+
+    /// All `(block_id, seq)` pairs, sorted.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        self.index.lock().keys().cloned().collect()
+    }
+
+    /// Total compressed bytes on disk across all checkpoints.
+    pub fn total_stored_bytes(&self) -> u64 {
+        let index = self.index.lock();
+        index
+            .values()
+            .map(|(file, _, _)| {
+                fs::metadata(self.root.join("ckpt").join(file))
+                    .map(|m| m.len())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Total uncompressed bytes across all checkpoints.
+    pub fn total_raw_bytes(&self) -> u64 {
+        self.index.lock().values().map(|(_, raw, _)| *raw).sum()
+    }
+
+    // ---- named artifacts ---------------------------------------------------
+
+    /// Writes a named artifact (recorded source, record log).
+    pub fn put_artifact(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        assert!(
+            !name.contains(['/', '\\']),
+            "artifact name {name:?} must be flat"
+        );
+        fs::write(self.root.join("artifacts").join(name), bytes)?;
+        Ok(())
+    }
+
+    /// Reads a named artifact.
+    pub fn get_artifact(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        Ok(fs::read(self.root.join("artifacts").join(name))?)
+    }
+
+    /// True if the named artifact exists.
+    pub fn has_artifact(&self, name: &str) -> bool {
+        self.root.join("artifacts").join(name).exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = CheckpointStore::open(tmpdir("roundtrip")).unwrap();
+        let payload = b"checkpoint payload with zeros \0\0\0\0\0\0".repeat(10);
+        let meta = store.put("sb_0", 0, &payload).unwrap();
+        assert_eq!(meta.raw_bytes, payload.len() as u64);
+        assert_eq!(store.get("sb_0", 0).unwrap(), payload);
+    }
+
+    #[test]
+    fn missing_checkpoint_errors() {
+        let store = CheckpointStore::open(tmpdir("missing")).unwrap();
+        assert!(matches!(
+            store.get("sb_0", 0),
+            Err(StoreError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_seqs_per_block() {
+        let store = CheckpointStore::open(tmpdir("seqs")).unwrap();
+        for seq in 0..5 {
+            store.put("sb_0", seq, format!("payload{seq}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.count("sb_0"), 5);
+        assert_eq!(store.latest_seq("sb_0"), Some(4));
+        assert_eq!(store.get("sb_0", 3).unwrap(), b"payload3");
+    }
+
+    #[test]
+    fn reopen_restores_index() {
+        let dir = tmpdir("reopen");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"alpha").unwrap();
+            store.put("sb_1", 7, b"beta").unwrap();
+        }
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
+        assert_eq!(store.get("sb_1", 7).unwrap(), b"beta");
+        assert!(store.contains("sb_1", 7));
+        assert!(!store.contains("sb_1", 8));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let store = CheckpointStore::open(&dir).unwrap();
+        // Structured payload: a flipped byte must change the decompressed
+        // content (an all-constant payload can survive offset corruption).
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        store.put("sb_0", 0, &payload).unwrap();
+        // Flip a byte in the stored file.
+        let file = dir.join("ckpt").join("sb_0.000000");
+        let mut bytes = fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&file, &bytes).unwrap();
+        assert!(matches!(
+            store.get("sb_0", 0),
+            Err(StoreError::Corrupt { .. }) | Err(StoreError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let dir = tmpdir("trunc");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.put("sb_0", 0, &vec![3u8; 5000]).unwrap();
+        let file = dir.join("ckpt").join("sb_0.000000");
+        let bytes = fs::read(&file).unwrap();
+        fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            store.get("sb_0", 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn artifacts_roundtrip() {
+        let store = CheckpointStore::open(tmpdir("artifacts")).unwrap();
+        store.put_artifact("source.flr", b"import flor\n").unwrap();
+        assert!(store.has_artifact("source.flr"));
+        assert_eq!(store.get_artifact("source.flr").unwrap(), b"import flor\n");
+        assert!(!store.has_artifact("nope"));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let store = CheckpointStore::open(tmpdir("bytes")).unwrap();
+        store.put("sb_0", 0, &vec![0u8; 100_000]).unwrap();
+        assert_eq!(store.total_raw_bytes(), 100_000);
+        // All zeros compress massively.
+        assert!(store.total_stored_bytes() < 5_000);
+    }
+
+    #[test]
+    fn crc32_known_value() {
+        // IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn concurrent_puts() {
+        let store = std::sync::Arc::new(CheckpointStore::open(tmpdir("concurrent")).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for seq in 0..10 {
+                    store
+                        .put(&format!("sb_{t}"), seq, format!("{t}:{seq}").as_bytes())
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.entries().len(), 40);
+        assert_eq!(store.get("sb_2", 9).unwrap(), b"2:9");
+    }
+}

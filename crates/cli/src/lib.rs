@@ -1,0 +1,450 @@
+//! Implementation of the `flor` command-line tool (library form, so the
+//! command surface is unit-testable without spawning processes).
+
+#![warn(missing_docs)]
+
+use flor_analysis::instrument::instrument;
+use flor_core::record::{record, run_vanilla, RecordOptions};
+use flor_core::replay::{replay, ReplayOptions};
+use flor_core::sample::replay_sample;
+use flor_core::InitMode;
+use flor_lang::{parse, print_program};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  flor run      <script.flr>
+  flor record   <script.flr> --store <dir> [--epsilon F] [--no-adaptive]
+  flor replay   <script.flr> --store <dir> [--workers N] [--weak]
+  flor sample   <script.flr> --store <dir> --iters 3,7,12
+  flor inspect  <script.flr>
+  flor log      --store <dir>";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; print usage.
+    Usage(String),
+    /// The operation itself failed.
+    Failed(String),
+}
+
+impl From<flor_core::FlorError> for CliError {
+    fn from(e: flor_core::FlorError) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(raw: &'a [String]) -> Result<Self, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = raw[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = ["store", "workers", "iters", "epsilon"].contains(&name);
+                if takes_value {
+                    let v = raw
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                    flags.push((name, Some(v.as_str())));
+                    i += 2;
+                } else {
+                    flags.push((name, None));
+                    i += 1;
+                }
+            } else {
+                positional.push(a);
+                i += 1;
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn store(&self) -> Result<PathBuf, CliError> {
+        self.value("store")
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Usage("missing --store <dir>".into()))
+    }
+
+    fn script(&self, idx: usize) -> Result<String, CliError> {
+        let path = self
+            .positional
+            .get(idx)
+            .ok_or_else(|| CliError::Usage("missing script path".into()))?;
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))
+    }
+}
+
+/// Runs one CLI invocation and returns its stdout text.
+pub fn run_cli(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let cmd = *args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    match cmd {
+        "run" => cmd_run(&args),
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
+        "sample" => cmd_sample(&args),
+        "inspect" => cmd_inspect(&args),
+        "log" => cmd_log(&args),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let src = args.script(1)?;
+    let (wall_ns, log) = run_vanilla(&src)?;
+    let mut out = String::new();
+    for e in &log {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(out, "# vanilla run finished in {:.3}s", wall_ns as f64 / 1e9);
+    Ok(out)
+}
+
+fn cmd_record(args: &Args) -> Result<String, CliError> {
+    let store = args.store()?; // flag errors before touching the filesystem
+    let src = args.script(1)?;
+    let mut opts = RecordOptions::new(store);
+    if args.flag("no-adaptive") {
+        opts.adaptive = false;
+    }
+    if let Some(eps) = args.value("epsilon") {
+        opts.epsilon = eps
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --epsilon {eps:?}")))?;
+    }
+    let report = record(&src, &opts)?;
+    let mut out = String::new();
+    for e in &report.log {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(
+        out,
+        "# recorded in {:.3}s: {} checkpoints, {} raw bytes ({} on disk)",
+        report.wall_ns as f64 / 1e9,
+        report.checkpoints,
+        report.raw_bytes,
+        report.stored_bytes
+    );
+    for b in &report.blocks {
+        let _ = writeln!(out, "# block {}: changeset {{{}}}", b.id, b.static_changeset.join(", "));
+    }
+    for r in &report.refused {
+        let _ = writeln!(out, "# refused {} ({})", r.header, r.reason.reason);
+    }
+    Ok(out)
+}
+
+fn cmd_replay(args: &Args) -> Result<String, CliError> {
+    let store = args.store()?;
+    let src = args.script(1)?;
+    let opts = ReplayOptions {
+        workers: args
+            .value("workers")
+            .map(|w| w.parse().map_err(|_| CliError::Usage(format!("bad --workers {w:?}"))))
+            .transpose()?
+            .unwrap_or(1),
+        init_mode: if args.flag("weak") {
+            InitMode::Weak
+        } else {
+            InitMode::Strong
+        },
+    };
+    let report = replay(&src, store, &opts)?;
+    let mut out = String::new();
+    for e in &report.log {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(
+        out,
+        "# replayed in {:.3}s: {} restored, {} re-executed, {} probes",
+        report.wall_ns as f64 / 1e9,
+        report.stats.restored,
+        report.stats.executed,
+        report.probes.len()
+    );
+    for a in &report.anomalies {
+        let _ = writeln!(out, "# ANOMALY: {a}");
+    }
+    Ok(out)
+}
+
+fn cmd_sample(args: &Args) -> Result<String, CliError> {
+    let store = args.store()?;
+    let src = args.script(1)?;
+    let iters: Vec<u64> = args
+        .value("iters")
+        .ok_or_else(|| CliError::Usage("missing --iters".into()))?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad iteration {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let report = replay_sample(&src, store, &iters)?;
+    let mut out = String::new();
+    for e in &report.log {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(
+        out,
+        "# sampled {} iteration(s) in {:.3}s: {} restored, {} re-executed",
+        iters.len(),
+        report.wall_ns as f64 / 1e9,
+        report.stats.restored,
+        report.stats.executed
+    );
+    Ok(out)
+}
+
+fn cmd_inspect(args: &Args) -> Result<String, CliError> {
+    let src = args.script(1)?;
+    let prog = parse(&src).map_err(|e| CliError::Failed(e.to_string()))?;
+    let report = instrument(&prog);
+    let mut out = String::new();
+    let _ = writeln!(out, "# instrumented program:");
+    out.push_str(&print_program(&report.program));
+    for b in &report.blocks {
+        let _ = writeln!(out, "# block {}: changeset {{{}}}", b.id, b.static_changeset.join(", "));
+        for (stmt, rule) in &b.rule_trace {
+            let _ = writeln!(out, "#   rule {rule}: {stmt}");
+        }
+    }
+    for r in &report.refused {
+        let _ = writeln!(out, "# refused {} — {}", r.header, r.reason.reason);
+    }
+    if let Some(m) = &report.main_loop {
+        let _ = writeln!(out, "# main loop: for {} in {}", m.var, m.iter);
+    }
+    Ok(out)
+}
+
+fn cmd_log(args: &Args) -> Result<String, CliError> {
+    let store = flor_chkpt::CheckpointStore::open(args.store()?)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let bytes = store
+        .get_artifact("record_log.txt")
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    String::from_utf8(bytes).map_err(|_| CliError::Failed("record log is not UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "\
+import flor
+data = synth_data(n=40, dim=8, classes=2, seed=5)
+loader = dataloader(data, batch_size=20, seed=5)
+net = mlp(input=8, hidden=8, classes=2, depth=1, seed=5)
+optimizer = sgd(net, lr=0.1)
+criterion = cross_entropy()
+avg = meter()
+for epoch in range(4):
+    avg.reset()
+    for batch in loader.epoch():
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+";
+
+    fn setup(tag: &str) -> (PathBuf, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-cli-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("train.flr");
+        std::fs::write(&script, SCRIPT).unwrap();
+        (dir.join("store"), script)
+    }
+
+    fn cli(parts: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run_cli(&raw)
+    }
+
+    #[test]
+    fn run_executes_script() {
+        let (_, script) = setup("run");
+        let out = cli(&["run", script.to_str().unwrap()]).unwrap();
+        assert_eq!(out.matches("loss\t").count(), 4, "{out}");
+    }
+
+    #[test]
+    fn record_then_log_then_replay() {
+        let (store, script) = setup("pipeline");
+        let out = cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--no-adaptive",
+        ])
+        .unwrap();
+        assert!(out.contains("# recorded"), "{out}");
+        assert!(out.contains("checkpoints"), "{out}");
+
+        let log_out = cli(&["log", "--store", store.to_str().unwrap()]).unwrap();
+        assert_eq!(log_out.matches("loss\t").count(), 4);
+
+        // Probe the script and replay with workers.
+        let probed = SCRIPT.replace(
+            "    log(\"loss\", avg.mean())\n",
+            "    log(\"loss\", avg.mean())\n    log(\"wnorm\", net.weight_norm())\n",
+        );
+        let probed_path = script.with_file_name("probed.flr");
+        std::fs::write(&probed_path, probed).unwrap();
+        let out = cli(&[
+            "replay",
+            probed_path.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("1 probes"), "{out}");
+        assert_eq!(out.matches("wnorm\t").count(), 4, "{out}");
+        assert!(!out.contains("ANOMALY"), "{out}");
+    }
+
+    #[test]
+    fn sample_replays_selected_iterations() {
+        let (store, script) = setup("sample");
+        cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--no-adaptive",
+        ])
+        .unwrap();
+        let out = cli(&[
+            "sample",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--iters",
+            "1,3",
+        ])
+        .unwrap();
+        assert!(out.contains("[it000001]"), "{out}");
+        assert!(out.contains("[it000003]"), "{out}");
+        assert!(!out.contains("[it000002]"), "{out}");
+    }
+
+    #[test]
+    fn inspect_shows_instrumentation() {
+        let (_, script) = setup("inspect");
+        let out = cli(&["inspect", script.to_str().unwrap()]).unwrap();
+        assert!(out.contains("skipblock \"sb_0\":"), "{out}");
+        assert!(out.contains("flor.partition"), "{out}");
+        assert!(out.contains("changeset"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(cli(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(cli(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(cli(&["replay", "x.flr"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cli(&["record", "x.flr", "--store"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_script_fails_cleanly() {
+        let err = cli(&["run", "/nonexistent/path.flr"]).unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)));
+    }
+
+    #[test]
+    fn replay_weak_init_flag() {
+        let (store, script) = setup("weak");
+        cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--no-adaptive",
+        ])
+        .unwrap();
+        let out = cli(&[
+            "replay",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--weak",
+        ])
+        .unwrap();
+        assert!(out.contains("# replayed"), "{out}");
+        assert!(!out.contains("ANOMALY"), "{out}");
+    }
+
+    #[test]
+    fn record_with_custom_epsilon() {
+        let (store, script) = setup("eps");
+        let out = cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--epsilon",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("# recorded"), "{out}");
+        let err = cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--epsilon",
+            "bogus",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

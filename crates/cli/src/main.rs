@@ -1,0 +1,29 @@
+//! The `flor` command-line tool.
+//!
+//! ```text
+//! flor run      <script.flr>                     vanilla execution
+//! flor record   <script.flr> --store <dir>       record with checkpointing
+//! flor replay   <script.flr> --store <dir>       replay (probes auto-detected)
+//!               [--workers N] [--weak]
+//! flor sample   <script.flr> --store <dir> --iters 3,7,12
+//! flor inspect  <script.flr>                     show instrumentation
+//! flor log      --store <dir>                    print the recorded log
+//! ```
+
+use flor_cli::{run_cli, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("{}", flor_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

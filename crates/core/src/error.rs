@@ -1,0 +1,65 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Anything that can go wrong in record or replay.
+#[derive(Debug)]
+pub enum FlorError {
+    /// Script failed to parse.
+    Parse(flor_lang::ParseError),
+    /// Runtime failure inside the interpreter (message, best-effort
+    /// statement description).
+    Runtime(String),
+    /// Checkpoint store failure.
+    Store(flor_chkpt::StoreError),
+    /// Checkpoint payload failed to decode.
+    Codec(flor_chkpt::CodecError),
+    /// Replay configuration or state problem.
+    Replay(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FlorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlorError::Parse(e) => write!(f, "{e}"),
+            FlorError::Runtime(m) => write!(f, "runtime error: {m}"),
+            FlorError::Store(e) => write!(f, "{e}"),
+            FlorError::Codec(e) => write!(f, "{e}"),
+            FlorError::Replay(m) => write!(f, "replay error: {m}"),
+            FlorError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlorError {}
+
+impl From<flor_lang::ParseError> for FlorError {
+    fn from(e: flor_lang::ParseError) -> Self {
+        FlorError::Parse(e)
+    }
+}
+
+impl From<flor_chkpt::StoreError> for FlorError {
+    fn from(e: flor_chkpt::StoreError) -> Self {
+        FlorError::Store(e)
+    }
+}
+
+impl From<flor_chkpt::CodecError> for FlorError {
+    fn from(e: flor_chkpt::CodecError) -> Self {
+        FlorError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for FlorError {
+    fn from(e: std::io::Error) -> Self {
+        FlorError::Io(e)
+    }
+}
+
+/// Shorthand for runtime errors.
+pub fn rt(msg: impl Into<String>) -> FlorError {
+    FlorError::Runtime(msg.into())
+}

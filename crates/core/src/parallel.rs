@@ -1,0 +1,324 @@
+//! Hindsight parallelism planning (paper §5.4, Figures 8–10, 13).
+//!
+//! "Even sequential code can be re-executed in parallel if the right
+//! checkpoints are materialized on the first pass." The planner is pure
+//! arithmetic shared by the live replay engine and the `flor-sim`
+//! discrete-event simulator: contiguous partitioning of the main loop's
+//! iterations over `G` workers, strong/weak initialization segments, and
+//! the load-balance speedup bound (e.g. the paper's 200 epochs over 16 GPUs
+//! → ⌈200/16⌉ = 13 epochs per worker → max speedup 200/13 = 15.38×).
+
+/// Worker initialization mode (paper §5.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMode {
+    /// Initialize every iteration preceding the work segment by restoring
+    /// each one's checkpoints in turn. Correct whenever record checkpointed
+    /// (the default, per the paper).
+    Strong,
+    /// Jump directly to the last preceding iteration's checkpoint. Needed
+    /// when checkpoints are sparse/periodic (RTE & CoLA under adaptive
+    /// checkpointing), risky if checkpoints miss side-effects.
+    Weak,
+}
+
+/// One worker's share of the main loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPlan {
+    /// Worker id (the paper's PID).
+    pub pid: usize,
+    /// First global iteration of the work segment (inclusive).
+    pub work_start: u64,
+    /// One past the last global iteration of the work segment.
+    pub work_end: u64,
+    /// Initialization segment `[init_start, work_start)`; empty when the
+    /// worker starts at iteration 0.
+    pub init_start: u64,
+}
+
+impl WorkerPlan {
+    /// Number of work iterations.
+    pub fn work_len(&self) -> u64 {
+        self.work_end - self.work_start
+    }
+
+    /// Number of initialization iterations.
+    pub fn init_len(&self) -> u64 {
+        self.work_start - self.init_start
+    }
+
+    /// Global iterations of the init segment.
+    pub fn init_iters(&self) -> std::ops::Range<u64> {
+        self.init_start..self.work_start
+    }
+
+    /// Global iterations of the work segment.
+    pub fn work_iters(&self) -> std::ops::Range<u64> {
+        self.work_start..self.work_end
+    }
+}
+
+/// Partitions `n_iters` main-loop iterations over `workers` workers into
+/// contiguous, disjoint, covering segments (the first `n_iters % workers`
+/// workers take one extra iteration), and attaches each worker's
+/// initialization segment per `mode`.
+///
+/// Workers whose segment would be empty are omitted — "RTE & CoLA only have
+/// 6 epoch-partitions each, so parallelism on 4 GPUs leads to at best
+/// 2/6 = 33% replay time" (Figure 10): you cannot use more workers than
+/// iterations.
+pub fn plan(n_iters: u64, workers: usize, mode: InitMode) -> Vec<WorkerPlan> {
+    if n_iters == 0 || workers == 0 {
+        return Vec::new();
+    }
+    let g = (workers as u64).min(n_iters);
+    let base = n_iters / g;
+    let extra = n_iters % g;
+    let mut plans = Vec::with_capacity(g as usize);
+    let mut start = 0u64;
+    for pid in 0..g {
+        let len = base + if pid < extra { 1 } else { 0 };
+        let work_start = start;
+        let work_end = start + len;
+        let init_start = match mode {
+            _ if work_start == 0 => 0,
+            InitMode::Strong => 0,
+            InitMode::Weak => work_start - 1,
+        };
+        plans.push(WorkerPlan {
+            pid: pid as usize,
+            work_start,
+            work_end,
+            init_start,
+        });
+        start = work_end;
+    }
+    plans
+}
+
+/// Partitions `n_iters` iterations over `workers` workers when segment
+/// boundaries are restricted to `anchors` — iterations where every
+/// main-loop block has a checkpoint. This is how weak initialization copes
+/// with *periodic* checkpointing (paper §5.4.2): "RTE & CoLA only have 6
+/// epoch-partitions each, so parallelism on 4 GPUs leads to at best
+/// 2/6 = 33% replay time" (Figure 10).
+///
+/// Anchors must include 0. Each worker receives a contiguous run of
+/// checkpoint intervals, greedily balanced by iteration count; weak
+/// initialization for a worker starting at anchor `a > 0` is the single
+/// iteration `a - 1` (whose Loop End Checkpoint exists by construction).
+pub fn plan_anchored(
+    n_iters: u64,
+    anchors: &std::collections::BTreeSet<u64>,
+    workers: usize,
+) -> Vec<WorkerPlan> {
+    if n_iters == 0 || workers == 0 {
+        return Vec::new();
+    }
+    // Segment boundaries: the anchors below n_iters, plus the end.
+    let mut bounds: Vec<u64> = anchors.iter().copied().filter(|&a| a < n_iters).collect();
+    if bounds.first() != Some(&0) {
+        bounds.insert(0, 0);
+    }
+    bounds.push(n_iters);
+    let n_segments = bounds.len() - 1;
+    let g = workers.min(n_segments);
+    let target = (n_iters as f64 / g as f64).ceil() as u64;
+
+    let mut plans: Vec<WorkerPlan> = Vec::with_capacity(g);
+    let mut seg = 0usize;
+    for pid in 0..g {
+        if seg >= n_segments {
+            break;
+        }
+        let work_start = bounds[seg];
+        let mut end_seg = seg;
+        let remaining_workers = g - pid - 1;
+        // Take segments until reaching the target, but leave at least one
+        // segment for each remaining worker.
+        while end_seg + 1 < n_segments
+            && (n_segments - (end_seg + 1)) > remaining_workers
+            && bounds[end_seg + 1] - work_start < target
+        {
+            end_seg += 1;
+        }
+        let work_end = bounds[end_seg + 1];
+        let init_start = if work_start == 0 { 0 } else { work_start - 1 };
+        plans.push(WorkerPlan {
+            pid,
+            work_start,
+            work_end,
+            init_start,
+        });
+        seg = end_seg + 1;
+    }
+    // Any leftover segments go to the last worker.
+    if seg < n_segments {
+        if let Some(last) = plans.last_mut() {
+            last.work_end = n_iters;
+        }
+    }
+    plans
+}
+
+/// Maximum achievable parallel speedup for `n_iters` over `workers`
+/// workers, limited by the largest share: `n / ⌈n/G⌉`.
+pub fn max_speedup(n_iters: u64, workers: usize) -> f64 {
+    if n_iters == 0 || workers == 0 {
+        return 1.0;
+    }
+    let g = (workers as u64).min(n_iters);
+    let largest = n_iters.div_ceil(g);
+    n_iters as f64 / largest as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_covering(n: u64, plans: &[WorkerPlan]) {
+        let mut covered = Vec::new();
+        for p in plans {
+            assert!(p.work_start <= p.work_end);
+            covered.extend(p.work_iters());
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, (0..n).collect::<Vec<_>>(), "plans must cover 0..{n} disjointly");
+    }
+
+    #[test]
+    fn even_partition() {
+        let plans = plan(8, 4, InitMode::Strong);
+        assert_eq!(plans.len(), 4);
+        for p in &plans {
+            assert_eq!(p.work_len(), 2);
+        }
+        assert_covering(8, &plans);
+    }
+
+    #[test]
+    fn uneven_partition_front_loads_extras() {
+        let plans = plan(10, 4, InitMode::Strong);
+        let lens: Vec<u64> = plans.iter().map(WorkerPlan::work_len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+        assert_covering(10, &plans);
+    }
+
+    #[test]
+    fn more_workers_than_iterations() {
+        let plans = plan(3, 8, InitMode::Strong);
+        assert_eq!(plans.len(), 3, "workers beyond the iteration count are dropped");
+        assert_covering(3, &plans);
+    }
+
+    #[test]
+    fn strong_init_reaches_back_to_zero() {
+        let plans = plan(8, 4, InitMode::Strong);
+        assert_eq!(plans[0].init_len(), 0);
+        assert_eq!(plans[1].init_iters(), 0..2);
+        assert_eq!(plans[3].init_iters(), 0..6);
+    }
+
+    #[test]
+    fn weak_init_is_single_iteration() {
+        let plans = plan(8, 4, InitMode::Weak);
+        assert_eq!(plans[0].init_len(), 0);
+        for p in &plans[1..] {
+            assert_eq!(p.init_len(), 1);
+            assert_eq!(p.init_start, p.work_start - 1);
+        }
+    }
+
+    #[test]
+    fn figure13_rsnt_bound() {
+        // 200 epochs on 16 GPUs → max share ⌈200/16⌉ = 13 → 15.38×.
+        let s = max_speedup(200, 16);
+        assert!((s - 200.0 / 13.0).abs() < 1e-9);
+        assert!((s - 15.3846).abs() < 1e-3);
+    }
+
+    #[test]
+    fn figure10_rte_bound() {
+        // 6 epoch-partitions on 4 GPUs → best replay time 2/6 = 33%.
+        let s = max_speedup(6, 4);
+        assert!((s - 3.0).abs() < 1e-9, "6/⌈6/4⌉ = 3 → 33% of vanilla");
+    }
+
+    #[test]
+    fn single_worker_is_identity() {
+        let plans = plan(5, 1, InitMode::Strong);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].work_iters(), 0..5);
+        assert_eq!(plans[0].init_len(), 0);
+        assert_eq!(max_speedup(5, 1), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(plan(0, 4, InitMode::Strong).is_empty());
+        assert!(plan(4, 0, InitMode::Strong).is_empty());
+        assert_eq!(max_speedup(0, 4), 1.0);
+    }
+
+    #[test]
+    fn anchored_plan_respects_boundaries() {
+        use std::collections::BTreeSet;
+        // Checkpoints every 15 iterations of 90 → anchors 0,15,30,…,75.
+        let anchors: BTreeSet<u64> = (0..6).map(|i| i * 15).collect();
+        let plans = plan_anchored(90, &anchors, 4);
+        assert!(!plans.is_empty());
+        assert_covering(90, &plans);
+        for p in &plans {
+            assert!(
+                anchors.contains(&p.work_start),
+                "work_start {} must be an anchor",
+                p.work_start
+            );
+            if p.work_start > 0 {
+                assert_eq!(p.init_start, p.work_start - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_plan_limits_parallelism_to_segments() {
+        use std::collections::BTreeSet;
+        // 6 checkpoint intervals (RTE-style) over 4 workers → ≤ 4 plans,
+        // the largest covering at least 2 intervals.
+        let anchors: BTreeSet<u64> = (0..6).map(|i| i * 33).collect();
+        let plans = plan_anchored(198, &anchors, 4);
+        assert!(plans.len() <= 4);
+        assert_covering(198, &plans);
+        let largest = plans.iter().map(WorkerPlan::work_len).max().unwrap();
+        assert!(largest >= 66, "largest share {largest} covers ≥ 2 intervals");
+    }
+
+    #[test]
+    fn anchored_plan_with_dense_anchors_matches_plain() {
+        use std::collections::BTreeSet;
+        let anchors: BTreeSet<u64> = (0..20).collect();
+        let plans = plan_anchored(20, &anchors, 4);
+        assert_covering(20, &plans);
+        assert_eq!(plans.len(), 4);
+    }
+
+    #[test]
+    fn anchored_plan_single_anchor_is_sequential() {
+        use std::collections::BTreeSet;
+        let anchors: BTreeSet<u64> = [0].into_iter().collect();
+        let plans = plan_anchored(10, &anchors, 4);
+        assert_eq!(plans.len(), 1, "no checkpoints → no parallelism");
+        assert_covering(10, &plans);
+    }
+
+    #[test]
+    fn property_partitions_cover_for_many_shapes() {
+        for n in [1u64, 2, 3, 7, 16, 100, 200] {
+            for g in [1usize, 2, 3, 4, 5, 16, 64] {
+                let plans = plan(n, g, InitMode::Strong);
+                assert_covering(n, &plans);
+                let plans = plan(n, g, InitMode::Weak);
+                assert_covering(n, &plans);
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The replay phase (paper §3.2) and deferred correctness checks (§5.2.2).
+//!
+//! "Model developers probe training execution data by adding logging
+//! statements into the code. At analysis time, following the insertion of
+//! hindsight logging statements, Flor recovers selected execution data via
+//! fast re-execution […] combining partial and parallel replay."
+//!
+//! [`replay`] is the whole phase:
+//!
+//! 1. load the instrumented source saved at record time,
+//! 2. instrument the *new* source identically and structurally diff the two
+//!    — added log statements become probes, attributed to their enclosing
+//!    SkipBlock; anything else poisons checkpoint reuse,
+//! 3. run `G` parallel workers, each executing the full program with its
+//!    own partition of the main loop (strong or weak initialization),
+//! 4. merge worker logs back into record order,
+//! 5. run the deferred correctness check: the replayed fingerprint must
+//!    match the record log everywhere both produced output.
+
+use crate::error::FlorError;
+use crate::interp::{Interp, Mode, Phase, ReplayCtx, ReplayStats};
+use crate::logstream::{merge_worker_logs, LogEntry, LogStream, Section};
+use crate::parallel::{InitMode, WorkerPlan};
+use flor_analysis::instrument::instrument;
+use flor_chkpt::CheckpointStore;
+use flor_lang::ast::{Expr, Program, Stmt};
+use flor_lang::{diff_programs, parse, ProbeSite};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Knobs for a replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Number of parallel workers (the paper's NGPUS).
+    pub workers: usize,
+    /// Worker initialization strategy (default Strong, as in the paper).
+    pub init_mode: InitMode,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            workers: 1,
+            init_mode: InitMode::Strong,
+        }
+    }
+}
+
+impl ReplayOptions {
+    /// Replay with `workers` parallel workers, strong initialization.
+    pub fn with_workers(workers: usize) -> Self {
+        ReplayOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// What a replay run produced.
+pub struct ReplayReport {
+    /// The merged hindsight log (record-order).
+    pub log: Vec<LogEntry>,
+    /// Probes detected by the source diff.
+    pub probes: Vec<ProbeSite>,
+    /// Non-hindsight source changes (forces full re-execution).
+    pub other_changes: Vec<String>,
+    /// Deferred-check anomalies: divergences between record and replay
+    /// fingerprints.
+    pub anomalies: Vec<String>,
+    /// Aggregated SkipBlock restore/execute counters.
+    pub stats: ReplayStats,
+    /// Wall-clock time of the replay, ns.
+    pub wall_ns: u64,
+    /// Each worker's executed partition (None for workers with no share).
+    pub worker_plans: Vec<Option<WorkerPlan>>,
+}
+
+impl ReplayReport {
+    /// Probe outputs only: entries whose key never appears in the record
+    /// log (the typical "what did I ask for in hindsight" view).
+    pub fn hindsight_entries<'a>(&'a self, record_log: &[LogEntry]) -> Vec<&'a LogEntry> {
+        let record_keys: HashSet<&str> = record_log.iter().map(|e| e.key.as_str()).collect();
+        self.log
+            .iter()
+            .filter(|e| !record_keys.contains(e.key.as_str()))
+            .collect()
+    }
+}
+
+/// SkipBlock ids nested inside the main (partition-wrapped) loop.
+pub(crate) fn main_loop_blocks(prog: &Program) -> Vec<String> {
+    fn collect(body: &[Stmt], out: &mut Vec<String>) {
+        for stmt in body {
+            match stmt {
+                Stmt::SkipBlock { id, body } => {
+                    out.push(id.clone());
+                    collect(body, out);
+                }
+                Stmt::For { body, .. } => collect(body, out),
+                Stmt::If { then, orelse, .. } => {
+                    collect(then, out);
+                    collect(orelse, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for stmt in &prog.body {
+        if let Stmt::For { iter, body, .. } = stmt {
+            let is_partitioned = matches!(
+                iter,
+                Expr::Call { func, .. }
+                    if matches!(
+                        func.as_ref(),
+                        Expr::Attr { obj, name }
+                            if name == "partition" && obj.as_name() == Some("flor")
+                    )
+            );
+            if is_partitioned {
+                collect(body, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Replays a (possibly probed) training script against a recorded store.
+pub fn replay(
+    new_src: &str,
+    store_root: impl Into<PathBuf>,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, FlorError> {
+    let store = Arc::new(CheckpointStore::open(store_root.into())?);
+    let recorded_src = String::from_utf8(store.get_artifact("source.flr")?)
+        .map_err(|_| crate::error::rt("recorded source is not valid UTF-8"))?;
+    let recorded_prog = parse(&recorded_src)?;
+
+    // Instrument the new source exactly as record did, then diff.
+    let new_prog = parse(new_src)?;
+    let inst = instrument(&new_prog);
+    let diff = diff_programs(&recorded_prog, &inst.program);
+    let probed_blocks: HashSet<String> = diff
+        .probes
+        .iter()
+        .filter_map(|p| p.skipblock_id.clone())
+        .collect();
+    let force_execute_all = !diff.is_pure_hindsight();
+    let main_blocks = main_loop_blocks(&inst.program);
+
+    // Run the workers. Interpreter values are Rc-based (single-threaded by
+    // design, like CPython); each worker owns a fresh interpreter inside
+    // its thread — workers share nothing but the store, exactly the
+    // coordination-free model of §5.4.
+    let t0 = Instant::now();
+    let workers = opts.workers.max(1);
+    let mut handles = Vec::with_capacity(workers);
+    for pid in 0..workers {
+        let prog = inst.program.clone();
+        let store = store.clone();
+        let probed_blocks = probed_blocks.clone();
+        let main_blocks = main_blocks.clone();
+        let init_mode = opts.init_mode;
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<LogEntry>, ReplayStats, Option<WorkerPlan>), FlorError> {
+                let ctx = ReplayCtx {
+                    store,
+                    pid,
+                    workers,
+                    init_mode,
+                    probed_blocks,
+                    force_execute_all,
+                    main_blocks,
+                    phase: Phase::Work,
+                    main_iter: None,
+                    standalone_seq: HashMap::new(),
+                    blocks_this_iter: HashSet::new(),
+                    stats: ReplayStats::default(),
+                    plan_used: None,
+                    sample: None,
+                };
+                let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
+                interp.run(&prog)?;
+                let Mode::Replay(ctx) = interp.mode else {
+                    unreachable!()
+                };
+                Ok((interp.log.into_entries(), ctx.stats, ctx.plan_used))
+            },
+        ));
+    }
+
+    let mut worker_logs = Vec::with_capacity(workers);
+    let mut stats = ReplayStats::default();
+    let mut worker_plans = Vec::with_capacity(workers);
+    for h in handles {
+        let (log, s, plan) = h
+            .join()
+            .map_err(|_| crate::error::rt("replay worker panicked"))??;
+        worker_logs.push(log);
+        stats.restored += s.restored;
+        stats.executed += s.executed;
+        stats.restore_ns += s.restore_ns;
+        worker_plans.push(plan);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    // Merge partitions: order worker logs so the final-segment owner comes
+    // last (its postamble is the true one; all other postambles were
+    // suppressed by the interpreter anyway).
+    let merged = merge_worker_logs(worker_logs);
+
+    // Deferred correctness check against the record log.
+    let record_log = LogStream::parse_text(
+        &String::from_utf8(store.get_artifact("record_log.txt")?)
+            .map_err(|_| crate::error::rt("record log is not valid UTF-8"))?,
+    );
+    let mut anomalies = deferred_check(&record_log, &merged);
+    if force_execute_all {
+        anomalies.insert(
+            0,
+            format!(
+                "source changed beyond hindsight logging ({} change(s)); \
+                 checkpoints were not reused",
+                diff.other_changes.len()
+            ),
+        );
+    }
+
+    Ok(ReplayReport {
+        log: merged,
+        probes: diff.probes,
+        other_changes: diff.other_changes,
+        anomalies,
+        stats,
+        wall_ns,
+        worker_plans,
+    })
+}
+
+/// The deferred correctness check (paper §5.2.2): "at the end of replay, we
+/// run diff, and warn the user if the replay logs differ from the record
+/// logs in any way other than the statements added for hindsight logging."
+///
+/// Comparison semantics: for every `(key, section)` pair that produced
+/// output in **both** runs, the value sequences must match exactly. Pairs
+/// only in the record log were skipped by memoization (fine); pairs only in
+/// the replay log are hindsight probes (fine). Probes should therefore use
+/// fresh keys — reusing a recorded key inside a re-executed section is
+/// reported as an anomaly.
+pub fn deferred_check(record: &[LogEntry], replay: &[LogEntry]) -> Vec<String> {
+    type KeySec = (String, Section);
+    fn group(entries: &[LogEntry]) -> BTreeMap<KeySec, Vec<&str>> {
+        let mut map: BTreeMap<KeySec, Vec<&str>> = BTreeMap::new();
+        for e in entries {
+            map.entry((e.key.clone(), e.section))
+                .or_default()
+                .push(e.value.as_str());
+        }
+        map
+    }
+    let rec = group(record);
+    let rep = group(replay);
+    let mut anomalies = Vec::new();
+    for ((key, section), rec_vals) in &rec {
+        if let Some(rep_vals) = rep.get(&(key.clone(), *section)) {
+            if rec_vals != rep_vals {
+                anomalies.push(format!(
+                    "fingerprint divergence at key {key:?} {section:?}: \
+                     record {rec_vals:?} vs replay {rep_vals:?}"
+                ));
+            }
+        }
+    }
+    anomalies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{record, tests::opts_exact};
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-replay-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const TRAIN_SRC: &str = crate::record::tests::TRAIN_SRC;
+
+    /// TRAIN_SRC with an outer-loop probe (outside the skipblock).
+    fn outer_probed() -> String {
+        let probed = TRAIN_SRC.replace(
+            "    log(\"loss\", avg.mean())\n",
+            "    log(\"loss\", avg.mean())\n    log(\"hindsight_wnorm\", net.weight_norm())\n",
+        );
+        assert_ne!(probed, TRAIN_SRC, "probe marker must match");
+        probed
+    }
+
+    /// TRAIN_SRC with an inner-loop probe (inside the skipblock).
+    fn inner_probed() -> String {
+        let probed = TRAIN_SRC.replace(
+            "        optimizer.step()\n",
+            "        optimizer.step()\n        log(\"hindsight_gnorm\", net.grad_norm())\n",
+        );
+        assert_ne!(probed, TRAIN_SRC, "probe marker must match");
+        probed
+    }
+
+    #[test]
+    fn unchanged_replay_matches_record_exactly() {
+        let root = tmproot("unchanged");
+        let rec = record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let rep = replay(TRAIN_SRC, &root, &ReplayOptions::default()).unwrap();
+        assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
+        assert!(rep.probes.is_empty());
+        assert_eq!(rep.log, rec.log);
+        // All 6 epochs restored, none executed: pure physical recovery.
+        assert_eq!(rep.stats.restored, 6);
+        assert_eq!(rep.stats.executed, 0);
+    }
+
+    #[test]
+    fn outer_probe_skips_all_inner_loops() {
+        let root = tmproot("outer");
+        let rec = record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let rep = replay(&outer_probed(), &root, &ReplayOptions::default()).unwrap();
+        assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
+        assert_eq!(rep.probes.len(), 1);
+        assert_eq!(rep.probes[0].skipblock_id, None, "outer probe");
+        // Partial replay: every training loop restored.
+        assert_eq!(rep.stats.restored, 6);
+        assert_eq!(rep.stats.executed, 0);
+        // The probe produced one value per epoch.
+        let hindsight = rep.hindsight_entries(&rec.log);
+        assert_eq!(hindsight.len(), 6);
+        assert!(hindsight.iter().all(|e| e.key == "hindsight_wnorm"));
+    }
+
+    #[test]
+    fn inner_probe_reexecutes_training_loops() {
+        let root = tmproot("inner");
+        let rec = record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let rep = replay(&inner_probed(), &root, &ReplayOptions::default()).unwrap();
+        assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
+        assert_eq!(rep.probes.len(), 1);
+        assert_eq!(rep.probes[0].skipblock_id.as_deref(), Some("sb_0"));
+        // Probed blocks re-execute.
+        assert_eq!(rep.stats.executed, 6);
+        assert_eq!(rep.stats.restored, 0);
+        // 3 batches per epoch × 6 epochs of grad-norm probes.
+        let hindsight = rep.hindsight_entries(&rec.log);
+        assert_eq!(hindsight.len(), 18);
+    }
+
+    #[test]
+    fn inner_probe_replay_reproduces_recorded_fingerprint() {
+        // Re-executed loops must produce bit-identical losses.
+        let root = tmproot("fingerprint");
+        let rec = record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let rep = replay(&inner_probed(), &root, &ReplayOptions::default()).unwrap();
+        let rec_losses: Vec<_> = rec.log.iter().filter(|e| e.key == "loss").collect();
+        let rep_losses: Vec<_> = rep.log.iter().filter(|e| e.key == "loss").collect();
+        assert_eq!(rec_losses, rep_losses);
+    }
+
+    #[test]
+    fn parallel_replay_merges_to_identical_log() {
+        let root = tmproot("parallel");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let seq = replay(&inner_probed(), &root, &ReplayOptions::default()).unwrap();
+        for workers in [2usize, 3, 4] {
+            let par = replay(
+                &inner_probed(),
+                &root,
+                &ReplayOptions::with_workers(workers),
+            )
+            .unwrap();
+            assert!(par.anomalies.is_empty(), "{workers} workers: {:?}", par.anomalies);
+            assert_eq!(
+                par.log, seq.log,
+                "{workers}-worker merge must equal sequential replay"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_plans_partition_the_epochs() {
+        let root = tmproot("plans");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let rep = replay(&inner_probed(), &root, &ReplayOptions::with_workers(3)).unwrap();
+        let mut covered: Vec<u64> = rep
+            .worker_plans
+            .iter()
+            .flatten()
+            .flat_map(|p| p.work_iters())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weak_init_matches_strong_init() {
+        let root = tmproot("weak");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let strong = replay(&inner_probed(), &root, &ReplayOptions::with_workers(3)).unwrap();
+        let weak = replay(
+            &inner_probed(),
+            &root,
+            &ReplayOptions {
+                workers: 3,
+                init_mode: InitMode::Weak,
+            },
+        )
+        .unwrap();
+        assert!(weak.anomalies.is_empty(), "{:?}", weak.anomalies);
+        assert_eq!(weak.log, strong.log);
+    }
+
+    #[test]
+    fn non_hindsight_change_forces_full_reexecution() {
+        let root = tmproot("poison");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let edited = TRAIN_SRC.replace("lr=0.1", "lr=0.05");
+        let rep = replay(&edited, &root, &ReplayOptions::default()).unwrap();
+        assert!(!rep.other_changes.is_empty());
+        assert!(!rep.anomalies.is_empty(), "change must be surfaced");
+        // No checkpoint reuse…
+        assert_eq!(rep.stats.restored, 0);
+        assert_eq!(rep.stats.executed, 6);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_surfaces_as_error_or_anomaly() {
+        let root = tmproot("corrupt");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        // Corrupt epoch 3's checkpoint on disk.
+        let file = root.join("ckpt").join("sb_0.000003");
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&file, &bytes).unwrap();
+        // Restoring it must error loudly (CRC), not silently diverge.
+        let result = replay(TRAIN_SRC, &root, &ReplayOptions::default());
+        assert!(result.is_err(), "corrupt checkpoint must not restore");
+    }
+
+    #[test]
+    fn deferred_check_semantics() {
+        use Section::*;
+        let rec = vec![
+            LogEntry { key: "loss".into(), value: "0.5".into(), section: Iter(0) },
+            LogEntry { key: "loss".into(), value: "0.4".into(), section: Iter(1) },
+            LogEntry { key: "skipped".into(), value: "x".into(), section: Iter(0) },
+        ];
+        // Replay skipped "skipped", re-produced loss@0, added a probe.
+        let rep_ok = vec![
+            LogEntry { key: "loss".into(), value: "0.5".into(), section: Iter(0) },
+            LogEntry { key: "loss".into(), value: "0.4".into(), section: Iter(1) },
+            LogEntry { key: "probe".into(), value: "p".into(), section: Iter(0) },
+        ];
+        assert!(deferred_check(&rec, &rep_ok).is_empty());
+        // Divergent value → anomaly.
+        let rep_bad = vec![LogEntry {
+            key: "loss".into(),
+            value: "0.9".into(),
+            section: Iter(0),
+        }];
+        let anomalies = deferred_check(&rec, &rep_bad);
+        assert_eq!(anomalies.len(), 1);
+        assert!(anomalies[0].contains("loss"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Sampling replay and replay-time search (paper §8, "Partial Replay:
+//! Search and Approximation").
+//!
+//! "In many cases the user may be interested in only partial information
+//! […] As a proof of concept, we implemented iteration sampling in Flor
+//! replay. Sampling replay relies on the same initialization mechanism as
+//! parallel replay, which provides random-access to any iteration of the
+//! main loop. Random access to loop iterations enables Flor to schedule the
+//! order of traversal (e.g. for binary search)."
+//!
+//! [`replay_sample`] replays only the requested main-loop iterations,
+//! jump-initializing each from the nearest checkpoint anchor.
+//! [`binary_search`] exploits the random access: given a monotone predicate
+//! over a single iteration's hindsight output (e.g. "has the loss
+//! converged?"), it finds the first satisfying iteration in O(log n)
+//! sampled replays instead of a full scan.
+
+use crate::error::FlorError;
+use crate::interp::{Interp, Mode, Phase, ReplayCtx, ReplayStats};
+use crate::logstream::{LogEntry, Section};
+use crate::parallel::InitMode;
+use crate::replay::ReplayReport;
+use flor_analysis::instrument::instrument;
+use flor_chkpt::CheckpointStore;
+use flor_lang::{diff_programs, parse};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Replays only the given main-loop iterations (any order; duplicates are
+/// collapsed). The returned report's log contains entries for exactly the
+/// sampled iterations (plus preamble).
+pub fn replay_sample(
+    new_src: &str,
+    store_root: impl Into<PathBuf>,
+    iterations: &[u64],
+) -> Result<ReplayReport, FlorError> {
+    let store = Arc::new(CheckpointStore::open(store_root.into())?);
+    let recorded_src = String::from_utf8(store.get_artifact("source.flr")?)
+        .map_err(|_| crate::error::rt("recorded source is not valid UTF-8"))?;
+    let recorded_prog = parse(&recorded_src)?;
+    let new_prog = parse(new_src)?;
+    let inst = instrument(&new_prog);
+    let diff = diff_programs(&recorded_prog, &inst.program);
+    let probed_blocks: HashSet<String> = diff
+        .probes
+        .iter()
+        .filter_map(|p| p.skipblock_id.clone())
+        .collect();
+    let force_execute_all = !diff.is_pure_hindsight();
+    let main_blocks = crate::replay::main_loop_blocks(&inst.program);
+
+    let mut sample: Vec<u64> = iterations.to_vec();
+    sample.sort_unstable();
+    sample.dedup();
+
+    let t0 = Instant::now();
+    let ctx = ReplayCtx {
+        store,
+        pid: 0,
+        workers: 1,
+        init_mode: InitMode::Weak,
+        probed_blocks,
+        force_execute_all,
+        main_blocks,
+        phase: Phase::Work,
+        main_iter: None,
+        standalone_seq: HashMap::new(),
+        blocks_this_iter: HashSet::new(),
+        stats: ReplayStats::default(),
+        plan_used: None,
+        sample: Some(sample),
+    };
+    let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
+    interp.run(&inst.program)?;
+    let Mode::Replay(ctx) = interp.mode else {
+        unreachable!()
+    };
+    Ok(ReplayReport {
+        log: interp.log.into_entries(),
+        probes: diff.probes,
+        other_changes: diff.other_changes,
+        anomalies: Vec::new(), // sampled output is partial by design
+        stats: ctx.stats,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        worker_plans: vec![None],
+    })
+}
+
+/// Extracts a sampled iteration's entries from a report.
+pub fn iteration_entries(report: &ReplayReport, g: u64) -> Vec<&LogEntry> {
+    report
+        .log
+        .iter()
+        .filter(|e| e.section == Section::Iter(g))
+        .collect()
+}
+
+/// Binary search over main-loop iterations: finds the **first** iteration
+/// in `[0, n_iters)` whose hindsight output satisfies `pred`, assuming
+/// `pred` is monotone (false … false, true … true) along the run — the
+/// paper's convergence-detection example. Returns `None` if no iteration
+/// satisfies it.
+///
+/// Each probe costs one single-iteration sampled replay, so the total cost
+/// is O(log n) sampled replays instead of a full sequential scan.
+pub fn binary_search(
+    new_src: &str,
+    store_root: impl Into<PathBuf> + Clone,
+    n_iters: u64,
+    mut pred: impl FnMut(&[&LogEntry]) -> bool,
+) -> Result<Option<u64>, FlorError> {
+    let mut lo = 0u64;
+    let mut hi = n_iters; // invariant: pred true at all known ≥ hi
+    let mut found = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let report = replay_sample(new_src, store_root.clone(), &[mid])?;
+        let entries = iteration_entries(&report, mid);
+        if pred(&entries) {
+            found = Some(mid);
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{record, tests::opts_exact, tests::TRAIN_SRC};
+    use crate::replay::{replay, ReplayOptions};
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-sample-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn inner_probed() -> String {
+        TRAIN_SRC.replace(
+            "        optimizer.step()\n",
+            "        optimizer.step()\n        log(\"probe_g\", net.grad_norm())\n",
+        )
+    }
+
+    #[test]
+    fn sampled_iterations_match_full_replay() {
+        let root = tmproot("match");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let probed = inner_probed();
+        let full = replay(&probed, &root, &ReplayOptions::default()).unwrap();
+        for g in [0u64, 2, 5] {
+            let sampled = replay_sample(&probed, &root, &[g]).unwrap();
+            let s_entries: Vec<&LogEntry> = iteration_entries(&sampled, g);
+            let f_entries: Vec<&LogEntry> = full
+                .log
+                .iter()
+                .filter(|e| e.section == Section::Iter(g))
+                .collect();
+            assert_eq!(s_entries, f_entries, "iteration {g}");
+        }
+    }
+
+    #[test]
+    fn sampled_replay_touches_only_requested_iterations() {
+        let root = tmproot("touch");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let probed = inner_probed();
+        let sampled = replay_sample(&probed, &root, &[4]).unwrap();
+        // Only iteration 4 has visible entries.
+        let visible: std::collections::BTreeSet<u64> = sampled
+            .log
+            .iter()
+            .filter_map(|e| match e.section {
+                Section::Iter(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(visible, [4u64].into_iter().collect());
+        // One probed execution (iteration 4); with every epoch
+        // checkpointed, the jump initialization restores exactly one
+        // checkpoint (epoch 3's Loop End Checkpoint).
+        assert_eq!(sampled.stats.executed, 1);
+        assert_eq!(sampled.stats.restored, 1);
+    }
+
+    #[test]
+    fn multiple_samples_in_one_pass() {
+        let root = tmproot("multi");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let probed = inner_probed();
+        let sampled = replay_sample(&probed, &root, &[5, 1, 3, 3]).unwrap();
+        let visible: std::collections::BTreeSet<u64> = sampled
+            .log
+            .iter()
+            .filter_map(|e| match e.section {
+                Section::Iter(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(visible, [1u64, 3, 5].into_iter().collect());
+        assert_eq!(sampled.stats.executed, 3, "three sampled executions");
+    }
+
+    #[test]
+    fn binary_search_finds_convergence_epoch() {
+        let root = tmproot("search");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        // Ground truth from a full replay: first epoch with loss < 0.5.
+        let full = replay(TRAIN_SRC, &root, &ReplayOptions::default()).unwrap();
+        let losses: Vec<(u64, f64)> = full
+            .log
+            .iter()
+            .filter(|e| e.key == "loss")
+            .map(|e| {
+                let g = match e.section {
+                    Section::Iter(g) => g,
+                    _ => unreachable!(),
+                };
+                (g, e.value.parse().unwrap())
+            })
+            .collect();
+        let expected = losses.iter().find(|(_, l)| *l < 0.5).map(|(g, _)| *g);
+        assert!(expected.is_some(), "training should converge: {losses:?}");
+        // Loss is monotone decreasing here, so the predicate is monotone.
+        let found = binary_search(TRAIN_SRC, &root, 6, |entries| {
+            entries
+                .iter()
+                .find(|e| e.key == "loss")
+                .and_then(|e| e.value.parse::<f64>().ok())
+                .map(|l| l < 0.5)
+                .unwrap_or(false)
+        })
+        .unwrap();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn binary_search_none_when_never_satisfied() {
+        let root = tmproot("never");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let found = binary_search(TRAIN_SRC, &root, 6, |_| false).unwrap();
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn out_of_range_samples_ignored() {
+        let root = tmproot("oob");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let sampled = replay_sample(TRAIN_SRC, &root, &[2, 999]).unwrap();
+        let visible: Vec<u64> = sampled
+            .log
+            .iter()
+            .filter_map(|e| match e.section {
+                Section::Iter(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(visible, vec![2]);
+    }
+}

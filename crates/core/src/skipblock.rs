@@ -1,0 +1,433 @@
+//! The SkipBlock runtime — the paper's §4.2 language construct.
+//!
+//! A SkipBlock "always applies the side-effects of the enclosed loop to the
+//! program state, but does so in one of two ways: (a) by executing the
+//! enclosed loop, or (b) by skipping the loop and instead loading the
+//! memoized side-effects from its materialized Loop End Checkpoint."
+//!
+//! Parameterized branching, by mode and phase:
+//!
+//! | Mode / phase | probed | checkpoint exists | action |
+//! |---|---|---|---|
+//! | Vanilla            | —   | —   | execute |
+//! | Record             | —   | —   | execute, then maybe materialize (Eq. 4) |
+//! | Replay / Init      | any | yes | **restore** (probe output belongs to other workers) |
+//! | Replay / Init      | any | no  | execute (fills gaps left by periodic checkpointing) |
+//! | Replay / Work      | yes | any | execute (memoization captures only final state, "not the intermediate states") |
+//! | Replay / Work      | no  | yes | restore |
+//! | Replay / Work      | no  | no  | execute |
+//!
+//! Non-hindsight source changes (`force_execute_all`) poison every
+//! checkpoint: all blocks execute.
+
+use crate::error::{rt, FlorError};
+use crate::interp::{Interp, Mode, Phase};
+use crate::oracle::EnvOracle;
+use crate::value::Value;
+use flor_analysis::augment_changeset;
+use flor_chkpt::{encode, CVal, Payload, SerializeSnapshot};
+use flor_lang::ast::Stmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sequence-number base for SkipBlocks executed outside the main loop,
+/// keeping them disjoint from main-loop iteration numbers.
+const STANDALONE_BASE: u64 = 1 << 48;
+
+/// A built checkpoint payload handed to the background materializer.
+/// Building it (tensor clones into a [`CVal`] tree) is the caller-side
+/// "copy-on-write" cost; `serialize` (the tagged encoding) runs in the
+/// background worker, mirroring the paper's fork() split.
+pub struct CValSnapshot {
+    cval: CVal,
+    objects: usize,
+}
+
+impl SerializeSnapshot for CValSnapshot {
+    fn serialize(&self) -> Vec<u8> {
+        encode(&self.cval)
+    }
+    fn approx_bytes(&self) -> usize {
+        self.cval.approx_bytes()
+    }
+    fn object_count(&self) -> usize {
+        self.objects
+    }
+}
+
+/// Executes a `skipblock "id":` statement in the interpreter's current mode.
+pub fn exec_skipblock(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+    match &interp.mode {
+        Mode::Vanilla => interp.exec_body(body),
+        Mode::Record(_) => exec_record(interp, id, body),
+        Mode::Replay(_) => exec_replay(interp, id, body),
+    }
+}
+
+/// Computes this execution's sequence number: the global main-loop
+/// iteration when inside the main loop, a standalone counter otherwise.
+fn next_seq(
+    main_iter: Option<u64>,
+    standalone: &mut std::collections::HashMap<String, u64>,
+    blocks_this_iter: &mut std::collections::HashSet<String>,
+    id: &str,
+) -> Result<u64, FlorError> {
+    match main_iter {
+        Some(g) => {
+            if !blocks_this_iter.insert(id.to_string()) {
+                return Err(rt(format!(
+                    "skipblock {id:?} executed more than once in main-loop iteration {g}; \
+                     flor-rs supports at most one execution per epoch per block"
+                )));
+            }
+            Ok(g)
+        }
+        None => {
+            let counter = standalone.entry(id.to_string()).or_insert(0);
+            let seq = STANDALONE_BASE + *counter;
+            *counter += 1;
+            Ok(seq)
+        }
+    }
+}
+
+fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+    // 1. Execute the enclosed loop, timing its compute (C_i).
+    let t0 = Instant::now();
+    interp.exec_body(body)?;
+    let compute_ns = t0.elapsed().as_nanos() as u64;
+
+    let Mode::Record(ctx) = &mut interp.mode else {
+        unreachable!("exec_record outside record mode")
+    };
+    let seq = next_seq(
+        ctx.main_iter,
+        &mut ctx.standalone_seq,
+        &mut ctx.blocks_this_iter,
+        id,
+    )?;
+
+    // 2. Changeset: static analysis result, augmented at runtime with
+    //    library knowledge over the live object graph (paper §5.2.1).
+    //    With lean checkpointing disabled (ablation), every bound name is
+    //    captured instead.
+    let env = &interp.env;
+    let augmented = if ctx.lean {
+        let static_cs = ctx.static_changesets.get(id).cloned().unwrap_or_default();
+        augment_changeset(&static_cs, &EnvOracle::new(env))
+    } else {
+        let mut names: Vec<String> = env.names().map(str::to_string).collect();
+        names.sort_unstable();
+        names
+    };
+
+    // 3. Predict the materialization cost from a cheap size estimate.
+    let est_bytes: usize = augmented
+        .iter()
+        .filter_map(|name| env.try_get(name))
+        .map(|v| v.estimate_snapshot_bytes())
+        .sum();
+    let est_m = ctx.controller.estimate_materialize_ns(id, est_bytes as u64);
+
+    // 4. Joint invariant (Eq. 4): materialize only if it keeps both the
+    //    record-overhead and replay-latency invariants.
+    if ctx.controller.should_materialize(id, compute_ns, est_m) {
+        let t1 = Instant::now();
+        let mut pairs: Vec<(String, CVal)> = Vec::with_capacity(augmented.len());
+        for name in &augmented {
+            if let Some(v) = env.try_get(name) {
+                pairs.push((name.clone(), v.snapshot()?));
+            }
+        }
+        let objects = pairs.len();
+        let payload = CValSnapshot {
+            cval: CVal::Map(pairs),
+            objects,
+        };
+        ctx.materializer
+            .submit(id, seq, Payload::Deferred(Arc::new(payload)));
+        // M_i observed: the caller-visible cost (snapshot build + submit).
+        // The serialize+compress+write runs in the background, exactly the
+        // cost the paper's fork() hides from the training thread.
+        let main_ns = t1.elapsed().as_nanos() as u64;
+        ctx.controller
+            .observe_materialize(id, main_ns.max(1), est_bytes as u64);
+    }
+    Ok(())
+}
+
+fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+    // Decide while holding the replay context.
+    let (do_execute, seq) = {
+        let Mode::Replay(ctx) = &mut interp.mode else {
+            unreachable!("exec_replay outside replay mode")
+        };
+        let seq = next_seq(
+            ctx.main_iter,
+            &mut ctx.standalone_seq,
+            &mut ctx.blocks_this_iter,
+            id,
+        )?;
+        let exists = ctx.store.contains(id, seq);
+        let probed = ctx.probed_blocks.contains(id);
+        let do_execute = match ctx.phase {
+            // Initialization: restore whenever possible; probes don't
+            // matter (their output belongs to other workers' partitions).
+            Phase::Init => ctx.force_execute_all || !exists,
+            // Work: "Flor skips memoized code-blocks on replay, unless
+            // their internals are probed" (Figure 1).
+            Phase::Work => ctx.force_execute_all || probed || !exists,
+        };
+        (do_execute, seq)
+    };
+
+    if do_execute {
+        interp.exec_body(body)?;
+        if let Mode::Replay(ctx) = &mut interp.mode {
+            ctx.stats.executed += 1;
+        }
+        return Ok(());
+    }
+
+    // Restore the Loop End Checkpoint (physical recovery).
+    let t0 = Instant::now();
+    let payload_bytes = {
+        let Mode::Replay(ctx) = &interp.mode else { unreachable!() };
+        ctx.store.get(id, seq)?
+    };
+    let cval = flor_chkpt::decode(&payload_bytes)?;
+    let CVal::Map(pairs) = cval else {
+        return Err(rt(format!("checkpoint {id:?}.{seq} has a malformed payload")));
+    };
+    for (name, snap) in &pairs {
+        let existing = interp.env.try_get(name);
+        let restored = Value::restore(snap, existing.as_ref())?;
+        interp.env.set(name.clone(), restored);
+    }
+    if let Mode::Replay(ctx) = &mut interp.mode {
+        ctx.stats.restored += 1;
+        ctx.stats.restore_ns += t0.elapsed().as_nanos() as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveController;
+    use crate::interp::{RecordCtx, ReplayCtx, ReplayStats};
+    use crate::parallel::InitMode;
+    use flor_chkpt::{CheckpointStore, Materializer, Strategy};
+    use flor_lang::parse;
+    use std::collections::{HashMap, HashSet};
+    use std::path::PathBuf;
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-sb-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record_ctx(store: Arc<CheckpointStore>, changesets: HashMap<String, Vec<String>>) -> Mode {
+        Mode::Record(Box::new(RecordCtx {
+            store: store.clone(),
+            materializer: Materializer::new(store, Strategy::ForkBatched, 2),
+            controller: AdaptiveController::default(),
+            static_changesets: changesets,
+            lean: true,
+            main_iter: None,
+            standalone_seq: HashMap::new(),
+            blocks_this_iter: HashSet::new(),
+        }))
+    }
+
+    fn replay_ctx(store: Arc<CheckpointStore>, probed: &[&str]) -> Mode {
+        Mode::Replay(Box::new(ReplayCtx {
+            store,
+            pid: 0,
+            workers: 1,
+            init_mode: InitMode::Strong,
+            probed_blocks: probed.iter().map(|s| s.to_string()).collect(),
+            force_execute_all: false,
+            main_blocks: vec!["sb_0".into()],
+            phase: Phase::Work,
+            main_iter: None,
+            standalone_seq: HashMap::new(),
+            blocks_this_iter: HashSet::new(),
+            stats: ReplayStats::default(),
+            plan_used: None,
+            sample: None,
+        }))
+    }
+
+    /// A standalone (non-main-loop) skipblock accumulating into `acc`.
+    /// `busy(…)` keeps compute above checkpoint cost so the adaptive
+    /// controller materializes deterministically.
+    const SRC: &str = "\
+acc = 0
+skipblock \"sb_0\":
+    for i in range(5):
+        w = busy(1)
+        acc = acc + i
+log(\"acc\", acc)
+";
+
+    #[test]
+    fn record_then_skip_on_replay() {
+        let store = Arc::new(CheckpointStore::open(tmproot("basic")).unwrap());
+        let prog = parse(SRC).unwrap();
+        // Record: executes and checkpoints {acc}.
+        let mut rec = Interp::new(record_ctx(
+            store.clone(),
+            HashMap::from([("sb_0".to_string(), vec!["acc".to_string()])]),
+        ));
+        rec.run(&prog).unwrap();
+        assert_eq!(rec.env.get("acc").unwrap().as_i64().unwrap(), 10);
+        assert!(store.contains("sb_0", STANDALONE_BASE));
+
+        // Replay unprobed: block restores instead of executing.
+        let mut rep = Interp::new(replay_ctx(store.clone(), &[]));
+        rep.run(&prog).unwrap();
+        assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 10);
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.restored, 1);
+            assert_eq!(ctx.stats.executed, 0);
+        }
+        assert_eq!(rec.log.entries(), rep.log.entries());
+    }
+
+    #[test]
+    fn probed_block_reexecutes() {
+        let store = Arc::new(CheckpointStore::open(tmproot("probed")).unwrap());
+        let prog = parse(SRC).unwrap();
+        let mut rec = Interp::new(record_ctx(
+            store.clone(),
+            HashMap::from([("sb_0".to_string(), vec!["acc".to_string()])]),
+        ));
+        rec.run(&prog).unwrap();
+
+        let mut rep = Interp::new(replay_ctx(store, &["sb_0"]));
+        rep.run(&prog).unwrap();
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.executed, 1, "probed blocks must re-execute");
+            assert_eq!(ctx.stats.restored, 0);
+        }
+        assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_checkpoint_falls_back_to_execution() {
+        let store = Arc::new(CheckpointStore::open(tmproot("missing")).unwrap());
+        let prog = parse(SRC).unwrap();
+        // No record pass at all: replay must still produce correct state.
+        let mut rep = Interp::new(replay_ctx(store, &[]));
+        rep.run(&prog).unwrap();
+        assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 10);
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.executed, 1);
+        }
+    }
+
+    #[test]
+    fn force_execute_all_ignores_checkpoints() {
+        let store = Arc::new(CheckpointStore::open(tmproot("force")).unwrap());
+        let prog = parse(SRC).unwrap();
+        let mut rec = Interp::new(record_ctx(
+            store.clone(),
+            HashMap::from([("sb_0".to_string(), vec!["acc".to_string()])]),
+        ));
+        rec.run(&prog).unwrap();
+        let mut mode = replay_ctx(store, &[]);
+        if let Mode::Replay(ctx) = &mut mode {
+            ctx.force_execute_all = true;
+        }
+        let mut rep = Interp::new(mode);
+        rep.run(&prog).unwrap();
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.executed, 1);
+            assert_eq!(ctx.stats.restored, 0);
+        }
+    }
+
+    #[test]
+    fn vanilla_mode_is_transparent() {
+        let prog = parse(SRC).unwrap();
+        let mut interp = Interp::new(Mode::Vanilla);
+        interp.run(&prog).unwrap();
+        assert_eq!(interp.env.get("acc").unwrap().as_i64().unwrap(), 10);
+    }
+
+    #[test]
+    fn standalone_seq_increments_across_executions() {
+        let src = "\
+acc = 0
+for rep in range(3):
+    skipblock \"sb_0\":
+        for i in range(2):
+            w = busy(1)
+            acc = acc + 1
+";
+        // The outer loop is a plain loop (not the main partition loop), so
+        // the block executes 3 times with standalone sequence numbers.
+        let store = Arc::new(CheckpointStore::open(tmproot("seq")).unwrap());
+        let prog = parse(src).unwrap();
+        let mut rec = Interp::new(record_ctx(
+            store.clone(),
+            HashMap::from([("sb_0".to_string(), vec!["acc".to_string()])]),
+        ));
+        rec.run(&prog).unwrap();
+        assert_eq!(store.count("sb_0"), 3);
+        // Replay restores all three in order.
+        let mut rep = Interp::new(replay_ctx(store, &[]));
+        rep.run(&prog).unwrap();
+        assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 6);
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.restored, 3);
+        }
+    }
+
+    #[test]
+    fn model_state_roundtrips_through_checkpoint() {
+        let src = "\
+data = synth_data(n=40, dim=4, classes=2, seed=3)
+loader = dataloader(data, batch_size=10, seed=3)
+net = mlp(input=4, hidden=8, classes=2, depth=1, seed=3)
+optimizer = sgd(net, lr=0.1)
+criterion = cross_entropy()
+skipblock \"sb_0\":
+    for batch in loader.epoch():
+        waste = busy(1)
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+w = net.weight_norm()
+log(\"w\", w)
+";
+        let store = Arc::new(CheckpointStore::open(tmproot("model")).unwrap());
+        let prog = parse(src).unwrap();
+        let changesets = HashMap::from([(
+            "sb_0".to_string(),
+            vec!["loader".to_string(), "optimizer".to_string(), "net".to_string(), "criterion".to_string()],
+        )]);
+        let mut rec = Interp::new(record_ctx(store.clone(), changesets));
+        rec.run(&prog).unwrap();
+
+        let mut rep = Interp::new(replay_ctx(store, &[]));
+        rep.run(&prog).unwrap();
+        // The restored weight norm must match the recorded one bit-for-bit.
+        assert_eq!(
+            rec.env.get("w").unwrap().as_f64().unwrap(),
+            rep.env.get("w").unwrap().as_f64().unwrap()
+        );
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.restored, 1);
+        }
+    }
+}

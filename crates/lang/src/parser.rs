@@ -1,0 +1,717 @@
+//! Recursive-descent parser for FlorScript.
+//!
+//! Grammar (statements are newline-terminated; blocks are INDENT/DEDENT):
+//!
+//! ```text
+//! program    := stmt*
+//! stmt       := import | for | if | skipblock | pass | simple NEWLINE
+//! import     := "import" NAME
+//! for        := "for" NAME "in" expr ":" block
+//! if         := "if" expr ":" block ("else" ":" block)?
+//! skipblock  := "skipblock" STR ":" block
+//! simple     := target_list "=" expr_list | expr_list
+//! block      := NEWLINE INDENT stmt+ DEDENT
+//! expr       := or_expr
+//! or_expr    := and_expr ("or" and_expr)*
+//! and_expr   := not_expr ("and" not_expr)*
+//! not_expr   := "not" not_expr | comparison
+//! comparison := arith (("=="|"!="|"<"|"<="|">"|">=") arith)?
+//! arith      := term (("+"|"-") term)*
+//! term       := unary (("*"|"/"|"%") unary)*
+//! unary      := "-" unary | postfix
+//! postfix    := atom ("." NAME | "(" args ")" | "[" expr "]")*
+//! atom       := NAME | INT | FLOAT | STR | "True" | "False" | "None"
+//!             | "(" expr ("," expr)* ")" | "[" expr_list? "]"
+//! ```
+
+use crate::ast::{Arg, BinOp, Expr, Program, Stmt, UnaryOp};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use std::fmt;
+
+/// Parse failure with a 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses FlorScript source text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let body = p.parse_stmts_until_eof()?;
+    Ok(Program::new(body))
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].0
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Token::Op(o) if *o == op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), ParseError> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {op:?}, found {}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if *k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Newline => {
+                self.bump();
+                Ok(())
+            }
+            Token::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of line, found {other}"))),
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            line: self.line(),
+        }
+    }
+
+    fn parse_stmts_until_eof(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                Token::Eof => return Ok(body),
+                Token::Newline => {
+                    self.bump();
+                }
+                Token::Dedent | Token::Indent => {
+                    return Err(self.err("unexpected indentation at top level".into()))
+                }
+                _ => body.push(self.parse_stmt()?),
+            }
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_op(":")?;
+        match self.bump() {
+            Token::Newline => {}
+            other => return Err(self.err(format!("expected newline after ':', found {other}"))),
+        }
+        match self.bump() {
+            Token::Indent => {}
+            other => return Err(self.err(format!("expected an indented block, found {other}"))),
+        }
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                Token::Dedent => {
+                    self.bump();
+                    break;
+                }
+                Token::Eof => break,
+                Token::Newline => {
+                    self.bump();
+                }
+                _ => body.push(self.parse_stmt()?),
+            }
+        }
+        if body.is_empty() {
+            return Err(self.err("empty block".into()));
+        }
+        Ok(body)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_keyword("import") {
+            let module = match self.bump() {
+                Token::Name(n) => n,
+                other => return Err(self.err(format!("expected module name, found {other}"))),
+            };
+            self.expect_newline()?;
+            return Ok(Stmt::Import { module });
+        }
+        if self.eat_keyword("pass") {
+            self.expect_newline()?;
+            return Ok(Stmt::Pass);
+        }
+        if self.eat_keyword("for") {
+            let var = match self.bump() {
+                Token::Name(n) => n,
+                other => return Err(self.err(format!("expected loop variable, found {other}"))),
+            };
+            if !self.eat_keyword("in") {
+                return Err(self.err("expected 'in' in for statement".into()));
+            }
+            let iter = self.parse_expr()?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::For { var, iter, body });
+        }
+        if self.eat_keyword("if") {
+            let cond = self.parse_expr()?;
+            let then = self.parse_block()?;
+            let orelse = if self.eat_keyword("else") {
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, orelse });
+        }
+        if self.eat_keyword("skipblock") {
+            let id = match self.bump() {
+                Token::Str(s) => s,
+                other => {
+                    return Err(self.err(format!("expected skipblock id string, found {other}")))
+                }
+            };
+            let body = self.parse_block()?;
+            return Ok(Stmt::SkipBlock { id, body });
+        }
+
+        // Simple statement: assignment or expression.
+        let first = self.parse_expr()?;
+        let mut exprs = vec![first];
+        while self.eat_op(",") {
+            exprs.push(self.parse_expr()?);
+        }
+        if self.eat_op("=") {
+            // targets = value_list
+            for t in &exprs {
+                match t {
+                    Expr::Name(_) | Expr::Attr { .. } | Expr::Subscript { .. } => {}
+                    other => {
+                        return Err(
+                            self.err(format!("invalid assignment target: {other}"))
+                        )
+                    }
+                }
+            }
+            let mut values = vec![self.parse_expr()?];
+            while self.eat_op(",") {
+                values.push(self.parse_expr()?);
+            }
+            let value = if values.len() == 1 {
+                values.pop().unwrap()
+            } else {
+                Expr::Tuple(values)
+            };
+            self.expect_newline()?;
+            return Ok(Stmt::Assign {
+                targets: exprs,
+                value,
+            });
+        }
+        let expr = if exprs.len() == 1 {
+            exprs.pop().unwrap()
+        } else {
+            Expr::Tuple(exprs)
+        };
+        self.expect_newline()?;
+        Ok(Stmt::ExprStmt { expr })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_arith()?;
+        let op = match self.peek() {
+            Token::Op("==") => Some(BinOp::Eq),
+            Token::Op("!=") => Some(BinOp::Ne),
+            Token::Op("<") => Some(BinOp::Lt),
+            Token::Op("<=") => Some(BinOp::Le),
+            Token::Op(">") => Some(BinOp::Gt),
+            Token::Op(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_arith()?;
+            return Ok(Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_arith(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Op("+") => BinOp::Add,
+                Token::Op("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Op("*") => BinOp::Mul,
+                Token::Op("/") => BinOp::Div,
+                Token::Op("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_op("-") {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            if self.eat_op(".") {
+                let name = match self.bump() {
+                    Token::Name(n) => n,
+                    other => {
+                        return Err(self.err(format!("expected attribute name, found {other}")))
+                    }
+                };
+                expr = Expr::Attr {
+                    obj: Box::new(expr),
+                    name,
+                };
+            } else if self.eat_op("(") {
+                let mut args = Vec::new();
+                if !self.eat_op(")") {
+                    loop {
+                        // Keyword argument: NAME '=' expr (lookahead).
+                        let arg = if let Token::Name(n) = self.peek().clone() {
+                            if matches!(&self.tokens[self.pos + 1].0, Token::Op("=")) {
+                                self.bump(); // name
+                                self.bump(); // '='
+                                Arg::kw(n, self.parse_expr()?)
+                            } else {
+                                Arg::pos(self.parse_expr()?)
+                            }
+                        } else {
+                            Arg::pos(self.parse_expr()?)
+                        };
+                        args.push(arg);
+                        if self.eat_op(")") {
+                            break;
+                        }
+                        self.expect_op(",")?;
+                    }
+                }
+                expr = Expr::Call {
+                    func: Box::new(expr),
+                    args,
+                };
+            } else if self.eat_op("[") {
+                let index = self.parse_expr()?;
+                self.expect_op("]")?;
+                expr = Expr::Subscript {
+                    obj: Box::new(expr),
+                    index: Box::new(index),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Token::Name(n) => Ok(Expr::Name(n)),
+            Token::Int(i) => Ok(Expr::Int(i)),
+            Token::Float(x) => Ok(Expr::Float(x)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Keyword("True") => Ok(Expr::Bool(true)),
+            Token::Keyword("False") => Ok(Expr::Bool(false)),
+            Token::Keyword("None") => Ok(Expr::NoneLit),
+            Token::Op("(") => {
+                let first = self.parse_expr()?;
+                if self.eat_op(",") {
+                    let mut items = vec![first];
+                    if !matches!(self.peek(), Token::Op(")")) {
+                        loop {
+                            items.push(self.parse_expr()?);
+                            if !self.eat_op(",") {
+                                break;
+                            }
+                            if matches!(self.peek(), Token::Op(")")) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_op(")")?;
+                    Ok(Expr::Tuple(items))
+                } else {
+                    self.expect_op(")")?;
+                    Ok(first)
+                }
+            }
+            Token::Op("[") => {
+                let mut items = Vec::new();
+                if !self.eat_op("]") {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat_op("]") {
+                            break;
+                        }
+                        self.expect_op(",")?;
+                    }
+                }
+                Ok(Expr::List(items))
+            }
+            other => Err(self.err(format!("unexpected token {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn import_statement() {
+        let prog = p("import flor\n");
+        assert_eq!(
+            prog.body,
+            vec![Stmt::Import {
+                module: "flor".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let prog = p("x = 1 + 2 * 3\n");
+        match &prog.body[0] {
+            Stmt::Assign { targets, value } => {
+                assert_eq!(targets, &[Expr::name("x")]);
+                // Precedence: 1 + (2 * 3)
+                match value {
+                    Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                        assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }))
+                    }
+                    other => panic!("bad tree: {other:?}"),
+                }
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_target_assignment() {
+        let prog = p("loss, preds = net.eval(batch)\n");
+        match &prog.body[0] {
+            Stmt::Assign { targets, value } => {
+                assert_eq!(targets.len(), 2);
+                assert!(matches!(value, Expr::Call { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_rhs_assignment() {
+        let prog = p("a, b = 1, 2\n");
+        match &prog.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert_eq!(value, &Expr::Tuple(vec![Expr::Int(1), Expr::Int(2)]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_assignment_target() {
+        let prog = p("optimizer.lr = 0.1\n");
+        match &prog.body[0] {
+            Stmt::Assign { targets, .. } => {
+                assert!(matches!(&targets[0], Expr::Attr { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_call_statement() {
+        let prog = p("optimizer.step()\n");
+        match &prog.body[0] {
+            Stmt::ExprStmt { expr: Expr::Call { func, args } } => {
+                assert!(args.is_empty());
+                assert!(matches!(func.as_ref(), Expr::Attr { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_arguments() {
+        let prog = p("opt = sgd(net, lr=0.1, momentum=0.9)\n");
+        match &prog.body[0] {
+            Stmt::Assign { value: Expr::Call { args, .. }, .. } => {
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[0].name, None);
+                assert_eq!(args[1].name.as_deref(), Some("lr"));
+                assert_eq!(args[2].name.as_deref(), Some("momentum"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_with_body() {
+        let src = "for epoch in range(10):\n    x = epoch\n    log(\"e\", epoch)\n";
+        let prog = p(src);
+        match &prog.body[0] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "epoch");
+                assert_eq!(body.len(), 2);
+                assert!(body[1].is_log_stmt());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loops() {
+        let src = "for e in range(2):\n    for b in loader:\n        net.step(b)\n    sched.step()\n";
+        let prog = p(src);
+        match &prog.body[0] {
+            Stmt::For { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(&body[0], Stmt::For { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else() {
+        let src = "if x > 1:\n    y = 1\nelse:\n    y = 2\n";
+        let prog = p(src);
+        match &prog.body[0] {
+            Stmt::If { then, orelse, .. } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(orelse.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipblock_statement() {
+        let src = "skipblock \"sb_1\":\n    for b in loader:\n        net.step(b)\n";
+        let prog = p(src);
+        match &prog.body[0] {
+            Stmt::SkipBlock { id, body } => {
+                assert_eq!(id, "sb_1");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscript_and_chained_attr() {
+        let prog = p("v = batches[0].data.shape\n");
+        match &prog.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert_eq!(value.root_name(), Some("batches"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_literal() {
+        let prog = p("xs = [1, 2.5, \"a\"]\n");
+        match &prog.body[0] {
+            Stmt::Assign { value: Expr::List(items), .. } => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_and_bool_ops() {
+        let prog = p("ok = x >= 1 and not done or y == 2\n");
+        assert!(matches!(
+            &prog.body[0],
+            Stmt::Assign { value: Expr::Bin { op: BinOp::Or, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let prog = p("x = -y + 1\n");
+        match &prog.body[0] {
+            Stmt::Assign { value: Expr::Bin { lhs, .. }, .. } => {
+                assert!(matches!(lhs.as_ref(), Expr::Unary { op: UnaryOp::Neg, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_shape_parses() {
+        // The paper's Figure 2 PyTorch example, transliterated.
+        let src = "\
+import flor
+net = resnet(classes=100)
+optimizer = sgd(net, lr=0.1)
+for epoch in range(200):
+    for batch in loader:
+        loss = net.train_step(batch, optimizer)
+    eval_net(net)
+    log(\"epoch\", epoch)
+";
+        let prog = p(src);
+        assert_eq!(prog.body.len(), 4);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("x = 1\ny = = 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn invalid_assignment_target_rejected() {
+        assert!(parse("1 = x\n").is_err());
+        assert!(parse("f() = x\n").is_err());
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        assert!(parse("for i in r:\npass\n").is_err());
+    }
+
+    #[test]
+    fn parenthesized_tuple() {
+        let prog = p("t = (1, 2, 3)\n");
+        match &prog.body[0] {
+            Stmt::Assign { value: Expr::Tuple(items), .. } => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+}

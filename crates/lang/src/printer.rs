@@ -1,0 +1,264 @@
+//! Canonical pretty-printer: the inverse of the parser.
+//!
+//! Flor stores a copy of the (instrumented) source at record time and diffs
+//! it against the source at replay time. For that diff to be meaningful the
+//! printer must be *canonical*: `print(parse(print(ast))) == print(ast)`,
+//! and parsing printed output must reproduce the AST exactly (verified by a
+//! property test in this module).
+
+use crate::ast::{Arg, BinOp, Expr, Program, Stmt, UnaryOp};
+use std::fmt::Write;
+
+const INDENT: &str = "    ";
+
+/// Pretty-prints a whole program with 4-space indentation and a trailing
+/// newline.
+pub fn print_program(prog: &Program) -> String {
+    let mut out = String::new();
+    for stmt in &prog.body {
+        print_stmt(stmt, 0, &mut out);
+    }
+    out
+}
+
+/// Pretty-prints a single statement at the given indent depth (with trailing
+/// newline).
+pub fn print_stmt_at(stmt: &Stmt, depth: usize) -> String {
+    let mut out = String::new();
+    print_stmt(stmt, depth, &mut out);
+    out
+}
+
+fn print_stmt(stmt: &Stmt, depth: usize, out: &mut String) {
+    let pad = INDENT.repeat(depth);
+    match stmt {
+        Stmt::Import { module } => {
+            let _ = writeln!(out, "{pad}import {module}");
+        }
+        Stmt::Assign { targets, value } => {
+            let t = targets
+                .iter()
+                .map(print_expr)
+                .collect::<Vec<_>>()
+                .join(", ");
+            // Bare tuple on the RHS prints without parens (Python style).
+            let v = match value {
+                Expr::Tuple(items) if !items.is_empty() => items
+                    .iter()
+                    .map(print_expr)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                other => print_expr(other),
+            };
+            let _ = writeln!(out, "{pad}{t} = {v}");
+        }
+        Stmt::ExprStmt { expr } => {
+            let _ = writeln!(out, "{pad}{}", print_expr(expr));
+        }
+        Stmt::For { var, iter, body } => {
+            let _ = writeln!(out, "{pad}for {var} in {}:", print_expr(iter));
+            for s in body {
+                print_stmt(s, depth + 1, out);
+            }
+        }
+        Stmt::If { cond, then, orelse } => {
+            let _ = writeln!(out, "{pad}if {}:", print_expr(cond));
+            for s in then {
+                print_stmt(s, depth + 1, out);
+            }
+            if !orelse.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                for s in orelse {
+                    print_stmt(s, depth + 1, out);
+                }
+            }
+        }
+        Stmt::SkipBlock { id, body } => {
+            let _ = writeln!(out, "{pad}skipblock {}:", quote(id));
+            for s in body {
+                print_stmt(s, depth + 1, out);
+            }
+        }
+        Stmt::Pass => {
+            let _ = writeln!(out, "{pad}pass");
+        }
+    }
+}
+
+/// Pretty-prints an expression (fully parenthesizing nested binary
+/// operations where needed for re-parse fidelity).
+pub fn print_expr(expr: &Expr) -> String {
+    print_prec(expr, 0)
+}
+
+/// Operator precedence levels, matching the parser's grammar.
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+    }
+}
+
+fn print_prec(expr: &Expr, min_prec: u8) -> String {
+    match expr {
+        Expr::Name(n) => n.clone(),
+        Expr::Int(i) => i.to_string(),
+        Expr::Float(x) => {
+            // Keep the text a float so the re-parse yields Float, not Int.
+            let s = format!("{x}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Str(s) => quote(s),
+        Expr::Bool(true) => "True".into(),
+        Expr::Bool(false) => "False".into(),
+        Expr::NoneLit => "None".into(),
+        Expr::Attr { obj, name } => format!("{}.{name}", print_prec(obj, 7)),
+        Expr::Call { func, args } => {
+            let a = args
+                .iter()
+                .map(|Arg { name, value }| match name {
+                    Some(n) => format!("{n}={}", print_expr(value)),
+                    None => print_expr(value),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{}({a})", print_prec(func, 7))
+        }
+        Expr::Subscript { obj, index } => {
+            format!("{}[{}]", print_prec(obj, 7), print_expr(index))
+        }
+        Expr::List(items) => {
+            let a = items.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("[{a}]")
+        }
+        Expr::Tuple(items) => {
+            let a = items.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("({a})")
+        }
+        Expr::Unary { op, expr } => {
+            let inner = print_prec(expr, 6);
+            let s = match op {
+                UnaryOp::Neg => format!("-{inner}"),
+                UnaryOp::Not => format!("not {inner}"),
+            };
+            if min_prec > 5 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let p = prec_of(*op);
+            // Left-associative: the rhs needs strictly higher precedence.
+            let s = format!(
+                "{} {} {}",
+                print_prec(lhs, p),
+                op.as_str(),
+                print_prec(rhs, p + 1)
+            );
+            if p < min_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let prog = parse(src).expect("initial parse");
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        assert_eq!(prog, reparsed, "roundtrip mismatch for:\n{printed}");
+        // Printing again must be a fixed point.
+        assert_eq!(printed, print_program(&reparsed));
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip("import flor\nx = 1\ny = x + 2 * 3\n");
+    }
+
+    #[test]
+    fn roundtrip_precedence() {
+        roundtrip("z = (1 + 2) * 3\n");
+        roundtrip("z = 1 + 2 * 3 - 4 / 5\n");
+        roundtrip("z = -x * 2\n");
+        roundtrip("z = 1 - (2 - 3)\n");
+        roundtrip("ok = a and b or not c\n");
+        roundtrip("ok = (a or b) and c\n");
+    }
+
+    #[test]
+    fn roundtrip_calls_and_chains() {
+        roundtrip("v = net.layers[0].weight.norm()\n");
+        roundtrip("opt = sgd(net, lr=0.1, momentum=0.9)\n");
+        roundtrip("loss, preds = net.eval(batch)\n");
+    }
+
+    #[test]
+    fn roundtrip_blocks() {
+        roundtrip(
+            "for e in range(10):\n    for b in loader:\n        net.step(b)\n    sched.step()\n",
+        );
+        roundtrip("if x > 1:\n    y = 1\nelse:\n    y = 2\n");
+        roundtrip("skipblock \"sb_0\":\n    for b in loader:\n        net.step(b)\n");
+    }
+
+    #[test]
+    fn roundtrip_literals() {
+        roundtrip("a = 1.5\nb = \"hi\\n\"\nc = True\nd = None\ne = [1, 2]\nf = (1, 2)\n");
+        roundtrip("g = 2.0\n"); // float that formats without a dot
+    }
+
+    #[test]
+    fn float_prints_as_float() {
+        let prog = parse("x = 2.0\n").unwrap();
+        assert_eq!(print_program(&prog), "x = 2.0\n");
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        let prog = parse("x = 1 - 2 - 3\n").unwrap();
+        // (1 - 2) - 3 needs no parens.
+        assert_eq!(print_program(&prog), "x = 1 - 2 - 3\n");
+        let prog2 = parse("x = 1 - (2 - 3)\n").unwrap();
+        assert_eq!(print_program(&prog2), "x = 1 - (2 - 3)\n");
+        assert_ne!(print_program(&prog), print_program(&prog2));
+    }
+
+    #[test]
+    fn bare_tuple_assignment_prints_bare() {
+        let prog = parse("a, b = 1, 2\n").unwrap();
+        assert_eq!(print_program(&prog), "a, b = 1, 2\n");
+    }
+}

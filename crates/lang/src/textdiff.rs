@@ -1,0 +1,185 @@
+//! Plain line diff (longest-common-subsequence based).
+//!
+//! Two uses in Flor:
+//! 1. human-readable source diffs in replay reports,
+//! 2. the **deferred correctness check** (paper §5.2.2): "at the end of
+//!    replay, we run `diff`, and warn the user if the replay logs differ from
+//!    the record logs in any way other than the statements added for
+//!    hindsight logging."
+
+/// A single diff operation over lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Line present in both sequences.
+    Equal(String),
+    /// Line only in the new sequence.
+    Insert(String),
+    /// Line only in the old sequence.
+    Delete(String),
+}
+
+/// Computes a line diff from `old` to `new`.
+///
+/// Uses dynamic-programming LCS; inputs in this codebase (scripts and log
+/// streams) are at most a few thousand lines.
+pub fn diff_lines(old: &str, new: &str) -> Vec<DiffOp> {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let (n, m) = (a.len(), b.len());
+
+    // lcs[i][j] = LCS length of a[i..] and b[j..]
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push(DiffOp::Equal(a[i].to_string()));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push(DiffOp::Delete(a[i].to_string()));
+            i += 1;
+        } else {
+            ops.push(DiffOp::Insert(b[j].to_string()));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(DiffOp::Delete(a[i].to_string()));
+        i += 1;
+    }
+    while j < m {
+        ops.push(DiffOp::Insert(b[j].to_string()));
+        j += 1;
+    }
+    ops
+}
+
+/// Renders a diff in unified-ish format (` `, `+`, `-` prefixes).
+pub fn render(ops: &[DiffOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal(l) => {
+                out.push_str("  ");
+                out.push_str(l);
+            }
+            DiffOp::Insert(l) => {
+                out.push_str("+ ");
+                out.push_str(l);
+            }
+            DiffOp::Delete(l) => {
+                out.push_str("- ");
+                out.push_str(l);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// True if the diff contains no insertions or deletions.
+pub fn is_identical(ops: &[DiffOp]) -> bool {
+    ops.iter().all(|op| matches!(op, DiffOp::Equal(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs() {
+        let ops = diff_lines("a\nb\n", "a\nb\n");
+        assert!(is_identical(&ops));
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let ops = diff_lines("a\nc\n", "a\nb\nc\n");
+        assert_eq!(
+            ops,
+            vec![
+                DiffOp::Equal("a".into()),
+                DiffOp::Insert("b".into()),
+                DiffOp::Equal("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let ops = diff_lines("a\nb\nc\n", "a\nc\n");
+        assert_eq!(
+            ops,
+            vec![
+                DiffOp::Equal("a".into()),
+                DiffOp::Delete("b".into()),
+                DiffOp::Equal("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn replacement_is_delete_plus_insert() {
+        let ops = diff_lines("x\n", "y\n");
+        assert_eq!(
+            ops.iter()
+                .filter(|o| !matches!(o, DiffOp::Equal(_)))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(diff_lines("", "").is_empty());
+        assert_eq!(diff_lines("", "a\n"), vec![DiffOp::Insert("a".into())]);
+        assert_eq!(diff_lines("a\n", ""), vec![DiffOp::Delete("a".into())]);
+    }
+
+    #[test]
+    fn render_prefixes() {
+        let out = render(&[
+            DiffOp::Equal("same".into()),
+            DiffOp::Insert("new".into()),
+            DiffOp::Delete("gone".into()),
+        ]);
+        assert_eq!(out, "  same\n+ new\n- gone\n");
+    }
+
+    #[test]
+    fn diff_preserves_both_sides() {
+        // Every old line appears as Equal or Delete; every new line as Equal
+        // or Insert.
+        let old = "a\nb\nc\nd\n";
+        let new = "b\nx\nd\ny\n";
+        let ops = diff_lines(old, new);
+        let olds: Vec<&str> = ops
+            .iter()
+            .filter_map(|o| match o {
+                DiffOp::Equal(l) | DiffOp::Delete(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        let news: Vec<&str> = ops
+            .iter()
+            .filter_map(|o| match o {
+                DiffOp::Equal(l) | DiffOp::Insert(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(olds, vec!["a", "b", "c", "d"]);
+        assert_eq!(news, vec!["b", "x", "d", "y"]);
+    }
+}

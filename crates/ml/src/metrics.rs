@@ -1,0 +1,100 @@
+//! Training metrics: the "standard metrics that get logged on model training"
+//! which the paper notes "form a fairly unique fingerprint of a model's
+//! training characteristics" (§5.2.2) — the basis of Flor's deferred
+//! correctness checks.
+
+use flor_tensor::Tensor;
+
+/// Fraction of rows whose argmax matches the target class.
+///
+/// # Panics
+/// Panics if `logits` row count differs from `targets.len()`.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), targets.len(), "one target per row");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = preds
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| *p == *t)
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Running average of a stream of scalars (loss meters in training loops).
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    sum: f64,
+    count: u64,
+}
+
+impl Meter {
+    /// New empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a meter from checkpointed parts.
+    pub fn restore(mean: f32, count: u64) -> Self {
+        Meter {
+            sum: mean as f64 * count as f64,
+            count,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn update(&mut self, value: f32) {
+        self.sum += value as f64;
+        self.count += 1;
+    }
+
+    /// Current mean, or 0.0 before any observation.
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Clears the meter (start of a new epoch).
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::new([3, 2], vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0]);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        assert_eq!(accuracy(&Tensor::zeros([0, 3]), &[]), 0.0);
+    }
+
+    #[test]
+    fn meter_mean_and_reset() {
+        let mut m = Meter::new();
+        assert_eq!(m.mean(), 0.0);
+        m.update(1.0);
+        m.update(3.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.count(), 2);
+        m.reset();
+        assert_eq!(m.mean(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic, serializable pseudo-random number generation.
+//!
+//! Replay in Flor must reproduce the recorded execution exactly: the deferred
+//! correctness checks (paper §5.2.2) compare record and replay logs and treat
+//! any divergence as an anomaly. That requires every source of randomness in a
+//! training script — parameter init, data shuffling, synthetic noise — to be
+//! (a) seeded, and (b) *checkpointable*, so a replay worker that jumps into
+//! epoch `k` can restore the exact generator state the recorded run had at the
+//! start of epoch `k`.
+//!
+//! [`Pcg64`] is a PCG-XSH-RR 64/32 generator ("pcg32" in O'Neill's naming;
+//! 64-bit state, 32-bit output) extended with convenience samplers. Its entire
+//! state is two `u64` words, exposed via [`Pcg64::state`] and
+//! [`Pcg64::restore`].
+
+/// A small, fast, deterministic PRNG with fully exposed state.
+///
+/// This is the PCG-XSH-RR generator (64-bit LCG state, 32-bit xorshift-rotate
+/// output). It is *not* cryptographically secure; it exists to make training
+/// runs reproducible and replayable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg64 {
+    /// Creates a generator from a seed and stream id.
+    ///
+    /// Different `stream` values yield statistically independent sequences for
+    /// the same seed, which lets e.g. the data loader and the weight
+    /// initializer draw from one user seed without correlation.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a seed on the default stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e39cb94b95bdb)
+    }
+
+    /// Returns the raw `(state, inc)` words. Together with [`Pcg64::restore`]
+    /// this makes the generator checkpointable.
+    pub fn state(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuilds a generator from raw words previously returned by
+    /// [`Pcg64::state`].
+    pub fn restore(state: u64, inc: u64) -> Self {
+        Pcg64 { state, inc }
+    }
+
+    /// Next 32 uniform random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 bits of mantissa; divide by 2^24.
+        (self.next_u32() >> 8) as f32 * (1.0 / 16_777_216.0)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal sample (Box–Muller; one of the pair is discarded to
+    /// keep the state stream simple and replayable).
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1 = self.next_f32();
+            if u1 <= f32::EPSILON {
+                continue;
+            }
+            let u2 = self.next_f32();
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias (Lemire-style
+    /// rejection).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below() requires a positive bound");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below((i + 1) as u32) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg64::seeded(42);
+        let mut b = Pcg64::seeded(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::seeded(1);
+        let mut b = Pcg64::seeded(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 5, "seeds 1 and 2 should produce different streams");
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = Pcg64::new(7, 1);
+        let mut b = Pcg64::new(7, 2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = Pcg64::seeded(99);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let (s, i) = a.state();
+        let mut b = Pcg64::restore(s, i);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn next_f32_in_unit_interval() {
+        let mut rng = Pcg64::seeded(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Pcg64::seeded(4);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-2.5, 7.5);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Pcg64::seeded(5);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Pcg64::seeded(6);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg64::seeded(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        Pcg64::seeded(1).below(0);
+    }
+}

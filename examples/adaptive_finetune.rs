@@ -1,0 +1,66 @@
+//! Adaptive checkpointing in the fine-tuning regime (paper §5.3, Figure 7).
+//!
+//! Run with: `cargo run -p flor-bench --example adaptive_finetune --release`
+//!
+//! A fine-tuning job carries a huge frozen parameter mass (the pretrained
+//! backbone) through every checkpoint while its epochs are short — the
+//! materialization/compute ratio is terrible. Flor's Joint Invariant
+//! (Eq. 4) responds by checkpointing *periodically* instead of every epoch,
+//! keeping record overhead under the ε = 6.67% tolerance. A regular
+//! training job with the same structure checkpoints every epoch.
+
+use flor_bench::scripts;
+use flor_core::record::{record, RecordOptions};
+use flor_core::replay::{replay, ReplayOptions};
+use flor_core::InitMode;
+
+fn main() {
+    // ---- Training regime: cheap checkpoints → every epoch. ---------------
+    let train_store = std::env::temp_dir().join(format!("flor-af-train-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&train_store);
+    let train = record(scripts::CV_TRAIN, &RecordOptions::new(&train_store)).expect("record");
+    println!(
+        "training workload:  {} epochs → {} checkpoints ({} KiB) — memoized every epoch",
+        scripts::MINI_EPOCHS,
+        train.checkpoints,
+        train.stored_bytes / 1024,
+    );
+
+    // ---- Fine-tuning regime: frozen ballast → periodic checkpoints. ------
+    let ft_store = std::env::temp_dir().join(format!("flor-af-ft-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ft_store);
+    let ft = record(scripts::FINETUNE, &RecordOptions::new(&ft_store)).expect("record");
+    println!(
+        "fine-tune workload: {} epochs → {} checkpoints ({} KiB) — periodic (sparse)",
+        scripts::MINI_EPOCHS,
+        ft.checkpoints,
+        ft.stored_bytes / 1024,
+    );
+    assert!(
+        ft.checkpoints < train.checkpoints,
+        "fine-tuning must checkpoint less often than training"
+    );
+
+    // ---- Sparse checkpoints still support replay. -------------------------
+    // Weak initialization partitions on checkpoint anchors; gaps re-execute.
+    let probed = scripts::probe_outer(scripts::FINETUNE);
+    let rep = replay(
+        &probed,
+        &ft_store,
+        &ReplayOptions {
+            workers: 2,
+            init_mode: InitMode::Weak,
+        },
+    )
+    .expect("replay");
+    println!(
+        "\nhindsight replay over sparse checkpoints: {} restored, {} re-executed, {} anomalies",
+        rep.stats.restored,
+        rep.stats.executed,
+        rep.anomalies.len()
+    );
+    assert!(rep.anomalies.is_empty());
+    for e in rep.log.iter().filter(|e| e.key == "probe_wnorm") {
+        println!("  {e}");
+    }
+}

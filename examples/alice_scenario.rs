@@ -1,0 +1,152 @@
+//! The paper's §2.1 debugging scenario, end to end.
+//!
+//! Run with: `cargo run -p flor-bench --example alice_scenario --release`
+//!
+//! Alice trains a baseline, then implements stochastic weight averaging
+//! (SWA) with two latent problems: her averaging code transposes weight
+//! matrices ("averaged along the wrong dimension"), and SWA's high cyclic
+//! learning-rate bounds interact badly with weight decay
+//! (over-regularization → exploding-then-vanishing gradients).
+//!
+//! In the paper, Alice diagnoses this by *re-running one-hour training
+//! jobs* with more logging, three times. Here, Flor records her failed run
+//! once; every follow-up question is a hindsight probe answered by replay.
+
+use flor_core::record::{record, run_vanilla, RecordOptions};
+use flor_core::replay::{replay, ReplayOptions};
+
+const BASELINE: &str = "\
+import flor
+data = synth_data(n=128, dim=16, classes=16, spread=0.25, seed=31)
+loader = dataloader(data, batch_size=32, seed=31)
+net = mlp(input=16, hidden=16, classes=16, depth=1, seed=31)
+optimizer = sgd(net, lr=0.1, momentum=0.9, weight_decay=0.01)
+criterion = cross_entropy()
+avg = meter()
+for epoch in range(12):
+    avg.reset()
+    for batch in loader.epoch():
+        waste = busy(1)
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+acc = evaluate(net, data)
+log(\"accuracy\", acc)
+";
+
+/// Alice's SWA attempt: cyclic LR with high bounds + weight decay + the
+/// wrong-dimension averaging bug (square layers make it silent corruption).
+const SWA_BUGGY: &str = "\
+import flor
+data = synth_data(n=128, dim=16, classes=16, spread=0.25, seed=31)
+loader = dataloader(data, batch_size=32, seed=31)
+net = mlp(input=16, hidden=16, classes=16, depth=1, seed=31)
+optimizer = sgd(net, lr=0.1, momentum=0.9, weight_decay=0.08)
+sched = cyclic_lr(optimizer, min_lr=0.05, max_lr=0.9, period=4)
+criterion = cross_entropy()
+swa = swa_averager()
+avg = meter()
+for epoch in range(12):
+    avg.reset()
+    for batch in loader.epoch():
+        waste = busy(1)
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    sched.step()
+    swa.update_buggy(net)
+    log(\"loss\", avg.mean())
+swa.apply(net)
+acc = evaluate(net, data)
+log(\"accuracy\", acc)
+";
+
+fn accuracy_of(log: &[flor_core::LogEntry]) -> f64 {
+    log.iter()
+        .find(|e| e.key == "accuracy")
+        .map(|e| e.value.parse().unwrap_or(0.0))
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("flor-alice-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // ---- Act 1: the baseline works. --------------------------------------
+    let (_, baseline_log) = run_vanilla(BASELINE).expect("baseline");
+    let baseline_acc = accuracy_of(&baseline_log);
+    println!("baseline accuracy: {baseline_acc:.3}");
+
+    // ---- Act 2: Alice tries SWA; Flor records it (import flor is already
+    //      there, so this costs ~nothing extra). The run fails.
+    let rec = record(SWA_BUGGY, &RecordOptions::new(&store)).expect("record SWA run");
+    let swa_acc = accuracy_of(&rec.log);
+    println!("SWA attempt accuracy: {swa_acc:.3}  ← collapsed (bug!)");
+    assert!(swa_acc < baseline_acc, "the bug should hurt accuracy");
+
+    // ---- Act 3: hindsight question #1 (outer probe, cheap) ---------------
+    // "What were the weight magnitudes over time?" — Alice never logged
+    // them. Outer probes let every training loop restore from checkpoints.
+    let probed_outer = SWA_BUGGY.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"w_norm\", net.weight_norm())\n",
+    );
+    let rep = replay(&probed_outer, &store, &ReplayOptions::default()).expect("outer replay");
+    println!(
+        "\nhindsight probe 1 — weight norms (partial replay: {} restored, {} re-executed):",
+        rep.stats.restored, rep.stats.executed
+    );
+    for e in rep.log.iter().filter(|e| e.key == "w_norm") {
+        println!("  {e}");
+    }
+
+    // ---- Act 4: hindsight question #2 (inner probe, parallel) ------------
+    // "And the gradient magnitudes?" — needs the training loop's internals,
+    // so the loops re-execute; hindsight parallelism spreads them over 4
+    // workers.
+    let probed_inner = SWA_BUGGY.replace(
+        "        optimizer.step()\n",
+        "        optimizer.step()\n        log(\"g_norm\", net.grad_norm())\n",
+    );
+    let rep = replay(&probed_inner, &store, &ReplayOptions::with_workers(4))
+        .expect("inner replay");
+    let norms: Vec<f64> = rep
+        .log
+        .iter()
+        .filter(|e| e.key == "g_norm")
+        .map(|e| e.value.parse().unwrap_or(0.0))
+        .collect();
+    let early: f64 = norms.iter().take(8).sum::<f64>() / 8.0;
+    let late: f64 = norms.iter().rev().take(8).sum::<f64>() / 8.0;
+    println!(
+        "\nhindsight probe 2 — gradient norms over 4 workers ({} batches probed):",
+        norms.len()
+    );
+    println!("  early-training mean |g| = {early:.4}");
+    println!("  late-training  mean |g| = {late:.4}");
+    println!("  → high LR bounds + weight decay destabilize training (over-regularization),");
+    println!("    and the SWA average itself was corrupted (wrong-dimension bug).");
+    assert!(rep.anomalies.is_empty(), "replay must match the record");
+
+    // ---- Act 5: the fix — correct averaging, no weight decay. ------------
+    let fixed = SWA_BUGGY
+        .replace("update_buggy", "update")
+        .replace("weight_decay=0.08", "weight_decay=0.0")
+        .replace("max_lr=0.9", "max_lr=0.4");
+    let (_, fixed_log) = run_vanilla(&fixed).expect("fixed run");
+    let fixed_acc = accuracy_of(&fixed_log);
+    println!("\nfixed SWA accuracy: {fixed_acc:.3}  (baseline {baseline_acc:.3})");
+    assert!(
+        fixed_acc > swa_acc,
+        "the fix must recover from the collapapsed run"
+    );
+}

@@ -1,0 +1,89 @@
+//! Sampling replay and replay-time binary search (paper §8).
+//!
+//! Run with: `cargo run -p flor-bench --example sampling_search --release`
+//!
+//! "By analogy to query processing, Flor is currently sequentially scanning
+//! the past; we want to augment it with techniques for searching and
+//! approximate query processing." The paper implemented iteration sampling
+//! as a proof of concept; this example uses it two ways:
+//!
+//! 1. **spot checks** — replay just iterations {2, 9} of a 16-epoch run,
+//! 2. **binary search** — find the first epoch where the loss converged
+//!    below a threshold, in O(log n) single-iteration replays.
+
+use flor_core::record::{record, RecordOptions};
+use flor_core::sample::{binary_search, iteration_entries, replay_sample};
+
+const TRAIN: &str = "\
+import flor
+data = synth_data(n=96, dim=12, classes=4, spread=0.3, seed=29)
+loader = dataloader(data, batch_size=24, seed=29)
+net = mlp(input=12, hidden=24, classes=4, depth=2, seed=29)
+optimizer = sgd(net, lr=0.05, momentum=0.9)
+criterion = cross_entropy()
+avg = meter()
+for epoch in range(16):
+    avg.reset()
+    for batch in loader.epoch():
+        waste = busy(2)
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+";
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("flor-sampling-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut opts = RecordOptions::new(&store);
+    opts.adaptive = false; // every epoch checkpointed → O(1) jumps
+    let rec = record(TRAIN, &opts).expect("record");
+    println!(
+        "recorded 16 epochs in {:.2}s ({} checkpoints)",
+        rec.wall_ns as f64 / 1e9,
+        rec.checkpoints
+    );
+
+    // ---- Spot checks: hindsight-probe two specific epochs. ----------------
+    let probed = TRAIN.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"wnorm\", net.weight_norm())\n",
+    );
+    let sampled = replay_sample(&probed, &store, &[2, 9]).expect("sample");
+    println!(
+        "\nspot-checked epochs 2 and 9 in {:.3}s ({} restored, {} executed):",
+        sampled.wall_ns as f64 / 1e9,
+        sampled.stats.restored,
+        sampled.stats.executed
+    );
+    for g in [2u64, 9] {
+        for e in iteration_entries(&sampled, g) {
+            println!("  {e}");
+        }
+    }
+
+    // ---- Binary search: when did the loss first drop below 0.2? -----------
+    let mut probes = 0u32;
+    let threshold = 0.2f64;
+    let found = binary_search(TRAIN, &store, 16, |entries| {
+        probes += 1;
+        entries
+            .iter()
+            .find(|e| e.key == "loss")
+            .and_then(|e| e.value.parse::<f64>().ok())
+            .map(|l| l < threshold)
+            .unwrap_or(false)
+    })
+    .expect("search");
+    match found {
+        Some(epoch) => println!(
+            "\nloss first dropped below {threshold} at epoch {epoch} \
+             (found with {probes} sampled replays instead of a 16-epoch scan)"
+        ),
+        None => println!("\nloss never dropped below {threshold} ({probes} probes)"),
+    }
+}

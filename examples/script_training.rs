@@ -1,0 +1,70 @@
+//! FlorScript end to end: record a training script from disk, then answer
+//! hindsight questions from a probed copy of the script.
+//!
+//! Run with: `cargo run -p flor-bench --example script_training --release`
+//!
+//! This is the paper's workflow verbatim: the user writes a training script
+//! whose only Flor-specific line is `import flor`; instrumentation,
+//! checkpoint placement, probe detection (source diff), and replay are all
+//! automatic.
+
+use flor_analysis::instrument::instrument;
+use flor_core::record::{record, RecordOptions};
+use flor_core::replay::{replay, ReplayOptions};
+use flor_lang::{parse, print_program};
+
+const TRAIN: &str = include_str!("scripts/train_basic.flr");
+const PROBED: &str = include_str!("scripts/train_probed.flr");
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("flor-script-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // Show what Flor's instrumentation does to the user's script.
+    let report = instrument(&parse(TRAIN).expect("parse"));
+    println!("--- instrumented source (what record executes) ---");
+    print!("{}", print_program(&report.program));
+    println!("--- blocks ---");
+    for b in &report.blocks {
+        println!(
+            "  {}: changeset {{{}}}",
+            b.id,
+            b.static_changeset.join(", ")
+        );
+    }
+    for r in &report.refused {
+        println!("  refused {} — {}", r.header, r.reason.reason);
+    }
+
+    // Record.
+    let rec = record(TRAIN, &RecordOptions::new(&store)).expect("record");
+    println!(
+        "\nrecorded: {:.2}s wall, {} checkpoints, {} KiB",
+        rec.wall_ns as f64 / 1e9,
+        rec.checkpoints,
+        rec.stored_bytes / 1024
+    );
+    for e in &rec.log {
+        println!("  {e}");
+    }
+
+    // Hindsight: the probed script adds two outer-loop log statements.
+    let rep = replay(PROBED, &store, &ReplayOptions::with_workers(2)).expect("replay");
+    println!(
+        "\nreplayed with probes: {:.2}s wall, {} restored / {} re-executed, {} anomalies",
+        rep.wall_ns as f64 / 1e9,
+        rep.stats.restored,
+        rep.stats.executed,
+        rep.anomalies.len()
+    );
+    println!("probes detected: {}", rep.probes.len());
+    println!("\n--- hindsight log ---");
+    for e in rep
+        .log
+        .iter()
+        .filter(|e| e.key.starts_with("hindsight_"))
+    {
+        println!("  {e}");
+    }
+    assert!(rep.anomalies.is_empty());
+}

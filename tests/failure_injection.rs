@@ -1,0 +1,157 @@
+//! Failure injection: Flor must fail loudly, never silently diverge.
+//!
+//! The paper's safety story (§5.2.2) is that lean checkpointing is
+//! *deliberately unsafe* (it may misdetect side-effects) and the deferred
+//! correctness checks catch the fallout. These tests inject every failure
+//! class we can construct and assert it surfaces as an error or an anomaly.
+
+use flor_bench::scripts;
+use flor_core::record::{record, RecordOptions};
+use flor_core::replay::{deferred_check, replay, ReplayOptions};
+use flor_core::{LogEntry, Section};
+use std::fs;
+use std::path::PathBuf;
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flor-inject-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn exact_opts(root: &PathBuf) -> RecordOptions {
+    let mut o = RecordOptions::new(root);
+    o.adaptive = false;
+    o
+}
+
+#[test]
+fn bitflip_in_checkpoint_is_caught_by_crc() {
+    let root = store_dir("bitflip");
+    record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
+    // Flip one byte in every checkpoint file.
+    for entry in fs::read_dir(root.join("ckpt")).unwrap() {
+        let path = entry.unwrap().path();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+    }
+    let result = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default());
+    assert!(result.is_err(), "corrupt checkpoints must not restore silently");
+}
+
+#[test]
+fn truncated_checkpoint_is_caught() {
+    let root = store_dir("truncate");
+    record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
+    for entry in fs::read_dir(root.join("ckpt")).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    }
+    let result = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default());
+    assert!(result.is_err());
+}
+
+#[test]
+fn deleted_checkpoint_falls_back_to_reexecution() {
+    // A *missing* checkpoint (as opposed to a corrupt one) is legitimate —
+    // adaptive checkpointing skips some — so replay must re-execute and
+    // still match the fingerprint.
+    let root = store_dir("deleted");
+    let rec = record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
+    // Remove epoch 3's entry from the manifest and disk.
+    let manifest = root.join("MANIFEST");
+    let text = fs::read_to_string(&manifest).unwrap();
+    let kept: Vec<&str> = text.lines().filter(|l| !l.contains("\t3\t")).collect();
+    fs::write(&manifest, kept.join("\n") + "\n").unwrap();
+    let _ = fs::remove_file(root.join("ckpt").join("sb_0.000003"));
+
+    let rep = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default()).unwrap();
+    assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
+    assert_eq!(rep.log, rec.log);
+    assert_eq!(rep.stats.executed, 1, "the gap re-executes");
+    assert_eq!(rep.stats.restored, scripts::MINI_EPOCHS - 1);
+}
+
+#[test]
+fn missing_record_artifacts_error_cleanly() {
+    let root = store_dir("no-artifacts");
+    fs::create_dir_all(&root).unwrap();
+    let result = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default());
+    assert!(result.is_err(), "replay without a recorded run must error");
+}
+
+#[test]
+fn garbled_manifest_errors_cleanly() {
+    let root = store_dir("garbled");
+    record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
+    fs::write(root.join("MANIFEST"), "not\ta\tvalid\tmanifest\n").unwrap();
+    let result = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default());
+    assert!(result.is_err());
+}
+
+#[test]
+fn rule5_evasion_is_caught_by_deferred_check() {
+    // A changeset that deliberately misses a side effect: we simulate the
+    // paper's "unsafe analysis" risk by recording a run, then tampering
+    // with the record log so replay's fingerprint cannot match. The
+    // deferred check must flag it.
+    let root = store_dir("evasion");
+    record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
+    // Tamper: perturb one recorded loss value.
+    let log_path = root.join("artifacts").join("record_log.txt");
+    let text = fs::read_to_string(&log_path).unwrap();
+    let tampered = text.replacen("loss\t", "loss\t9", 1);
+    assert_ne!(tampered, text);
+    fs::write(&log_path, tampered).unwrap();
+
+    let rep = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default()).unwrap();
+    assert!(
+        !rep.anomalies.is_empty(),
+        "deferred check must flag the divergent fingerprint"
+    );
+    assert!(rep.anomalies[0].contains("loss"), "{:?}", rep.anomalies);
+}
+
+#[test]
+fn deferred_check_tolerates_skips_and_probes_only() {
+    let rec = vec![
+        LogEntry { key: "loss".into(), value: "1.0".into(), section: Section::Iter(0) },
+        LogEntry { key: "inner".into(), value: "x".into(), section: Section::Iter(0) },
+    ];
+    // Replay skipped "inner" (memoized) and added a probe — fine.
+    let ok = vec![
+        LogEntry { key: "loss".into(), value: "1.0".into(), section: Section::Iter(0) },
+        LogEntry { key: "probe".into(), value: "p".into(), section: Section::Iter(0) },
+    ];
+    assert!(deferred_check(&rec, &ok).is_empty());
+    // Value drift is an anomaly.
+    let bad = vec![LogEntry {
+        key: "loss".into(),
+        value: "2.0".into(),
+        section: Section::Iter(0),
+    }];
+    assert_eq!(deferred_check(&rec, &bad).len(), 1);
+}
+
+#[test]
+fn record_into_reused_store_accumulates_but_replays_latest_source() {
+    // Re-recording into the same root overwrites the source artifact; the
+    // old checkpoints for unchanged block ids/seqs remain readable. This
+    // documents (rather than forbids) store reuse.
+    let root = store_dir("reuse");
+    record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
+    let second = record(scripts::CV_TRAIN, &exact_opts(&root));
+    // Writing the same (block, seq) twice is an error in the store layer —
+    // surfaced through the background materializer's error channel, which
+    // the record report exposes as I/O failures, or it succeeds by
+    // overwriting files. Either way the following replay must be coherent.
+    let _ = second;
+    let rep = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default()).unwrap();
+    assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
+}

@@ -1,0 +1,356 @@
+//! Property-based tests over the core data structures and invariants.
+
+use flor_chkpt::{compress, decode, encode, CVal};
+use flor_core::adaptive::AdaptiveController;
+use flor_core::parallel::{max_speedup, plan, plan_anchored, InitMode};
+use flor_lang::{parse, print_program};
+use flor_tensor::{Pcg64, Tensor};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+fn arb_cval() -> impl Strategy<Value = CVal> {
+    let leaf = prop_oneof![
+        Just(CVal::Unit),
+        any::<bool>().prop_map(CVal::Bool),
+        any::<i64>().prop_map(CVal::I64),
+        any::<f64>().prop_map(CVal::F64),
+        ".{0,32}".prop_map(CVal::Str),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(CVal::Bytes),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(CVal::List),
+            proptest::collection::vec((".{0,8}", inner), 0..8)
+                .prop_map(|pairs| CVal::Map(pairs.into_iter().collect())),
+        ]
+    })
+}
+
+/// Structural equality treating NaN == NaN (bitwise roundtrip is exact, but
+/// `PartialEq` on f64 isn't reflexive for NaN).
+fn cval_eq(a: &CVal, b: &CVal) -> bool {
+    match (a, b) {
+        (CVal::F64(x), CVal::F64(y)) => x.to_bits() == y.to_bits(),
+        (CVal::List(xs), CVal::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| cval_eq(x, y))
+        }
+        (CVal::Map(xs), CVal::Map(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && cval_eq(va, vb))
+        }
+        (x, y) => x == y,
+    }
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_arbitrary_values(v in arb_cval()) {
+        let bytes = encode(&v);
+        let back = decode(&bytes).expect("decode");
+        prop_assert!(cval_eq(&v, &back));
+    }
+
+    #[test]
+    fn codec_rejects_arbitrary_truncation(v in arb_cval(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&v);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            // Truncation must error, never panic or loop.
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn compressor_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = compress::compress(&data);
+        let d = compress::decompress(&c).expect("decompress");
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn compressor_roundtrips_repetitive_bytes(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..512,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let c = compress::compress(&data);
+        let d = compress::decompress(&c).expect("decompress");
+        prop_assert_eq!(d, data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tensor_bytes_roundtrip(dims in proptest::collection::vec(1usize..6, 0..4), seed in any::<u64>()) {
+        let n: usize = dims.iter().product::<usize>().max(1);
+        let mut rng = Pcg64::seeded(seed);
+        let data: Vec<f32> = (0..n).map(|_| rng.uniform(-10.0, 10.0)).collect();
+        let t = Tensor::new(dims, data);
+        let back = Tensor::from_bytes(&t.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in any::<u64>()) {
+        // (A + B) C == AC + BC, within float tolerance.
+        let mut rng = Pcg64::seeded(seed);
+        let mk = |rng: &mut Pcg64, r: usize, c: usize| {
+            Tensor::new([r, c], (0..r * c).map(|_| rng.uniform(-1.0, 1.0)).collect())
+        };
+        let a = mk(&mut rng, 3, 4);
+        let b = mk(&mut rng, 3, 4);
+        let c = mk(&mut rng, 4, 2);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rng_state_roundtrip_resumes(seed in any::<u64>(), skip in 0usize..100) {
+        let mut a = Pcg64::seeded(seed);
+        for _ in 0..skip {
+            a.next_u32();
+        }
+        let (s, i) = a.state();
+        let mut b = Pcg64::restore(s, i);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model gradients (whole-network finite differences)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// The full backward pass through randomly shaped networks computes
+    /// gradients matching finite differences of the cross-entropy loss.
+    /// (Tanh activations keep the network smooth — ReLU kinks make finite
+    /// differences unreliable at exactly the points where the analytic
+    /// gradient is legitimately zero.)
+    #[test]
+    fn mlp_gradients_match_finite_differences(
+        seed in any::<u64>(),
+        input in 2usize..6,
+        hidden in 2usize..8,
+        classes in 2usize..4,
+        depth in 1usize..3,
+    ) {
+        use flor_ml::{Activation, CrossEntropyLoss, Linear, Sequential};
+        use flor_tensor::init;
+
+        let mut rng = Pcg64::seeded(seed);
+        let mut model = {
+            let mut m = Sequential::new("gradcheck")
+                .push(Linear::new(input, hidden, &mut rng))
+                .push(Activation::tanh());
+            for _ in 1..depth {
+                m = m
+                    .push(Linear::new(hidden, hidden, &mut rng))
+                    .push(Activation::tanh());
+            }
+            m.push(Linear::new(hidden, classes, &mut rng))
+        };
+        let batch = 3usize;
+        let x = init::uniform([batch, input], 0.1, 1.0, &mut rng);
+        let targets: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+
+        // Analytic gradients.
+        let mut loss_fn = CrossEntropyLoss::new();
+        let logits = model.forward(&x);
+        let _ = loss_fn.forward(&logits, &targets);
+        model.zero_grad();
+        model.backward(&loss_fn.backward());
+        let mut analytic: Vec<f32> = Vec::new();
+        model.visit_params(&mut |p| analytic.extend_from_slice(p.grad.data()));
+
+        // Finite differences on a few sampled coordinates.
+        let total: usize = analytic.len();
+        let eps = 2e-2f32;
+        for probe in [0usize, total / 3, (2 * total) / 3, total - 1] {
+            let loss_at = |model: &mut Sequential| -> f32 {
+                let mut lf = CrossEntropyLoss::new();
+                let logits = model.forward(&x);
+                lf.forward(&logits, &targets)
+            };
+            let mut idx = 0usize;
+            let mut bump = |model: &mut Sequential, delta: f32| {
+                idx = 0;
+                model.visit_params_mut(&mut |p| {
+                    let n = p.value.numel();
+                    if probe >= idx && probe < idx + n {
+                        p.value.data_mut()[probe - idx] += delta;
+                    }
+                    idx += n;
+                });
+            };
+            bump(&mut model, eps);
+            let lp = loss_at(&mut model);
+            bump(&mut model, -2.0 * eps);
+            let lm = loss_at(&mut model);
+            bump(&mut model, eps);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic[probe];
+            prop_assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + fd.abs().max(an.abs())),
+                "coord {probe}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser ↔ printer
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Printing then reparsing any parsed program is the identity, for a
+    /// generator over realistic training-script fragments.
+    #[test]
+    fn parse_print_roundtrip(stmts in proptest::collection::vec(arb_stmt_src(), 1..8)) {
+        let src: String = stmts.concat();
+        let prog = match parse(&src) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("gen produced invalid source: {e}\n{src}"))),
+        };
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed).expect("printed source must reparse");
+        prop_assert_eq!(&prog, &reparsed, "roundtrip mismatch:\n{}", printed);
+        prop_assert_eq!(printed.clone(), print_program(&reparsed), "printer not a fixed point");
+    }
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
+        !["for", "in", "if", "else", "and", "or", "not", "pass", "import", "skipblock"]
+            .contains(&s.as_str())
+    })
+}
+
+fn arb_expr_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        arb_name(),
+        any::<i32>().prop_map(|i| i.to_string()),
+        (0u16..1000).prop_map(|x| format!("{}.{:02}", x / 10, x % 100)),
+        "[a-z ]{0,6}".prop_map(|s| format!("{s:?}")),
+        Just("True".to_string()),
+        Just("None".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} + {b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} * ({b})")),
+            (arb_name(), inner.clone()).prop_map(|(f, a)| format!("{f}({a})")),
+            (arb_name(), arb_name(), inner.clone())
+                .prop_map(|(o, m, a)| format!("{o}.{m}({a})")),
+            (arb_name(), inner.clone()).prop_map(|(f, a)| format!("{f}(x={a})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
+        ]
+    })
+}
+
+fn arb_stmt_src() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (arb_name(), arb_expr_src()).prop_map(|(n, e)| format!("{n} = {e}\n")),
+        (arb_name(), arb_name(), arb_expr_src())
+            .prop_map(|(a, b, e)| format!("{a}, {b} = {e}, {e}\n")),
+        (arb_name(), arb_name()).prop_map(|(o, m)| format!("{o}.{m}()\n")),
+        (arb_name(), arb_expr_src(), arb_name(), arb_expr_src()).prop_map(
+            |(v, it, n, e)| format!("for {v} in range({it}):\n    {n} = {e}\n")
+        ),
+        (arb_expr_src(), arb_name(), arb_expr_src()).prop_map(|(c, n, e)| {
+            format!("if {c}:\n    {n} = {e}\nelse:\n    pass\n")
+        }),
+        arb_expr_src().prop_map(|e| format!("log(\"k\", {e})\n")),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Partition planner
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn plans_cover_disjointly(n in 1u64..500, g in 1usize..64) {
+        for mode in [InitMode::Strong, InitMode::Weak] {
+            let plans = plan(n, g, mode);
+            let mut covered: Vec<u64> = plans.iter().flat_map(|p| p.work_iters()).collect();
+            covered.sort_unstable();
+            prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
+            // Largest share bounds the speedup.
+            let largest = plans.iter().map(|p| p.work_len()).max().unwrap();
+            prop_assert!((max_speedup(n, g) - n as f64 / largest as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn anchored_plans_cover_and_respect_anchors(
+        n in 2u64..300,
+        g in 1usize..16,
+        anchor_bits in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let mut anchors: BTreeSet<u64> = (1..n)
+            .filter(|&i| anchor_bits.get(i as usize).copied().unwrap_or(false))
+            .collect();
+        anchors.insert(0);
+        let plans = plan_anchored(n, &anchors, g);
+        let mut covered: Vec<u64> = plans.iter().flat_map(|p| p.work_iters()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
+        for p in &plans {
+            prop_assert!(anchors.contains(&p.work_start), "work_start {} not an anchor", p.work_start);
+            if p.work_start > 0 {
+                prop_assert_eq!(p.init_start, p.work_start - 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive controller invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Eq. 1 holds under the paper's cost model (M_i a stable per-loop
+    /// property, C_i variable): cumulative materialization time never
+    /// exceeds ε × cumulative compute, beyond the single bootstrap
+    /// checkpoint admitted by the size-based estimate.
+    #[test]
+    fn record_overhead_invariant_holds(
+        m in 1u64..1_000_000,
+        computes in proptest::collection::vec(1u64..1_000_000, 1..200),
+        eps_pct in 1u32..50,
+    ) {
+        let epsilon = eps_pct as f64 / 100.0;
+        let mut ctrl = AdaptiveController::new(epsilon);
+        let mut total_c = 0u64;
+        let mut total_m = 0u64;
+        for c in &computes {
+            if ctrl.should_materialize("b", *c, m) {
+                ctrl.observe_materialize("b", m, m);
+                total_m += m;
+            }
+            total_c += c;
+        }
+        prop_assert!(
+            total_m as f64 <= epsilon * total_c as f64 + m as f64 + 1.0,
+            "materialize {total_m} vs ε·compute {} (+bootstrap {m})",
+            epsilon * total_c as f64
+        );
+    }
+}
