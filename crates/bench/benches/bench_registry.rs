@@ -1,0 +1,99 @@
+//! Criterion bench: the registry serving layer's hot paths — catalog
+//! lookup over many cataloged runs, query-key content addressing, and the
+//! cached-query hit (the O(1) path repeated identical queries take).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flor_core::record::RecordOptions;
+use flor_registry::{query_key, Registry, RunCatalog, RunRecord};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flor-bench-registry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const TRAIN: &str = "\
+import flor
+data = synth_data(n=40, dim=8, classes=2, seed=5)
+loader = dataloader(data, batch_size=20, seed=5)
+net = mlp(input=8, hidden=8, classes=2, depth=1, seed=5)
+optimizer = sgd(net, lr=0.1)
+criterion = cross_entropy()
+avg = meter()
+for epoch in range(4):
+    avg.reset()
+    for batch in loader.epoch():
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+";
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+
+    // Catalog lookup across a fleet of cataloged runs.
+    let catalog = RunCatalog::open(tmpdir("catalog").join("CATALOG")).unwrap();
+    for i in 0..1000 {
+        catalog
+            .register(RunRecord {
+                run_id: format!("run-{i:04}"),
+                generation: 0,
+                source_version: format!("{i:016x}"),
+                store_root: PathBuf::from(format!("/stores/run-{i:04}")),
+                iterations: 200,
+                checkpoints: 200,
+                raw_bytes: 1 << 30,
+                stored_bytes: 1 << 24,
+                record_overhead: 0.05,
+                scaling_c: 1.9,
+            })
+            .unwrap();
+    }
+    group.bench_function("catalog_lookup_1k_runs", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % 1000;
+            catalog.latest(&format!("run-{i:04}")).unwrap()
+        })
+    });
+    group.bench_function("catalog_reload_1k_runs", |b| {
+        b.iter(|| RunCatalog::open(catalog.path()).unwrap())
+    });
+
+    // Content addressing.
+    let probed = TRAIN.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"hindsight_wnorm\", net.weight_norm())\n",
+    );
+    group.throughput(Throughput::Bytes(probed.len() as u64));
+    group.bench_function("query_key", |b| {
+        b.iter(|| query_key("run-0500", 3, "feedbeeffeedbeef", std::hint::black_box(&probed)))
+    });
+
+    // Cached-query hit: record one real run, warm the cache, measure hits.
+    let registry = Registry::open(tmpdir("service")).unwrap();
+    registry
+        .record_run("alice-cv", TRAIN, |o: &mut RecordOptions| o.adaptive = false)
+        .unwrap();
+    let warm = registry.query("alice-cv", &probed, 2).unwrap();
+    assert!(!warm.cached);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cached_query_hit", |b| {
+        b.iter(|| {
+            let out = registry.query("alice-cv", &probed, 2).unwrap();
+            assert!(out.cached);
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

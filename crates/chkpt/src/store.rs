@@ -4,7 +4,10 @@
 //!
 //! ```text
 //! root/
-//!   MANIFEST              one line per checkpoint: "<block_id>\t<seq>\t<file>\t<bytes>\t<crc32>"
+//!   MANIFEST              one line per checkpoint:
+//!                         "<block_id>\t<seq>\t<file>\t<bytes>\t<crc32>\t<line_crc32>"
+//!                         (line_crc32 covers the first five fields, so a
+//!                         torn append is detectable)
 //!   ckpt/<block>.<seq>    compressed, CRC-protected checkpoint payloads
 //!   artifacts/<name>      named artifacts (recorded source, record logs)
 //! ```
@@ -110,6 +113,32 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Index entry: file name, raw byte length, CRC32 of the raw payload.
 type IndexEntry = (String, u64, u32);
 
+/// Durably replaces `dest` with `bytes`: write to a temp sibling, fsync
+/// it, rename over `dest`, fsync the parent directory. After a power
+/// loss the file is either the old content or the complete new content —
+/// never empty or truncated (a bare `write` + `rename` can persist the
+/// rename before the data blocks).
+pub fn write_atomic(dest: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = dest.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        dest.file_name().map(|n| n.to_string_lossy()).unwrap_or_default(),
+        std::process::id()
+    ));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dest)?;
+    // Persist the rename itself (directory entry). Best-effort on
+    // platforms where directories cannot be opened for sync.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 /// An on-disk checkpoint store (thread-safe; background materializer workers
 /// share it).
 pub struct CheckpointStore {
@@ -147,33 +176,101 @@ impl CheckpointStore {
             return Ok(());
         }
         let text = fs::read_to_string(&path)?;
-        let mut index = self.index.lock();
-        for (lineno, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        // A record phase killed mid-append leaves a final line without its
+        // terminating newline; only such a tail may be dropped as torn.
+        // Any malformed *complete* line is real corruption and stays fatal.
+        let tail_unterminated = !text.is_empty() && !text.ends_with('\n');
+        let mut dropped_torn_tail = false;
+        {
+            let mut index = self.index.lock();
+            for (i, line) in lines.iter().enumerate() {
+                match Self::parse_manifest_line(line, i + 1) {
+                    Ok((key, entry)) => {
+                        index.insert(key, entry);
+                    }
+                    Err(e) => {
+                        if i + 1 == lines.len() && tail_unterminated {
+                            // Drop the torn tail: its checkpoint file is at
+                            // worst an orphan; the run is not poisoned.
+                            dropped_torn_tail = true;
+                        } else {
+                            return Err(e);
+                        }
+                    }
+                }
             }
-            let parts: Vec<&str> = line.split('\t').collect();
-            if parts.len() != 5 {
-                return Err(StoreError::BadManifest(format!(
-                    "line {}: expected 5 fields, got {}",
-                    lineno + 1,
-                    parts.len()
-                )));
-            }
-            let seq: u64 = parts[1]
-                .parse()
-                .map_err(|_| StoreError::BadManifest(format!("line {}: bad seq", lineno + 1)))?;
-            let raw: u64 = parts[3]
-                .parse()
-                .map_err(|_| StoreError::BadManifest(format!("line {}: bad size", lineno + 1)))?;
-            let crc: u32 = parts[4]
-                .parse()
-                .map_err(|_| StoreError::BadManifest(format!("line {}: bad crc", lineno + 1)))?;
-            index.insert(
-                (parts[0].to_string(), seq),
-                (parts[2].to_string(), raw, crc),
-            );
         }
+        // Repair whenever the tail lacks its newline — even if the line
+        // parsed (the crash can cut exactly at the newline). Leaving an
+        // unterminated tail would make the next O_APPEND write merge two
+        // lines into one, turning recoverable damage into fatal corruption.
+        if dropped_torn_tail || tail_unterminated {
+            self.rewrite_manifest()?;
+        }
+        Ok(())
+    }
+
+    /// Renders the manifest line for one entry, with its trailing
+    /// self-CRC over the five data fields.
+    fn manifest_line(block: &str, seq: u64, file: &str, raw: u64, crc: u32) -> String {
+        let payload = format!("{block}\t{seq}\t{file}\t{raw}\t{crc}");
+        let line_crc = crc32(payload.as_bytes());
+        format!("{payload}\t{line_crc}")
+    }
+
+    fn parse_manifest_line(
+        line: &str,
+        lineno: usize,
+    ) -> Result<((String, u64), IndexEntry), StoreError> {
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 6 {
+            return Err(StoreError::BadManifest(format!(
+                "line {}: expected 6 fields, got {}",
+                lineno,
+                parts.len()
+            )));
+        }
+        let (payload, line_crc_str) = line
+            .rsplit_once('\t')
+            .expect("6 tab-separated fields always split");
+        let line_crc: u32 = line_crc_str
+            .parse()
+            .map_err(|_| StoreError::BadManifest(format!("line {lineno}: bad line crc")))?;
+        if crc32(payload.as_bytes()) != line_crc {
+            return Err(StoreError::BadManifest(format!(
+                "line {lineno}: line crc mismatch (torn or corrupted)"
+            )));
+        }
+        let seq: u64 = parts[1]
+            .parse()
+            .map_err(|_| StoreError::BadManifest(format!("line {lineno}: bad seq")))?;
+        let raw: u64 = parts[3]
+            .parse()
+            .map_err(|_| StoreError::BadManifest(format!("line {lineno}: bad size")))?;
+        let crc: u32 = parts[4]
+            .parse()
+            .map_err(|_| StoreError::BadManifest(format!("line {lineno}: bad crc")))?;
+        Ok((
+            (parts[0].to_string(), seq),
+            (parts[2].to_string(), raw, crc),
+        ))
+    }
+
+    /// Rewrites the manifest from the in-memory index, crash-safely:
+    /// the new content goes to a temp file which is atomically renamed
+    /// over the manifest, so a crash leaves either the old or the new
+    /// manifest — never a truncated hybrid.
+    fn rewrite_manifest(&self) -> Result<(), StoreError> {
+        let mut text = String::new();
+        {
+            let index = self.index.lock();
+            for ((block, seq), (file, raw, crc)) in index.iter() {
+                text.push_str(&Self::manifest_line(block, *seq, file, *raw, *crc));
+                text.push('\n');
+            }
+        }
+        write_atomic(&self.manifest_path(), text.as_bytes())?;
         Ok(())
     }
 
@@ -203,9 +300,12 @@ impl CheckpointStore {
         let file = format!("{block_id}.{seq:06}");
         let path = self.root.join("ckpt").join(&file);
         fs::write(&path, &compressed)?;
-        self.append_manifest(&format!(
-            "{block_id}\t{seq}\t{file}\t{}\t{crc}",
-            payload.len()
+        self.append_manifest(&Self::manifest_line(
+            block_id,
+            seq,
+            &file,
+            payload.len() as u64,
+            crc,
         ))?;
         self.index.lock().insert(
             (block_id.to_string(), seq),
@@ -426,6 +526,94 @@ mod tests {
         assert_eq!(store.total_raw_bytes(), 100_000);
         // All zeros compress massively.
         assert!(store.total_stored_bytes() < 5_000);
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_recovered_and_repaired() {
+        // A record phase killed mid-append leaves a truncated final line;
+        // reopening must recover the intact prefix, not poison the run.
+        let dir = tmpdir("torn-tail");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"alpha").unwrap();
+            store.put("sb_0", 1, b"beta").unwrap();
+        }
+        let manifest = dir.join("MANIFEST");
+        let text = fs::read_to_string(&manifest).unwrap();
+        fs::write(&manifest, &text[..text.len() - 7]).unwrap();
+
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
+        assert!(!store.contains("sb_0", 1), "torn entry dropped");
+        // The manifest was rewritten clean (temp+rename): reopening again
+        // parses every line.
+        let repaired = fs::read_to_string(&manifest).unwrap();
+        assert!(repaired.lines().all(|l| l.split('\t').count() == 6));
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.count("sb_0"), 1);
+    }
+
+    #[test]
+    fn tail_cut_exactly_at_newline_is_repaired_before_next_append() {
+        // The crash can cut exactly at the trailing newline: the final line
+        // parses, but without repair the next append would merge two lines.
+        let dir = tmpdir("newline-cut");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"alpha").unwrap();
+        }
+        let manifest = dir.join("MANIFEST");
+        let text = fs::read_to_string(&manifest).unwrap();
+        assert!(text.ends_with('\n'));
+        fs::write(&manifest, &text[..text.len() - 1]).unwrap();
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            assert_eq!(store.count("sb_0"), 1, "parseable tail entry kept");
+            store.put("sb_0", 1, b"beta").unwrap();
+        }
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.count("sb_0"), 2);
+        assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
+        assert_eq!(store.get("sb_0", 1).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn interior_manifest_corruption_is_fatal() {
+        let dir = tmpdir("torn-interior");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"alpha").unwrap();
+            store.put("sb_0", 1, b"beta").unwrap();
+        }
+        let manifest = dir.join("MANIFEST");
+        let text = fs::read_to_string(&manifest).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[0] = "garbage line";
+        fs::write(&manifest, lines.join("\n")).unwrap();
+        assert!(matches!(
+            CheckpointStore::open(&dir),
+            Err(StoreError::BadManifest(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_after_simulated_crash_roundtrips_new_writes() {
+        let dir = tmpdir("torn-rewrite");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"alpha").unwrap();
+        }
+        let manifest = dir.join("MANIFEST");
+        let text = fs::read_to_string(&manifest).unwrap();
+        // Torn mid-line append of a second entry.
+        fs::write(&manifest, format!("{text}sb_0\t1\tsb_0.0")).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        // The recovered store accepts new writes and reloads them.
+        store.put("sb_0", 1, b"beta-again").unwrap();
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.get("sb_0", 1).unwrap(), b"beta-again");
+        assert_eq!(store.count("sb_0"), 2);
     }
 
     #[test]

@@ -9,18 +9,25 @@ use flor_core::replay::{replay, ReplayOptions};
 use flor_core::sample::replay_sample;
 use flor_core::InitMode;
 use flor_lang::{parse, print_program};
+use flor_registry::{JobState, QueryJob, Registry, ReplayScheduler};
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage:
   flor run      <script.flr>
   flor record   <script.flr> --store <dir> [--epsilon F] [--no-adaptive]
+                [--registry <dir>] [--run-id <id>]
   flor replay   <script.flr> --store <dir> [--workers N] [--weak]
   flor sample   <script.flr> --store <dir> --iters 3,7,12
   flor inspect  <script.flr>
-  flor log      --store <dir>";
+  flor log      --store <dir>
+  flor runs     list --registry <dir>
+  flor runs     show <run-id> --registry <dir>
+  flor query    <run-id> <probed.flr> --registry <dir> [--workers N]
+  flor serve    --registry <dir> [--workers N]";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -31,8 +38,25 @@ pub enum CliError {
     Failed(String),
 }
 
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
 impl From<flor_core::FlorError> for CliError {
     fn from(e: flor_core::FlorError) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+impl From<flor_registry::RegistryError> for CliError {
+    fn from(e: flor_registry::RegistryError) -> Self {
         CliError::Failed(e.to_string())
     }
 }
@@ -56,7 +80,8 @@ impl<'a> Args<'a> {
         while i < raw.len() {
             let a = raw[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
-                let takes_value = ["store", "workers", "iters", "epsilon"].contains(&name);
+                let takes_value =
+                    ["store", "workers", "iters", "epsilon", "registry", "run-id"].contains(&name);
                 if takes_value {
                     let v = raw
                         .get(i + 1)
@@ -92,6 +117,24 @@ impl<'a> Args<'a> {
             .ok_or_else(|| CliError::Usage("missing --store <dir>".into()))
     }
 
+    fn registry(&self) -> Result<Registry, CliError> {
+        let root = self
+            .value("registry")
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Usage("missing --registry <dir>".into()))?;
+        Ok(Registry::open(root)?)
+    }
+
+    fn workers(&self, default: usize) -> Result<usize, CliError> {
+        self.value("workers")
+            .map(|w| {
+                w.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --workers {w:?}")))
+            })
+            .transpose()
+            .map(|w| w.unwrap_or(default))
+    }
+
     fn script(&self, idx: usize) -> Result<String, CliError> {
         let path = self
             .positional
@@ -116,6 +159,9 @@ pub fn run_cli(raw: &[String]) -> Result<String, CliError> {
         "sample" => cmd_sample(&args),
         "inspect" => cmd_inspect(&args),
         "log" => cmd_log(&args),
+        "runs" => cmd_runs(&args),
+        "query" => cmd_query(&args),
+        "serve" => cmd_serve(&args),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -132,9 +178,15 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_record(args: &Args) -> Result<String, CliError> {
-    let store = args.store()?; // flag errors before touching the filesystem
+    // Flag errors before touching the filesystem: a store is required
+    // unless the run is recorded into a registry-managed store.
+    let registry_root = args.value("registry").map(PathBuf::from);
+    let store = match &registry_root {
+        None => Some(args.store()?),
+        Some(_) => args.value("store").map(PathBuf::from),
+    };
     let src = args.script(1)?;
-    let mut opts = RecordOptions::new(store);
+    let mut opts = RecordOptions::new(store.clone().unwrap_or_default());
     if args.flag("no-adaptive") {
         opts.adaptive = false;
     }
@@ -143,7 +195,37 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --epsilon {eps:?}")))?;
     }
-    let report = record(&src, &opts)?;
+
+    let mut registered = None;
+    let report = match registry_root {
+        None => record(&src, &opts)?,
+        Some(root) => {
+            let registry = Registry::open(root)?;
+            let run_id = match args.value("run-id") {
+                Some(id) => id.to_string(),
+                None => default_run_id(args.positional.get(1).copied().unwrap_or("run")),
+            };
+            match store {
+                // Explicit store + registry: record there, then catalog it.
+                Some(store_root) => {
+                    opts.store_root = store_root.clone();
+                    let report = record(&src, &opts)?;
+                    let rec = registry.register_report(&run_id, &src, &store_root, &report)?;
+                    registered = Some(rec);
+                    report
+                }
+                // Registry-managed store.
+                None => {
+                    let (report, rec) = registry.record_run(&run_id, &src, |o| {
+                        o.adaptive = opts.adaptive;
+                        o.epsilon = opts.epsilon;
+                    })?;
+                    registered = Some(rec);
+                    report
+                }
+            }
+        }
+    };
     let mut out = String::new();
     for e in &report.log {
         let _ = writeln!(out, "{e}");
@@ -162,18 +244,29 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
     for r in &report.refused {
         let _ = writeln!(out, "# refused {} ({})", r.header, r.reason.reason);
     }
+    if let Some(rec) = registered {
+        let _ = writeln!(
+            out,
+            "# registered run {:?} generation {} (source {})",
+            rec.run_id, rec.generation, rec.source_version
+        );
+    }
     Ok(out)
+}
+
+/// Default run id for `record --registry`: the script's file stem.
+fn default_run_id(script_path: &str) -> String {
+    Path::new(script_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "run".to_string())
 }
 
 fn cmd_replay(args: &Args) -> Result<String, CliError> {
     let store = args.store()?;
     let src = args.script(1)?;
     let opts = ReplayOptions {
-        workers: args
-            .value("workers")
-            .map(|w| w.parse().map_err(|_| CliError::Usage(format!("bad --workers {w:?}"))))
-            .transpose()?
-            .unwrap_or(1),
+        workers: args.workers(1)?,
         init_mode: if args.flag("weak") {
             InitMode::Weak
         } else {
@@ -257,6 +350,252 @@ fn cmd_log(args: &Args) -> Result<String, CliError> {
         .get_artifact("record_log.txt")
         .map_err(|e| CliError::Failed(e.to_string()))?;
     String::from_utf8(bytes).map_err(|_| CliError::Failed("record log is not UTF-8".into()))
+}
+
+fn cmd_runs(args: &Args) -> Result<String, CliError> {
+    let registry = args.registry()?;
+    match args.positional.get(1).copied() {
+        Some("list") => {
+            let mut out = String::new();
+            let runs = registry.runs();
+            let _ = writeln!(
+                out,
+                "{:<20} {:>3} {:>6} {:>6} {:>12} {:>9} {:>8}  source",
+                "run", "gen", "iters", "ckpts", "stored_bytes", "overhead", "scale_c"
+            );
+            for r in &runs {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>3} {:>6} {:>6} {:>12} {:>8.2}% {:>8.2}  {}",
+                    r.run_id,
+                    r.generation,
+                    r.iterations,
+                    r.checkpoints,
+                    r.stored_bytes,
+                    r.record_overhead * 100.0,
+                    r.scaling_c,
+                    r.source_version,
+                );
+            }
+            let _ = writeln!(out, "# {} run(s) cataloged", runs.len());
+            Ok(out)
+        }
+        Some("show") => {
+            let id = args
+                .positional
+                .get(2)
+                .copied()
+                .ok_or_else(|| CliError::Usage("missing run id".into()))?;
+            let rec = registry.run(id)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "run:             {}", rec.run_id);
+            let _ = writeln!(out, "generation:      {}", rec.generation);
+            let _ = writeln!(out, "source version:  {}", rec.source_version);
+            let _ = writeln!(out, "store root:      {}", rec.store_root.display());
+            let _ = writeln!(out, "iterations:      {}", rec.iterations);
+            let _ = writeln!(out, "checkpoints:     {}", rec.checkpoints);
+            let _ = writeln!(
+                out,
+                "bytes:           {} raw, {} stored",
+                rec.raw_bytes, rec.stored_bytes
+            );
+            let _ = writeln!(
+                out,
+                "record overhead: {:.2}% (scaling c {:.3})",
+                rec.record_overhead * 100.0,
+                rec.scaling_c
+            );
+            let history = registry.catalog().history(id);
+            if history.len() > 1 {
+                let _ = writeln!(out, "generations:     {}", history.len());
+            }
+            let _ = writeln!(out, "--- recorded source ---");
+            out.push_str(&registry.run_source(id)?);
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!(
+            "runs expects list|show, got {other:?}"
+        ))),
+    }
+}
+
+fn cmd_query(args: &Args) -> Result<String, CliError> {
+    let registry = args.registry()?;
+    let run_id = args
+        .positional
+        .get(1)
+        .copied()
+        .ok_or_else(|| CliError::Usage("missing run id".into()))?;
+    let probed_src = args.script(2)?;
+    let outcome = registry.query(run_id, &probed_src, args.workers(1)?)?;
+    let mut out = String::new();
+    for e in &outcome.log {
+        let _ = writeln!(out, "{e}");
+    }
+    let _ = writeln!(
+        out,
+        "# query {} ({}): {} probes, {} entries, {} restored, {} re-executed",
+        outcome.key,
+        if outcome.cached { "cached" } else { "fresh" },
+        outcome.probes,
+        outcome.log.len(),
+        outcome.restored,
+        outcome.executed
+    );
+    for a in &outcome.anomalies {
+        let _ = writeln!(out, "# ANOMALY: {a}");
+    }
+    Ok(out)
+}
+
+/// The `serve` loop over explicit I/O (unit-testable; `cmd_serve` wires it
+/// to stdin/stdout). Protocol: one command per line —
+///
+/// ```text
+/// query <run-id> <probed.flr path> [priority]   enqueue a hindsight query
+/// status <job-id>                               poll a job
+/// cancel <job-id>                               cancel a queued job
+/// runs                                          list cataloged runs
+/// drain                                         report all finished jobs
+/// quit                                          drain and exit (EOF works too)
+/// ```
+pub fn serve_io(
+    registry_root: &Path,
+    pool_workers: usize,
+    input: impl std::io::BufRead,
+    mut out: impl std::io::Write,
+) -> Result<(), CliError> {
+    let registry = Arc::new(Registry::open(registry_root)?);
+    let scheduler = ReplayScheduler::new(registry.clone(), pool_workers);
+    writeln!(
+        out,
+        "# serving registry {} with {} replay workers",
+        registry_root.display(),
+        scheduler.pool_size()
+    )?;
+    let mut submitted: Vec<flor_registry::JobId> = Vec::new();
+    let mut reported = 0usize;
+
+    let report_finished =
+        |out: &mut dyn std::io::Write,
+         scheduler: &ReplayScheduler,
+         submitted: &[flor_registry::JobId],
+         reported: &mut usize|
+         -> Result<(), CliError> {
+            while *reported < submitted.len() {
+                let id = submitted[*reported];
+                match scheduler.wait(id)? {
+                    JobState::Completed(o) => writeln!(
+                        out,
+                        "job {id} done: run {:?} {} ({}), {} entries, {} anomalies",
+                        o.run_id,
+                        o.key,
+                        if o.cached { "cached" } else { "fresh" },
+                        o.log.len(),
+                        o.anomalies.len()
+                    )?,
+                    JobState::Failed(e) => writeln!(out, "job {id} FAILED: {e}")?,
+                    JobState::Cancelled => writeln!(out, "job {id} cancelled")?,
+                    JobState::Queued | JobState::Running => unreachable!("wait returns terminal"),
+                }
+                *reported += 1;
+            }
+            Ok(())
+        };
+
+    for line in input.lines() {
+        let line = line?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["runs"] => {
+                for r in registry.runs() {
+                    writeln!(
+                        out,
+                        "run {:?} gen {} iters {} ckpts {}",
+                        r.run_id, r.generation, r.iterations, r.checkpoints
+                    )?;
+                }
+            }
+            // Malformed commands report and keep serving: a typo from one
+            // user must not kill a server with other users' jobs queued.
+            ["query", run_id, path, rest @ ..] => {
+                let priority: i32 = match rest {
+                    [] => 0,
+                    [p] => match p.parse() {
+                        Ok(p) => p,
+                        Err(_) => {
+                            writeln!(out, "bad priority {p:?}")?;
+                            continue;
+                        }
+                    },
+                    _ => {
+                        writeln!(out, "query takes at most 3 arguments")?;
+                        continue;
+                    }
+                };
+                let probed_source = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        writeln!(out, "cannot read {path}: {e}")?;
+                        continue;
+                    }
+                };
+                let id = scheduler.submit(QueryJob {
+                    run_id: run_id.to_string(),
+                    probed_source,
+                    workers: 1,
+                    priority,
+                })?;
+                submitted.push(id);
+                writeln!(out, "queued job {id}: run {run_id:?} priority {priority}")?;
+            }
+            ["status", id] => match id.parse::<flor_registry::JobId>() {
+                Err(_) => writeln!(out, "bad job id {id:?}")?,
+                Ok(id) => match scheduler.status(id) {
+                    None => writeln!(out, "job {id}: unknown")?,
+                    Some(JobState::Completed(o)) => {
+                        writeln!(out, "job {id}: completed ({} entries)", o.log.len())?
+                    }
+                    Some(s) => writeln!(out, "job {id}: {s:?}")?,
+                },
+            },
+            ["cancel", id] => match id.parse::<flor_registry::JobId>() {
+                Err(_) => writeln!(out, "bad job id {id:?}")?,
+                Ok(id) => writeln!(
+                    out,
+                    "job {id}: {}",
+                    if scheduler.cancel(id) {
+                        "cancelled"
+                    } else {
+                        "not cancellable"
+                    }
+                )?,
+            },
+            ["drain"] => {
+                scheduler.drain();
+                report_finished(&mut out, &scheduler, &submitted, &mut reported)?;
+            }
+            other => writeln!(out, "unknown command {:?}", other.join(" "))?,
+        }
+    }
+    scheduler.drain();
+    report_finished(&mut out, &scheduler, &submitted, &mut reported)?;
+    writeln!(out, "# served {} job(s)", submitted.len())?;
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let root = args
+        .value("registry")
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::Usage("missing --registry <dir>".into()))?;
+    let workers = args.workers(2)?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_io(&root, workers, stdin.lock(), stdout.lock())?;
+    Ok(String::new())
 }
 
 #[cfg(test)]

@@ -260,6 +260,58 @@ mod tests {
     }
 
     #[test]
+    fn workers_exceed_iterations_in_both_modes() {
+        // G > n: exactly n single-iteration plans, ids 0..n, regardless of
+        // how extreme the ratio is.
+        for (n, g) in [(1u64, 2usize), (1, 64), (3, 8), (5, 1000)] {
+            for mode in [InitMode::Strong, InitMode::Weak] {
+                let plans = plan(n, g, mode);
+                assert_eq!(plans.len(), n as usize, "n={n} g={g} {mode:?}");
+                assert_covering(n, &plans);
+                for (i, p) in plans.iter().enumerate() {
+                    assert_eq!(p.pid, i);
+                    assert_eq!(p.work_len(), 1, "n={n} g={g}: every share is one iter");
+                }
+                // Speedup saturates at n when workers outnumber iterations.
+                assert!((max_speedup(n, g) - n as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_yield_no_plans_in_both_modes() {
+        for g in [0usize, 1, 4, 64] {
+            assert!(plan(0, g, InitMode::Strong).is_empty());
+            assert!(plan(0, g, InitMode::Weak).is_empty());
+        }
+        assert!(plan_anchored(0, &std::collections::BTreeSet::from([0]), 4).is_empty());
+        assert_eq!(max_speedup(0, 0), 1.0);
+    }
+
+    #[test]
+    fn single_worker_degenerate_plan_has_no_init_segment() {
+        for n in [1u64, 2, 7, 100] {
+            for mode in [InitMode::Strong, InitMode::Weak] {
+                let plans = plan(n, 1, mode);
+                assert_eq!(plans.len(), 1, "n={n} {mode:?}");
+                let p = &plans[0];
+                assert_eq!(p.pid, 0);
+                assert_eq!(p.work_iters(), 0..n);
+                assert_eq!(p.init_len(), 0, "worker 0 never initializes");
+                assert_eq!(p.init_iters(), 0..0);
+            }
+        }
+    }
+
+    #[test]
+    fn one_iteration_many_workers_single_plan() {
+        let plans = plan(1, 16, InitMode::Weak);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].work_iters(), 0..1);
+        assert_eq!(plans[0].init_len(), 0);
+    }
+
+    #[test]
     fn anchored_plan_respects_boundaries() {
         use std::collections::BTreeSet;
         // Checkpoints every 15 iterations of 90 → anchors 0,15,30,…,75.

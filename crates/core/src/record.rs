@@ -81,6 +81,56 @@ pub struct RecordReport {
     pub scaling_c: f64,
 }
 
+/// FNV-1a 64-bit hash — the workspace's one content-fingerprint
+/// primitive (source versions here, query content addresses in
+/// `flor-registry`).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Stable fingerprint of a source text (FNV-1a 64, hex) — the "source
+/// version" under which a run is cataloged and its query results are
+/// content-addressed by `flor-registry`.
+pub fn source_version(src: &str) -> String {
+    format!("{:016x}", fnv1a64(src.as_bytes()))
+}
+
+/// Number of main-loop iterations observed in a log (highest global
+/// iteration index + 1).
+pub fn log_iterations(log: &[LogEntry]) -> u64 {
+    log.iter()
+        .filter_map(|e| match e.section {
+            crate::logstream::Section::Iter(g) => Some(g + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Name of the machine-readable run summary artifact written at the end of
+/// every record phase. `flor-registry` reads it to catalog a finished run
+/// (including runs recorded before any registry existed).
+pub const RUN_META_ARTIFACT: &str = "run_meta.txt";
+
+fn run_meta_text(src: &str, report: &RecordReport) -> String {
+    format!(
+        "source_version\t{}\niterations\t{}\ncheckpoints\t{}\nraw_bytes\t{}\n\
+         stored_bytes\t{}\nrecord_overhead\t{}\nscaling_c\t{}\n",
+        source_version(src),
+        log_iterations(&report.log),
+        report.checkpoints,
+        report.raw_bytes,
+        report.stored_bytes,
+        report.record_overhead,
+        report.scaling_c,
+    )
+}
+
 /// Records a training script: the paper's "all a model developer has to do
 /// in advance is add a single line — `import flor`".
 pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError> {
@@ -123,7 +173,7 @@ pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError
         unreachable!()
     };
     let mat_stats = ctx.materializer.stats();
-    Ok(RecordReport {
+    let report = RecordReport {
         wall_ns,
         blocks: inst.blocks,
         refused: inst.refused,
@@ -134,7 +184,10 @@ pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError
         materializer: mat_stats,
         record_overhead: ctx.controller.record_overhead(),
         scaling_c: ctx.controller.c(),
-    })
+    };
+    // Machine-readable summary so a registry can catalog this run later.
+    store.put_artifact(RUN_META_ARTIFACT, run_meta_text(src, &report).as_bytes())?;
+    Ok(report)
 }
 
 /// Runs the same source *without* checkpointing (but with identical

@@ -134,6 +134,17 @@ pub fn replay(
     opts: &ReplayOptions,
 ) -> Result<ReplayReport, FlorError> {
     let store = Arc::new(CheckpointStore::open(store_root.into())?);
+    replay_with_store(new_src, store, opts)
+}
+
+/// [`replay`] over an already-open store handle. Long-lived services (the
+/// registry's query scheduler) keep one handle per run and replay through
+/// it repeatedly, skipping the manifest re-scan that `open` performs.
+pub fn replay_with_store(
+    new_src: &str,
+    store: Arc<CheckpointStore>,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, FlorError> {
     let recorded_src = String::from_utf8(store.get_artifact("source.flr")?)
         .map_err(|_| crate::error::rt("recorded source is not valid UTF-8"))?;
     let recorded_prog = parse(&recorded_src)?;

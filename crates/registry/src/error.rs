@@ -1,0 +1,107 @@
+//! Registry-wide error type, composing with `?` across the workspace's
+//! crate boundaries (`StoreError`, `FlorError`, `std::io::Error`).
+
+use std::fmt;
+
+/// Anything that can go wrong in the run catalog, the query service, or
+/// the replay scheduler.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A catalog line failed its CRC or structural validation.
+    Corrupt {
+        /// 1-based catalog line number.
+        line: usize,
+        /// Detail.
+        detail: String,
+    },
+    /// The requested run id is not in the catalog.
+    UnknownRun(String),
+    /// A registration carried an invalid field (reserved characters, …).
+    BadRegistration(String),
+    /// Checkpoint-store failure while serving a query.
+    Store(flor_chkpt::StoreError),
+    /// Record/replay engine failure while serving a query.
+    Engine(flor_core::FlorError),
+    /// The scheduler rejected a job (shut down, or the job was cancelled).
+    Scheduler(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry io error: {e}"),
+            RegistryError::Corrupt { line, detail } => {
+                write!(f, "corrupt catalog line {line}: {detail}")
+            }
+            RegistryError::UnknownRun(id) => write!(f, "unknown run {id:?}"),
+            RegistryError::BadRegistration(d) => write!(f, "bad run registration: {d}"),
+            RegistryError::Store(e) => write!(f, "{e}"),
+            RegistryError::Engine(e) => write!(f, "{e}"),
+            RegistryError::Scheduler(d) => write!(f, "scheduler error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Store(e) => Some(e),
+            RegistryError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<flor_chkpt::StoreError> for RegistryError {
+    fn from(e: flor_chkpt::StoreError) -> Self {
+        RegistryError::Store(e)
+    }
+}
+
+impl From<flor_core::FlorError> for RegistryError {
+    fn from(e: flor_core::FlorError) -> Self {
+        RegistryError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composes_across_crate_boundaries_with_question_mark() {
+        fn store_op() -> Result<(), flor_chkpt::StoreError> {
+            Err(flor_chkpt::StoreError::BadManifest("x".into()))
+        }
+        fn engine_op() -> Result<(), flor_core::FlorError> {
+            Err(flor_core::error::rt("y"))
+        }
+        fn registry_op(which: u8) -> Result<(), RegistryError> {
+            match which {
+                0 => store_op()?,
+                _ => engine_op()?,
+            }
+            Ok(())
+        }
+        assert!(matches!(registry_op(0), Err(RegistryError::Store(_))));
+        assert!(matches!(registry_op(1), Err(RegistryError::Engine(_))));
+    }
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = RegistryError::Store(flor_chkpt::StoreError::BadManifest("m".into()));
+        assert!(e.to_string().contains("bad manifest"));
+        assert!(std::error::Error::source(&e).is_some());
+        let dyn_err: Box<dyn std::error::Error> = Box::new(RegistryError::UnknownRun("r".into()));
+        assert!(dyn_err.to_string().contains("unknown run"));
+    }
+}

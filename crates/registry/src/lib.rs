@@ -1,0 +1,32 @@
+//! # flor-registry
+//!
+//! The serving layer over flor-core's single-run record–replay engine: a
+//! **multi-run catalog** plus a **hindsight query service** with a
+//! **replay job scheduler** — the step from the paper's per-run
+//! physiological recovery (Garcia et al., VLDB 2020, §8 "Queries Across
+//! Projects and Versions") toward a queryable store of many users' runs.
+//!
+//! - [`catalog`]: persistent, versioned run index (append-only,
+//!   CRC-protected `CATALOG` file; crash-recovering load).
+//! - [`cache`]: content-addressed caching of materialized query results —
+//!   the second identical query is O(1), served without replaying.
+//! - [`service`]: the [`Registry`] — catalog + pooled store handles +
+//!   cache behind one query API.
+//! - [`scheduler`]: bounded worker pool dispatching queued queries with
+//!   per-job priority, cancellation, and a status API.
+//! - [`error`]: [`RegistryError`], composing with `?` across the
+//!   workspace's error types.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod error;
+pub mod scheduler;
+pub mod service;
+
+pub use cache::{query_key, CachedResult, QueryCache};
+pub use catalog::{RunCatalog, RunRecord};
+pub use error::RegistryError;
+pub use scheduler::{JobId, JobState, QueryJob, ReplayScheduler};
+pub use service::{QueryOutcome, Registry};

@@ -1,0 +1,279 @@
+//! The replay job scheduler: a bounded worker pool dispatching queued
+//! hindsight queries.
+//!
+//! Replay is CPU-bound (each query re-executes probed SkipBlocks through
+//! `core::parallel`'s worker plans), so a serving deployment must bound
+//! how many replays run at once no matter how many users queue queries.
+//! Jobs carry a priority (higher first, FIFO within a priority), can be
+//! cancelled while queued, and expose a status API for polling; `wait`
+//! blocks until a job reaches a terminal state.
+
+use crate::error::RegistryError;
+use crate::service::{QueryOutcome, Registry};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Identifier of a submitted job.
+pub type JobId = u64;
+
+/// A queued hindsight query.
+#[derive(Debug, Clone)]
+pub struct QueryJob {
+    /// Target run id.
+    pub run_id: String,
+    /// Probed source to replay.
+    pub probed_source: String,
+    /// Replay workers for this job's worker plan.
+    pub workers: usize,
+    /// Scheduling priority: higher runs first.
+    pub priority: i32,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Waiting in the priority queue.
+    Queued,
+    /// Executing on a pool worker.
+    Running,
+    /// Finished successfully.
+    Completed(QueryOutcome),
+    /// Finished with an error (message — `RegistryError` is not `Clone`).
+    Failed(String),
+    /// Cancelled before a worker picked it up.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for `Completed` / `Failed` / `Cancelled`.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed(_) | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+}
+
+/// Entry in the priority queue. Ordering: priority desc, then submission
+/// order asc (BinaryHeap is a max-heap, so `seq` is compared reversed).
+struct QueuedJob {
+    priority: i32,
+    seq: u64,
+    id: JobId,
+    job: QueryJob,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct SchedState {
+    queue: BinaryHeap<QueuedJob>,
+    jobs: HashMap<JobId, JobState>,
+    next_id: JobId,
+    next_seq: u64,
+    /// Jobs submitted but not yet terminal (queued or running).
+    outstanding: usize,
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    state: Mutex<SchedState>,
+    /// Signaled on queue pushes and shutdown.
+    work_ready: Condvar,
+    /// Signaled whenever a job reaches a terminal state.
+    job_done: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Bounded worker pool executing [`QueryJob`]s against a shared
+/// [`Registry`].
+pub struct ReplayScheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReplayScheduler {
+    /// Starts a pool of `pool_workers` threads (at least 1) serving
+    /// queries from `registry`.
+    pub fn new(registry: Arc<Registry>, pool_workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            registry,
+            state: Mutex::new(SchedState {
+                queue: BinaryHeap::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                next_seq: 0,
+                outstanding: 0,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..pool_workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ReplayScheduler { shared, workers }
+    }
+
+    /// Number of pool workers (the replay concurrency bound).
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; returns its id immediately.
+    pub fn submit(&self, job: QueryJob) -> Result<JobId, RegistryError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RegistryError::Scheduler("scheduler is shut down".into()));
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        let id = state.next_id;
+        state.next_id += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.jobs.insert(id, JobState::Queued);
+        state.outstanding += 1;
+        state.queue.push(QueuedJob {
+            priority: job.priority,
+            seq,
+            id,
+            job,
+        });
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Current state of a job (`None` for unknown ids).
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        self.shared.state.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Cancels a job if it is still queued. Returns `true` on success;
+    /// running or finished jobs are not interrupted.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut state = self.shared.state.lock().unwrap();
+        match state.jobs.get(&id) {
+            Some(JobState::Queued) => {
+                state.jobs.insert(id, JobState::Cancelled);
+                state.outstanding -= 1;
+                // The queue entry stays; workers skip ids no longer Queued.
+                drop(state);
+                self.shared.job_done.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until `id` reaches a terminal state and returns it.
+    pub fn wait(&self, id: JobId) -> Result<JobState, RegistryError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            match state.jobs.get(&id) {
+                None => {
+                    return Err(RegistryError::Scheduler(format!("unknown job {id}")));
+                }
+                Some(s) if s.is_terminal() => return Ok(s.clone()),
+                Some(_) => {
+                    state = self.shared.job_done.wait(state).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Blocks until every submitted job is terminal.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.outstanding > 0 {
+            state = self.shared.job_done.wait(state).unwrap();
+        }
+    }
+
+    /// Jobs submitted and not yet terminal.
+    pub fn outstanding(&self) -> usize {
+        self.shared.state.lock().unwrap().outstanding
+    }
+}
+
+impl Drop for ReplayScheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Anything still queued is now cancelled.
+        let mut state = self.shared.state.lock().unwrap();
+        let ids: Vec<JobId> = state
+            .jobs
+            .iter()
+            .filter(|(_, s)| matches!(s, JobState::Queued))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            state.jobs.insert(id, JobState::Cancelled);
+            state.outstanding -= 1;
+        }
+        drop(state);
+        self.shared.job_done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, job) = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Pop past entries cancelled while queued.
+                match state.queue.pop() {
+                    Some(q) => {
+                        if matches!(state.jobs.get(&q.id), Some(JobState::Queued)) {
+                            state.jobs.insert(q.id, JobState::Running);
+                            break (q.id, q.job);
+                        }
+                        // else: stale entry for a cancelled job — drop it.
+                    }
+                    None => {
+                        state = shared.work_ready.wait(state).unwrap();
+                    }
+                }
+            }
+        };
+        let outcome = shared
+            .registry
+            .query(&job.run_id, &job.probed_source, job.workers);
+        let terminal = match outcome {
+            Ok(result) => JobState::Completed(result),
+            Err(e) => JobState::Failed(e.to_string()),
+        };
+        let mut state = shared.state.lock().unwrap();
+        state.jobs.insert(id, terminal);
+        state.outstanding -= 1;
+        drop(state);
+        shared.job_done.notify_all();
+    }
+}

@@ -1,0 +1,355 @@
+//! The registry service: catalog + store-handle pool + query cache.
+//!
+//! One [`Registry`] serves many users over many recorded runs. It owns:
+//!
+//! - the [`RunCatalog`](crate::catalog::RunCatalog) (persistent run index),
+//! - a pool of open [`CheckpointStore`] handles, one per run, so repeated
+//!   queries skip re-scanning store manifests,
+//! - the content-addressed [`QueryCache`](crate::cache::QueryCache) — the
+//!   second identical query is served from disk without touching the
+//!   replay engine.
+//!
+//! Layout under the registry root:
+//!
+//! ```text
+//! root/
+//!   CATALOG          append-only, CRC-protected run index
+//!   cache/<key>      materialized query results (content-addressed)
+//!   stores/<run_id>  default checkpoint-store location for managed runs
+//! ```
+
+use crate::cache::{query_key, CachedResult, QueryCache};
+use crate::catalog::{RunCatalog, RunRecord};
+use crate::error::RegistryError;
+use flor_chkpt::CheckpointStore;
+use flor_core::logstream::LogEntry;
+use flor_core::record::{
+    log_iterations, record, source_version, RecordOptions, RecordReport, RUN_META_ARTIFACT,
+};
+use flor_core::replay::{replay_with_store, ReplayOptions};
+use flor_core::InitMode;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Answer to one hindsight query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The queried run.
+    pub run_id: String,
+    /// Content address of the query (cache key).
+    pub key: String,
+    /// True when served from the result cache (no replay executed).
+    pub cached: bool,
+    /// The materialized hindsight log, record-ordered.
+    pub log: Vec<LogEntry>,
+    /// Probes the source diff detected.
+    pub probes: u64,
+    /// Deferred-check anomalies (fresh replays only; cached results were
+    /// anomaly-free by construction).
+    pub anomalies: Vec<String>,
+    /// SkipBlocks restored from checkpoints (0 for cache hits).
+    pub restored: u64,
+    /// SkipBlocks re-executed (0 for cache hits).
+    pub executed: u64,
+    /// Time spent replaying, ns (0 for cache hits).
+    pub wall_ns: u64,
+}
+
+/// A multi-run registry rooted at one directory.
+pub struct Registry {
+    root: PathBuf,
+    catalog: RunCatalog,
+    cache: QueryCache,
+    /// run_id → open store handle (reused across queries and workers).
+    stores: Mutex<HashMap<String, Arc<CheckpointStore>>>,
+    /// Single-flight gates: one lock per in-flight query key, so N users
+    /// posing the same query trigger one replay and N−1 cache hits.
+    inflight: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl Registry {
+    /// Opens (or creates) a registry at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let catalog = RunCatalog::open(root.join("CATALOG"))?;
+        let cache = QueryCache::open(root.join("cache"))?;
+        Ok(Registry {
+            root,
+            catalog,
+            cache,
+            stores: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The run catalog.
+    pub fn catalog(&self) -> &RunCatalog {
+        &self.catalog
+    }
+
+    /// The query-result cache.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Default store location for generation `generation` of a run recorded
+    /// through this registry. Generations get disjoint directories: the
+    /// catalog is append-only, and overlaying a new run onto an old store
+    /// would corrupt both (and invalidate pooled handles).
+    pub fn store_root_for(&self, run_id: &str, generation: u64) -> PathBuf {
+        self.root
+            .join("stores")
+            .join(run_id)
+            .join(format!("g{generation}"))
+    }
+
+    // ---- registration -----------------------------------------------------
+
+    /// Records `src` into this registry's store area under `run_id`, then
+    /// catalogs the finished run. The per-run store root is
+    /// [`Registry::store_root_for`]; other [`RecordOptions`] fields can be
+    /// customized via `configure`.
+    pub fn record_run(
+        &self,
+        run_id: &str,
+        src: &str,
+        configure: impl FnOnce(&mut RecordOptions),
+    ) -> Result<(RecordReport, RunRecord), RegistryError> {
+        let store_root = self.claim_store_dir(run_id)?;
+        let mut opts = RecordOptions::new(&store_root);
+        configure(&mut opts);
+        opts.store_root = store_root.clone();
+        let report = record(src, &opts)?;
+        let rec = self.register_report(run_id, src, &store_root, &report)?;
+        Ok((report, rec))
+    }
+
+    /// Claims a fresh store directory for the run's next generation.
+    /// `create_dir` is exclusive, so concurrent recorders (threads *or*
+    /// processes) racing on the same run id get disjoint directories —
+    /// never interleaved writes into one store. The directory suffix may
+    /// run ahead of the cataloged generation number after failed records;
+    /// the catalog's `store_root` field is authoritative.
+    fn claim_store_dir(&self, run_id: &str) -> Result<PathBuf, RegistryError> {
+        let base = self.root.join("stores").join(run_id);
+        std::fs::create_dir_all(&base)?;
+        let mut gen = self.catalog.history(run_id).len() as u64;
+        loop {
+            let candidate = base.join(format!("g{gen}"));
+            match std::fs::create_dir(&candidate) {
+                Ok(()) => return Ok(candidate),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => gen += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Catalogs a run from a [`RecordReport`] produced elsewhere (the store
+    /// root must be the one the report was recorded into).
+    pub fn register_report(
+        &self,
+        run_id: &str,
+        src: &str,
+        store_root: &Path,
+        report: &RecordReport,
+    ) -> Result<RunRecord, RegistryError> {
+        self.catalog.register(RunRecord {
+            run_id: run_id.to_string(),
+            generation: 0, // assigned by the catalog
+            source_version: source_version(src),
+            store_root: store_root.to_path_buf(),
+            iterations: log_iterations(&report.log),
+            checkpoints: report.checkpoints,
+            raw_bytes: report.raw_bytes,
+            stored_bytes: report.stored_bytes,
+            record_overhead: report.record_overhead,
+            scaling_c: report.scaling_c,
+        })
+    }
+
+    /// Catalogs an existing store directory (a run recorded without a
+    /// registry) by reading the `run_meta.txt` artifact `core::record`
+    /// leaves behind.
+    pub fn adopt(&self, run_id: &str, store_root: &Path) -> Result<RunRecord, RegistryError> {
+        let store = self.store_handle_at(run_id, store_root)?;
+        let meta = String::from_utf8(store.get_artifact(RUN_META_ARTIFACT)?).map_err(|_| {
+            RegistryError::BadRegistration("run_meta.txt is not valid UTF-8".into())
+        })?;
+        let mut fields: HashMap<&str, &str> = HashMap::new();
+        for line in meta.lines() {
+            if let Some((k, v)) = line.split_once('\t') {
+                fields.insert(k, v);
+            }
+        }
+        let get = |k: &str| -> Result<&str, RegistryError> {
+            fields
+                .get(k)
+                .copied()
+                .ok_or_else(|| RegistryError::BadRegistration(format!("run_meta missing {k:?}")))
+        };
+        let num = |k: &str| -> Result<u64, RegistryError> {
+            get(k)?
+                .parse()
+                .map_err(|_| RegistryError::BadRegistration(format!("run_meta bad {k:?}")))
+        };
+        let fnum = |k: &str| -> Result<f64, RegistryError> {
+            get(k)?
+                .parse()
+                .map_err(|_| RegistryError::BadRegistration(format!("run_meta bad {k:?}")))
+        };
+        self.catalog.register(RunRecord {
+            run_id: run_id.to_string(),
+            generation: 0, // assigned by the catalog
+            source_version: get("source_version")?.to_string(),
+            store_root: store_root.to_path_buf(),
+            iterations: num("iterations")?,
+            checkpoints: num("checkpoints")?,
+            raw_bytes: num("raw_bytes")?,
+            stored_bytes: num("stored_bytes")?,
+            record_overhead: fnum("record_overhead")?,
+            scaling_c: fnum("scaling_c")?,
+        })
+    }
+
+    // ---- catalog views ----------------------------------------------------
+
+    /// Latest generation of every cataloged run.
+    pub fn runs(&self) -> Vec<RunRecord> {
+        self.catalog.runs()
+    }
+
+    /// Latest generation of `run_id`, or [`RegistryError::UnknownRun`].
+    pub fn run(&self, run_id: &str) -> Result<RunRecord, RegistryError> {
+        self.catalog
+            .latest(run_id)
+            .ok_or_else(|| RegistryError::UnknownRun(run_id.to_string()))
+    }
+
+    /// The run's original (de-instrumented) recorded source — the text a
+    /// user probes to pose a hindsight query.
+    pub fn run_source(&self, run_id: &str) -> Result<String, RegistryError> {
+        let rec = self.run(run_id)?;
+        Ok(flor_core::versions::recorded_source(&rec.store_root)?)
+    }
+
+    // ---- queries ----------------------------------------------------------
+
+    /// Serves a hindsight query: replay `probed_source` against `run_id`'s
+    /// store with `workers` replay workers. Identical repeat queries are
+    /// served from the content-addressed cache without replaying.
+    pub fn query(
+        &self,
+        run_id: &str,
+        probed_source: &str,
+        workers: usize,
+    ) -> Result<QueryOutcome, RegistryError> {
+        let rec = self.run(run_id)?;
+        let key = query_key(run_id, rec.generation, &rec.source_version, probed_source);
+        let cached_outcome = |hit: CachedResult| QueryOutcome {
+            run_id: run_id.to_string(),
+            key: key.clone(),
+            cached: true,
+            log: hit.log,
+            probes: hit.probes,
+            anomalies: Vec::new(),
+            restored: 0,
+            executed: 0,
+            wall_ns: 0,
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(cached_outcome(hit));
+        }
+        // Single-flight: identical concurrent queries wait for the first
+        // one's replay and then read its cached result.
+        let gate = self
+            .inflight
+            .lock()
+            .entry(key.clone())
+            .or_default()
+            .clone();
+        let result = {
+            let _in_flight = gate.lock();
+            if let Some(hit) = self.cache.get(&key) {
+                Ok(cached_outcome(hit))
+            } else {
+                self.replay_query(run_id, &rec, probed_source, workers, &key)
+            }
+        };
+        // Drop the gate's map entry so a long-lived service doesn't grow
+        // one entry per distinct query forever. Waiters already holding
+        // the Arc proceed unaffected; late arrivals hit the cache.
+        self.inflight.lock().remove(&key);
+        result
+    }
+
+    fn replay_query(
+        &self,
+        run_id: &str,
+        rec: &RunRecord,
+        probed_source: &str,
+        workers: usize,
+        key: &str,
+    ) -> Result<QueryOutcome, RegistryError> {
+        let store = self.store_handle_at(run_id, &rec.store_root)?;
+        let opts = ReplayOptions {
+            workers: workers.max(1),
+            init_mode: InitMode::Strong,
+        };
+        let report = replay_with_store(probed_source, store, &opts)?;
+        let outcome = QueryOutcome {
+            run_id: run_id.to_string(),
+            key: key.to_string(),
+            cached: false,
+            probes: report.probes.len() as u64,
+            anomalies: report.anomalies,
+            restored: report.stats.restored,
+            executed: report.stats.executed,
+            wall_ns: report.wall_ns,
+            log: report.log,
+        };
+        // Only clean materializations are worth addressing by content:
+        // anomalous replays should re-run (and re-warn) every time.
+        if outcome.anomalies.is_empty() {
+            self.cache.put(
+                key,
+                &CachedResult {
+                    probes: outcome.probes,
+                    log: outcome.log.clone(),
+                },
+            )?;
+        }
+        Ok(outcome)
+    }
+
+    /// Returns the pooled store handle for a run, opening it on first use.
+    fn store_handle_at(
+        &self,
+        run_id: &str,
+        store_root: &Path,
+    ) -> Result<Arc<CheckpointStore>, RegistryError> {
+        let mut stores = self.stores.lock();
+        if let Some(handle) = stores.get(run_id) {
+            // A re-registration may have moved the run's store; only reuse
+            // handles that still point at the cataloged root.
+            if handle.root() == store_root {
+                return Ok(handle.clone());
+            }
+        }
+        let handle = Arc::new(CheckpointStore::open(store_root)?);
+        stores.insert(run_id.to_string(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Number of pooled open store handles.
+    pub fn open_store_handles(&self) -> usize {
+        self.stores.lock().len()
+    }
+}

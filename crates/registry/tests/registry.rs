@@ -1,0 +1,338 @@
+//! End-to-end tests of the registry subsystem: record real runs, catalog
+//! them, serve hindsight queries through the cache and the scheduler.
+
+use flor_core::record::{record, RecordOptions};
+use flor_registry::{JobState, QueryJob, Registry, ReplayScheduler};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmproot(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flor-registry-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn train_src(epochs: u64, lr: f64) -> String {
+    format!(
+        "\
+import flor
+data = synth_data(n=40, dim=8, classes=2, seed=5)
+loader = dataloader(data, batch_size=20, seed=5)
+net = mlp(input=8, hidden=8, classes=2, depth=1, seed=5)
+optimizer = sgd(net, lr={lr})
+criterion = cross_entropy()
+avg = meter()
+for epoch in range({epochs}):
+    avg.reset()
+    for batch in loader.epoch():
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+"
+    )
+}
+
+fn probed(src: &str) -> String {
+    let out = src.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"hindsight_wnorm\", net.weight_norm())\n",
+    );
+    assert_ne!(out, src);
+    out
+}
+
+fn no_adaptive(opts: &mut RecordOptions) {
+    opts.adaptive = false;
+}
+
+#[test]
+fn record_run_catalogs_and_survives_restart() {
+    let root = tmproot("restart");
+    let src = train_src(4, 0.1);
+    {
+        let reg = Registry::open(&root).unwrap();
+        let (report, rec) = reg.record_run("alice-cv", &src, no_adaptive).unwrap();
+        assert_eq!(rec.generation, 0);
+        assert_eq!(rec.iterations, 4);
+        assert_eq!(rec.checkpoints, report.checkpoints);
+        assert!(rec.store_root.starts_with(&root));
+    }
+    // A fresh process sees the same catalog.
+    let reg = Registry::open(&root).unwrap();
+    assert_eq!(reg.runs().len(), 1);
+    let rec = reg.run("alice-cv").unwrap();
+    assert_eq!(rec.iterations, 4);
+    // And can still answer queries and read back the source.
+    let source = reg.run_source("alice-cv").unwrap();
+    assert_eq!(source, src);
+}
+
+#[test]
+fn adopt_existing_store_via_run_meta() {
+    let reg_root = tmproot("adopt-reg");
+    let store_root = tmproot("adopt-store");
+    let src = train_src(3, 0.1);
+    let mut opts = RecordOptions::new(&store_root);
+    opts.adaptive = false;
+    record(&src, &opts).unwrap();
+
+    let reg = Registry::open(&reg_root).unwrap();
+    let rec = reg.adopt("legacy-run", &store_root).unwrap();
+    assert_eq!(rec.iterations, 3);
+    assert_eq!(rec.store_root, store_root);
+    let out = reg.query("legacy-run", &probed(&src), 1).unwrap();
+    assert_eq!(out.log.iter().filter(|e| e.key == "hindsight_wnorm").count(), 3);
+}
+
+#[test]
+fn second_identical_query_is_served_from_cache() {
+    let reg = Registry::open(tmproot("cache")).unwrap();
+    let src = train_src(4, 0.1);
+    reg.record_run("alice-cv", &src, no_adaptive).unwrap();
+    let q = probed(&src);
+
+    let first = reg.query("alice-cv", &q, 2).unwrap();
+    assert!(!first.cached);
+    assert!(first.anomalies.is_empty(), "{:?}", first.anomalies);
+    assert_eq!(first.probes, 1);
+    assert!(first.restored + first.executed > 0, "fresh query replays");
+
+    let second = reg.query("alice-cv", &q, 2).unwrap();
+    assert!(second.cached, "identical repeat query must hit the cache");
+    assert_eq!(second.restored + second.executed, 0, "cache hit replays nothing");
+    assert_eq!(second.log, first.log, "cached stream is byte-identical");
+    assert_eq!(second.key, first.key);
+
+    // A different probe misses.
+    let other = src.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"hindsight_gnorm\", net.grad_norm())\n",
+    );
+    assert!(!reg.query("alice-cv", &other, 2).unwrap().cached);
+}
+
+#[test]
+fn reregistration_invalidates_cached_answers() {
+    let reg = Registry::open(tmproot("invalidate")).unwrap();
+    let src_v1 = train_src(3, 0.1);
+    reg.record_run("run", &src_v1, no_adaptive).unwrap();
+    let q1 = probed(&src_v1);
+    assert!(!reg.query("run", &q1, 1).unwrap().cached);
+    assert!(reg.query("run", &q1, 1).unwrap().cached);
+
+    // Re-record the run with different hyperparameters → new generation;
+    // the old cached answer must not be returned for the new generation.
+    let src_v2 = train_src(5, 0.05);
+    reg.record_run("run", &src_v2, no_adaptive).unwrap();
+    assert_eq!(reg.run("run").unwrap().generation, 1);
+    let q2 = probed(&src_v2);
+    let fresh = reg.query("run", &q2, 1).unwrap();
+    assert!(!fresh.cached);
+    assert_eq!(
+        fresh.log.iter().filter(|e| e.key == "hindsight_wnorm").count(),
+        5
+    );
+}
+
+#[test]
+fn concurrent_record_runs_for_one_id_get_disjoint_stores() {
+    let reg = Arc::new(Registry::open(tmproot("race")).unwrap());
+    let src = train_src(3, 0.1);
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let reg = reg.clone();
+        let src = src.clone();
+        handles.push(std::thread::spawn(move || {
+            reg.record_run("same-id", &src, no_adaptive).unwrap().1
+        }));
+    }
+    let recs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut roots: Vec<_> = recs.iter().map(|r| r.store_root.clone()).collect();
+    roots.sort();
+    roots.dedup();
+    assert_eq!(roots.len(), 4, "each racer recorded into its own store dir");
+    let mut gens: Vec<_> = recs.iter().map(|r| r.generation).collect();
+    gens.sort_unstable();
+    assert_eq!(gens, vec![0, 1, 2, 3]);
+    // Every generation replays cleanly from its own store.
+    let q = probed(&src);
+    let out = reg.query("same-id", &q, 1).unwrap();
+    assert!(out.anomalies.is_empty());
+}
+
+#[test]
+fn store_handles_are_pooled_across_queries() {
+    let reg = Registry::open(tmproot("pool")).unwrap();
+    let src = train_src(3, 0.1);
+    reg.record_run("a", &src, no_adaptive).unwrap();
+    // Distinct probes so no query is a cache hit, yet one handle serves all.
+    for i in 0..3 {
+        let q = src.replace(
+            "    log(\"loss\", avg.mean())\n",
+            &format!("    log(\"loss\", avg.mean())\n    log(\"hs_{i}\", net.weight_norm())\n"),
+        );
+        reg.query("a", &q, 1).unwrap();
+    }
+    assert_eq!(reg.open_store_handles(), 1);
+}
+
+#[test]
+fn unknown_run_is_a_clean_error() {
+    let reg = Registry::open(tmproot("unknown")).unwrap();
+    let err = reg.query("nope", "import flor\n", 1).unwrap_err();
+    assert!(err.to_string().contains("unknown run"));
+}
+
+#[test]
+fn scheduler_completes_queued_queries_across_runs() {
+    let reg_root = tmproot("sched");
+    let reg = Arc::new(Registry::open(&reg_root).unwrap());
+    let src_a = train_src(4, 0.1);
+    let src_b = train_src(6, 0.05);
+    reg.record_run("run-a", &src_a, no_adaptive).unwrap();
+    reg.record_run("run-b", &src_b, no_adaptive).unwrap();
+
+    // Bounded pool: 2 workers, 4 queued jobs across different runs.
+    let sched = ReplayScheduler::new(reg.clone(), 2);
+    assert_eq!(sched.pool_size(), 2);
+    let jobs = [
+        ("run-a", probed(&src_a), 0),
+        ("run-b", probed(&src_b), 5),
+        ("run-a", probed(&src_a), 0), // duplicate: should land on the cache
+        ("run-b", src_b.clone(), -3), // unprobed replay, lowest priority
+    ];
+    let mut ids = Vec::new();
+    for (run, q, priority) in jobs {
+        ids.push(
+            sched
+                .submit(QueryJob {
+                    run_id: run.into(),
+                    probed_source: q,
+                    workers: 2,
+                    priority,
+                })
+                .unwrap(),
+        );
+    }
+    sched.drain();
+    assert_eq!(sched.outstanding(), 0);
+
+    let outcomes: Vec<JobState> = ids.iter().map(|&id| sched.wait(id).unwrap()).collect();
+    let completed: Vec<_> = outcomes
+        .iter()
+        .map(|s| match s {
+            JobState::Completed(o) => o,
+            other => panic!("job did not complete: {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        completed[0]
+            .log
+            .iter()
+            .filter(|e| e.key == "hindsight_wnorm")
+            .count(),
+        4
+    );
+    assert_eq!(
+        completed[1]
+            .log
+            .iter()
+            .filter(|e| e.key == "hindsight_wnorm")
+            .count(),
+        6
+    );
+    assert!(
+        completed[0].cached || completed[2].cached,
+        "one of the two identical run-a queries is a cache hit"
+    );
+    assert!(completed.iter().all(|o| o.anomalies.is_empty()));
+}
+
+#[test]
+fn scheduler_priority_orders_queued_work() {
+    // One worker + a long-running head job: everything else sits queued,
+    // so completion order of the tail reflects priority order.
+    let reg = Arc::new(Registry::open(tmproot("prio")).unwrap());
+    let src = train_src(6, 0.1);
+    reg.record_run("r", &src, no_adaptive).unwrap();
+    let sched = ReplayScheduler::new(reg, 1);
+
+    let mk = |tag: &str| {
+        src.replace(
+            "    log(\"loss\", avg.mean())\n",
+            &format!("    log(\"loss\", avg.mean())\n    log(\"hs_{tag}\", net.weight_norm())\n"),
+        )
+    };
+    let head = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: mk("head"),
+            workers: 1,
+            priority: 0,
+        })
+        .unwrap();
+    let low = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: mk("low"),
+            workers: 1,
+            priority: -1,
+        })
+        .unwrap();
+    let high = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: mk("high"),
+            workers: 1,
+            priority: 9,
+        })
+        .unwrap();
+    // `high` must complete no later than `low` despite being submitted
+    // after it. Wait for `low`; by then `high` must already be terminal.
+    sched.wait(head).unwrap();
+    sched.wait(low).unwrap();
+    assert!(
+        sched.status(high).unwrap().is_terminal(),
+        "high-priority job finished before the low-priority one"
+    );
+    sched.drain();
+}
+
+#[test]
+fn scheduler_cancel_while_queued() {
+    let reg = Arc::new(Registry::open(tmproot("cancel")).unwrap());
+    let src = train_src(5, 0.1);
+    reg.record_run("r", &src, no_adaptive).unwrap();
+    let sched = ReplayScheduler::new(reg, 1);
+    // Occupy the single worker, then cancel a queued job.
+    let head = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: probed(&src),
+            workers: 1,
+            priority: 0,
+        })
+        .unwrap();
+    let victim = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: src.replace("avg.mean()", "avg.mean() * 1.0"),
+            workers: 1,
+            priority: -5,
+        })
+        .unwrap();
+    assert!(sched.cancel(victim), "queued job is cancellable");
+    assert!(matches!(sched.status(victim), Some(JobState::Cancelled)));
+    sched.wait(head).unwrap();
+    sched.drain();
+    assert!(!sched.cancel(head), "finished job is not cancellable");
+}

@@ -1,0 +1,225 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! Implements the subset flor-rs's codec uses: [`Bytes`] / [`BytesMut`]
+//! containers and the [`Buf`] / [`BufMut`] cursor traits. Unlike the real
+//! crate there is no refcounted zero-copy slicing — `Bytes` owns a `Vec`
+//! plus a cursor, which is all the codec needs.
+
+#![warn(missing_docs)]
+
+/// Read cursor over a byte container.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns up to all of the remaining bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        f64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads `len` bytes into an owned [`Bytes`].
+    ///
+    /// # Panics
+    /// Panics if fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write cursor over a growable byte container.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, x: f64) {
+        self.put_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, x: u32) {
+        self.put_slice(&x.to_le_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into a new buffer with the cursor at the start.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Remaining bytes as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// True when nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Written bytes as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(0xAB);
+        w.put_f64_le(2.5);
+        w.put_slice(b"xyz");
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.copy_to_bytes(3).to_vec(), b"xyz");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn overread_panics() {
+        let mut r = Bytes::copy_from_slice(b"a");
+        r.advance(2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no cargo registry access, so this crate
+//! implements the criterion API surface flor-rs's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `Throughput`, `BatchSize`, `BenchmarkId` — over a simple wall-clock
+//! measurement loop. Output is one line per benchmark:
+//!
+//! ```text
+//! codec/encode            time: 812.4 µs/iter (61 iters)  thrpt: 1.23 GiB/s
+//! ```
+//!
+//! Numbers are indicative, not statistically rigorous; the point is that
+//! `cargo bench` builds, runs, and reports without external dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (reported in decimal units).
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]; the stub measures the
+/// routine one batch at a time regardless of the hint.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing engine handed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time across all iterations.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Measurement budget.
+    target: Duration,
+    /// Upper bound on iterations (keeps heavy benches quick).
+    max_iters: u64,
+}
+
+impl Bencher {
+    fn new(target: Duration, max_iters: u64) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            target,
+            max_iters,
+        }
+    }
+
+    /// Measures `routine` repeatedly until the time budget or iteration
+    /// cap is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup iteration.
+        black_box(routine());
+        let started = Instant::now();
+        while self.iters < self.max_iters && started.elapsed() < self.target {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while self.iters < self.max_iters && started.elapsed() < self.target {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        black_box(routine(&mut setup()));
+        let started = Instant::now();
+        while self.iters < self.max_iters && started.elapsed() < self.target {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) criterion CLI arguments such as `--bench`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            target: self.target,
+            sample_cap: 10_000,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let target = self.target;
+        self.benchmark_group(name.to_string()).run("", target, 10_000, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    target: Duration,
+    sample_cap: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of measured iterations (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_cap = n as u64;
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.target = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let (target, cap, thrpt) = (self.target, self.sample_cap, self.throughput);
+        self.run(&id.id, target, cap, thrpt, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let (target, cap, thrpt) = (self.target, self.sample_cap, self.throughput);
+        self.run(&id.id, target, cap, thrpt, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(
+        &self,
+        id: &str,
+        target: Duration,
+        cap: u64,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher::new(target, cap);
+        f(&mut bencher);
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if bencher.iters == 0 {
+            println!("{label:<40} (no measured iterations)");
+            return;
+        }
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        let mut line = format!(
+            "{label:<40} time: {} ({} iters)",
+            fmt_time(per_iter),
+            bencher.iters
+        );
+        if let Some(t) = throughput {
+            line.push_str(&format!("  thrpt: {}", fmt_throughput(t, per_iter)));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:.3} s/iter")
+    }
+}
+
+fn fmt_throughput(t: Throughput, per_iter_secs: f64) -> String {
+    match t {
+        Throughput::Bytes(n) => {
+            let rate = n as f64 / per_iter_secs;
+            const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+            const MIB: f64 = 1024.0 * 1024.0;
+            if rate >= GIB {
+                format!("{:.2} GiB/s", rate / GIB)
+            } else {
+                format!("{:.2} MiB/s", rate / MIB)
+            }
+        }
+        Throughput::BytesDecimal(n) => {
+            format!("{:.2} MB/s", n as f64 / per_iter_secs / 1e6)
+        }
+        Throughput::Elements(n) => {
+            format!("{:.2} Melem/s", n as f64 / per_iter_secs / 1e6)
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter("x2"), &2u64, |b, &m| {
+            b.iter(|| m * 21)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_all_shapes() {
+        benches();
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_time(5e-9).ends_with("ns/iter"));
+        assert!(fmt_time(5e-5).contains("µs"));
+        assert!(fmt_time(5e-2).contains("ms"));
+        assert!(fmt_throughput(Throughput::Elements(1_000_000), 1.0).contains("Melem/s"));
+    }
+}

@@ -1,0 +1,681 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no cargo registry access, so this crate
+//! implements the proptest API surface flor-rs's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, `any::<T>()`, ranges and `&str` regex literals as
+//! strategies, tuple and [`collection::vec`] composition, `prop_oneof!`,
+//! `Just`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros. Cases are sampled from a deterministic per-test RNG; failing
+//! inputs are reported but **not shrunk** (the real crate minimizes
+//! counterexamples — this stub favors zero dependencies over ergonomics).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG: SplitMix64 — tiny, seedable, good enough for test-case sampling.
+// ---------------------------------------------------------------------------
+
+/// Deterministic test-case RNG.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (resamples, up to a retry cap).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `expand` receives the strategy for the
+    /// previous level and returns the next. `depth` bounds nesting;
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let base: BoxedStrategy<Self::Value> = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let expanded = expand(level).boxed();
+            // Each level is a 50/50 mix of the base and the expansion, so
+            // generated trees have bounded expected size.
+            level = Union {
+                choices: vec![base.clone(), expanded],
+            }
+            .boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy behind an `Arc` (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Cheaply-cloneable type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 samples in a row", self.reason);
+    }
+}
+
+/// Uniform choice between strategies of a common value type
+/// (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    /// The alternatives.
+    pub choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.choices.len() as u64) as usize;
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over all values of `T` (including edge cases like NaN for
+/// floats, by sampling raw bit patterns).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix edge values in at ~6%: property tests lean on them.
+                match rng.below(16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 => f64::from_bits(rng.next_u64()), // any pattern: NaN, inf, subnormals
+            1 => 0.0,
+            2 => -0.0,
+            _ => (rng.unit_f64() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges and regex literals as strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// `&str` literals act as regex-shaped string strategies. Supported subset:
+/// literal characters, `.` (printable ASCII), character classes
+/// `[a-z0-9_ ]` (ranges and literals, no negation), and `{m,n}` / `{n}`
+/// repetition — which covers the patterns used in this repo's tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+enum RegexAtom {
+    Literal(char),
+    AnyPrintable,
+    Class(Vec<(char, char)>),
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = parse_atom(&chars, i, pattern);
+        i = next;
+        // Optional repetition suffix.
+        let (lo, hi, next) = parse_reps(&chars, i, pattern);
+        i = next;
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn parse_atom(chars: &[char], i: usize, pattern: &str) -> (RegexAtom, usize) {
+    match chars[i] {
+        '.' => (RegexAtom::AnyPrintable, i + 1),
+        '[' => {
+            let mut ranges = Vec::new();
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != ']' {
+                if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                    ranges.push((chars[j], chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((chars[j], chars[j]));
+                    j += 1;
+                }
+            }
+            assert!(j < chars.len(), "unterminated class in regex {pattern:?}");
+            (RegexAtom::Class(ranges), j + 1)
+        }
+        '\\' => (RegexAtom::Literal(chars[i + 1]), i + 2),
+        c => (RegexAtom::Literal(c), i + 1),
+    }
+}
+
+fn parse_reps(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated repetition in regex {pattern:?}"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    (lo, hi, close + 1)
+}
+
+fn sample_atom(atom: &RegexAtom, rng: &mut TestRng) -> char {
+    match atom {
+        RegexAtom::Literal(c) => *c,
+        RegexAtom::AnyPrintable => (0x20u8 + rng.below(0x5F) as u8) as char,
+        RegexAtom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (a, b) in ranges {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*a as u32 + pick as u32).unwrap();
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples and collections
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing used by the proptest! macro
+// ---------------------------------------------------------------------------
+
+/// A failed test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API compatibility.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic seed for a named test (FNV-1a over the name).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice among strategies with a common value type. Weighted
+/// variants (`N => strat`) are not supported by this stub.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union { choices: vec![$($crate::Strategy::boxed($strat)),+] }
+    };
+}
+
+/// Asserts inside a proptest case, failing the case (not panicking) on
+/// violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}", a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}: {:?} != {:?}", format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}", a, b
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` sampling `cases` inputs from a deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let seed = $crate::seed_for(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::seeded(seed.wrapping_add(case as u64));
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                    let inputs = [$(format!(
+                        concat!(stringify!($arg), " = {:?}"), $arg
+                    )),+].join(", ");
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{total} failed: {e}\n  inputs: {inputs}",
+                            total = config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn regex_subset_sampler() {
+        let mut rng = TestRng::seeded(42);
+        for _ in 0..200 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = sample_regex(".{0,32}", &mut rng);
+            assert!(t.len() <= 32);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let sample = |seed| {
+            let mut rng = TestRng::seeded(seed);
+            collection::vec(any::<u64>(), 0..10).sample(&mut rng)
+        };
+        assert_eq!(sample(7), sample(7));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_shapes_compile(
+            x in 1u64..100,
+            v in collection::vec(any::<u8>(), 0..8),
+            s in "[a-c]{1,3}",
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() < 8);
+            prop_assert!(!s.is_empty() && s.len() <= 3, "bad len {}", s.len());
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the flor-rs workspace: re-exports every member so
+//! downstream users (and this package's own `tests/` and `examples/`) can
+//! depend on a single crate. See the per-crate docs for the real content.
+
+pub use flor_analysis as analysis;
+pub use flor_bench as bench;
+pub use flor_chkpt as chkpt;
+pub use flor_cli as cli;
+pub use flor_core as core;
+pub use flor_lang as lang;
+pub use flor_ml as ml;
+pub use flor_registry as registry;
+pub use flor_sim as sim;
+pub use flor_tensor as tensor;

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate for flor-rs. Run from the repo root:
+#
+#   ./tools/ci.sh          # build + test + clippy
+#   ./tools/ci.sh --bench  # also run the criterion benches
+#
+# Everything is offline: external dependencies are vendored under
+# crates/vendor/, so no network or cargo registry is required.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--bench" ]]; then
+    for bench in bench_registry bench_codec bench_tensor; do
+        run cargo bench -p flor-bench --bench "$bench"
+    done
+fi
+
+echo
+echo "tier-1 gate: OK"
