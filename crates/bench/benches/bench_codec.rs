@@ -10,7 +10,7 @@ fn checkpoint_payload(tensors: usize, numel: usize) -> CVal {
         (0..tensors)
             .map(|i| {
                 let data: Vec<u8> = (0..numel * 4).map(|j| ((i * 31 + j) % 251) as u8).collect();
-                (format!("param.{i}"), CVal::Bytes(data))
+                (format!("param.{i}"), CVal::bytes(data))
             })
             .collect(),
     )

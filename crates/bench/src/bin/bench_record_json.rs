@@ -1,0 +1,72 @@
+//! Emits `BENCH_record.json`: caller-thread submit latency and blocked
+//! time per materialization strategy, for the zero-copy pipeline and the
+//! pre-refactor eager-copy baseline. This is the committed benchmark
+//! trajectory for the record hot path — future PRs are held to it.
+//!
+//! ```text
+//! cargo run --release -p flor-bench --bin bench_record_json [-- OUT.json]
+//! ```
+//!
+//! Quick mode (`FLOR_BENCH_QUICK=1`, used by `tools/bench.sh` in CI)
+//! shrinks the workload so the smoke run finishes in seconds.
+
+use flor_bench::record_submit::{
+    measure_submit, StateFixture, SubmitMeasurement, SubmitMode, ALL_STRATEGIES,
+};
+use std::fmt::Write as _;
+
+fn json_measurement(out: &mut String, m: &SubmitMeasurement) {
+    let _ = write!(
+        out,
+        "{{\"jobs\": {}, \"mean_submit_ns\": {}, \"median_submit_ns\": {}, \
+         \"blocked_ns_total\": {}, \"group_commits\": {}}}",
+        m.jobs, m.mean_submit_ns, m.median_submit_ns, m.blocked_ns_total, m.group_commits
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_record.json".to_string());
+    let quick = std::env::var("FLOR_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+    let (tensors, floats, jobs) = if quick { (8, 16 * 1024, 24) } else { (8, 64 * 1024, 64) };
+    let fixture = StateFixture::new(tensors, floats);
+
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"bench\": \"record_submit\",");
+    let _ = writeln!(
+        body,
+        "  \"description\": \"caller-thread cost per checkpoint (snapshot build + submit); \
+         zero_copy = lazy slab handles, eager_copy_prepr = pre-refactor to_bytes copies\","
+    );
+    let _ = writeln!(body, "  \"quick\": {quick},");
+    let _ = writeln!(
+        body,
+        "  \"payload\": {{\"tensors\": {}, \"floats_per_tensor\": {}, \"raw_bytes\": {}}},",
+        tensors,
+        floats,
+        fixture.raw_bytes()
+    );
+    let _ = writeln!(body, "  \"strategies\": {{");
+    for (si, strategy) in ALL_STRATEGIES.iter().enumerate() {
+        let zero = measure_submit(&fixture, *strategy, SubmitMode::ZeroCopy, jobs, "json");
+        let eager = measure_submit(&fixture, *strategy, SubmitMode::EagerCopy, jobs, "json");
+        let speedup = eager.mean_submit_ns as f64 / zero.mean_submit_ns.max(1) as f64;
+        let _ = write!(body, "    \"{strategy:?}\": {{\"zero_copy\": ");
+        json_measurement(&mut body, &zero);
+        let _ = write!(body, ", \"eager_copy_prepr\": ");
+        json_measurement(&mut body, &eager);
+        let _ = write!(body, ", \"mean_submit_speedup\": {speedup:.2}}}");
+        let _ = writeln!(body, "{}", if si + 1 < ALL_STRATEGIES.len() { "," } else { "" });
+        eprintln!(
+            "{strategy:?}: zero-copy mean {} ns/ckpt, eager (pre-PR) mean {} ns/ckpt — {:.2}x",
+            zero.mean_submit_ns, eager.mean_submit_ns, speedup
+        );
+    }
+    let _ = writeln!(body, "  }}");
+    let _ = writeln!(body, "}}");
+
+    std::fs::write(&out_path, &body).expect("write BENCH_record.json");
+    eprintln!("wrote {out_path}");
+}

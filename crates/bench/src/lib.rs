@@ -17,6 +17,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod record_submit;
 pub mod scripts;
 pub mod tables;
 pub mod util;

@@ -23,7 +23,10 @@
 //!   economics, different OS mechanism (see DESIGN.md).
 //! - **Storage & spooling** ([`store`], [`spool`]): an on-disk checkpoint
 //!   store with manifests and CRC-checked, compressed ([`compress`]) entries,
-//!   plus the S3 spool cost model behind Table 4.
+//!   plus the S3 spool cost model behind Table 4. Writes land through
+//!   [`store::WriteBatch`] group commits — one batched manifest append (and,
+//!   under [`store::Durability::GroupCommit`], one fsync barrier) per
+//!   materializer batch instead of per checkpoint.
 
 #![warn(missing_docs)]
 
@@ -34,5 +37,10 @@ pub mod spool;
 pub mod store;
 
 pub use background::{Materializer, MaterializerStats, Payload, SerializeSnapshot, Strategy};
-pub use codec::{decode, encode, CVal, CodecError};
-pub use store::{CheckpointStore, CkptMeta, StoreError};
+pub use codec::{decode, encode, encode_into, ByteSource, CVal, CodecError, EncodePool, LazyBytes};
+pub use store::{CheckpointStore, CkptMeta, Durability, StoreError, WriteBatch};
+
+// Byte-buffer types used in the public API (`ByteSource::write_to`,
+// `SerializeSnapshot::serialize_into`), re-exported so downstream crates
+// don't need their own `bytes` dependency.
+pub use bytes::{Buf, BufMut, Bytes, BytesMut};

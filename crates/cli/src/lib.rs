@@ -238,6 +238,14 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
         report.raw_bytes,
         report.stored_bytes
     );
+    let _ = writeln!(
+        out,
+        "# materializer: {:.3}ms caller-blocked over {} submits, {} group commits ({} checkpoints batched)",
+        report.materializer.main_thread_ns as f64 / 1e6,
+        report.materializer.jobs,
+        report.materializer.group_commits,
+        report.materializer.group_commit_jobs
+    );
     for b in &report.blocks {
         let _ = writeln!(out, "# block {}: changeset {{{}}}", b.id, b.static_changeset.join(", "));
     }

@@ -62,7 +62,10 @@
 use crate::adaptive::{AdaptiveController, DEFAULT_EPSILON};
 use crate::error::{rt, FlorError};
 use crate::logstream::{LogEntry, LogStream, Section};
-use flor_chkpt::{encode, CheckpointStore, CVal, Materializer, Payload, SerializeSnapshot, Strategy};
+use flor_chkpt::{
+    encode, encode_into, BytesMut, CheckpointStore, CVal, Materializer, Payload,
+    SerializeSnapshot, Strategy,
+};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -91,6 +94,9 @@ struct NativeSnapshot(CVal);
 impl SerializeSnapshot for NativeSnapshot {
     fn serialize(&self) -> Vec<u8> {
         encode(&self.0)
+    }
+    fn serialize_into(&self, buf: &mut BytesMut) {
+        encode_into(&self.0, buf);
     }
     fn approx_bytes(&self) -> usize {
         self.0.approx_bytes()

@@ -25,7 +25,7 @@ use crate::interp::{Interp, Mode, Phase};
 use crate::oracle::EnvOracle;
 use crate::value::Value;
 use flor_analysis::augment_changeset;
-use flor_chkpt::{encode, CVal, Payload, SerializeSnapshot};
+use flor_chkpt::{encode, encode_into, BytesMut, CVal, Payload, SerializeSnapshot};
 use flor_lang::ast::Stmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,17 +35,29 @@ use std::time::Instant;
 const STANDALONE_BASE: u64 = 1 << 48;
 
 /// A built checkpoint payload handed to the background materializer.
-/// Building it (tensor clones into a [`CVal`] tree) is the caller-side
-/// "copy-on-write" cost; `serialize` (the tagged encoding) runs in the
-/// background worker, mirroring the paper's fork() split.
+/// Building it is O(#objects) on the caller — tensor leaves are lazy
+/// handles to refcounted slabs ([`flor_chkpt::LazyBytes`]), so no payload
+/// bytes are copied on the training thread. Serialization (the tagged
+/// encoding, including producing the tensor bytes) runs in the background
+/// worker into a pooled buffer, mirroring the paper's fork() split.
 pub struct CValSnapshot {
     cval: CVal,
     objects: usize,
 }
 
+impl CValSnapshot {
+    /// Wraps a lowered value tree of `objects` logical objects.
+    pub fn new(cval: CVal, objects: usize) -> Self {
+        CValSnapshot { cval, objects }
+    }
+}
+
 impl SerializeSnapshot for CValSnapshot {
     fn serialize(&self) -> Vec<u8> {
         encode(&self.cval)
+    }
+    fn serialize_into(&self, buf: &mut BytesMut) {
+        encode_into(&self.cval, buf);
     }
     fn approx_bytes(&self) -> usize {
         self.cval.approx_bytes()
@@ -140,10 +152,7 @@ fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
             }
         }
         let objects = pairs.len();
-        let payload = CValSnapshot {
-            cval: CVal::Map(pairs),
-            objects,
-        };
+        let payload = CValSnapshot::new(CVal::Map(pairs), objects);
         ctx.materializer
             .submit(id, seq, Payload::Deferred(Arc::new(payload)));
         // M_i observed: the caller-visible cost (snapshot build + submit).

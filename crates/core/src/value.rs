@@ -14,7 +14,7 @@
 //! the side-effects to the program state".
 
 use crate::error::{rt, FlorError};
-use flor_chkpt::CVal;
+use flor_chkpt::{ByteSource, BytesMut, CVal};
 use flor_ml::metrics::Meter;
 use flor_ml::swa::SwaAverager;
 use flor_ml::{
@@ -25,6 +25,27 @@ use flor_tensor::Tensor;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+
+/// Zero-copy tensor payload handle: holds the tensor's refcounted slab
+/// (an `Arc` bump to create) and produces the `Tensor::to_bytes` encoding
+/// only when the background materializer encodes the checkpoint. This is
+/// what makes `snapshot()` O(#objects) on the training thread instead of
+/// O(bytes) — the fork()-style handoff of the paper's Figure 5.
+struct TensorPayload(Tensor);
+
+impl ByteSource for TensorPayload {
+    fn len(&self) -> usize {
+        self.0.payload_len()
+    }
+    fn write_to(&self, buf: &mut BytesMut) {
+        self.0.write_payload(buf);
+    }
+}
+
+/// Lowers a tensor to a deferred checkpoint leaf without copying its slab.
+fn tensor_cval(t: &Tensor) -> CVal {
+    CVal::lazy(TensorPayload(t.clone()))
+}
 
 /// A FlorScript runtime value.
 #[derive(Clone)]
@@ -180,7 +201,7 @@ impl Value {
             ]),
             Value::Tensor(t) => CVal::map(vec![
                 ("t", CVal::Str("tensor".into())),
-                ("v", CVal::Bytes(t.to_bytes())),
+                ("v", tensor_cval(t)),
             ]),
             Value::List(items) => CVal::map(vec![
                 ("t", CVal::Str("list".into())),
@@ -240,11 +261,12 @@ impl Value {
                 Some(CVal::Str(s)) => Value::Str(s.clone()),
                 _ => return Err(rt("malformed str snapshot")),
             },
-            "tensor" => match v {
-                Some(CVal::Bytes(b)) => Value::Tensor(
-                    Tensor::from_bytes(b).ok_or_else(|| rt("corrupt tensor snapshot"))?,
+            "tensor" => match v.and_then(CVal::as_bytes) {
+                Some(b) => Value::Tensor(
+                    Tensor::from_bytes(b.as_ref())
+                        .ok_or_else(|| rt("corrupt tensor snapshot"))?,
                 ),
-                _ => return Err(rt("malformed tensor snapshot")),
+                None => return Err(rt("malformed tensor snapshot")),
             },
             "list" => match v {
                 Some(CVal::List(items)) => Value::list(
@@ -458,7 +480,7 @@ impl Obj {
                 ("count", CVal::I64(m.count() as i64)),
             ]),
             Obj::Batch(b) => CVal::map(vec![
-                ("x", CVal::Bytes(b.x.to_bytes())),
+                ("x", tensor_cval(&b.x)),
                 (
                     "y",
                     CVal::List(b.y.iter().map(|&c| CVal::I64(c as i64)).collect()),
@@ -515,11 +537,10 @@ impl Obj {
                 *m = Meter::restore(mean, count);
             }
             Obj::Batch(b) => {
-                let x = match cval.get("x") {
-                    Some(CVal::Bytes(bytes)) => {
-                        Tensor::from_bytes(bytes).ok_or_else(|| rt("corrupt batch tensor"))?
-                    }
-                    _ => return Err(rt("malformed batch snapshot")),
+                let x = match cval.get("x").and_then(CVal::as_bytes) {
+                    Some(bytes) => Tensor::from_bytes(bytes.as_ref())
+                        .ok_or_else(|| rt("corrupt batch tensor"))?,
+                    None => return Err(rt("malformed batch snapshot")),
                 };
                 let y = match cval.get("y") {
                     Some(CVal::List(items)) => items
@@ -542,7 +563,7 @@ impl Obj {
 pub fn state_dict_to_cval(sd: &StateDict) -> CVal {
     CVal::Map(
         sd.iter()
-            .map(|(name, t)| (name.to_string(), CVal::Bytes(t.to_bytes())))
+            .map(|(name, t)| (name.to_string(), tensor_cval(t)))
             .collect(),
     )
 }
@@ -553,13 +574,13 @@ pub fn cval_to_state_dict(cval: &CVal) -> Result<StateDict, FlorError> {
         CVal::Map(pairs) => {
             let mut sd = StateDict::new();
             for (name, v) in pairs {
-                match v {
-                    CVal::Bytes(b) => {
-                        let t = Tensor::from_bytes(b)
+                match v.as_bytes() {
+                    Some(b) => {
+                        let t = Tensor::from_bytes(b.as_ref())
                             .ok_or_else(|| rt(format!("corrupt tensor for {name:?}")))?;
                         sd.insert(name.clone(), t);
                     }
-                    _ => return Err(rt(format!("non-tensor entry {name:?} in state dict"))),
+                    None => return Err(rt(format!("non-tensor entry {name:?} in state dict"))),
                 }
             }
             Ok(sd)

@@ -4,7 +4,10 @@
 //!
 //! - the [`RunCatalog`](crate::catalog::RunCatalog) (persistent run index),
 //! - a pool of open [`CheckpointStore`] handles, one per run, so repeated
-//!   queries skip re-scanning store manifests,
+//!   queries skip re-scanning store manifests — and every user of a pooled
+//!   handle shares that store's persistent MANIFEST appender and O(1)
+//!   byte-total counters (one open fd per run, however many sessions
+//!   record or replay against it),
 //! - the content-addressed [`QueryCache`](crate::cache::QueryCache) — the
 //!   second identical query is served from disk without touching the
 //!   replay engine.

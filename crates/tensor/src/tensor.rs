@@ -1,20 +1,32 @@
-//! The dense tensor type: contiguous row-major `f32` storage.
+//! The dense tensor type: contiguous row-major `f32` storage over a
+//! refcounted, copy-on-write slab.
 
 use crate::shape::Shape;
+use bytes::BufMut;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// This is the unit of model state in flor-rs: weights, gradients, optimizer
 /// moment buffers, activations and batches are all `Tensor`s. Checkpoints
-/// serialize tensors with [`Tensor::to_bytes`].
+/// serialize tensors with [`Tensor::to_bytes`] / [`Tensor::write_payload`].
+///
+/// Storage is a refcounted slab (`Arc<Vec<f32>>`) with **copy-on-write**
+/// mutation: cloning a tensor is an `Arc` bump, and [`Tensor::data_mut`]
+/// copies the slab only when another handle still references it. This is
+/// the userspace analogue of the paper's `fork()` checkpointing — a
+/// snapshot taken by the background materializer holds the slab for free,
+/// and the training thread pays one copy per slab only if it mutates that
+/// state while the snapshot is in flight. Value semantics are preserved:
+/// mutation through one handle is never visible through another.
 ///
 /// Operations allocate their results; in-place variants (`*_inplace`,
 /// [`Tensor::axpy`]) exist for the optimizer hot path.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
@@ -32,7 +44,7 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { shape, data }
+        Tensor { shape, data: Arc::new(data) }
     }
 
     /// All-zeros tensor.
@@ -41,7 +53,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: Arc::new(vec![0.0; n]),
         }
     }
 
@@ -56,7 +68,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: Arc::new(vec![value; n]),
         }
     }
 
@@ -64,7 +76,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::new(Vec::new()),
-            data: vec![value],
+            data: Arc::new(vec![value]),
         }
     }
 
@@ -72,7 +84,7 @@ impl Tensor {
     pub fn from_slice(values: &[f32]) -> Self {
         Tensor {
             shape: Shape::from([values.len()]),
-            data: values.to_vec(),
+            data: Arc::new(values.to_vec()),
         }
     }
 
@@ -91,9 +103,11 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the backing data (row-major).
+    /// Mutable view of the backing data (row-major). Copy-on-write: if a
+    /// snapshot (or any other handle) still shares this slab, it is copied
+    /// once here before mutation — the fork()-style page-copy moment.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Element at a multi-dimensional index.
@@ -104,7 +118,7 @@ impl Tensor {
     /// Sets the element at a multi-dimensional index.
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
-        self.data[off] = value;
+        self.data_mut()[off] = value;
     }
 
     /// The single value of a scalar (rank-0 or one-element) tensor.
@@ -143,13 +157,13 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -166,12 +180,13 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         }
     }
 
@@ -205,7 +220,7 @@ impl Tensor {
             "axpy on mismatched shapes {} vs {}",
             self.shape, other.shape
         );
-        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+        for (x, &y) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *x += alpha * y;
         }
     }
@@ -224,13 +239,16 @@ impl Tensor {
             bias.shape,
             cols
         );
-        let mut out = self.clone();
+        let mut data = self.data().to_vec();
         for r in 0..rows {
             for c in 0..cols {
-                out.data[r * cols + c] += bias.data[c];
+                data[r * cols + c] += bias.data[c];
             }
         }
-        out
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     // ---- reductions ------------------------------------------------------
@@ -353,19 +371,46 @@ impl Tensor {
 
     // ---- serialization ----------------------------------------------------
 
+    /// Exact length in bytes of the [`Tensor::to_bytes`] /
+    /// [`Tensor::write_payload`] encoding, computed without serializing.
+    pub fn payload_len(&self) -> usize {
+        4 + self.shape.dims().len() * 4 + self.data.len() * 4
+    }
+
+    /// Appends the [`Tensor::to_bytes`] encoding to `out` — the
+    /// `Bytes`-backed export path: the background materializer calls this
+    /// with a pooled buffer, so the training thread only ever hands over a
+    /// refcounted slab handle and never serializes. On little-endian
+    /// targets the data section is a single `memcpy` of the slab.
+    pub fn write_payload(&self, out: &mut impl BufMut) {
+        let dims = self.shape.dims();
+        out.put_u32_le(dims.len() as u32);
+        for &d in dims {
+            out.put_u32_le(d as u32);
+        }
+        #[cfg(target_endian = "little")]
+        {
+            let f: &[f32] = &self.data;
+            // Sound: f32 has no padding or invalid bit patterns as bytes,
+            // u8 alignment is 1, and on little-endian the in-memory bytes
+            // are exactly the wire (LE) encoding.
+            let raw: &[u8] = unsafe {
+                std::slice::from_raw_parts(f.as_ptr() as *const u8, std::mem::size_of_val(f))
+            };
+            out.put_slice(raw);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for &x in self.data.iter() {
+            out.put_slice(&x.to_le_bytes());
+        }
+    }
+
     /// Encodes the tensor as bytes: rank, dims (little-endian u32), then raw
     /// little-endian f32 data. Stable across platforms.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let dims = self.shape.dims();
-        let mut out = Vec::with_capacity(4 + dims.len() * 4 + self.data.len() * 4);
-        out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
-        for &d in dims {
-            out.extend_from_slice(&(d as u32).to_le_bytes());
-        }
-        for &x in &self.data {
-            out.extend_from_slice(&x.to_le_bytes());
-        }
-        out
+        let mut out = bytes::BytesMut::with_capacity(self.payload_len());
+        self.write_payload(&mut out);
+        out.into_vec()
     }
 
     /// Decodes a tensor previously produced by [`Tensor::to_bytes`].
@@ -398,7 +443,10 @@ impl Tensor {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Some(Tensor { shape, data })
+        Some(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
     }
 }
 
@@ -550,5 +598,46 @@ mod tests {
         let mut bytes = Tensor::from_slice(&[1.0]).to_bytes();
         bytes.push(0);
         assert!(Tensor::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        // Clone shares the slab (no copy yet).
+        assert!(std::ptr::eq(a.data().as_ptr(), b.data().as_ptr()));
+        b.data_mut()[0] = 9.0;
+        // Mutation through one handle never leaks into the other.
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0]);
+        assert!(!std::ptr::eq(a.data().as_ptr(), b.data().as_ptr()));
+    }
+
+    #[test]
+    fn unshared_mutation_does_not_copy() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let before = a.data().as_ptr();
+        a.map_inplace(|x| x * 2.0);
+        a.axpy(1.0, &Tensor::from_slice(&[1.0, 1.0]));
+        assert!(std::ptr::eq(before, a.data().as_ptr()), "sole owner mutates in place");
+        assert_eq!(a.data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn write_payload_matches_to_bytes() {
+        let t = Tensor::new([2, 3], vec![1.0, -2.5, 3.0, 0.0, f32::MIN, 6.75]);
+        let mut buf = bytes::BytesMut::new();
+        t.write_payload(&mut buf);
+        assert_eq!(buf.as_ref(), t.to_bytes().as_slice());
+        assert_eq!(buf.len(), t.payload_len());
+        // Appends — must not clear what's already in the buffer.
+        t.write_payload(&mut buf);
+        assert_eq!(buf.len(), 2 * t.payload_len());
+    }
+
+    #[test]
+    fn tensor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
     }
 }

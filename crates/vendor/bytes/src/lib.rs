@@ -1,11 +1,17 @@
 //! Vendored stand-in for the `bytes` crate.
 //!
-//! Implements the subset flor-rs's codec uses: [`Bytes`] / [`BytesMut`]
-//! containers and the [`Buf`] / [`BufMut`] cursor traits. Unlike the real
-//! crate there is no refcounted zero-copy slicing — `Bytes` owns a `Vec`
-//! plus a cursor, which is all the codec needs.
+//! Implements the subset flor-rs uses: [`Bytes`] / [`BytesMut`] containers
+//! and the [`Buf`] / [`BufMut`] cursor traits. Like the real crate, `Bytes`
+//! is *refcounted*: clones and [`Buf::copy_to_bytes`] slices share one
+//! backing allocation instead of copying, which is what makes checkpoint
+//! payload handles cheap to pass between the training thread and the
+//! background materializer. [`Bytes::from_owner`] admits arbitrary
+//! shared-ownership backings (e.g. a tensor slab) without a copy.
 
 #![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
 
 /// Read cursor over a byte container.
 pub trait Buf {
@@ -90,25 +96,50 @@ pub trait BufMut {
     }
 }
 
-/// An immutable byte buffer with a read cursor.
-#[derive(Debug, Clone, Default)]
+/// An immutable, refcounted byte buffer with a read cursor.
+///
+/// Cloning, slicing via [`Buf::copy_to_bytes`], and freezing a [`BytesMut`]
+/// all share one backing allocation; only [`Bytes::copy_from_slice`] copies.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
-    pos: usize,
+    owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// Copies a slice into a new buffer with the cursor at the start.
     pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from_vec(src.to_vec())
+    }
+
+    /// Wraps an owned `Vec` without copying.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        let end = data.len();
         Bytes {
-            data: src.to_vec(),
-            pos: 0,
+            owner: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Wraps an arbitrary shared-ownership backing (e.g. a tensor slab)
+    /// without copying. The view covers `owner.as_ref()` in full.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let end = owner.as_ref().len();
+        Bytes {
+            owner: Arc::new(owner),
+            start: 0,
+            end,
         }
     }
 
     /// Remaining bytes as an owned `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data[self.pos..].to_vec()
+        self.chunk().to_vec()
     }
 
     /// Remaining length.
@@ -122,18 +153,36 @@ impl Bytes {
     }
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from_vec(Vec::new())
+    }
+}
+
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.start
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &(*self.owner).as_ref()[self.start..self.end]
     }
 
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.remaining(), "advance past end of Bytes");
-        self.pos += cnt;
+        self.start += cnt;
+    }
+
+    /// Zero-copy: the returned slice shares this buffer's backing.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes past end of Bytes");
+        let out = Bytes {
+            owner: self.owner.clone(),
+            start: self.start,
+            end: self.start + len,
+        };
+        self.start += len;
+        out
     }
 }
 
@@ -143,7 +192,46 @@ impl AsRef<[u8]> for Bytes {
     }
 }
 
-/// A growable byte buffer for encoding.
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.chunk() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.chunk() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+/// A growable byte buffer for encoding. Reusable: [`BytesMut::clear`] keeps
+/// the allocation, which is what the checkpoint encode pool relies on.
 #[derive(Debug, Clone, Default)]
 pub struct BytesMut {
     data: Vec<u8>,
@@ -162,17 +250,34 @@ impl BytesMut {
         BytesMut::default()
     }
 
-    /// Written bytes as an owned `Vec`.
+    /// Written bytes as an owned `Vec` (copies).
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.clone()
     }
 
-    /// Freezes into an immutable [`Bytes`].
+    /// Consumes the buffer into its backing `Vec` (no copy).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Freezes into an immutable [`Bytes`] (no copy).
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: self.data,
-            pos: 0,
-        }
+        Bytes::from_vec(self.data)
+    }
+
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Written length.
@@ -221,5 +326,55 @@ mod tests {
     fn overread_panics() {
         let mut r = Bytes::copy_from_slice(b"a");
         r.advance(2);
+    }
+
+    #[test]
+    fn clone_shares_backing() {
+        let a = Bytes::from_vec(vec![1, 2, 3, 4]);
+        let mut b = a.clone();
+        b.advance(2);
+        // Clone has its own cursor but the same contents.
+        assert_eq!(a.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(b.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn copy_to_bytes_is_a_shared_slice() {
+        let mut a = Bytes::from_vec((0u8..100).collect());
+        a.advance(10);
+        let s = a.copy_to_bytes(5);
+        assert_eq!(s.to_vec(), vec![10, 11, 12, 13, 14]);
+        assert_eq!(a.remaining(), 85);
+    }
+
+    #[test]
+    fn from_owner_is_zero_copy_view() {
+        struct Slab(Vec<u8>);
+        impl AsRef<[u8]> for Slab {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let b = Bytes::from_owner(Slab(vec![9, 8, 7]));
+        assert_eq!(b.to_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn freeze_and_clear_reuse() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"hello");
+        assert_eq!(w.len(), 5);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(w.capacity() >= 64);
+        w.put_slice(b"world");
+        assert_eq!(w.freeze().to_vec(), b"world");
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Bytes::from_vec(vec![1, 2]), Bytes::copy_from_slice(&[1, 2]));
+        assert_eq!(Bytes::from_vec(vec![1, 2]), vec![1, 2]);
+        assert_ne!(Bytes::from_vec(vec![1]), Bytes::from_vec(vec![2]));
     }
 }

@@ -21,18 +21,18 @@ impl Checkpointable for TrainState {
     fn to_cval(&self) -> CVal {
         let (s, i) = self.rng.state();
         CVal::map(vec![
-            ("weights", CVal::Bytes(self.weights.to_bytes())),
+            ("weights", CVal::bytes(self.weights.to_bytes())),
             ("rng_s", CVal::I64(s as i64)),
             ("rng_i", CVal::I64(i as i64)),
         ])
     }
 
     fn from_cval(&mut self, v: &CVal) -> Result<(), String> {
-        let bytes = match v.get("weights") {
-            Some(CVal::Bytes(b)) => b,
-            _ => return Err("missing weights".into()),
+        let bytes = match v.get("weights").and_then(CVal::as_bytes) {
+            Some(b) => b,
+            None => return Err("missing weights".into()),
         };
-        self.weights = Tensor::from_bytes(bytes).ok_or("corrupt weights")?;
+        self.weights = Tensor::from_bytes(bytes.as_ref()).ok_or("corrupt weights")?;
         let (s, i) = match (v.get("rng_s"), v.get("rng_i")) {
             (Some(CVal::I64(s)), Some(CVal::I64(i))) => (*s as u64, *i as u64),
             _ => return Err("missing rng".into()),

@@ -19,7 +19,7 @@ fn arb_cval() -> impl Strategy<Value = CVal> {
         any::<i64>().prop_map(CVal::I64),
         any::<f64>().prop_map(CVal::F64),
         ".{0,32}".prop_map(CVal::Str),
-        proptest::collection::vec(any::<u8>(), 0..256).prop_map(CVal::Bytes),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(CVal::bytes),
     ];
     leaf.prop_recursive(3, 64, 8, |inner| {
         prop_oneof![
@@ -64,6 +64,28 @@ proptest! {
         if cut < bytes.len() {
             // Truncation must error, never panic or loop.
             prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// The pooled, buffer-reusing encode path must be byte-identical to a
+    /// fresh `encode` for arbitrary trees — including when the same pooled
+    /// buffer is reused across differently-shaped values (stale-content
+    /// bleed-through would corrupt checkpoints silently).
+    #[test]
+    fn pooled_encode_into_is_byte_identical(
+        vals in proptest::collection::vec(arb_cval(), 1..6),
+    ) {
+        let pool = flor_chkpt::EncodePool::new();
+        for v in &vals {
+            let fresh = encode(v);
+            let pooled = pool.with_buffer(|buf| {
+                flor_chkpt::encode_into(v, buf);
+                buf.to_vec()
+            });
+            prop_assert_eq!(&pooled, &fresh);
+            // And through a SerializeSnapshot's default serialize_into.
+            let back = decode(&pooled).expect("pooled bytes decode");
+            prop_assert!(cval_eq(v, &back));
         }
     }
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Record-hot-path benchmark runner. From the repo root:
+#
+#   ./tools/bench.sh            # full run: criterion benches + BENCH_record.json
+#   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
+#
+# Emits BENCH_record.json at the repo root: median/mean caller-thread
+# submit latency and blocked time per materialization strategy, for the
+# zero-copy pipeline vs the pre-refactor eager-copy baseline. The JSON is
+# committed so future PRs can be held to the trajectory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+# Criterion benches for the record path (the vendored criterion harness is
+# already time-bounded; quick mode just skips the slower codec/tensor runs).
+if [[ "$QUICK" == "1" ]]; then
+    run cargo bench -p flor-bench --bench bench_record
+else
+    for bench in bench_record bench_materialization bench_codec; do
+        run cargo bench -p flor-bench --bench "$bench"
+    done
+fi
+
+# The benchmark artifact. Full runs refresh the committed BENCH_record.json;
+# quick (CI smoke) runs write under target/ so they never dirty the tree.
+OUT=BENCH_record.json
+if [[ "$QUICK" == "1" ]]; then
+    OUT=target/BENCH_record.quick.json
+fi
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$OUT"
+
+echo
+echo "bench: OK ($OUT written)"

@@ -20,6 +20,10 @@ run cargo build --release
 run cargo test -q
 run cargo clippy --workspace --all-targets -- -D warnings
 
+# Record-hot-path smoke bench: quick criterion pass + quick submit-latency
+# JSON (written under target/, never dirties the committed artifact).
+run ./tools/bench.sh --quick
+
 if [[ "${1:-}" == "--bench" ]]; then
     for bench in bench_registry bench_codec bench_tensor; do
         run cargo bench -p flor-bench --bench "$bench"
