@@ -18,6 +18,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod record_submit;
+pub mod replay_read;
 pub mod scripts;
 pub mod tables;
 pub mod util;

@@ -1,0 +1,221 @@
+//! Read-path measurement for the replay hot path.
+//!
+//! Builds checkpoint stores in both on-disk layouts over identical
+//! payloads and measures what a replay worker pays per restore:
+//!
+//! - **before** — the v1 layout ([`StoreFormat::FilePerCheckpoint`]) read
+//!   through the compatibility `get` path: one `open`/`read`/`close` per
+//!   checkpoint plus decompression, and a cold open that stats every data
+//!   file.
+//! - **after** — the segmented layout ([`StoreFormat::Segmented`]) read
+//!   through zero-copy [`CheckpointStore::get_bytes`]: a sharded-index
+//!   lookup and a slice of the shared segment buffer, with a cold open
+//!   that reads the manifest once and stats only segments.
+//!
+//! Used by the `bench_replay` criterion bench and the `bench_replay_json`
+//! binary that emits `BENCH_replay.json` (the committed before/after
+//! table; `flor-sim`'s `cost::read_cost` constants come from it).
+
+use flor_chkpt::{CheckpointStore, StoreFormat, StoreOptions};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Payload bytes per checkpoint in the standard fixture.
+pub const PAYLOAD_BYTES: usize = 256;
+
+/// Blocks the fixture spreads its checkpoints across (a multi-block run,
+/// so the sharded index sees more than one key).
+pub const BLOCKS: u64 = 8;
+
+/// A store fixture of `checkpoints` identical-shape payloads.
+pub struct ReadFixture {
+    root: PathBuf,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Layout written.
+    pub format: StoreFormat,
+}
+
+/// Deterministic xorshift bytes — incompressible, like real tensor
+/// payloads (the case the zero-copy raw-stored path exists for).
+pub fn payload(seed: u32, n: usize) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(2654435761).max(1);
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x as u8
+        })
+        .collect()
+}
+
+/// The fixture's key set, in write order.
+pub fn keys(checkpoints: u64) -> Vec<(String, u64)> {
+    (0..checkpoints)
+        .map(|i| (format!("sb_{}", i % BLOCKS), i / BLOCKS))
+        .collect()
+}
+
+impl ReadFixture {
+    /// Builds (or rebuilds) a store of `checkpoints` payloads in `format`
+    /// under a temp directory tagged `tag`.
+    pub fn build(tag: &str, format: StoreFormat, checkpoints: u64) -> ReadFixture {
+        let root = std::env::temp_dir().join(format!(
+            "flor-bench-replay-read-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CheckpointStore::open_opts(
+            &root,
+            StoreOptions {
+                format,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("open fixture store");
+        // Batched writes, like the materializer's group commits.
+        for chunk in keys(checkpoints).chunks(64) {
+            let mut batch = store.batch();
+            for (i, (block, seq)) in chunk.iter().enumerate() {
+                batch.stage(block, *seq, &payload(*seq as u32 + i as u32, PAYLOAD_BYTES));
+            }
+            batch.commit().expect("commit fixture batch");
+        }
+        ReadFixture {
+            root,
+            checkpoints,
+            format,
+        }
+    }
+
+    /// Fixture root directory.
+    pub fn root(&self) -> &PathBuf {
+        &self.root
+    }
+
+    /// Opens the fixture store (counts as a cold open only if no other
+    /// handle is live; the OS page cache stays warm either way, which is
+    /// the right comparison — the v1 open cost is syscalls, not disk).
+    pub fn open(&self) -> CheckpointStore {
+        CheckpointStore::open_opts(
+            &self.root,
+            StoreOptions {
+                format: self.format,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("reopen fixture store")
+    }
+
+    /// Times a cold open (manifest load + recovery scan), ns.
+    pub fn cold_open_ns(&self) -> u64 {
+        let t0 = Instant::now();
+        let store = self.open();
+        let ns = t0.elapsed().as_nanos() as u64;
+        drop(store);
+        ns
+    }
+}
+
+/// Which read API a measurement drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// `get` — the v1 compatibility path (`Vec<u8>` copy-out).
+    Get,
+    /// `get_bytes` — the zero-copy path.
+    GetBytes,
+}
+
+/// Latency distribution over one pass of reads.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadMeasurement {
+    /// Reads performed.
+    pub reads: u64,
+    /// Median per-read latency, ns.
+    pub median_ns: u64,
+    /// Mean per-read latency, ns.
+    pub mean_ns: u64,
+    /// p99 per-read latency, ns.
+    pub p99_ns: u64,
+}
+
+/// Reads up to `sample` keys of the fixture once each, in a deterministic
+/// pseudo-shuffled order (defeats trivial locality without `rand`), and
+/// reports the latency distribution.
+pub fn measure_reads(store: &CheckpointStore, fixture: &ReadFixture, mode: ReadMode, sample: u64) -> ReadMeasurement {
+    let all = keys(fixture.checkpoints);
+    let n = all.len() as u64;
+    let sample = sample.min(n).max(1);
+    // Golden-ratio stride walk visits distinct indices in scattered order
+    // — valid only while gcd(stride, n) == 1, so nudge the stride until it
+    // is coprime (otherwise the walk cycles over a subset and the medians
+    // would be warm re-reads).
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let mut stride = ((n as f64 * 0.6180339887) as u64) | 1;
+    while gcd(stride, n) != 1 {
+        stride += 2;
+    }
+    let mut lat: Vec<u64> = Vec::with_capacity(sample as usize);
+    let mut checksum = 0u64;
+    for k in 0..sample {
+        let (block, seq) = &all[((k * stride) % n) as usize];
+        let t0 = Instant::now();
+        match mode {
+            ReadMode::Get => {
+                let v = store.get(block, *seq).expect("fixture read");
+                checksum ^= v.len() as u64;
+            }
+            ReadMode::GetBytes => {
+                let b = store.get_bytes(block, *seq).expect("fixture read");
+                checksum ^= b.len() as u64;
+            }
+        }
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    assert!(checksum != u64::MAX, "keep the reads observable");
+    lat.sort_unstable();
+    ReadMeasurement {
+        reads: sample,
+        median_ns: lat[lat.len() / 2],
+        mean_ns: lat.iter().sum::<u64>() / lat.len() as u64,
+        p99_ns: lat[(lat.len() * 99 / 100).min(lat.len() - 1)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_hold_identical_payloads_in_both_formats() {
+        let n = 64;
+        let seg = ReadFixture::build("eq-seg", StoreFormat::Segmented, n);
+        let v1 = ReadFixture::build("eq-v1", StoreFormat::FilePerCheckpoint, n);
+        let seg_store = seg.open();
+        let v1_store = v1.open();
+        for (block, seq) in keys(n) {
+            assert_eq!(
+                seg_store.get(&block, seq).unwrap(),
+                v1_store.get(&block, seq).unwrap()
+            );
+        }
+        assert_eq!(seg_store.stats().legacy_entries, 0);
+        assert_eq!(v1_store.stats().segment_entries, 0);
+    }
+
+    #[test]
+    fn measurement_reads_every_sampled_key_once() {
+        let fixture = ReadFixture::build("measure", StoreFormat::Segmented, 128);
+        let store = fixture.open();
+        let m = measure_reads(&store, &fixture, ReadMode::GetBytes, 128);
+        assert_eq!(m.reads, 128);
+        assert_eq!(store.stats().reads, 128);
+        assert!(m.median_ns > 0 && m.mean_ns > 0 && m.p99_ns >= m.median_ns);
+    }
+}

@@ -21,11 +21,14 @@
 //!   background, batched). Rust has no GIL, so "fork" is realized as cheap
 //!   `Arc` snapshot handles consumed by worker threads — same critical-path
 //!   economics, different OS mechanism (see DESIGN.md).
-//! - **Storage & spooling** ([`store`], [`spool`]): an on-disk checkpoint
-//!   store with manifests and CRC-checked, compressed ([`compress`]) entries,
-//!   plus the S3 spool cost model behind Table 4. Writes land through
-//!   [`store::WriteBatch`] group commits — one batched manifest append (and,
-//!   under [`store::Durability::GroupCommit`], one fsync barrier) per
+//! - **Storage & spooling** ([`store`], [`spool`]): a segmented on-disk
+//!   checkpoint store — payloads packed into large append-only segment
+//!   files with CRC-protected footer indexes, a sharded in-memory index,
+//!   zero-copy [`store::CheckpointStore::get_bytes`] reads, and a
+//!   compacting GC — plus the S3 spool cost model behind Table 4. Writes
+//!   land through [`store::WriteBatch`] group commits — one batched
+//!   segment append and one batched manifest append (and, under
+//!   [`store::Durability::GroupCommit`], one fsync barrier) per
 //!   materializer batch instead of per checkpoint.
 
 #![warn(missing_docs)]
@@ -38,7 +41,10 @@ pub mod store;
 
 pub use background::{Materializer, MaterializerStats, Payload, SerializeSnapshot, Strategy};
 pub use codec::{decode, encode, encode_into, ByteSource, CVal, CodecError, EncodePool, LazyBytes};
-pub use store::{CheckpointStore, CkptMeta, Durability, StoreError, WriteBatch};
+pub use store::{
+    CheckpointStore, CkptMeta, CompactionReport, Durability, RecoveryReport, StoreError,
+    StoreFormat, StoreOptions, StoreStats, WriteBatch,
+};
 
 // Byte-buffer types used in the public API (`ByteSource::write_to`,
 // `SerializeSnapshot::serialize_into`), re-exported so downstream crates

@@ -1,55 +1,121 @@
-//! The on-disk checkpoint store.
+//! The on-disk checkpoint store — a segmented storage engine.
 //!
 //! One store per recorded run. Layout under the root directory:
 //!
 //! ```text
 //! root/
 //!   MANIFEST              one line per checkpoint:
-//!                         "<block_id>\t<seq>\t<file>\t<bytes>\t<crc32>\t<line_crc32>"
-//!                         (line_crc32 covers the first five fields, so a
-//!                         torn append is detectable)
-//!   ckpt/<block>.<seq>    compressed, CRC-protected checkpoint payloads
+//!                         "<block_id>\t<seq>\t<location>\t<raw>\t<crc32>\t<line_crc32>"
+//!                         location is either a legacy file name under ckpt/
+//!                         (v1 stores) or "@<seg>:<offset>:<len>[:r]" — a
+//!                         payload slice inside a segment (":r" = stored
+//!                         uncompressed). line_crc32 covers the first five
+//!                         fields, so a torn append is detectable.
+//!   seg/<NNNNNNNN>.seg    append-only segment files packing many checkpoint
+//!                         payloads (the write path for all new checkpoints)
+//!   ckpt/<block>.<seq>    legacy file-per-checkpoint payloads (still
+//!                         readable; compaction migrates them into segments)
 //!   artifacts/<name>      named artifacts (recorded source, record logs)
 //! ```
 //!
-//! Every entry is compressed ([`crate::compress`]) and carries a CRC32 so
-//! that corruption and truncation surface as [`StoreError::Corrupt`] instead
-//! of silent replay anomalies. Multiple checkpoints per block (`seq`
-//! 0, 1, 2, …) correspond to the paper's "a loop may generate zero or many
-//! Loop End Checkpoints, depending on how many times it is executed".
+//! # Segment format
+//!
+//! ```text
+//! segment   := magic "FLRSEG1\n" entry* [footer trailer]
+//! entry     := block_len:u16 seq:u64 raw:u64 comp:u32 crc:u32 flags:u8
+//!              block_id payload            (all integers little-endian)
+//! footer    := count:u32 { block_len:u16 block_id seq:u64 offset:u64
+//!                          raw:u64 comp:u32 crc:u32 flags:u8 }*
+//! trailer   := footer_len:u64 footer_crc:u32 magic "FLRSEGF1"
+//! ```
+//!
+//! `flags` bit 0 set means the payload is stored raw (compression did not
+//! shrink it); `crc` is always the CRC32 of the *uncompressed* payload.
+//! The footer is written when a segment is sealed (rolled over or the store
+//! is dropped cleanly) and makes a segment self-describing: the index can be
+//! rebuilt from footers (or, failing that, an entry-header scan) without the
+//! MANIFEST. The MANIFEST remains the authoritative index; an unsealed
+//! segment (crash before roll) is still fully readable through it.
+//!
+//! # Read path: zero-copy `get_bytes`
+//!
+//! [`CheckpointStore::get_bytes`] resolves `(block, seq)` through a
+//! *sharded* in-memory index (16 shards, read-write locks, borrowed-key
+//! lookups — no allocation and no global lock on the read hot path), maps
+//! the segment into a shared refcounted buffer (one `fs::read` per segment,
+//! cached and shared by every reader), and returns a [`Bytes`] slice of that
+//! buffer. Raw-stored payloads are returned without any copy at all;
+//! compressed payloads pay exactly the decompression. The old
+//! [`CheckpointStore::get`] survives as a thin `Vec<u8>` compatibility
+//! wrapper. Every read is CRC-verified, so corruption surfaces as
+//! [`StoreError::Corrupt`] instead of silent replay anomalies.
+//!
+//! # Open, recovery, and repair
+//!
+//! Opening a store reads the MANIFEST once and stats each *segment* once —
+//! never one `stat` per checkpoint (the v1 engine statted every data file).
+//! Entries whose data is gone (a missing legacy file or a missing segment)
+//! are dropped from the index, surfaced in a [`RecoveryReport`], and the
+//! MANIFEST is rewritten so byte totals stay truthful instead of silently
+//! undercounting. Unreferenced ("orphaned") segments — the visible residue
+//! of a crash between a compaction's rename and its manifest swap — are
+//! reported and left invisible to the index (the next compaction reclaims
+//! their disk space; open itself never deletes files, so a read-only open
+//! cannot destroy a segment another process is mid-commit into); orphaned
+//! legacy files are reported but left in
+//! place. A segment that is present but too short for an entry it should
+//! contain stays indexed and fails loudly at read time (truncation is
+//! corruption, not a skipped checkpoint).
 //!
 //! # Group commit and the `WriteBatch` durability contract
 //!
 //! All writes go through [`WriteBatch`]: payloads are *staged* (compressed
-//! and CRC-stamped, no I/O), then *committed* together. A commit
+//! and CRC-stamped, no I/O), then *committed* together. A commit appends
+//! every staged payload to the active segment in **one `write_all`**, then
+//! appends all manifest lines in one `write_all` to a persistent kept-open
+//! `O_APPEND` handle. Under [`Durability::GroupCommit`] the segment is
+//! fsynced *before* the manifest append, then the `seg/` directory, the
+//! manifest, and the store root once per batch — the classic group-commit
+//! amortization. The ordering (data before manifest) means a manifest line
+//! is only ever durable after the payload it describes, so a crash anywhere
+//! in a commit leaves a *prefix of whole checkpoints*: complete manifest
+//! lines point at complete payload slices, the single torn tail line (if
+//! the cut landed inside the batched append) is detected by its line CRC
+//! and dropped on recovery, and a torn segment tail past the last durable
+//! manifest line is unreferenced dead space that the next compaction
+//! reclaims. Reopened stores never append to an existing segment — each
+//! writer session starts a fresh one — so a torn tail can never corrupt
+//! later offsets.
 //!
-//! 1. writes every staged checkpoint file to a temp sibling and renames it
-//!    into `ckpt/` — an overwritten checkpoint is the old or the complete
-//!    new payload, never a torn mix,
-//! 2. appends **all** manifest lines in one `write_all` to a persistent,
-//!    kept-open `O_APPEND` handle (no per-checkpoint open/close), and
-//! 3. under [`Durability::GroupCommit`], fsyncs each data file *before* the
-//!    manifest append, then fsyncs the `ckpt/` directory, the manifest, and
-//!    the store root **once per batch** — the classic group-commit
-//!    amortization. Barrier failures propagate as errors; a commit never
-//!    reports durability it did not achieve.
+//! Under [`Durability::Buffered`] (the default) no fsync is issued on the
+//! put path: the same ordering is *issued*, but the OS may persist pages
+//! out of order, so a crash can durably keep a manifest line whose payload
+//! bytes were lost with the segment tail. Such an entry fails loudly as
+//! [`StoreError::Corrupt`] at read time — the same contract the v1 engine
+//! had for a torn data file — and is deliberately *not* dropped at open: a
+//! present-but-short segment is indistinguishable from real truncation
+//! corruption, and converting corruption into silent re-execution is the
+//! one thing this store must never do. Record under
+//! [`Durability::GroupCommit`] when checkpoints must survive power loss.
 //!
-//! The ordering (data before manifest) means a manifest line is only ever
-//! durable after the payload it describes, so a crash anywhere in a commit
-//! leaves a *prefix of whole checkpoints*: complete manifest lines point at
-//! complete files, and the single torn tail line (if the cut landed inside
-//! the batched append) is detected by its line CRC and dropped on recovery.
-//! Lines after the cut were part of the same `write_all` and simply never
-//! reach the file. Under [`Durability::Buffered`] (the default) no fsync is
-//! issued on the put path — same crash-consistency *shape*, OS-buffered
-//! timing — matching the pre-group-commit behavior so recorded-run
-//! workloads aren't taxed by default.
+//! # Compaction / GC
+//!
+//! Superseded re-puts and dropped entries leave dead bytes in old segments.
+//! [`CheckpointStore::compact`] rewrites every *live* payload into fresh,
+//! sealed segments (written to temp siblings, fsynced, renamed in), swaps
+//! the MANIFEST atomically, and only then deletes the old segments and any
+//! migrated legacy files — so a crash at any byte leaves either the
+//! pre-compaction or the post-compaction view, never a store with a live
+//! checkpoint missing. Legacy v1 stores are migrated into segments by the
+//! same pass, which is the upgrade path for old-format data.
 
 use crate::compress::{compress, decompress};
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use bytes::{Buf, Bytes};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::fs;
+use std::hash::{Hash, Hasher};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,7 +132,7 @@ pub enum StoreError {
         /// Requested sequence number.
         seq: u64,
     },
-    /// Entry exists but its payload fails CRC or decompression.
+    /// Entry exists but its payload fails CRC, bounds, or decompression.
     Corrupt {
         /// Affected block id.
         block_id: String,
@@ -77,6 +143,8 @@ pub enum StoreError {
     },
     /// Malformed manifest.
     BadManifest(String),
+    /// Write attempted on a store opened read-only.
+    ReadOnly,
 }
 
 impl fmt::Display for StoreError {
@@ -90,6 +158,7 @@ impl fmt::Display for StoreError {
                 write!(f, "corrupt checkpoint {block_id:?}.{seq}: {detail}")
             }
             StoreError::BadManifest(d) => write!(f, "bad manifest: {d}"),
+            StoreError::ReadOnly => write!(f, "store opened read-only"),
         }
     }
 }
@@ -109,7 +178,7 @@ pub struct CkptMeta {
     pub block_id: String,
     /// Execution sequence number of this block (0-based).
     pub seq: u64,
-    /// Compressed on-disk size.
+    /// Stored (compressed, or raw when incompressible) payload size.
     pub stored_bytes: u64,
     /// Uncompressed payload size.
     pub raw_bytes: u64,
@@ -119,16 +188,76 @@ pub struct CkptMeta {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Durability {
     /// Writes are buffered by the OS; no fsync on the put path (the
-    /// pre-group-commit behavior, and the default — record-phase overhead
-    /// is the paper's protected quantity).
+    /// default — record-phase overhead is the paper's protected quantity).
     #[default]
     Buffered,
-    /// Each [`WriteBatch::commit`] fsyncs its data files, then the manifest
-    /// and its directory once per batch. Durable up to the last committed
-    /// batch, at an amortized cost of one barrier per batch instead of one
-    /// per checkpoint.
+    /// Each [`WriteBatch::commit`] fsyncs its segment appends, then the
+    /// manifest and its directory once per batch. Durable up to the last
+    /// committed batch, at an amortized cost of one barrier per batch
+    /// instead of one per checkpoint.
     GroupCommit,
 }
+
+/// On-disk write layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreFormat {
+    /// Pack checkpoints into large append-only segment files (the default
+    /// engine; what every new store should use).
+    #[default]
+    Segmented,
+    /// One file per checkpoint under `ckpt/` — the v1 layout, kept
+    /// writable for compatibility testing and before/after benchmarks.
+    FilePerCheckpoint,
+}
+
+/// Open-time knobs. [`StoreOptions::default`] is a segmented, buffered
+/// store with an 8 MiB segment roll target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Put-path durability policy.
+    pub durability: Durability,
+    /// Write layout for new checkpoints (either way, both layouts stay
+    /// readable).
+    pub format: StoreFormat,
+    /// Roll the active segment once it grows past this many bytes.
+    pub segment_target_bytes: u64,
+    /// Inspect without mutating anything on disk: open-time recovery only
+    /// *reports* (no manifest repair — clobbering the MANIFEST inode would
+    /// sever a concurrent writer process's kept-open appender), and every
+    /// write API returns [`StoreError::ReadOnly`]. This is what operator
+    /// tooling (`flor store stats`) uses to stay safe against a store
+    /// another process is recording into.
+    pub read_only: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            durability: Durability::default(),
+            format: StoreFormat::default(),
+            segment_target_bytes: DEFAULT_SEGMENT_TARGET_BYTES,
+            read_only: false,
+        }
+    }
+}
+
+/// Default segment roll threshold.
+pub const DEFAULT_SEGMENT_TARGET_BYTES: u64 = 8 * 1024 * 1024;
+
+const SEGMENT_MAGIC: &[u8; 8] = b"FLRSEG1\n";
+const FOOTER_MAGIC: &[u8; 8] = b"FLRSEGF1";
+/// Fixed part of a segment entry header (block id and payload follow).
+const ENTRY_HEADER_BYTES: u64 = 2 + 8 + 8 + 4 + 4 + 1;
+/// Trailer = footer_len (8) + footer_crc (4) + magic (8).
+const TRAILER_BYTES: u64 = 20;
+/// Payload stored uncompressed (compression did not shrink it).
+const FLAG_RAW: u8 = 1;
+/// Index shards; reads lock exactly one, with no allocation.
+const SHARDS: usize = 16;
+/// Byte budget for cached whole-segment read buffers, per store handle
+/// (a count cap would scale with `segment_target_bytes` and let one
+/// handle pin arbitrarily much memory).
+const SEGMENT_CACHE_BUDGET_BYTES: u64 = 256 << 20;
 
 /// CRC32 (IEEE, reflected) — hand-rolled so corruption detection has no
 /// external dependency.
@@ -153,17 +282,283 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
+/// Where one checkpoint's stored payload lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Location {
+    /// Legacy v1: a whole file under `ckpt/`, always compressed.
+    File(String),
+    /// A slice of a segment file.
+    Segment {
+        /// Segment id (file `seg/<id:08>.seg`).
+        seg: u64,
+        /// Payload byte offset within the segment file.
+        offset: u64,
+        /// Stored payload length.
+        len: u32,
+        /// Stored uncompressed (zero-copy readable).
+        raw_stored: bool,
+    },
+}
+
+impl Location {
+    /// Renders the manifest `location` field.
+    fn render(&self) -> String {
+        match self {
+            Location::File(f) => f.clone(),
+            Location::Segment { seg, offset, len, raw_stored } => {
+                if *raw_stored {
+                    format!("@{seg}:{offset}:{len}:r")
+                } else {
+                    format!("@{seg}:{offset}:{len}")
+                }
+            }
+        }
+    }
+
+    /// Parses a manifest `location` field. Anything that is not a strict
+    /// `@<seg>:<offset>:<len>[:r]` is a legacy file name (legacy names
+    /// always contain a `.`-separated seq suffix, so they can never parse
+    /// as a segment slice).
+    fn parse(s: &str) -> Location {
+        if let Some(rest) = s.strip_prefix('@') {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() == 3 || (parts.len() == 4 && parts[3] == "r") {
+                if let (Ok(seg), Ok(offset), Ok(len)) =
+                    (parts[0].parse(), parts[1].parse(), parts[2].parse())
+                {
+                    return Location::Segment {
+                        seg,
+                        offset,
+                        len,
+                        raw_stored: parts.len() == 4,
+                    };
+                }
+            }
+        }
+        Location::File(s.to_string())
+    }
+}
+
 /// Index entry for one stored checkpoint.
 #[derive(Debug, Clone)]
 struct IndexEntry {
-    /// File name under `ckpt/`.
-    file: String,
+    loc: Location,
     /// Uncompressed payload length.
     raw: u64,
     /// CRC32 of the uncompressed payload.
     crc: u32,
-    /// Compressed on-disk size (0 when unknown, e.g. file missing at open).
+    /// Stored payload length (compressed size, or raw size when stored
+    /// uncompressed; for legacy files, the file size).
     stored: u64,
+}
+
+/// One record of a segment footer (and of the in-memory pending footer of
+/// the active segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIndexEntry {
+    /// Block id.
+    pub block_id: String,
+    /// Sequence number.
+    pub seq: u64,
+    /// Payload offset within the segment file.
+    pub offset: u64,
+    /// Uncompressed payload length.
+    pub raw: u64,
+    /// Stored payload length.
+    pub stored: u32,
+    /// CRC32 of the uncompressed payload.
+    pub crc: u32,
+    /// True when the payload is stored uncompressed.
+    pub raw_stored: bool,
+}
+
+fn encode_footer(recs: &[SegmentIndexEntry]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16 + recs.len() * 40);
+    body.extend_from_slice(&(recs.len() as u32).to_le_bytes());
+    for r in recs {
+        body.extend_from_slice(&(r.block_id.len() as u16).to_le_bytes());
+        body.extend_from_slice(r.block_id.as_bytes());
+        body.extend_from_slice(&r.seq.to_le_bytes());
+        body.extend_from_slice(&r.offset.to_le_bytes());
+        body.extend_from_slice(&r.raw.to_le_bytes());
+        body.extend_from_slice(&r.stored.to_le_bytes());
+        body.extend_from_slice(&r.crc.to_le_bytes());
+        body.push(if r.raw_stored { FLAG_RAW } else { 0 });
+    }
+    let crc = crc32(&body);
+    let len = body.len() as u64;
+    body.extend_from_slice(&len.to_le_bytes());
+    body.extend_from_slice(&crc.to_le_bytes());
+    body.extend_from_slice(FOOTER_MAGIC);
+    body
+}
+
+/// Reads the footer index of a sealed segment file. Returns `Ok(None)` for
+/// an unsealed (footerless) segment; errors only on I/O or a corrupt
+/// footer. The footer makes segments self-describing — the index can be
+/// rebuilt from it without the MANIFEST.
+pub fn read_segment_footer(path: &Path) -> Result<Option<Vec<SegmentIndexEntry>>, StoreError> {
+    let data = fs::read(path)?;
+    parse_segment_footer(&data)
+}
+
+fn parse_segment_footer(data: &[u8]) -> Result<Option<Vec<SegmentIndexEntry>>, StoreError> {
+    let bad = |d: &str| StoreError::BadManifest(format!("segment footer: {d}"));
+    if data.len() < TRAILER_BYTES as usize + SEGMENT_MAGIC.len()
+        || &data[data.len() - 8..] != FOOTER_MAGIC
+    {
+        return Ok(None);
+    }
+    let t = data.len() - TRAILER_BYTES as usize;
+    let footer_len = u64::from_le_bytes(data[t..t + 8].try_into().expect("8 bytes")) as usize;
+    let footer_crc = u32::from_le_bytes(data[t + 8..t + 12].try_into().expect("4 bytes"));
+    if footer_len > t {
+        return Err(bad("declared length exceeds file"));
+    }
+    let body = &data[t - footer_len..t];
+    if crc32(body) != footer_crc {
+        return Err(bad("crc mismatch"));
+    }
+    let mut recs = Vec::new();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        let s = body
+            .get(*pos..*pos + n)
+            .ok_or_else(|| StoreError::BadManifest("segment footer: truncated body".into()))?;
+        *pos += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+    for _ in 0..count {
+        let block_len =
+            u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
+        let block_id = String::from_utf8(take(&mut pos, block_len)?.to_vec())
+            .map_err(|_| bad("non-UTF-8 block id"))?;
+        let seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let raw = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let stored = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        let flags = take(&mut pos, 1)?[0];
+        recs.push(SegmentIndexEntry {
+            block_id,
+            seq,
+            offset,
+            raw,
+            stored,
+            crc,
+            raw_stored: flags & FLAG_RAW != 0,
+        });
+    }
+    Ok(Some(recs))
+}
+
+/// One checkpoint whose data could not be found at open.
+#[derive(Debug, Clone)]
+pub struct MissingEntry {
+    /// Block id.
+    pub block_id: String,
+    /// Sequence number.
+    pub seq: u64,
+    /// The manifest location that had no backing data.
+    pub location: String,
+}
+
+/// What open-time recovery found and did. The v1 engine silently recorded
+/// `stored = 0` for entries whose data file had vanished; the segmented
+/// engine drops them, repairs the manifest, and tells you.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Manifest entries dropped because their data (legacy file or whole
+    /// segment) is gone.
+    pub missing_entries: Vec<MissingEntry>,
+    /// Segment ids no manifest line references (the residue of a crashed
+    /// compaction, or of a batch whose manifest append never became
+    /// durable). Invisible to the index; their disk space is reclaimed by
+    /// the next [`CheckpointStore::compact`] — open never deletes files,
+    /// so a read-only open of a store another process is writing cannot
+    /// destroy an in-flight segment.
+    pub orphaned_segments: Vec<u64>,
+    /// Legacy `ckpt/` files no manifest line references (reported, left in
+    /// place).
+    pub orphaned_files: Vec<String>,
+    /// Stale temp files in `seg/` (reclaimed by the next compaction).
+    pub stale_temp_files: u64,
+    /// A torn (unterminated, CRC-failing) final manifest line was dropped.
+    pub dropped_torn_tail: bool,
+    /// The manifest was rewritten to match the recovered index.
+    pub repaired_manifest: bool,
+    /// A repair was needed but skipped because the store is open
+    /// read-only (the next writable open performs it).
+    pub repair_pending: bool,
+}
+
+impl RecoveryReport {
+    /// True when open found nothing to recover or repair.
+    pub fn is_clean(&self) -> bool {
+        self.missing_entries.is_empty()
+            && self.orphaned_segments.is_empty()
+            && self.orphaned_files.is_empty()
+            && self.stale_temp_files == 0
+            && !self.dropped_torn_tail
+            && !self.repaired_manifest
+            && !self.repair_pending
+    }
+}
+
+/// Aggregate counters for `flor store stats` and the registry surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live checkpoints in the index.
+    pub entries: u64,
+    /// Live checkpoints stored in segments.
+    pub segment_entries: u64,
+    /// Live checkpoints still in legacy per-checkpoint files.
+    pub legacy_entries: u64,
+    /// Segment files on disk.
+    pub segments: u64,
+    /// Segments with a valid footer trailer (sealed).
+    pub sealed_segments: u64,
+    /// Total bytes of all segment files.
+    pub segment_disk_bytes: u64,
+    /// Stored payload bytes of live segment entries.
+    pub live_segment_bytes: u64,
+    /// Estimated reclaimable segment bytes (superseded payloads and torn
+    /// tails; segment/entry framing is accounted as live).
+    pub dead_segment_bytes: u64,
+    /// Total uncompressed bytes across live checkpoints.
+    pub raw_bytes: u64,
+    /// Total stored payload bytes across live checkpoints.
+    pub stored_bytes: u64,
+    /// `get`/`get_bytes` calls served.
+    pub reads: u64,
+    /// Reads satisfied by a zero-copy slice (raw-stored segment entries).
+    pub zero_copy_reads: u64,
+    /// Segment buffer cache hits.
+    pub segment_cache_hits: u64,
+    /// Segment buffer cache misses (one `fs::read` each).
+    pub segment_cache_misses: u64,
+    /// Compactions completed on this handle.
+    pub compactions: u64,
+    /// Disk bytes reclaimed by those compactions.
+    pub compaction_reclaimed_bytes: u64,
+}
+
+/// What one [`CheckpointStore::compact`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct CompactionReport {
+    /// Live entries rewritten into new segments.
+    pub rewritten_entries: u64,
+    /// Legacy per-checkpoint files migrated into segments.
+    pub migrated_files: u64,
+    /// Old segment files deleted.
+    pub segments_removed: u64,
+    /// Migrated legacy files deleted.
+    pub legacy_files_removed: u64,
+    /// Net disk bytes freed (old bytes − new segment bytes).
+    pub reclaimed_bytes: u64,
+    /// Ids of the segments the live data now lives in.
+    pub new_segments: Vec<u64>,
 }
 
 /// Durably replaces `dest` with `bytes`: write to a temp sibling, fsync
@@ -192,43 +587,134 @@ pub fn write_atomic(dest: &Path, bytes: &[u8]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// block → seq → entry; one per shard.
+type BlockMap = HashMap<String, BTreeMap<u64, IndexEntry>>;
+
+/// The active (append-target) segment of this writer session.
+struct ActiveSegment {
+    id: u64,
+    file: fs::File,
+    len: u64,
+    footer: Vec<SegmentIndexEntry>,
+}
+
+#[derive(Default)]
+struct WriterState {
+    active: Option<ActiveSegment>,
+}
+
+#[derive(Default)]
+struct ReadCounters {
+    reads: AtomicU64,
+    zero_copy: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct CompactionCounters {
+    runs: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
 /// An on-disk checkpoint store (thread-safe; background materializer workers
 /// share it, and `flor-registry` pools one open handle per run — all clones
-/// of a pooled `Arc<CheckpointStore>` share the same manifest appender).
+/// of a pooled `Arc<CheckpointStore>` share the same manifest appender,
+/// active segment, and segment read cache).
 pub struct CheckpointStore {
     root: PathBuf,
-    /// (block, seq) → entry
-    index: Mutex<BTreeMap<(String, u64), IndexEntry>>,
+    /// Sharded (block, seq) index: readers lock one shard, by `&str`.
+    shards: Vec<RwLock<BlockMap>>,
     /// Persistent `O_APPEND` manifest handle, opened lazily and kept open
     /// across appends (invalidated when recovery rewrites the manifest).
     appender: Mutex<Option<fs::File>>,
-    durability: Durability,
+    opts: StoreOptions,
     /// Running totals, maintained on put so the accessors are O(1).
     stored_total: AtomicU64,
     raw_total: AtomicU64,
+    /// Active-segment state; also the lock that serializes writers against
+    /// compaction.
+    writer: Mutex<WriterState>,
+    next_seg: AtomicU64,
+    /// seg id → whole-file shared buffer (the zero-copy backing).
+    seg_cache: RwLock<HashMap<u64, Bytes>>,
+    /// Total bytes resident in `seg_cache` (updated under its write lock).
+    seg_cache_bytes: AtomicU64,
+    reads: ReadCounters,
+    gc: CompactionCounters,
+    recovery: RecoveryReport,
 }
 
 impl CheckpointStore {
-    /// Creates (or opens) a store rooted at `root` with default
-    /// ([`Durability::Buffered`]) durability.
+    /// Creates (or opens) a store rooted at `root` with default options
+    /// (segmented, [`Durability::Buffered`]).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
-        Self::open_with(root, Durability::default())
+        Self::open_opts(root, StoreOptions::default())
     }
 
     /// Creates (or opens) a store with an explicit durability policy.
     pub fn open_with(root: impl Into<PathBuf>, durability: Durability) -> Result<Self, StoreError> {
-        let root = root.into();
-        fs::create_dir_all(root.join("ckpt"))?;
-        fs::create_dir_all(root.join("artifacts"))?;
-        let store = CheckpointStore {
+        Self::open_opts(
             root,
-            index: Mutex::new(BTreeMap::new()),
+            StoreOptions {
+                durability,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// Opens a store for inspection only: nothing on disk is created,
+    /// repaired, or deleted, and every write API fails with
+    /// [`StoreError::ReadOnly`]. Safe to run against a store another
+    /// process is actively recording into.
+    pub fn open_read_only(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_opts(
+            root,
+            StoreOptions {
+                read_only: true,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// Creates (or opens) a store with explicit [`StoreOptions`].
+    pub fn open_opts(root: impl Into<PathBuf>, opts: StoreOptions) -> Result<Self, StoreError> {
+        let root = root.into();
+        if opts.read_only {
+            // Inspection of a path that holds no store must error, not
+            // report a clean empty store — "entries: 0, recovery: clean"
+            // for a typo'd path would read as data loss.
+            let looks_like_store = root.join("MANIFEST").exists()
+                || root.join("seg").is_dir()
+                || root.join("ckpt").is_dir();
+            if !looks_like_store {
+                return Err(StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no checkpoint store at {}", root.display()),
+                )));
+            }
+        } else {
+            fs::create_dir_all(root.join("ckpt"))?;
+            fs::create_dir_all(root.join("seg"))?;
+            fs::create_dir_all(root.join("artifacts"))?;
+        }
+        let mut store = CheckpointStore {
+            root,
+            shards: (0..SHARDS).map(|_| RwLock::new(BlockMap::new())).collect(),
             appender: Mutex::new(None),
-            durability,
+            opts,
             stored_total: AtomicU64::new(0),
             raw_total: AtomicU64::new(0),
+            writer: Mutex::new(WriterState::default()),
+            next_seg: AtomicU64::new(0),
+            seg_cache: RwLock::new(HashMap::new()),
+            seg_cache_bytes: AtomicU64::new(0),
+            reads: ReadCounters::default(),
+            gc: CompactionCounters::default(),
+            recovery: RecoveryReport::default(),
         };
-        store.load_manifest()?;
+        let report = store.load_manifest()?;
+        store.recovery = report;
         Ok(store)
     }
 
@@ -239,48 +725,90 @@ impl CheckpointStore {
 
     /// The durability policy this store was opened with.
     pub fn durability(&self) -> Durability {
-        self.durability
+        self.opts.durability
+    }
+
+    /// The write layout this store was opened with.
+    pub fn format(&self) -> StoreFormat {
+        self.opts.format
+    }
+
+    /// What open-time recovery found (missing data, orphans, repairs).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     fn manifest_path(&self) -> PathBuf {
         self.root.join("MANIFEST")
     }
 
-    fn load_manifest(&self) -> Result<(), StoreError> {
-        let path = self.manifest_path();
-        if !path.exists() {
-            return Ok(());
+    fn seg_dir(&self) -> PathBuf {
+        self.root.join("seg")
+    }
+
+    fn segment_path(&self, seg: u64) -> PathBuf {
+        self.seg_dir().join(format!("{seg:08}.seg"))
+    }
+
+    fn shard_of(block: &str) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        block.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    // ---- open / recovery ---------------------------------------------------
+
+    fn load_manifest(&mut self) -> Result<RecoveryReport, StoreError> {
+        let mut report = RecoveryReport::default();
+
+        // Scan seg/: existing segment ids and sizes (one stat per segment,
+        // never per checkpoint), stale temp files from crashed compactions.
+        // The directory may not exist under a read-only open of a pure v1
+        // store (read-only opens create nothing).
+        let mut seg_sizes: HashMap<u64, u64> = HashMap::new();
+        if let Ok(rd) = fs::read_dir(self.seg_dir()) {
+            for entry in rd {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with('.') {
+                    // A temp sibling from an interrupted compaction or
+                    // atomic write. Reported only — another process may own
+                    // it right now; the next compaction (which holds the
+                    // writer lock) reclaims it.
+                    report.stale_temp_files += 1;
+                    continue;
+                }
+                if let Some(id) = name
+                    .strip_suffix(".seg")
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    seg_sizes.insert(id, entry.metadata()?.len());
+                }
+            }
         }
-        let text = fs::read_to_string(&path)?;
-        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-        // A record phase killed mid-append leaves a final line without its
-        // terminating newline; only such a tail may be dropped as torn.
-        // Any malformed *complete* line is real corruption and stays fatal.
-        let tail_unterminated = !text.is_empty() && !text.ends_with('\n');
-        let mut dropped_torn_tail = false;
-        {
-            let mut index = self.index.lock();
+        self.next_seg = AtomicU64::new(
+            seg_sizes.keys().max().map(|m| m + 1).unwrap_or(0),
+        );
+
+        let path = self.manifest_path();
+        let mut parsed: Vec<((String, u64), IndexEntry)> = Vec::new();
+        let mut tail_unterminated = false;
+        if path.exists() {
+            let text = fs::read_to_string(&path)?;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            // A record phase killed mid-append leaves a final line without
+            // its terminating newline; only such a tail may be dropped as
+            // torn. Any malformed *complete* line is real corruption and
+            // stays fatal.
+            tail_unterminated = !text.is_empty() && !text.ends_with('\n');
             for (i, line) in lines.iter().enumerate() {
                 match Self::parse_manifest_line(line, i + 1) {
-                    Ok((key, mut entry)) => {
-                        // Stat once at open so byte-total accessors stay O(1).
-                        entry.stored = fs::metadata(self.root.join("ckpt").join(&entry.file))
-                            .map(|m| m.len())
-                            .unwrap_or(0);
-                        self.raw_total.fetch_add(entry.raw, Ordering::Relaxed);
-                        self.stored_total.fetch_add(entry.stored, Ordering::Relaxed);
-                        if let Some(old) = index.insert(key, entry) {
-                            // Duplicate manifest line (re-put): the earlier
-                            // entry no longer counts toward the totals.
-                            self.raw_total.fetch_sub(old.raw, Ordering::Relaxed);
-                            self.stored_total.fetch_sub(old.stored, Ordering::Relaxed);
-                        }
-                    }
+                    Ok(pair) => parsed.push(pair),
                     Err(e) => {
                         if i + 1 == lines.len() && tail_unterminated {
-                            // Drop the torn tail: its checkpoint file is at
-                            // worst an orphan; the run is not poisoned.
-                            dropped_torn_tail = true;
+                            // Drop the torn tail: its checkpoint data is at
+                            // worst dead bytes; the run is not poisoned.
+                            report.dropped_torn_tail = true;
                         } else {
                             return Err(e);
                         }
@@ -288,20 +816,139 @@ impl CheckpointStore {
                 }
             }
         }
-        // Repair whenever the tail lacks its newline — even if the line
-        // parsed (the crash can cut exactly at the newline). Leaving an
-        // unterminated tail would make the next O_APPEND write merge two
-        // lines into one, turning recoverable damage into fatal corruption.
-        if dropped_torn_tail || tail_unterminated {
-            self.rewrite_manifest()?;
+
+        // Segments referenced by any manifest line (live *or* superseded —
+        // superseded payloads stay until compaction rewrites them away).
+        let referenced_segs: HashSet<u64> = parsed
+            .iter()
+            .filter_map(|(_, e)| match &e.loc {
+                Location::Segment { seg, .. } => Some(*seg),
+                Location::File(_) => None,
+            })
+            .collect();
+        let referenced_files: HashSet<String> = parsed
+            .iter()
+            .filter_map(|(_, e)| match &e.loc {
+                Location::File(f) => Some(f.clone()),
+                Location::Segment { .. } => None,
+            })
+            .collect();
+
+        // Later manifest lines supersede earlier ones (re-puts): reduce to
+        // the last-writer-wins entry per key *before* validating data
+        // presence, so a vanished superseded payload is not misreported as
+        // a missing live checkpoint.
+        let mut winners: Vec<((String, u64), IndexEntry)> = Vec::with_capacity(parsed.len());
+        {
+            let mut at: HashMap<(String, u64), usize> = HashMap::with_capacity(parsed.len());
+            for pair in parsed {
+                match at.get(&pair.0) {
+                    Some(&i) => winners[i] = pair,
+                    None => {
+                        at.insert(pair.0.clone(), winners.len());
+                        winners.push(pair);
+                    }
+                }
+            }
+        }
+
+        // Validate data presence and build the sharded index.
+        let mut dropped_missing = false;
+        for ((block, seq), mut entry) in winners {
+            match &entry.loc {
+                Location::Segment { seg, .. } => {
+                    if !seg_sizes.contains_key(seg) {
+                        report.missing_entries.push(MissingEntry {
+                            block_id: block,
+                            seq,
+                            location: entry.loc.render(),
+                        });
+                        dropped_missing = true;
+                        continue;
+                    }
+                    // An in-bounds check happens at read time: a too-short
+                    // segment is corruption and must fail loudly, not be
+                    // silently skipped.
+                }
+                Location::File(file) => {
+                    // Legacy entries carry no stored size in the manifest;
+                    // stat the file (this is the v1-compat path only — a
+                    // segmented store has no such entries).
+                    match fs::metadata(self.root.join("ckpt").join(file)) {
+                        Ok(m) => entry.stored = m.len(),
+                        Err(_) => {
+                            report.missing_entries.push(MissingEntry {
+                                block_id: block,
+                                seq,
+                                location: entry.loc.render(),
+                            });
+                            dropped_missing = true;
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.index_insert(block, seq, entry);
+        }
+
+        // Orphaned segments: on disk, referenced by nothing. These are the
+        // residue of a crashed compaction (new segment renamed in, manifest
+        // swap never happened — or manifest swapped, old segments never
+        // deleted) or of a batch whose manifest append was lost; either
+        // way no live checkpoint points into them. Report only — a
+        // concurrent writer process may be mid-commit into exactly such a
+        // segment, so deletion belongs to compaction, not to open.
+        for (&id, _) in seg_sizes.iter() {
+            if !referenced_segs.contains(&id) {
+                report.orphaned_segments.push(id);
+            }
+        }
+        report.orphaned_segments.sort_unstable();
+
+        // Orphaned legacy files: reported, not deleted.
+        if let Ok(rd) = fs::read_dir(self.root.join("ckpt")) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.starts_with('.') && !referenced_files.contains(name.as_str()) {
+                    report.orphaned_files.push(name);
+                }
+            }
+        }
+        report.orphaned_files.sort_unstable();
+
+        // Repair whenever entries were dropped or the tail lacks its
+        // newline — even if the final line parsed (the crash can cut
+        // exactly at the newline). Leaving an unterminated tail would make
+        // the next O_APPEND write merge two lines into one, turning
+        // recoverable damage into fatal corruption.
+        if report.dropped_torn_tail || tail_unterminated || dropped_missing {
+            if self.opts.read_only {
+                // Never touch the MANIFEST from an inspection open: the
+                // writer process that owns this store keeps an O_APPEND
+                // handle to the current inode, and a rename here would
+                // silently sever it. The in-memory view is still the
+                // recovered one; the next writable open repairs the file.
+                report.repair_pending = true;
+            } else {
+                self.rewrite_manifest()?;
+                report.repaired_manifest = true;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Errors when this handle was opened read-only.
+    fn ensure_writable(&self) -> Result<(), StoreError> {
+        if self.opts.read_only {
+            return Err(StoreError::ReadOnly);
         }
         Ok(())
     }
 
     /// Renders the manifest line for one entry, with its trailing
     /// self-CRC over the five data fields.
-    fn manifest_line(block: &str, seq: u64, file: &str, raw: u64, crc: u32) -> String {
-        let payload = format!("{block}\t{seq}\t{file}\t{raw}\t{crc}");
+    fn manifest_line(block: &str, seq: u64, location: &str, raw: u64, crc: u32) -> String {
+        let payload = format!("{block}\t{seq}\t{location}\t{raw}\t{crc}");
         let line_crc = crc32(payload.as_bytes());
         format!("{payload}\t{line_crc}")
     }
@@ -338,15 +985,30 @@ impl CheckpointStore {
         let crc: u32 = parts[4]
             .parse()
             .map_err(|_| StoreError::BadManifest(format!("line {lineno}: bad crc")))?;
+        let loc = Location::parse(parts[2]);
+        let stored = match &loc {
+            Location::Segment { len, .. } => *len as u64,
+            Location::File(_) => 0, // statted by the caller (v1 compat)
+        };
         Ok((
             (parts[0].to_string(), seq),
-            IndexEntry {
-                file: parts[2].to_string(),
-                raw,
-                crc,
-                stored: 0,
-            },
+            IndexEntry { loc, raw, crc, stored },
         ))
+    }
+
+    /// All live entries, sorted by (block, seq), with their index data.
+    fn sorted_index(&self) -> Vec<(String, u64, IndexEntry)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let m = shard.read();
+            for (block, seqs) in m.iter() {
+                for (seq, e) in seqs.iter() {
+                    all.push((block.clone(), *seq, e.clone()));
+                }
+            }
+        }
+        all.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+        all
     }
 
     /// Rewrites the manifest from the in-memory index, crash-safely:
@@ -358,12 +1020,15 @@ impl CheckpointStore {
         let mut appender = self.appender.lock();
         *appender = None;
         let mut text = String::new();
-        {
-            let index = self.index.lock();
-            for ((block, seq), e) in index.iter() {
-                text.push_str(&Self::manifest_line(block, *seq, &e.file, e.raw, e.crc));
-                text.push('\n');
-            }
+        for (block, seq, e) in self.sorted_index() {
+            text.push_str(&Self::manifest_line(
+                &block,
+                seq,
+                &e.loc.render(),
+                e.raw,
+                e.crc,
+            ));
+            text.push('\n');
         }
         write_atomic(&self.manifest_path(), text.as_bytes())?;
         Ok(())
@@ -371,8 +1036,7 @@ impl CheckpointStore {
 
     /// Appends pre-rendered, newline-terminated manifest text through the
     /// persistent appender (one `write_all`: `O_APPEND` keeps concurrent
-    /// batches from interleaving mid-line). Reopening per append — the old
-    /// behavior — cost an open/close pair per checkpoint.
+    /// batches from interleaving mid-line).
     fn append_manifest_text(&self, text: &str) -> Result<(), StoreError> {
         let mut guard = self.appender.lock();
         if guard.is_none() {
@@ -385,7 +1049,7 @@ impl CheckpointStore {
         }
         let f = guard.as_mut().expect("appender populated above");
         f.write_all(text.as_bytes())?;
-        if self.durability == Durability::GroupCommit {
+        if self.opts.durability == Durability::GroupCommit {
             f.sync_data()?;
             // The MANIFEST's own directory entry must be durable too (it
             // may have just been created); errors propagate — a failed
@@ -394,6 +1058,30 @@ impl CheckpointStore {
         }
         Ok(())
     }
+
+    /// Inserts an entry, maintaining the O(1) byte totals (a replaced
+    /// entry's contribution is subtracted).
+    fn index_insert(&self, block: String, seq: u64, entry: IndexEntry) {
+        self.raw_total.fetch_add(entry.raw, Ordering::Relaxed);
+        self.stored_total.fetch_add(entry.stored, Ordering::Relaxed);
+        let shard = &self.shards[Self::shard_of(&block)];
+        let old = shard.write().entry(block).or_default().insert(seq, entry);
+        if let Some(old) = old {
+            self.raw_total.fetch_sub(old.raw, Ordering::Relaxed);
+            self.stored_total.fetch_sub(old.stored, Ordering::Relaxed);
+        }
+    }
+
+    fn lookup(&self, block_id: &str, seq: u64) -> Option<IndexEntry> {
+        // Borrowed-key lookup: no allocation while holding the shard lock.
+        self.shards[Self::shard_of(block_id)]
+            .read()
+            .get(block_id)
+            .and_then(|m| m.get(&seq))
+            .cloned()
+    }
+
+    // ---- writes ------------------------------------------------------------
 
     /// Starts an empty write batch against this store.
     pub fn batch(&self) -> WriteBatch<'_> {
@@ -412,67 +1100,248 @@ impl CheckpointStore {
         Ok(metas.pop().expect("batch of one yields one meta"))
     }
 
-    /// Reads and verifies the checkpoint payload for `(block_id, seq)`.
-    pub fn get(&self, block_id: &str, seq: u64) -> Result<Vec<u8>, StoreError> {
-        let entry = self
-            .index
-            .lock()
-            .get(&(block_id.to_string(), seq))
-            .cloned();
-        let entry = entry.ok_or_else(|| StoreError::Missing {
+    /// Seals the active segment (writes its footer index), if any. Called
+    /// automatically on drop and before rolling to a new segment; safe to
+    /// call at any quiescent point (e.g. end of record).
+    pub fn seal_active_segment(&self) -> Result<(), StoreError> {
+        if self.opts.read_only {
+            return Ok(()); // nothing to seal; called unconditionally by Drop
+        }
+        let mut w = self.writer.lock();
+        self.seal_locked(&mut w)
+    }
+
+    fn seal_locked(&self, w: &mut WriterState) -> Result<(), StoreError> {
+        let Some(active) = w.active.take() else {
+            return Ok(());
+        };
+        let mut file = active.file;
+        file.write_all(&encode_footer(&active.footer))?;
+        if self.opts.durability == Durability::GroupCommit {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    // ---- reads -------------------------------------------------------------
+
+    /// Reads, verifies, and returns the checkpoint payload for
+    /// `(block_id, seq)` as a refcounted [`Bytes`].
+    ///
+    /// The zero-copy contract: for raw-stored segment entries the returned
+    /// buffer **is** a slice of the shared per-segment read buffer — no
+    /// payload bytes are copied, and all readers of one segment share one
+    /// backing allocation. Compressed entries pay exactly one decompression
+    /// into a fresh buffer. Either way the payload CRC is verified on every
+    /// read.
+    pub fn get_bytes(&self, block_id: &str, seq: u64) -> Result<Bytes, StoreError> {
+        self.reads.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_with_relocation_retry(block_id, seq, |entry| {
+            self.read_payload(block_id, seq, entry)
+        })
+    }
+
+    /// Runs `read` against the entry's current location, re-resolving and
+    /// retrying when the data file vanished underneath it — the benign
+    /// race where a concurrent [`CheckpointStore::compact`] repointed the
+    /// index and deleted the old segment between this reader's lookup and
+    /// its `fs::read`. A `NotFound` at an *unchanged* location is a real
+    /// error and propagates; each retry requires a fresh location, so the
+    /// loop only spins while compactions actually land.
+    fn read_with_relocation_retry<T>(
+        &self,
+        block_id: &str,
+        seq: u64,
+        read: impl Fn(&IndexEntry) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let missing = || StoreError::Missing {
             block_id: block_id.to_string(),
             seq,
-        })?;
-        let compressed = fs::read(self.root.join("ckpt").join(&entry.file))?;
-        let payload = decompress(&compressed).map_err(|e| StoreError::Corrupt {
-            block_id: block_id.to_string(),
-            seq,
-            detail: e.message,
-        })?;
-        if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
+        };
+        let mut entry = self.lookup(block_id, seq).ok_or_else(missing)?;
+        loop {
+            match read(&entry) {
+                Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    let fresh = self.lookup(block_id, seq).ok_or_else(missing)?;
+                    if fresh.loc == entry.loc {
+                        return Err(StoreError::Io(e));
+                    }
+                    entry = fresh;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Zero-copy slice of one segment-resident entry's stored bytes, with
+    /// the shared bounds/truncation check (`get_stored` and the verified
+    /// read path both go through here, so the truncation contract lives in
+    /// one place).
+    fn stored_slice(
+        &self,
+        block_id: &str,
+        seq: u64,
+        seg: u64,
+        offset: u64,
+        len: u32,
+    ) -> Result<Bytes, StoreError> {
+        let need = offset + len as u64;
+        let buf = self.segment_bytes(seg, need)?;
+        if (buf.len() as u64) < need {
             return Err(StoreError::Corrupt {
                 block_id: block_id.to_string(),
                 seq,
-                detail: "crc or length mismatch".into(),
+                detail: format!(
+                    "segment {seg} truncated: need {need} bytes, have {}",
+                    buf.len()
+                ),
             });
         }
-        Ok(payload)
+        let mut view = buf;
+        view.advance(offset as usize);
+        Ok(view.copy_to_bytes(len as usize))
+    }
+
+    /// Reads and verifies one entry's payload at its recorded location.
+    fn read_payload(
+        &self,
+        block_id: &str,
+        seq: u64,
+        entry: &IndexEntry,
+    ) -> Result<Bytes, StoreError> {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            block_id: block_id.to_string(),
+            seq,
+            detail,
+        };
+        match &entry.loc {
+            Location::File(file) => {
+                let compressed = fs::read(self.root.join("ckpt").join(file))?;
+                let payload = decompress(&compressed).map_err(|e| corrupt(e.message))?;
+                if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
+                    return Err(corrupt("crc or length mismatch".into()));
+                }
+                Ok(Bytes::from_vec(payload))
+            }
+            Location::Segment { seg, offset, len, raw_stored } => {
+                let slice = self.stored_slice(block_id, seq, *seg, *offset, *len)?;
+                if *raw_stored {
+                    if slice.len() as u64 != entry.raw || crc32(slice.as_ref()) != entry.crc {
+                        return Err(corrupt("crc or length mismatch".into()));
+                    }
+                    self.reads.zero_copy.fetch_add(1, Ordering::Relaxed);
+                    Ok(slice)
+                } else {
+                    let payload =
+                        decompress(slice.as_ref()).map_err(|e| corrupt(e.message))?;
+                    if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
+                        return Err(corrupt("crc or length mismatch".into()));
+                    }
+                    Ok(Bytes::from_vec(payload))
+                }
+            }
+        }
+    }
+
+    /// Reads and verifies the checkpoint payload for `(block_id, seq)`.
+    /// Compatibility wrapper over [`CheckpointStore::get_bytes`] (pays one
+    /// copy into an owned `Vec`; hot paths should use `get_bytes`).
+    pub fn get(&self, block_id: &str, seq: u64) -> Result<Vec<u8>, StoreError> {
+        Ok(self.get_bytes(block_id, seq)?.to_vec())
+    }
+
+    /// The stored (possibly compressed) representation of a checkpoint —
+    /// what spooling to object storage ships.
+    pub fn get_stored(&self, block_id: &str, seq: u64) -> Result<Vec<u8>, StoreError> {
+        self.read_with_relocation_retry(block_id, seq, |entry| match &entry.loc {
+            Location::File(file) => Ok(fs::read(self.root.join("ckpt").join(file))?),
+            Location::Segment { seg, offset, len, .. } => Ok(self
+                .stored_slice(block_id, seq, *seg, *offset, *len)?
+                .to_vec()),
+        })
+    }
+
+    /// Returns the shared whole-file buffer for a segment, reading it at
+    /// most once per cache residency. `min_len` forces a re-read when a
+    /// cached buffer predates appends to the active segment.
+    fn segment_bytes(&self, seg: u64, min_len: u64) -> Result<Bytes, StoreError> {
+        {
+            let cache = self.seg_cache.read();
+            if let Some(b) = cache.get(&seg) {
+                if b.len() as u64 >= min_len {
+                    self.reads.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(b.clone());
+                }
+            }
+        }
+        self.reads.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let data = fs::read(self.segment_path(seg))?;
+        let b = Bytes::from_vec(data);
+        let incoming = b.len() as u64;
+        let mut cache = self.seg_cache.write();
+        // Evict single arbitrary residents until the byte budget fits —
+        // never the whole cache, which would periodically cold-start every
+        // concurrent reader. (Evicted buffers stay alive for readers still
+        // holding slices of them; the budget bounds what the *cache* pins.)
+        while self.seg_cache_bytes.load(Ordering::Relaxed) + incoming
+            > SEGMENT_CACHE_BUDGET_BYTES
+            && !cache.is_empty()
+        {
+            let victim = *cache.keys().next().expect("non-empty cache");
+            if let Some(evicted) = cache.remove(&victim) {
+                self.seg_cache_bytes
+                    .fetch_sub(evicted.len() as u64, Ordering::Relaxed);
+            }
+        }
+        if let Some(old) = cache.insert(seg, b.clone()) {
+            self.seg_cache_bytes
+                .fetch_sub(old.len() as u64, Ordering::Relaxed);
+        }
+        self.seg_cache_bytes.fetch_add(incoming, Ordering::Relaxed);
+        Ok(b)
     }
 
     /// True if a checkpoint exists for `(block_id, seq)`.
     pub fn contains(&self, block_id: &str, seq: u64) -> bool {
-        self.index
-            .lock()
-            .contains_key(&(block_id.to_string(), seq))
+        self.shards[Self::shard_of(block_id)]
+            .read()
+            .get(block_id)
+            .is_some_and(|m| m.contains_key(&seq))
     }
 
     /// Number of checkpoints stored for a block.
     pub fn count(&self, block_id: &str) -> u64 {
-        self.index
-            .lock()
-            .keys()
-            .filter(|(b, _)| b == block_id)
-            .count() as u64
+        self.shards[Self::shard_of(block_id)]
+            .read()
+            .get(block_id)
+            .map_or(0, |m| m.len() as u64)
     }
 
     /// Highest stored sequence number for a block, if any.
     pub fn latest_seq(&self, block_id: &str) -> Option<u64> {
-        self.index
-            .lock()
-            .keys()
-            .filter(|(b, _)| b == block_id)
-            .map(|(_, s)| *s)
-            .max()
+        self.shards[Self::shard_of(block_id)]
+            .read()
+            .get(block_id)
+            .and_then(|m| m.keys().next_back().copied())
     }
 
     /// All `(block_id, seq)` pairs, sorted.
     pub fn entries(&self) -> Vec<(String, u64)> {
-        self.index.lock().keys().cloned().collect()
+        let mut all: Vec<(String, u64)> = Vec::new();
+        for shard in &self.shards {
+            let m = shard.read();
+            for (block, seqs) in m.iter() {
+                for seq in seqs.keys() {
+                    all.push((block.clone(), *seq));
+                }
+            }
+        }
+        all.sort();
+        all
     }
 
-    /// Total compressed bytes on disk across all checkpoints. O(1): a
-    /// running counter maintained on put (previously a full index walk with
-    /// one `stat` per entry).
+    /// Total stored payload bytes across all checkpoints. O(1): a running
+    /// counter maintained on put.
     pub fn total_stored_bytes(&self) -> u64 {
         self.stored_total.load(Ordering::Relaxed)
     }
@@ -482,10 +1351,366 @@ impl CheckpointStore {
         self.raw_total.load(Ordering::Relaxed)
     }
 
+    // ---- stats -------------------------------------------------------------
+
+    /// Aggregate storage-engine counters (segments, dead bytes, read/cache
+    /// counters, compactions). Walks the index and stats segment files —
+    /// cheap (segments are few), but not O(1); intended for `flor store
+    /// stats` and operator surfaces, not hot paths.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats {
+            raw_bytes: self.total_raw_bytes(),
+            stored_bytes: self.total_stored_bytes(),
+            reads: self.reads.reads.load(Ordering::Relaxed),
+            zero_copy_reads: self.reads.zero_copy.load(Ordering::Relaxed),
+            segment_cache_hits: self.reads.cache_hits.load(Ordering::Relaxed),
+            segment_cache_misses: self.reads.cache_misses.load(Ordering::Relaxed),
+            compactions: self.gc.runs.load(Ordering::Relaxed),
+            compaction_reclaimed_bytes: self.gc.reclaimed.load(Ordering::Relaxed),
+            ..StoreStats::default()
+        };
+        // Live framing overhead counts as live when estimating dead bytes.
+        let mut live_overhead = 0u64;
+        for shard in &self.shards {
+            let m = shard.read();
+            for (block, seqs) in m.iter() {
+                for e in seqs.values() {
+                    s.entries += 1;
+                    match &e.loc {
+                        Location::Segment { .. } => {
+                            s.segment_entries += 1;
+                            s.live_segment_bytes += e.stored;
+                            live_overhead += ENTRY_HEADER_BYTES + block.len() as u64;
+                        }
+                        Location::File(_) => s.legacy_entries += 1,
+                    }
+                }
+            }
+        }
+        if let Ok(rd) = fs::read_dir(self.seg_dir()) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with('.') || !name.ends_with(".seg") {
+                    continue;
+                }
+                let Ok(meta) = entry.metadata() else { continue };
+                s.segments += 1;
+                s.segment_disk_bytes += meta.len();
+                live_overhead += SEGMENT_MAGIC.len() as u64;
+                // Sealed? Check the trailer magic and charge the footer as
+                // live framing.
+                if let Ok(Some(footer_len)) = read_trailer_footer_len(&entry.path(), meta.len()) {
+                    s.sealed_segments += 1;
+                    live_overhead += footer_len + TRAILER_BYTES;
+                }
+            }
+        }
+        s.dead_segment_bytes = s
+            .segment_disk_bytes
+            .saturating_sub(s.live_segment_bytes + live_overhead);
+        s
+    }
+
+    // ---- compaction / GC ---------------------------------------------------
+
+    /// Rewrites all live checkpoints into fresh, sealed segments and
+    /// deletes the old segments and any migrated legacy files. Crash-safe:
+    /// new segments are written to temp siblings, fsynced, and renamed in;
+    /// the MANIFEST swap is atomic; old data is deleted only after the new
+    /// manifest is in place. A crash at any point leaves either the
+    /// pre-compaction or the post-compaction view (the orphaned half is
+    /// reported at the next open and reclaimed by the next compaction
+    /// pass). Refuses (with
+    /// [`StoreError::Corrupt`]) to destroy data it cannot re-read.
+    ///
+    /// Writers block for the duration (the active segment is consumed);
+    /// readers keep going throughout. Those guarantees are *in-process*:
+    /// compaction requires exclusive cross-process ownership of the store
+    /// directory — it rewrites the MANIFEST and deletes segments, either
+    /// of which would sever another process's kept-open handles. Don't
+    /// compact a store a different process is actively recording into
+    /// (registry-managed runs never share a store directory across
+    /// concurrent recorders, so `Registry::compact_run` is safe there).
+    pub fn compact(&self) -> Result<CompactionReport, StoreError> {
+        self.ensure_writable()?;
+        let mut w = self.writer.lock();
+        // The active segment's live entries get rewritten like everyone
+        // else's; stop appending to it.
+        w.active = None;
+
+        let live = self.sorted_index();
+        // Everything currently in seg/ is an "old" segment (new ids are
+        // allocated past next_seg, so the two sets cannot collide) —
+        // including orphans a crashed compaction left behind, which open
+        // only *reports*. Stale temp siblings are reclaimed here too:
+        // compaction holds the writer lock, so unlike open it cannot be
+        // racing this store's own writers.
+        let mut old_segs: BTreeSet<u64> = BTreeSet::new();
+        if let Ok(rd) = fs::read_dir(self.seg_dir()) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with('.') {
+                    let _ = fs::remove_file(entry.path());
+                    continue;
+                }
+                if let Some(id) = name.strip_suffix(".seg").and_then(|n| n.parse::<u64>().ok()) {
+                    old_segs.insert(id);
+                }
+            }
+        }
+
+        let mut report = CompactionReport::default();
+        let mut old_bytes = 0u64;
+        for &id in &old_segs {
+            old_bytes += fs::metadata(self.segment_path(id)).map(|m| m.len()).unwrap_or(0);
+        }
+
+        // Group live entries by source segment so old segments are read —
+        // and freed — one at a time: peak memory is one old segment plus
+        // the new segment being assembled, never the whole store.
+        type SegEntryRef = (String, u64, u64, u32, u64, u32, bool);
+        let mut by_seg: BTreeMap<u64, Vec<SegEntryRef>> = BTreeMap::new();
+        let mut legacy: Vec<(String, u64, String, u64, u32)> = Vec::new();
+        for (block, seq, e) in &live {
+            match &e.loc {
+                Location::Segment { seg, offset, len, raw_stored } => {
+                    by_seg.entry(*seg).or_default().push((
+                        block.clone(),
+                        *seq,
+                        *offset,
+                        *len,
+                        e.raw,
+                        e.crc,
+                        *raw_stored,
+                    ));
+                }
+                Location::File(file) => {
+                    legacy.push((block.clone(), *seq, file.clone(), e.raw, e.crc));
+                }
+            }
+        }
+
+        if live.is_empty() && old_segs.is_empty() {
+            return Ok(report);
+        }
+
+        // Rolling writer over new sealed segments (no decompression —
+        // compaction moves stored representations verbatim): each fills to
+        // the target size, then lands via temp sibling + fsync + rename.
+        // An interrupted pass leaves only temp junk or unreferenced
+        // segments, both invisible to the index and reclaimed by the next
+        // compaction.
+        struct NewSeg {
+            id: u64,
+            bytes: Vec<u8>,
+            footer: Vec<SegmentIndexEntry>,
+        }
+        struct SegmentRewriter {
+            cur: Option<NewSeg>,
+            new_locs: Vec<(String, u64, Location)>,
+            new_segments: Vec<u64>,
+            bytes_written: u64,
+        }
+        impl SegmentRewriter {
+            // One parameter per on-disk entry field; splitting further
+            // would just re-bundle them into an ad-hoc struct.
+            #[allow(clippy::too_many_arguments)]
+            fn push(
+                &mut self,
+                store: &CheckpointStore,
+                block: &str,
+                seq: u64,
+                raw: u64,
+                crc: u32,
+                raw_stored: bool,
+                stored: &[u8],
+            ) -> Result<(), StoreError> {
+                let ns = self.cur.get_or_insert_with(|| {
+                    let id = store.next_seg.fetch_add(1, Ordering::Relaxed);
+                    let mut bytes = Vec::with_capacity(
+                        (store.opts.segment_target_bytes as usize).min(1 << 20),
+                    );
+                    bytes.extend_from_slice(SEGMENT_MAGIC);
+                    NewSeg { id, bytes, footer: Vec::new() }
+                });
+                let offset =
+                    append_entry(&mut ns.bytes, block, seq, raw, crc, raw_stored, stored);
+                ns.footer.push(SegmentIndexEntry {
+                    block_id: block.to_string(),
+                    seq,
+                    offset,
+                    raw,
+                    stored: stored.len() as u32,
+                    crc,
+                    raw_stored,
+                });
+                self.new_locs.push((
+                    block.to_string(),
+                    seq,
+                    Location::Segment {
+                        seg: ns.id,
+                        offset,
+                        len: stored.len() as u32,
+                        raw_stored,
+                    },
+                ));
+                if ns.bytes.len() as u64 >= store.opts.segment_target_bytes {
+                    self.flush(store)?;
+                }
+                Ok(())
+            }
+
+            fn flush(&mut self, store: &CheckpointStore) -> Result<(), StoreError> {
+                if let Some(full) = self.cur.take() {
+                    self.bytes_written +=
+                        store.write_compacted_segment(full.id, full.bytes, &full.footer)?;
+                    self.new_segments.push(full.id);
+                }
+                Ok(())
+            }
+        }
+        let mut rewriter = SegmentRewriter {
+            cur: None,
+            new_locs: Vec::with_capacity(live.len()),
+            new_segments: Vec::new(),
+            bytes_written: 0,
+        };
+
+        for (seg_id, entries) in &by_seg {
+            let data = fs::read(self.segment_path(*seg_id))?;
+            for (block, seq, offset, len, raw, crc, raw_stored) in entries {
+                let end = (offset + *len as u64) as usize;
+                if data.len() < end {
+                    return Err(StoreError::Corrupt {
+                        block_id: block.clone(),
+                        seq: *seq,
+                        detail: format!("segment {seg_id} truncated; refusing to compact"),
+                    });
+                }
+                rewriter.push(
+                    self,
+                    block,
+                    *seq,
+                    *raw,
+                    *crc,
+                    *raw_stored,
+                    &data[*offset as usize..end],
+                )?;
+                report.rewritten_entries += 1;
+            }
+            // `data` (the whole old segment) drops here, before the next
+            // segment is read.
+        }
+        let mut migrated_legacy: Vec<String> = Vec::new();
+        for (block, seq, file, raw, crc) in &legacy {
+            let path = self.root.join("ckpt").join(file);
+            old_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let stored = fs::read(&path)?;
+            // Legacy files are always compressed (raw_stored = false).
+            rewriter.push(self, block, *seq, *raw, *crc, false, &stored)?;
+            migrated_legacy.push(file.clone());
+            report.migrated_files += 1;
+        }
+        rewriter.flush(self)?;
+        let new_locs = rewriter.new_locs;
+        let new_bytes_total = rewriter.bytes_written;
+        report.new_segments = rewriter.new_segments;
+        // Persist the renames before the manifest references them.
+        if let Ok(d) = fs::File::open(self.seg_dir()) {
+            let _ = d.sync_all();
+        }
+
+        // Swap the index over to the new locations, then the manifest
+        // (atomically). Readers between these two steps see the new
+        // segments; readers before see the old ones — both complete views.
+        for (block, seq, loc) in new_locs {
+            let shard = &self.shards[Self::shard_of(&block)];
+            let mut m = shard.write();
+            if let Some(e) = m.get_mut(&block).and_then(|seqs| seqs.get_mut(&seq)) {
+                e.loc = loc;
+            }
+        }
+        self.rewrite_manifest()?;
+
+        // GC: the old segments and migrated legacy files are now
+        // unreferenced by the durable manifest.
+        for id in &old_segs {
+            if fs::remove_file(self.segment_path(*id)).is_ok() {
+                report.segments_removed += 1;
+            }
+        }
+        for file in &migrated_legacy {
+            if fs::remove_file(self.root.join("ckpt").join(file)).is_ok() {
+                report.legacy_files_removed += 1;
+            }
+        }
+        {
+            let mut cache = self.seg_cache.write();
+            cache.clear();
+            self.seg_cache_bytes.store(0, Ordering::Relaxed);
+        }
+
+        report.reclaimed_bytes = old_bytes.saturating_sub(new_bytes_total);
+        self.gc.runs.fetch_add(1, Ordering::Relaxed);
+        self.gc
+            .reclaimed
+            .fetch_add(report.reclaimed_bytes, Ordering::Relaxed);
+        drop(w);
+        Ok(report)
+    }
+
+    /// Lands one compacted segment: footer appended, written to a temp
+    /// sibling, fsynced, renamed into place. Returns the bytes written.
+    fn write_compacted_segment(
+        &self,
+        id: u64,
+        mut bytes: Vec<u8>,
+        footer: &[SegmentIndexEntry],
+    ) -> Result<u64, StoreError> {
+        bytes.extend_from_slice(&encode_footer(footer));
+        let dest = self.segment_path(id);
+        let tmp = self
+            .seg_dir()
+            .join(format!(".compact-{id:08}.seg.tmp.{}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &dest)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Runs [`CheckpointStore::compact`] only when the estimated dead
+    /// fraction of segment disk bytes reaches `garbage_ratio` (0.0–1.0).
+    pub fn maybe_compact(
+        &self,
+        garbage_ratio: f64,
+    ) -> Result<Option<CompactionReport>, StoreError> {
+        let s = self.stats();
+        if s.segment_disk_bytes > 0
+            && s.dead_segment_bytes > 0
+            && (s.dead_segment_bytes as f64) >= garbage_ratio * (s.segment_disk_bytes as f64)
+        {
+            return Ok(Some(self.compact()?));
+        }
+        Ok(None)
+    }
+
+    /// Spawns [`CheckpointStore::compact`] on a background thread. Writers
+    /// queue behind it; readers are unaffected.
+    pub fn compact_in_background(
+        self: &std::sync::Arc<Self>,
+    ) -> std::thread::JoinHandle<Result<CompactionReport, StoreError>> {
+        let store = self.clone();
+        std::thread::spawn(move || store.compact())
+    }
+
     // ---- named artifacts ---------------------------------------------------
 
-    /// Writes a named artifact (recorded source, record log).
+    /// Writes a named artifact (recorded source, record logs).
     pub fn put_artifact(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.ensure_writable()?;
         assert!(
             !name.contains(['/', '\\']),
             "artifact name {name:?} must be flat"
@@ -505,14 +1730,67 @@ impl CheckpointStore {
     }
 }
 
+impl Drop for CheckpointStore {
+    fn drop(&mut self) {
+        // Best-effort seal so cleanly closed stores leave self-describing
+        // segments; an unsealed segment is still fully usable.
+        let _ = self.seal_active_segment();
+    }
+}
+
+/// Appends one entry (header + block id + payload) to a segment buffer,
+/// returning the payload offset.
+fn append_entry(
+    bytes: &mut Vec<u8>,
+    block: &str,
+    seq: u64,
+    raw: u64,
+    crc: u32,
+    raw_stored: bool,
+    stored: &[u8],
+) -> u64 {
+    assert!(block.len() <= u16::MAX as usize, "block id too long");
+    bytes.extend_from_slice(&(block.len() as u16).to_le_bytes());
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&raw.to_le_bytes());
+    bytes.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes.push(if raw_stored { FLAG_RAW } else { 0 });
+    bytes.extend_from_slice(block.as_bytes());
+    let offset = bytes.len() as u64;
+    bytes.extend_from_slice(stored);
+    offset
+}
+
+/// Reads a sealed segment's trailer and returns its footer length, or
+/// `None` when the file has no (valid-magic) trailer.
+fn read_trailer_footer_len(path: &Path, file_len: u64) -> std::io::Result<Option<u64>> {
+    use std::io::{Read, Seek, SeekFrom};
+    if file_len < TRAILER_BYTES + SEGMENT_MAGIC.len() as u64 {
+        return Ok(None);
+    }
+    let mut f = fs::File::open(path)?;
+    f.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))?;
+    let mut trailer = [0u8; TRAILER_BYTES as usize];
+    f.read_exact(&mut trailer)?;
+    if &trailer[12..] != FOOTER_MAGIC {
+        return Ok(None);
+    }
+    Ok(Some(u64::from_le_bytes(
+        trailer[..8].try_into().expect("8 bytes"),
+    )))
+}
+
 /// One staged (compressed, CRC-stamped, not yet written) checkpoint.
 struct Staged {
     block_id: String,
     seq: u64,
-    file: String,
     raw_len: u64,
     crc: u32,
-    compressed: Vec<u8>,
+    /// Stored representation: compressed, or the raw payload when
+    /// compression did not shrink it (segmented format only).
+    stored: Vec<u8>,
+    raw_stored: bool,
 }
 
 /// A group of checkpoints committed together.
@@ -529,7 +1807,9 @@ pub struct WriteBatch<'a> {
 impl WriteBatch<'_> {
     /// Stages a checkpoint payload for `(block_id, seq)`. Compression and
     /// CRC stamping happen now; nothing touches disk until
-    /// [`WriteBatch::commit`].
+    /// [`WriteBatch::commit`]. Payloads that compression does not shrink
+    /// are stored raw (segmented format), which is what makes their reads
+    /// zero-copy.
     pub fn stage(&mut self, block_id: &str, seq: u64, payload: &[u8]) {
         assert!(
             !block_id.contains(['\t', '\n', '/']),
@@ -537,13 +1817,20 @@ impl WriteBatch<'_> {
         );
         let crc = crc32(payload);
         let compressed = compress(payload);
+        let (stored, raw_stored) = if self.store.opts.format == StoreFormat::Segmented
+            && compressed.len() >= payload.len()
+        {
+            (payload.to_vec(), true)
+        } else {
+            (compressed, false)
+        };
         self.staged.push(Staged {
             block_id: block_id.to_string(),
             seq,
-            file: format!("{block_id}.{seq:06}"),
             raw_len: payload.len() as u64,
             crc,
-            compressed,
+            stored,
+            raw_stored,
         });
     }
 
@@ -557,34 +1844,194 @@ impl WriteBatch<'_> {
         self.staged.is_empty()
     }
 
-    /// Commits the batch: data files first, then one batched manifest
+    /// Commits the batch: payload data first, then one batched manifest
     /// append (write-ahead of the manifest entries means a crash leaves at
-    /// worst orphaned files, never a manifest entry without data). Under
+    /// worst dead bytes, never a manifest entry without data). Under
     /// [`Durability::GroupCommit`] this is where the once-per-batch fsyncs
     /// happen.
     pub fn commit(self) -> Result<Vec<CkptMeta>, StoreError> {
-        let store = self.store;
+        self.store.ensure_writable()?;
         if self.staged.is_empty() {
             return Ok(Vec::new());
         }
-        let sync = store.durability == Durability::GroupCommit;
+        match self.store.opts.format {
+            StoreFormat::Segmented => self.commit_segmented(),
+            StoreFormat::FilePerCheckpoint => self.commit_files(),
+        }
+    }
+
+    /// Segmented commit: one buffered `write_all` appends every staged
+    /// payload to the active segment.
+    ///
+    /// The writer lock is held for the *whole* commit — segment append,
+    /// manifest append, and index insert — so a concurrent [`compact`]
+    /// (which takes the same lock) can never snapshot the index between a
+    /// batch's data landing and its entries becoming visible, and then
+    /// delete the segment the batch just wrote to.
+    ///
+    /// [`compact`]: CheckpointStore::compact
+    fn commit_segmented(self) -> Result<Vec<CkptMeta>, StoreError> {
+        let store = self.store;
+        let sync = store.opts.durability == Durability::GroupCommit;
+
+        // Everything later phases need, minus the payload bytes — those
+        // are dropped as soon as they're copied into the batch buffer, so
+        // a commit holds one copy of the batch, not two.
+        struct PlacedMeta {
+            block_id: String,
+            seq: u64,
+            raw_len: u64,
+            crc: u32,
+            stored_len: u64,
+            loc: Location,
+        }
+        let mut placed: Vec<PlacedMeta> = Vec::with_capacity(self.staged.len());
+        let mut w = store.writer.lock();
+        if w.active.is_none() {
+            let id = store.next_seg.fetch_add(1, Ordering::Relaxed);
+            let path = store.segment_path(id);
+            let mut file = fs::OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)?;
+            file.write_all(SEGMENT_MAGIC)?;
+            w.active = Some(ActiveSegment {
+                id,
+                file,
+                len: SEGMENT_MAGIC.len() as u64,
+                footer: Vec::new(),
+            });
+        }
+        let active = w.active.as_mut().expect("active segment ensured above");
+        let mut buf: Vec<u8> = Vec::with_capacity(
+            self.staged
+                .iter()
+                .map(|s| s.stored.len() + s.block_id.len() + ENTRY_HEADER_BYTES as usize)
+                .sum(),
+        );
+        let mut recs: Vec<SegmentIndexEntry> = Vec::with_capacity(self.staged.len());
+        for s in self.staged {
+            // append_entry returns the payload offset within `buf`;
+            // rebase it onto the segment file (the batch lands at the
+            // current end of the active segment).
+            let offset_in_buf = append_entry(
+                &mut buf,
+                &s.block_id,
+                s.seq,
+                s.raw_len,
+                s.crc,
+                s.raw_stored,
+                &s.stored,
+            );
+            let offset = active.len + offset_in_buf;
+            let loc = Location::Segment {
+                seg: active.id,
+                offset,
+                len: s.stored.len() as u32,
+                raw_stored: s.raw_stored,
+            };
+            recs.push(SegmentIndexEntry {
+                block_id: s.block_id.clone(),
+                seq: s.seq,
+                offset,
+                raw: s.raw_len,
+                stored: s.stored.len() as u32,
+                crc: s.crc,
+                raw_stored: s.raw_stored,
+            });
+            placed.push(PlacedMeta {
+                stored_len: s.stored.len() as u64,
+                block_id: s.block_id,
+                seq: s.seq,
+                raw_len: s.raw_len,
+                crc: s.crc,
+                loc,
+            });
+            // `s.stored` drops here — the payload now lives only in `buf`.
+        }
+        let write_result = active
+            .file
+            .write_all(&buf)
+            .and_then(|()| if sync { active.file.sync_data() } else { Ok(()) });
+        if let Err(e) = write_result {
+            // A failed/partial O_APPEND write leaves the file's true end
+            // unknown: `active.len` would be stale and every later offset
+            // in this segment wrong. Abandon the segment — its manifested
+            // prefix stays readable, the partial bytes are dead space, and
+            // the next batch starts a fresh segment.
+            w.active = None;
+            return Err(e.into());
+        }
+        // Only a fully-written batch advances the offsets and the pending
+        // footer (a failed batch must not leave phantom footer entries).
+        active.len += buf.len() as u64;
+        active.footer.extend(recs);
+        if active.len >= store.opts.segment_target_bytes {
+            store.seal_locked(&mut w)?;
+        }
+        if sync {
+            // One directory barrier covers the (possibly new) segment file;
+            // errors propagate — commit must not claim durability it
+            // didn't get.
+            fs::File::open(store.seg_dir())?.sync_all()?;
+        }
+
+        // Single write_all for the whole batch: a crash mid-append tears at
+        // most one line, and O_APPEND keeps concurrent batches line-atomic.
+        let mut lines = String::new();
+        for p in &placed {
+            lines.push_str(&CheckpointStore::manifest_line(
+                &p.block_id,
+                p.seq,
+                &p.loc.render(),
+                p.raw_len,
+                p.crc,
+            ));
+            lines.push('\n');
+        }
+        store.append_manifest_text(&lines)?;
+
+        let mut metas = Vec::with_capacity(placed.len());
+        for p in placed {
+            metas.push(CkptMeta {
+                block_id: p.block_id.clone(),
+                seq: p.seq,
+                stored_bytes: p.stored_len,
+                raw_bytes: p.raw_len,
+            });
+            store.index_insert(
+                p.block_id,
+                p.seq,
+                IndexEntry {
+                    loc: p.loc,
+                    raw: p.raw_len,
+                    crc: p.crc,
+                    stored: p.stored_len,
+                },
+            );
+        }
+        Ok(metas)
+    }
+
+    /// Legacy v1 commit: one file per checkpoint under `ckpt/`, staged via
+    /// temp + rename so a re-put never truncates the durable old file in
+    /// place. Holds the writer lock end to end for the same
+    /// commit-vs-compaction total order as [`WriteBatch::commit_segmented`].
+    fn commit_files(self) -> Result<Vec<CkptMeta>, StoreError> {
+        let store = self.store;
+        let _w = store.writer.lock();
+        let sync = store.opts.durability == Durability::GroupCommit;
         let ckpt_dir = store.root.join("ckpt");
         let mut lines = String::new();
         let mut metas = Vec::with_capacity(self.staged.len());
         for s in &self.staged {
-            // Write-new-then-rename: a re-put of an existing (block, seq)
-            // must never truncate the durable old file in place — a crash
-            // mid-write would leave a CRC-valid manifest line pointing at a
-            // torn file. After the rename the file is the old content or
-            // the complete new content, preserving the whole-prefix
-            // recovery contract for overwrites too.
-            let path = ckpt_dir.join(&s.file);
-            let tmp = ckpt_dir.join(format!(".{}.tmp.{}", s.file, std::process::id()));
+            let file = format!("{}.{:06}", s.block_id, s.seq);
+            let path = ckpt_dir.join(&file);
+            let tmp = ckpt_dir.join(format!(".{}.tmp.{}", file, std::process::id()));
             {
                 let mut f = fs::File::create(&tmp)?;
-                f.write_all(&s.compressed)?;
+                f.write_all(&s.stored)?;
                 if sync {
-                    // Data durable before its manifest line (see module docs).
                     f.sync_data()?;
                 }
             }
@@ -592,47 +2039,34 @@ impl WriteBatch<'_> {
             lines.push_str(&CheckpointStore::manifest_line(
                 &s.block_id,
                 s.seq,
-                &s.file,
+                &file,
                 s.raw_len,
                 s.crc,
             ));
             lines.push('\n');
         }
         if sync {
-            // One directory barrier covers every rename above; errors
-            // propagate — commit must not claim durability it didn't get.
             fs::File::open(&ckpt_dir)?.sync_all()?;
         }
-        // Single write_all for the whole batch: a crash mid-append tears at
-        // most one line, and O_APPEND keeps concurrent batches line-atomic.
         store.append_manifest_text(&lines)?;
-        {
-            let mut index = store.index.lock();
-            for s in self.staged {
-                store.raw_total.fetch_add(s.raw_len, Ordering::Relaxed);
-                store
-                    .stored_total
-                    .fetch_add(s.compressed.len() as u64, Ordering::Relaxed);
-                metas.push(CkptMeta {
-                    block_id: s.block_id.clone(),
-                    seq: s.seq,
-                    stored_bytes: s.compressed.len() as u64,
-                    raw_bytes: s.raw_len,
-                });
-                let old = index.insert(
-                    (s.block_id, s.seq),
-                    IndexEntry {
-                        file: s.file,
-                        raw: s.raw_len,
-                        crc: s.crc,
-                        stored: s.compressed.len() as u64,
-                    },
-                );
-                if let Some(old) = old {
-                    store.raw_total.fetch_sub(old.raw, Ordering::Relaxed);
-                    store.stored_total.fetch_sub(old.stored, Ordering::Relaxed);
-                }
-            }
+        for s in self.staged {
+            let file = format!("{}.{:06}", s.block_id, s.seq);
+            metas.push(CkptMeta {
+                block_id: s.block_id.clone(),
+                seq: s.seq,
+                stored_bytes: s.stored.len() as u64,
+                raw_bytes: s.raw_len,
+            });
+            store.index_insert(
+                s.block_id,
+                s.seq,
+                IndexEntry {
+                    loc: Location::File(file),
+                    raw: s.raw_len,
+                    crc: s.crc,
+                    stored: s.stored.len() as u64,
+                },
+            );
         }
         Ok(metas)
     }
@@ -652,6 +2086,20 @@ mod tests {
         dir
     }
 
+    /// Pseudo-random (xorshift) bytes: incompressible, so they exercise the
+    /// raw-stored zero-copy path.
+    fn incompressible(n: usize, seed: u32) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect()
+    }
+
     #[test]
     fn put_get_roundtrip() {
         let store = CheckpointStore::open(tmpdir("roundtrip")).unwrap();
@@ -659,6 +2107,7 @@ mod tests {
         let meta = store.put("sb_0", 0, &payload).unwrap();
         assert_eq!(meta.raw_bytes, payload.len() as u64);
         assert_eq!(store.get("sb_0", 0).unwrap(), payload);
+        assert_eq!(store.get_bytes("sb_0", 0).unwrap().as_ref(), &payload[..]);
     }
 
     #[test]
@@ -666,6 +2115,10 @@ mod tests {
         let store = CheckpointStore::open(tmpdir("missing")).unwrap();
         assert!(matches!(
             store.get("sb_0", 0),
+            Err(StoreError::Missing { .. })
+        ));
+        assert!(matches!(
+            store.get_bytes("sb_0", 0),
             Err(StoreError::Missing { .. })
         ));
     }
@@ -690,10 +2143,41 @@ mod tests {
             store.put("sb_1", 7, b"beta").unwrap();
         }
         let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
         assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
         assert_eq!(store.get("sb_1", 7).unwrap(), b"beta");
         assert!(store.contains("sb_1", 7));
         assert!(!store.contains("sb_1", 8));
+    }
+
+    #[test]
+    fn zero_copy_reads_share_the_segment_buffer() {
+        let store = CheckpointStore::open(tmpdir("zerocopy")).unwrap();
+        let payload = incompressible(4096, 0xBEEF);
+        store.put("sb_0", 0, &payload).unwrap();
+        let a = store.get_bytes("sb_0", 0).unwrap();
+        let b = store.get_bytes("sb_0", 0).unwrap();
+        assert_eq!(a.as_ref(), &payload[..]);
+        // Both reads slice the one cached segment buffer: same backing
+        // memory, no payload copy.
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        let s = store.stats();
+        assert!(s.zero_copy_reads >= 2, "{s:?}");
+        assert!(s.segment_cache_hits >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn compressible_payloads_roundtrip_through_segments() {
+        let dir = tmpdir("compressible");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, &vec![0u8; 100_000]).unwrap();
+        }
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.get("sb_0", 0).unwrap(), vec![0u8; 100_000]);
+        // Compressed on disk: the segment file is tiny.
+        let s = store.stats();
+        assert!(s.segment_disk_bytes < 10_000, "{s:?}");
     }
 
     #[test]
@@ -703,12 +2187,13 @@ mod tests {
         // Structured payload: a flipped byte must change the decompressed
         // content (an all-constant payload can survive offset corruption).
         let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
-        store.put("sb_0", 0, &payload).unwrap();
-        // Flip a byte in the stored file.
-        let file = dir.join("ckpt").join("sb_0.000000");
+        let meta = store.put("sb_0", 0, &payload).unwrap();
+        // Flip a byte inside the stored payload (the entry's tail bytes).
+        let file = dir.join("seg").join("00000000.seg");
         let mut bytes = fs::read(&file).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xff;
+        let n = bytes.len();
+        let target = n - (meta.stored_bytes as usize) / 2;
+        bytes[target] ^= 0xff;
         fs::write(&file, &bytes).unwrap();
         assert!(matches!(
             store.get("sb_0", 0),
@@ -717,13 +2202,22 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_detected() {
+    fn truncated_segment_is_detected() {
         let dir = tmpdir("trunc");
         let store = CheckpointStore::open(&dir).unwrap();
         store.put("sb_0", 0, &vec![3u8; 5000]).unwrap();
-        let file = dir.join("ckpt").join("sb_0.000000");
+        let file = dir.join("seg").join("00000000.seg");
         let bytes = fs::read(&file).unwrap();
         fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            store.get("sb_0", 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Truncation stays loud across a reopen, too: the entry is kept
+        // (the segment exists), and the read fails its bounds check.
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.contains("sb_0", 0));
         assert!(matches!(
             store.get("sb_0", 0),
             Err(StoreError::Corrupt { .. })
@@ -752,18 +2246,18 @@ mod tests {
     #[test]
     fn byte_accounting_survives_reopen_and_overwrite() {
         let dir = tmpdir("bytes-reopen");
-        {
+        let (raw_before, stored_before) = {
             let store = CheckpointStore::open(&dir).unwrap();
             store.put("sb_0", 0, &vec![1u8; 10_000]).unwrap();
             store.put("sb_0", 1, &vec![2u8; 20_000]).unwrap();
-        }
+            (store.total_raw_bytes(), store.total_stored_bytes())
+        };
+        assert_eq!(raw_before, 30_000);
+        // Reopen recomputes the same totals from the manifest alone — no
+        // per-checkpoint stat.
         let store = CheckpointStore::open(&dir).unwrap();
-        assert_eq!(store.total_raw_bytes(), 30_000);
-        let on_disk: u64 = fs::read_dir(dir.join("ckpt"))
-            .unwrap()
-            .map(|e| e.unwrap().metadata().unwrap().len())
-            .sum();
-        assert_eq!(store.total_stored_bytes(), on_disk);
+        assert_eq!(store.total_raw_bytes(), raw_before);
+        assert_eq!(store.total_stored_bytes(), stored_before);
         // Overwriting a seq replaces its contribution instead of adding.
         store.put("sb_0", 1, &vec![3u8; 5_000]).unwrap();
         assert_eq!(store.total_raw_bytes(), 15_000);
@@ -790,6 +2284,8 @@ mod tests {
         let manifest = fs::read_to_string(store.root().join("MANIFEST")).unwrap();
         assert_eq!(manifest.lines().count(), 10);
         assert!(manifest.ends_with('\n'));
+        // And as one segment file.
+        assert_eq!(store.stats().segments, 1);
     }
 
     #[test]
@@ -803,23 +2299,20 @@ mod tests {
     }
 
     #[test]
-    fn overwrite_is_staged_to_a_temp_file_never_truncated_in_place() {
-        // A re-put must go through temp+rename: simulate the crash window
-        // by checking that at no point does the final path hold a torn
-        // file while its (old) manifest line is still valid. We can't cut
-        // power mid-write, but we can assert the observable contract: the
-        // old payload stays readable right up until commit returns, and
-        // the temp sibling never survives a completed commit.
-        let dir = tmpdir("overwrite-tmp");
+    fn overwrite_keeps_old_payload_readable_until_commit() {
+        // A re-put appends the new payload and only then repoints the
+        // index: the old payload stays readable right up until commit
+        // returns, and no temp files survive.
+        let dir = tmpdir("overwrite");
         let store = CheckpointStore::open(&dir).unwrap();
         store.put("sb_0", 0, &vec![1u8; 4000]).unwrap();
         let mut batch = store.batch();
         batch.stage("sb_0", 0, &vec![2u8; 4000]);
-        // Staged but uncommitted: old content untouched on disk.
+        // Staged but uncommitted: old content untouched.
         assert_eq!(store.get("sb_0", 0).unwrap(), vec![1u8; 4000]);
         batch.commit().unwrap();
         assert_eq!(store.get("sb_0", 0).unwrap(), vec![2u8; 4000]);
-        let leftovers: Vec<_> = fs::read_dir(dir.join("ckpt"))
+        let leftovers: Vec<_> = fs::read_dir(dir.join("seg"))
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .filter(|n| n.starts_with('.'))
@@ -859,6 +2352,8 @@ mod tests {
         let store = CheckpointStore::open(&dir).unwrap();
         assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
         assert!(!store.contains("sb_0", 1), "torn entry dropped");
+        assert!(store.recovery_report().dropped_torn_tail);
+        assert!(store.recovery_report().repaired_manifest);
         // The manifest was rewritten clean (temp+rename): reopening again
         // parses every line.
         let repaired = fs::read_to_string(&manifest).unwrap();
@@ -920,7 +2415,7 @@ mod tests {
         let manifest = dir.join("MANIFEST");
         let text = fs::read_to_string(&manifest).unwrap();
         // Torn mid-line append of a second entry.
-        fs::write(&manifest, format!("{text}sb_0\t1\tsb_0.0")).unwrap();
+        fs::write(&manifest, format!("{text}sb_0\t1\t@0:99")).unwrap();
         let store = CheckpointStore::open(&dir).unwrap();
         // The recovered store accepts new writes and reloads them (the
         // repair invalidated the appender; the next put reopens it).
@@ -983,6 +2478,358 @@ mod tests {
         assert_eq!(store.entries().len(), 32);
         for t in 0..4u8 {
             assert_eq!(store.get(&format!("sb_{t}"), 7).unwrap(), vec![t; 512]);
+        }
+    }
+
+    #[test]
+    fn segments_roll_at_target_and_sealed_footers_index_them() {
+        let dir = tmpdir("roll");
+        let opts = StoreOptions {
+            segment_target_bytes: 4096,
+            ..StoreOptions::default()
+        };
+        {
+            let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+            for seq in 0..12u64 {
+                store.put("sb_0", seq, &incompressible(1024, seq as u32 + 1)).unwrap();
+            }
+            let s = store.stats();
+            assert!(s.segments >= 3, "expected several rolled segments: {s:?}");
+        }
+        // Dropping sealed the last active segment: every segment now has a
+        // valid footer that indexes exactly its entries.
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        let s = store.stats();
+        assert_eq!(s.sealed_segments, s.segments, "{s:?}");
+        let mut footer_keys = Vec::new();
+        for entry in fs::read_dir(dir.join("seg")).unwrap() {
+            let recs = read_segment_footer(&entry.unwrap().path()).unwrap().unwrap();
+            for r in recs {
+                footer_keys.push((r.block_id, r.seq));
+            }
+        }
+        footer_keys.sort();
+        assert_eq!(footer_keys, store.entries());
+        for seq in 0..12u64 {
+            assert_eq!(
+                store.get_bytes("sb_0", seq).unwrap().as_ref(),
+                &incompressible(1024, seq as u32 + 1)[..]
+            );
+        }
+    }
+
+    #[test]
+    fn missing_segment_is_reported_and_manifest_repaired() {
+        let dir = tmpdir("missing-seg");
+        let opts = StoreOptions {
+            segment_target_bytes: 2048,
+            ..StoreOptions::default()
+        };
+        {
+            let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+            for seq in 0..6u64 {
+                store.put("sb_0", seq, &incompressible(1024, seq as u32 + 9)).unwrap();
+            }
+            assert!(store.stats().segments >= 2);
+        }
+        fs::remove_file(dir.join("seg").join("00000000.seg")).unwrap();
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        let report = store.recovery_report().clone();
+        assert!(!report.missing_entries.is_empty(), "{report:?}");
+        assert!(report.repaired_manifest);
+        // Survivors read back; the dropped ones answer Missing (so replay
+        // falls back to re-execution, the legitimate gap-filling path).
+        let survivors = store.entries();
+        assert!(!survivors.is_empty());
+        for (block, seq) in &survivors {
+            store.get_bytes(block, *seq).unwrap();
+        }
+        for m in &report.missing_entries {
+            assert!(!store.contains(&m.block_id, m.seq));
+        }
+        // Totals reflect only what is actually there — not undercounted to
+        // zero, not overcounted with ghosts.
+        let sum: u64 = survivors
+            .iter()
+            .map(|(b, s)| store.get_bytes(b, *s).unwrap().len() as u64)
+            .sum();
+        assert_eq!(store.total_raw_bytes(), sum);
+        // Repaired manifest reopens clean.
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+    }
+
+    #[test]
+    fn legacy_missing_data_file_is_reported_not_undercounted() {
+        // The v1 engine recorded stored=0 for a missing data file and let
+        // get() fail with a raw Io error later. Now: dropped, reported,
+        // manifest repaired, byte totals truthful.
+        let dir = tmpdir("legacy-missing");
+        let opts = StoreOptions {
+            format: StoreFormat::FilePerCheckpoint,
+            ..StoreOptions::default()
+        };
+        {
+            let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+            store.put("sb_0", 0, &vec![1u8; 10_000]).unwrap();
+            store.put("sb_0", 1, &vec![2u8; 10_000]).unwrap();
+        }
+        fs::remove_file(dir.join("ckpt").join("sb_0.000001")).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let report = store.recovery_report();
+        assert_eq!(report.missing_entries.len(), 1, "{report:?}");
+        assert_eq!(report.missing_entries[0].seq, 1);
+        assert!(report.repaired_manifest);
+        assert!(!store.contains("sb_0", 1));
+        assert_eq!(store.total_raw_bytes(), 10_000);
+        assert!(store.total_stored_bytes() > 0, "no stored=0 undercount");
+        assert_eq!(store.get("sb_0", 0).unwrap(), vec![1u8; 10_000]);
+    }
+
+    #[test]
+    fn legacy_store_reads_and_compaction_migrates_it() {
+        let dir = tmpdir("legacy-migrate");
+        {
+            let store = CheckpointStore::open_opts(
+                &dir,
+                StoreOptions {
+                    format: StoreFormat::FilePerCheckpoint,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            for seq in 0..5u64 {
+                store.put("sb_0", seq, format!("legacy-{seq}").repeat(50).as_bytes()).unwrap();
+            }
+        }
+        // Old-format store opens transparently under the segmented engine.
+        let store = CheckpointStore::open(&dir).unwrap();
+        let s = store.stats();
+        assert_eq!(s.legacy_entries, 5);
+        assert_eq!(s.segment_entries, 0);
+        for seq in 0..5u64 {
+            assert_eq!(
+                store.get("sb_0", seq).unwrap(),
+                format!("legacy-{seq}").repeat(50).into_bytes()
+            );
+        }
+        // Compaction is the migration path: per-checkpoint files move into
+        // a sealed segment and are deleted.
+        let report = store.compact().unwrap();
+        assert_eq!(report.migrated_files, 5);
+        assert_eq!(report.legacy_files_removed, 5);
+        let s = store.stats();
+        assert_eq!(s.legacy_entries, 0);
+        assert_eq!(s.segment_entries, 5);
+        for seq in 0..5u64 {
+            assert_eq!(
+                store.get("sb_0", seq).unwrap(),
+                format!("legacy-{seq}").repeat(50).into_bytes()
+            );
+        }
+        // And the migrated store reopens clean.
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+        assert_eq!(store.count("sb_0"), 5);
+    }
+
+    #[test]
+    fn compaction_reclaims_superseded_re_puts() {
+        let dir = tmpdir("compact-reclaim");
+        let store = CheckpointStore::open(&dir).unwrap();
+        // 20 re-puts of the same key: 19 dead payloads in the segments.
+        for round in 0..20u32 {
+            store.put("sb_0", 0, &incompressible(8192, round + 1)).unwrap();
+        }
+        store.put("sb_1", 0, &incompressible(8192, 777)).unwrap();
+        let before = store.stats();
+        assert!(before.dead_segment_bytes > 100_000, "{before:?}");
+        let report = store.compact().unwrap();
+        assert_eq!(report.rewritten_entries, 2);
+        assert!(report.segments_removed >= 1);
+        assert!(report.reclaimed_bytes > 100_000, "{report:?}");
+        let after = store.stats();
+        assert_eq!(after.dead_segment_bytes, 0, "{after:?}");
+        assert!(after.segment_disk_bytes < before.segment_disk_bytes / 5);
+        assert_eq!(after.compactions, 1);
+        assert_eq!(store.get_bytes("sb_0", 0).unwrap().as_ref(), &incompressible(8192, 20)[..]);
+        assert_eq!(store.get_bytes("sb_1", 0).unwrap().as_ref(), &incompressible(8192, 777)[..]);
+        // Post-compaction store reopens clean and keeps accepting writes.
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+        store.put("sb_2", 0, b"after compaction").unwrap();
+        assert_eq!(store.get("sb_2", 0).unwrap(), b"after compaction");
+    }
+
+    #[test]
+    fn maybe_compact_respects_threshold() {
+        let store = CheckpointStore::open(tmpdir("maybe-compact")).unwrap();
+        store.put("sb_0", 0, &incompressible(4096, 1)).unwrap();
+        // No garbage yet: below any threshold.
+        assert!(store.maybe_compact(0.1).unwrap().is_none());
+        for round in 0..10u32 {
+            store.put("sb_0", 0, &incompressible(4096, round + 2)).unwrap();
+        }
+        assert!(store.maybe_compact(0.5).unwrap().is_some());
+        assert!(store.maybe_compact(0.5).unwrap().is_none(), "already clean");
+    }
+
+    #[test]
+    fn background_compaction_runs_concurrently_with_reads() {
+        let store = std::sync::Arc::new(CheckpointStore::open(tmpdir("bg-compact")).unwrap());
+        for seq in 0..8u64 {
+            for round in 0..4u32 {
+                store.put("sb_0", seq, &incompressible(4096, seq as u32 * 31 + round)).unwrap();
+            }
+        }
+        let reader = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    for seq in 0..8u64 {
+                        let b = store.get_bytes("sb_0", seq).unwrap();
+                        assert_eq!(b.as_ref(), &incompressible(4096, seq as u32 * 31 + 3)[..]);
+                    }
+                }
+            })
+        };
+        let report = store.compact_in_background().join().unwrap().unwrap();
+        assert_eq!(report.rewritten_entries, 8);
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn orphaned_segment_is_reported_at_open_and_reclaimed_by_compaction() {
+        let dir = tmpdir("orphan-seg");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"live data").unwrap();
+        }
+        // Fabricate the residue of a crashed compaction: a segment file no
+        // manifest line references, plus a stale temp.
+        fs::write(dir.join("seg").join("00000099.seg"), b"FLRSEG1\njunk").unwrap();
+        fs::write(dir.join("seg").join(".compact-00000007.seg.tmp.1"), b"junk").unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let report = store.recovery_report();
+        assert_eq!(report.orphaned_segments, vec![99]);
+        assert_eq!(report.stale_temp_files, 1);
+        // Open never deletes files (a concurrent writer process could own
+        // them); the orphans are merely invisible to the index.
+        assert!(dir.join("seg").join("00000099.seg").exists());
+        assert_eq!(store.get("sb_0", 0).unwrap(), b"live data");
+        // New segment ids never collide with the orphan's id range: the
+        // next id is allocated past it.
+        store.put("sb_1", 0, b"fresh").unwrap();
+        assert!(dir.join("seg").join("00000100.seg").exists());
+        // Compaction (which holds the writer lock) reclaims both.
+        store.compact().unwrap();
+        assert!(!dir.join("seg").join("00000099.seg").exists());
+        assert!(!dir.join("seg").join(".compact-00000007.seg.tmp.1").exists());
+        assert_eq!(store.get("sb_0", 0).unwrap(), b"live data");
+        assert_eq!(store.get("sb_1", 0).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn orphaned_legacy_file_is_reported_but_kept() {
+        let dir = tmpdir("orphan-file");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"live").unwrap();
+        }
+        fs::write(dir.join("ckpt").join("sb_9.000000"), b"stray").unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.recovery_report().orphaned_files, vec!["sb_9.000000"]);
+        assert!(dir.join("ckpt").join("sb_9.000000").exists(), "reported, not deleted");
+    }
+
+    #[test]
+    fn get_stored_returns_the_on_disk_representation() {
+        let store = CheckpointStore::open(tmpdir("get-stored")).unwrap();
+        // Compressible payload: stored form is the compressed bytes.
+        let payload = vec![7u8; 50_000];
+        let meta = store.put("sb_0", 0, &payload).unwrap();
+        let stored = store.get_stored("sb_0", 0).unwrap();
+        assert_eq!(stored.len() as u64, meta.stored_bytes);
+        assert_eq!(decompress(&stored).unwrap(), payload);
+        // Incompressible payload: stored form is the payload itself.
+        let raw = incompressible(2048, 5);
+        store.put("sb_0", 1, &raw).unwrap();
+        assert_eq!(store.get_stored("sb_0", 1).unwrap(), raw);
+    }
+
+    #[test]
+    fn read_only_open_inspects_without_repairing_or_writing() {
+        let dir = tmpdir("read-only");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            store.put("sb_0", 0, b"alpha").unwrap();
+            store.put("sb_0", 1, b"beta").unwrap();
+        }
+        // Tear the manifest tail (simulating another process mid-append).
+        let manifest = dir.join("MANIFEST");
+        let torn = {
+            let text = fs::read_to_string(&manifest).unwrap();
+            let torn = text[..text.len() - 7].to_string();
+            fs::write(&manifest, &torn).unwrap();
+            torn
+        };
+        {
+            let store = CheckpointStore::open_read_only(&dir).unwrap();
+            // In-memory view recovered, on-disk MANIFEST untouched — a
+            // writer's kept-open appender would survive this open.
+            assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
+            assert!(!store.contains("sb_0", 1));
+            let r = store.recovery_report();
+            assert!(r.dropped_torn_tail && r.repair_pending && !r.repaired_manifest, "{r:?}");
+            assert_eq!(fs::read_to_string(&manifest).unwrap(), torn, "no repair on disk");
+            // Every write surface refuses.
+            assert!(matches!(store.put("sb_1", 0, b"x"), Err(StoreError::ReadOnly)));
+            assert!(matches!(store.compact(), Err(StoreError::ReadOnly)));
+            assert!(matches!(store.put_artifact("a", b"x"), Err(StoreError::ReadOnly)));
+            assert!(store.seal_active_segment().is_ok(), "drop-path no-op");
+        }
+        // A writable open performs the repair the read-only one deferred.
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().repaired_manifest);
+        assert_eq!(store.count("sb_0"), 1);
+    }
+
+    #[test]
+    fn superseded_line_with_missing_data_is_not_reported_missing() {
+        // A re-put whose *old* payload vanished must not poison recovery:
+        // only the winning (latest) line's data matters.
+        let dir = tmpdir("superseded-missing");
+        let opts = StoreOptions {
+            segment_target_bytes: 1, // roll after every batch
+            ..StoreOptions::default()
+        };
+        {
+            let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+            store.put("sb_0", 0, &incompressible(512, 1)).unwrap(); // → segment 0
+            store.put("sb_0", 0, &incompressible(512, 2)).unwrap(); // → segment 1
+        }
+        // The superseded payload's segment disappears.
+        fs::remove_file(dir.join("seg").join("00000000.seg")).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let r = store.recovery_report();
+        assert!(r.missing_entries.is_empty(), "live checkpoint misreported: {r:?}");
+        assert_eq!(store.get_bytes("sb_0", 0).unwrap().as_ref(), &incompressible(512, 2)[..]);
+    }
+
+    #[test]
+    fn manifest_location_field_roundtrips() {
+        for loc in [
+            Location::File("sb_0.000007".into()),
+            Location::Segment { seg: 3, offset: 4096, len: 128, raw_stored: false },
+            Location::Segment { seg: 0, offset: 8, len: 1, raw_stored: true },
+        ] {
+            assert_eq!(Location::parse(&loc.render()), loc);
+        }
+        // Near-miss strings fall back to legacy file names.
+        for s in ["@1:2", "@1:2:x", "@1:2:3:z", "@a:b:c", "sb.000001"] {
+            assert_eq!(Location::parse(s), Location::File(s.to_string()));
         }
     }
 }

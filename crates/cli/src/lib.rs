@@ -24,8 +24,11 @@ usage:
   flor sample   <script.flr> --store <dir> --iters 3,7,12
   flor inspect  <script.flr>
   flor log      --store <dir>
+  flor store    stats --store <dir>
+  flor store    compact --store <dir>
   flor runs     list --registry <dir>
   flor runs     show <run-id> --registry <dir>
+  flor runs     prune <run-id> --registry <dir> [--keep N]
   flor query    <run-id> <probed.flr> --registry <dir> [--workers N]
   flor serve    --registry <dir> [--workers N]";
 
@@ -80,8 +83,8 @@ impl<'a> Args<'a> {
         while i < raw.len() {
             let a = raw[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
-                let takes_value =
-                    ["store", "workers", "iters", "epsilon", "registry", "run-id"].contains(&name);
+                let takes_value = ["store", "workers", "iters", "epsilon", "registry", "run-id", "keep"]
+                    .contains(&name);
                 if takes_value {
                     let v = raw
                         .get(i + 1)
@@ -159,6 +162,7 @@ pub fn run_cli(raw: &[String]) -> Result<String, CliError> {
         "sample" => cmd_sample(&args),
         "inspect" => cmd_inspect(&args),
         "log" => cmd_log(&args),
+        "store" => cmd_store(&args),
         "runs" => cmd_runs(&args),
         "query" => cmd_query(&args),
         "serve" => cmd_serve(&args),
@@ -360,6 +364,102 @@ fn cmd_log(args: &Args) -> Result<String, CliError> {
     String::from_utf8(bytes).map_err(|_| CliError::Failed("record log is not UTF-8".into()))
 }
 
+/// `flor store stats|compact --store <dir>`: the storage-engine operator
+/// surface — segment layout, dead bytes, zero-copy read counters, and
+/// on-demand compaction/GC.
+fn cmd_store(args: &Args) -> Result<String, CliError> {
+    // `stats` is pure inspection and must be safe to run while another
+    // process records into the store: open read-only (no repairs, no
+    // deletes). `compact` mutates by design and takes a writable handle.
+    let sub = args.positional.get(1).copied();
+    let store = if sub == Some("compact") {
+        flor_chkpt::CheckpointStore::open(args.store()?)
+    } else {
+        flor_chkpt::CheckpointStore::open_read_only(args.store()?)
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+    let render_stats = |s: &flor_chkpt::StoreStats| -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "entries:      {} ({} in segments, {} legacy files)",
+            s.entries, s.segment_entries, s.legacy_entries
+        );
+        let _ = writeln!(
+            out,
+            "segments:     {} ({} sealed), {} bytes on disk",
+            s.segments, s.sealed_segments, s.segment_disk_bytes
+        );
+        let _ = writeln!(
+            out,
+            "bytes:        {} raw, {} stored, {} dead in segments",
+            s.raw_bytes, s.stored_bytes, s.dead_segment_bytes
+        );
+        let _ = writeln!(
+            out,
+            "reads:        {} ({} zero-copy; segment cache {} hits / {} misses)",
+            s.reads, s.zero_copy_reads, s.segment_cache_hits, s.segment_cache_misses
+        );
+        let _ = writeln!(
+            out,
+            "compactions:  {} ({} bytes reclaimed)",
+            s.compactions, s.compaction_reclaimed_bytes
+        );
+        out
+    };
+    match sub {
+        Some("stats") => {
+            let mut out = render_stats(&store.stats());
+            let r = store.recovery_report();
+            if r.is_clean() {
+                let _ = writeln!(out, "recovery:     clean");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "recovery:     {} missing entr{} dropped, {} orphaned segment(s), \
+                     {} orphaned file(s), {} stale temp file(s){}{}",
+                    r.missing_entries.len(),
+                    if r.missing_entries.len() == 1 { "y" } else { "ies" },
+                    r.orphaned_segments.len(),
+                    r.orphaned_files.len(),
+                    r.stale_temp_files,
+                    if r.dropped_torn_tail { ", torn manifest tail dropped" } else { "" },
+                    if r.repaired_manifest {
+                        ", manifest repaired"
+                    } else if r.repair_pending {
+                        ", manifest repair pending (read-only open)"
+                    } else {
+                        ""
+                    },
+                );
+                for m in &r.missing_entries {
+                    let _ = writeln!(out, "  missing: {}.{} at {}", m.block_id, m.seq, m.location);
+                }
+            }
+            Ok(out)
+        }
+        Some("compact") => {
+            let report = store.compact().map_err(|e| CliError::Failed(e.to_string()))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "# compacted: {} entries rewritten ({} migrated from legacy files), \
+                 {} segment(s) + {} legacy file(s) removed, {} bytes reclaimed",
+                report.rewritten_entries,
+                report.migrated_files,
+                report.segments_removed,
+                report.legacy_files_removed,
+                report.reclaimed_bytes
+            );
+            out.push_str(&render_stats(&store.stats()));
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!(
+            "store expects stats|compact, got {other:?}"
+        ))),
+    }
+}
+
 fn cmd_runs(args: &Args) -> Result<String, CliError> {
     let registry = args.registry()?;
     match args.positional.get(1).copied() {
@@ -421,8 +521,41 @@ fn cmd_runs(args: &Args) -> Result<String, CliError> {
             out.push_str(&registry.run_source(id)?);
             Ok(out)
         }
+        Some("prune") => {
+            let id = args
+                .positional
+                .get(2)
+                .copied()
+                .ok_or_else(|| CliError::Usage("missing run id".into()))?;
+            let keep: usize = args
+                .value("keep")
+                .map(|k| {
+                    k.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --keep {k:?}")))
+                })
+                .transpose()?
+                .unwrap_or(flor_registry::RetentionPolicy::default().keep_latest);
+            let pruned = registry
+                .apply_retention(id, &flor_registry::RetentionPolicy { keep_latest: keep })?;
+            let mut out = String::new();
+            for r in &pruned {
+                let _ = writeln!(
+                    out,
+                    "pruned generation {} ({} stored bytes at {})",
+                    r.generation,
+                    r.stored_bytes,
+                    r.store_root.display()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# {} generation(s) pruned, newest {keep} kept (metadata retained in catalog)",
+                pruned.len()
+            );
+            Ok(out)
+        }
         other => Err(CliError::Usage(format!(
-            "runs expects list|show, got {other:?}"
+            "runs expects list|show|prune, got {other:?}"
         ))),
     }
 }
@@ -726,6 +859,91 @@ for epoch in range(4):
         assert!(out.contains("skipblock \"sb_0\":"), "{out}");
         assert!(out.contains("flor.partition"), "{out}");
         assert!(out.contains("changeset"), "{out}");
+    }
+
+    #[test]
+    fn store_stats_and_compact_commands() {
+        let (store, script) = setup("store-cmd");
+        cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--no-adaptive",
+        ])
+        .unwrap();
+        let out = cli(&["store", "stats", "--store", store.to_str().unwrap()]).unwrap();
+        assert!(out.contains("entries:"), "{out}");
+        assert!(out.contains("segments:"), "{out}");
+        assert!(out.contains("recovery:     clean"), "{out}");
+
+        let out = cli(&["store", "compact", "--store", store.to_str().unwrap()]).unwrap();
+        assert!(out.contains("# compacted:"), "{out}");
+        assert!(out.contains("compactions:  1"), "{out}");
+
+        // Compacted store still replays cleanly.
+        let out = cli(&[
+            "replay",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("# replayed"), "{out}");
+        assert!(!out.contains("ANOMALY"), "{out}");
+
+        assert!(matches!(
+            cli(&["store", "bogus", "--store", store.to_str().unwrap()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn runs_prune_applies_retention() {
+        let (dir, script) = setup("prune");
+        let registry = dir.with_file_name("prune-registry");
+        for _ in 0..3 {
+            cli(&[
+                "record",
+                script.to_str().unwrap(),
+                "--registry",
+                registry.to_str().unwrap(),
+                "--run-id",
+                "train",
+                "--no-adaptive",
+            ])
+            .unwrap();
+        }
+        let out = cli(&[
+            "runs",
+            "prune",
+            "train",
+            "--registry",
+            registry.to_str().unwrap(),
+            "--keep",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("# 2 generation(s) pruned"), "{out}");
+        // History metadata survives; the live generation still queries.
+        let out = cli(&["runs", "show", "train", "--registry", registry.to_str().unwrap()])
+            .unwrap();
+        assert!(out.contains("generations:     3"), "{out}");
+        let probed = SCRIPT.replace(
+            "    log(\"loss\", avg.mean())\n",
+            "    log(\"loss\", avg.mean())\n    log(\"wn\", net.weight_norm())\n",
+        );
+        let probed_path = script.with_file_name("probed-prune.flr");
+        std::fs::write(&probed_path, probed).unwrap();
+        let out = cli(&[
+            "query",
+            "train",
+            probed_path.to_str().unwrap(),
+            "--registry",
+            registry.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out.matches("wn\t").count(), 4, "{out}");
     }
 
     #[test]

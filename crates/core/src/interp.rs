@@ -77,6 +77,9 @@ pub struct ReplayStats {
     pub executed: u64,
     /// Total time spent restoring, ns.
     pub restore_ns: u64,
+    /// Restores whose payload the worker's prefetcher had already read
+    /// (segment I/O overlapped with interpretation).
+    pub prefetch_hits: u64,
 }
 
 /// Replay-mode state for one worker.
@@ -112,6 +115,9 @@ pub struct ReplayCtx {
     /// iterations (sorted, deduplicated), jump-initializing each from the
     /// nearest checkpoint anchor. Overrides partition-based planning.
     pub sample: Option<Vec<u64>>,
+    /// Per-worker checkpoint prefetcher, spawned once the worker's plan is
+    /// fixed so segment reads overlap with interpretation.
+    pub prefetcher: Option<crate::prefetch::Prefetcher>,
 }
 
 impl ReplayCtx {
@@ -325,6 +331,34 @@ impl Interp {
                 };
                 let plan = plans.get(ctx.pid).cloned();
                 ctx.plan_used = plan.clone();
+                // The worker's restore schedule is now fixed: every main
+                // block restores across the init segment, and across the
+                // work segment unless probed. Start the per-worker
+                // prefetcher so segment I/O overlaps with interpretation.
+                if let Some(plan) = &plan {
+                    if !ctx.force_execute_all && !ctx.main_blocks.is_empty() {
+                        let mut keys: Vec<(String, u64)> =
+                            Vec::with_capacity((plan.init_len() + plan.work_len()) as usize);
+                        for g in plan.init_iters() {
+                            for b in &ctx.main_blocks {
+                                keys.push((b.clone(), g));
+                            }
+                        }
+                        for g in plan.work_iters() {
+                            for b in &ctx.main_blocks {
+                                if !ctx.probed_blocks.contains(b) {
+                                    keys.push((b.clone(), g));
+                                }
+                            }
+                        }
+                        if !keys.is_empty() {
+                            ctx.prefetcher = Some(crate::prefetch::Prefetcher::spawn(
+                                ctx.store.clone(),
+                                keys,
+                            ));
+                        }
+                    }
+                }
                 let Some(plan) = plan else {
                     // More workers than segments: nothing to do. Suppress
                     // the postamble too — this worker owns no state, so its

@@ -55,6 +55,7 @@ pub mod logstream;
 pub mod native;
 pub mod oracle;
 pub mod parallel;
+pub mod prefetch;
 pub mod record;
 pub mod replay;
 pub mod sample;

@@ -1,0 +1,321 @@
+//! Per-worker checkpoint prefetching for the replay hot path.
+//!
+//! A replay worker's restore schedule is fully known the moment its
+//! [`WorkerPlan`](crate::parallel::WorkerPlan) is fixed: every main-loop
+//! block restores once per initialization iteration, and once per work
+//! iteration unless the block is probed. The [`Prefetcher`] walks that
+//! schedule on a background thread, pulling each checkpoint through the
+//! store's zero-copy [`get_bytes`](flor_chkpt::CheckpointStore::get_bytes)
+//! path — so segment I/O (and decompression) overlaps with the
+//! interpreter's own execution instead of serializing behind it, the
+//! worker-thread analogue of the record phase's background materializer.
+//!
+//! The restore path consumes buffers with [`Prefetcher::take`]; a miss
+//! (not fetched yet, or the fetch failed) simply falls through to a direct
+//! store read, which re-surfaces any error with full context. Fetched
+//! buffers are refcounted [`Bytes`] slices of shared segment buffers, and
+//! outstanding (fetched, not yet consumed) memory is capped so a worker
+//! far behind its prefetcher can't balloon memory. The cap charges each
+//! distinct *backing allocation* once at its full size
+//! ([`Bytes::backing_len`]) — a tiny zero-copy slice pins its entire
+//! segment buffer, so charging slice lengths would undercount retained
+//! memory by orders of magnitude on fragmented stores.
+
+use flor_chkpt::{Bytes, CheckpointStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cap on retained backing bytes of fetched-but-unconsumed payloads per
+/// worker (each distinct backing allocation charged once, at full size).
+pub const PREFETCH_BUDGET_BYTES: u64 = 64 << 20;
+
+struct Shared {
+    /// block → seq → fetched payload.
+    ready: Mutex<HashMap<String, HashMap<u64, Bytes>>>,
+    /// backing id → (outstanding slices of it, backing length). Charged
+    /// into `outstanding` when the first slice arrives, released when the
+    /// last is consumed.
+    charged: Mutex<HashMap<usize, (usize, u64)>>,
+    /// Keys the consumer already restored via a direct read before the
+    /// fetch happened — skipped by the fetch thread so dead buffers can't
+    /// eat the budget.
+    skip: Mutex<HashMap<String, std::collections::HashSet<u64>>>,
+    /// Backing bytes currently retained (backpressure signal).
+    outstanding: AtomicU64,
+    /// Cooperative cancellation (set on drop or early replay exit).
+    stop: AtomicBool,
+    /// Checkpoints fetched by the background thread.
+    fetched: AtomicU64,
+}
+
+/// Background checkpoint reader for one replay worker.
+pub struct Prefetcher {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns a prefetch thread that reads `keys` (the worker's restore
+    /// schedule, in restore order) through `store.get_bytes`. Keys without
+    /// a checkpoint and read errors are skipped — the consumer's fallback
+    /// read owns error reporting.
+    pub fn spawn(store: Arc<CheckpointStore>, keys: Vec<(String, u64)>) -> Prefetcher {
+        let shared = Arc::new(Shared {
+            ready: Mutex::new(HashMap::new()),
+            charged: Mutex::new(HashMap::new()),
+            skip: Mutex::new(HashMap::new()),
+            outstanding: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            fetched: AtomicU64::new(0),
+        });
+        let worker = shared.clone();
+        let handle = std::thread::spawn(move || {
+            for (block, seq) in keys {
+                if worker.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                // Backpressure: stay within the byte budget, yielding the
+                // same way the materializer's flush barrier does.
+                while worker.outstanding.load(Ordering::Acquire) > PREFETCH_BUDGET_BYTES {
+                    if worker.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                let skipped = |w: &Shared| {
+                    w.skip
+                        .lock()
+                        .get(&block)
+                        .is_some_and(|seqs| seqs.contains(&seq))
+                };
+                if skipped(&worker) || !store.contains(&block, seq) {
+                    continue;
+                }
+                if let Ok(bytes) = store.get_bytes(&block, seq) {
+                    // Check-and-park atomically under the skip lock: the
+                    // consumer may have restored this key directly while we
+                    // were reading, and `mark_consumed` re-takes after its
+                    // skip insert — together that closes every interleaving
+                    // where a buffer nobody will take stays parked (and
+                    // pinned against the budget).
+                    let skip_guard = worker.skip.lock();
+                    if skip_guard
+                        .get(&block)
+                        .is_some_and(|seqs| seqs.contains(&seq))
+                    {
+                        continue;
+                    }
+                    {
+                        let mut charged = worker.charged.lock();
+                        let slot = charged
+                            .entry(bytes.backing_id())
+                            .or_insert((0, bytes.backing_len() as u64));
+                        if slot.0 == 0 {
+                            worker.outstanding.fetch_add(slot.1, Ordering::AcqRel);
+                        }
+                        slot.0 += 1;
+                    }
+                    worker.fetched.fetch_add(1, Ordering::Relaxed);
+                    worker
+                        .ready
+                        .lock()
+                        .entry(block)
+                        .or_default()
+                        .insert(seq, bytes);
+                    drop(skip_guard);
+                }
+            }
+        });
+        Prefetcher {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Removes and returns the prefetched payload for `(block, seq)`, if
+    /// the background thread already fetched it.
+    pub fn take(&self, block: &str, seq: u64) -> Option<Bytes> {
+        let bytes = {
+            let mut ready = self.shared.ready.lock();
+            ready.get_mut(block)?.remove(&seq)?
+        };
+        let mut charged = self.shared.charged.lock();
+        if let Some(slot) = charged.get_mut(&bytes.backing_id()) {
+            slot.0 -= 1;
+            if slot.0 == 0 {
+                let released = slot.1;
+                charged.remove(&bytes.backing_id());
+                self.shared.outstanding.fetch_sub(released, Ordering::AcqRel);
+            }
+        }
+        Some(bytes)
+    }
+
+    /// Tells the prefetcher that `(block, seq)` was restored via a direct
+    /// read (the interpreter ran ahead of the fetch thread): a parked
+    /// buffer for it is released immediately, and a not-yet-started fetch
+    /// is skipped — otherwise a consistently-ahead worker would fill the
+    /// whole budget with buffers nobody will ever take, stalling the
+    /// prefetcher for the rest of the replay.
+    pub fn mark_consumed(&self, block: &str, seq: u64) {
+        if self.take(block, seq).is_some() {
+            return;
+        }
+        self.shared
+            .skip
+            .lock()
+            .entry(block.to_string())
+            .or_default()
+            .insert(seq);
+        // The fetch thread parks under the skip lock, so any park not
+        // visible to the first take happened before the insert above —
+        // this second take releases it. After the insert, no new park for
+        // this key can happen.
+        let _ = self.take(block, seq);
+    }
+
+    /// Checkpoints the background thread has fetched so far.
+    pub fn fetched(&self) -> u64 {
+        self.shared.fetched.load(Ordering::Relaxed)
+    }
+
+    /// Backing bytes currently retained by unconsumed prefetches.
+    pub fn outstanding_backing_bytes(&self) -> u64 {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the prefetch schedule is fully drained (test hook).
+    pub fn join(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpstore(tag: &str) -> Arc<CheckpointStore> {
+        let dir = std::env::temp_dir().join(format!(
+            "flor-prefetch-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(CheckpointStore::open(dir).unwrap())
+    }
+
+    #[test]
+    fn prefetches_scheduled_keys_and_serves_takes() {
+        let store = tmpstore("basic");
+        for seq in 0..6u64 {
+            store.put("sb_0", seq, format!("payload-{seq}").as_bytes()).unwrap();
+        }
+        let keys: Vec<_> = (0..6u64).map(|s| ("sb_0".to_string(), s)).collect();
+        let mut p = Prefetcher::spawn(store, keys);
+        p.join();
+        assert_eq!(p.fetched(), 6);
+        for seq in 0..6u64 {
+            let b = p.take("sb_0", seq).expect("prefetched");
+            assert_eq!(b.as_ref(), format!("payload-{seq}").as_bytes());
+        }
+        // Consumed: a second take misses.
+        assert!(p.take("sb_0", 0).is_none());
+    }
+
+    #[test]
+    fn missing_and_unknown_keys_are_skipped() {
+        let store = tmpstore("missing");
+        store.put("sb_0", 0, b"only this").unwrap();
+        let keys = vec![
+            ("sb_0".to_string(), 0),
+            ("sb_0".to_string(), 9),
+            ("sb_other".to_string(), 0),
+        ];
+        let mut p = Prefetcher::spawn(store, keys);
+        p.join();
+        assert_eq!(p.fetched(), 1);
+        assert!(p.take("sb_0", 0).is_some());
+        assert!(p.take("sb_0", 9).is_none());
+    }
+
+    #[test]
+    fn mark_consumed_skips_future_fetches_and_releases_parked_ones() {
+        let store = tmpstore("consumed");
+        for seq in 0..2u64 {
+            store.put("sb_0", seq, format!("p{seq}").as_bytes()).unwrap();
+        }
+        let mut p = Prefetcher::spawn(
+            store,
+            vec![("sb_0".to_string(), 0), ("sb_0".to_string(), 1)],
+        );
+        // Consumer ran ahead on seq 0. Whether this lands before or after
+        // the fetch, the end state is the same: nothing parked for it.
+        p.mark_consumed("sb_0", 0);
+        p.join();
+        assert!(p.take("sb_0", 0).is_none(), "consumed key is not parked");
+        // Seq 1 was fetched normally; the ran-ahead release path empties
+        // the budget even without a take.
+        p.mark_consumed("sb_0", 1);
+        assert!(p.take("sb_0", 1).is_none());
+        assert_eq!(p.outstanding_backing_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_charges_shared_backings_once_and_releases_on_last_take() {
+        let store = tmpstore("backing");
+        // Incompressible payloads land raw-stored in one segment: every
+        // fetched slice shares that segment's backing buffer.
+        let mut x = 0x9E3779B9u32;
+        let payload: Vec<u8> = (0..2048)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        for seq in 0..4u64 {
+            store.put("sb_0", seq, &payload).unwrap();
+        }
+        let keys: Vec<_> = (0..4u64).map(|s| ("sb_0".to_string(), s)).collect();
+        let mut p = Prefetcher::spawn(store, keys);
+        p.join();
+        let outstanding = p.outstanding_backing_bytes();
+        // One shared segment backing, charged once — not 4 × slice length,
+        // and crucially not 4 × backing length.
+        assert!(outstanding >= 4 * 2048, "{outstanding}");
+        assert!(outstanding < 2 * 4 * 2048 + 4096, "{outstanding}");
+        for seq in 0..3u64 {
+            p.take("sb_0", seq).unwrap();
+            assert_eq!(
+                p.outstanding_backing_bytes(),
+                outstanding,
+                "backing stays charged while any slice of it is unconsumed"
+            );
+        }
+        p.take("sb_0", 3).unwrap();
+        assert_eq!(p.outstanding_backing_bytes(), 0, "last take releases the backing");
+    }
+
+    #[test]
+    fn drop_cancels_the_background_thread() {
+        let store = tmpstore("cancel");
+        store.put("sb_0", 0, &vec![1u8; 1024]).unwrap();
+        let keys: Vec<_> = (0..10_000u64).map(|_| ("sb_0".to_string(), 0)).collect();
+        let p = Prefetcher::spawn(store, keys);
+        drop(p); // must not hang
+    }
+}

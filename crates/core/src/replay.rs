@@ -191,6 +191,7 @@ pub fn replay_with_store(
                     stats: ReplayStats::default(),
                     plan_used: None,
                     sample: None,
+                    prefetcher: None,
                 };
                 let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
                 interp.run(&prog)?;
@@ -213,6 +214,7 @@ pub fn replay_with_store(
         stats.restored += s.restored;
         stats.executed += s.executed;
         stats.restore_ns += s.restore_ns;
+        stats.prefetch_hits += s.prefetch_hits;
         worker_plans.push(plan);
     }
     let wall_ns = t0.elapsed().as_nanos() as u64;
@@ -335,6 +337,9 @@ mod tests {
         // All 6 epochs restored, none executed: pure physical recovery.
         assert_eq!(rep.stats.restored, 6);
         assert_eq!(rep.stats.executed, 0);
+        // Prefetched restores are a subset of restores (how many land is
+        // a race between the prefetcher and the interpreter).
+        assert!(rep.stats.prefetch_hits <= rep.stats.restored);
     }
 
     #[test]
@@ -451,12 +456,17 @@ mod tests {
     fn corrupted_checkpoint_surfaces_as_error_or_anomaly() {
         let root = tmproot("corrupt");
         record(TRAIN_SRC, &opts_exact(&root)).unwrap();
-        // Corrupt epoch 3's checkpoint on disk.
-        let file = root.join("ckpt").join("sb_0.000003");
-        let mut bytes = std::fs::read(&file).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xff;
-        std::fs::write(&file, &bytes).unwrap();
+        // Corrupt the middle half of every checkpoint segment on disk:
+        // several epochs' payloads are guaranteed to be hit.
+        for entry in std::fs::read_dir(root.join("seg")).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let n = bytes.len();
+            for b in &mut bytes[n / 4..3 * n / 4] {
+                *b ^= 0xff;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+        }
         // Restoring it must error loudly (CRC), not silently diverge.
         let result = replay(TRAIN_SRC, &root, &ReplayOptions::default());
         assert!(result.is_err(), "corrupt checkpoint must not restore");

@@ -71,6 +71,7 @@ pub fn replay_sample(
         stats: ReplayStats::default(),
         plan_used: None,
         sample: Some(sample),
+        prefetcher: None,
     };
     let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
     interp.run(&inst.program)?;

@@ -198,13 +198,30 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
         return Ok(());
     }
 
-    // Restore the Loop End Checkpoint (physical recovery).
+    // Restore the Loop End Checkpoint (physical recovery). The payload
+    // arrives as a refcounted `Bytes` — ideally one the worker's
+    // prefetcher already pulled while earlier iterations interpreted; a
+    // prefetch miss falls through to a direct zero-copy store read.
     let t0 = Instant::now();
     let payload_bytes = {
-        let Mode::Replay(ctx) = &interp.mode else { unreachable!() };
-        ctx.store.get(id, seq)?
+        let Mode::Replay(ctx) = &mut interp.mode else { unreachable!() };
+        match ctx.prefetcher.as_ref().and_then(|p| p.take(id, seq)) {
+            Some(bytes) => {
+                ctx.stats.prefetch_hits += 1;
+                bytes
+            }
+            None => {
+                let bytes = ctx.store.get_bytes(id, seq)?;
+                // We beat the prefetcher to this key: release/skip its
+                // fetch so dead buffers can't exhaust the budget.
+                if let Some(p) = &ctx.prefetcher {
+                    p.mark_consumed(id, seq);
+                }
+                bytes
+            }
+        }
     };
-    let cval = flor_chkpt::decode(&payload_bytes)?;
+    let cval = flor_chkpt::decode(payload_bytes.as_ref())?;
     let CVal::Map(pairs) = cval else {
         return Err(rt(format!("checkpoint {id:?}.{seq} has a malformed payload")));
     };
@@ -270,6 +287,7 @@ mod tests {
             stats: ReplayStats::default(),
             plan_used: None,
             sample: None,
+            prefetcher: None,
         }))
     }
 
@@ -324,6 +342,36 @@ log(\"acc\", acc)
         if let Mode::Replay(ctx) = &rep.mode {
             assert_eq!(ctx.stats.executed, 1, "probed blocks must re-execute");
             assert_eq!(ctx.stats.restored, 0);
+        }
+        assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 10);
+    }
+
+    #[test]
+    fn prefetched_restore_is_consumed_and_counted() {
+        let store = Arc::new(CheckpointStore::open(tmproot("prefetch")).unwrap());
+        let prog = parse(SRC).unwrap();
+        let mut rec = Interp::new(record_ctx(
+            store.clone(),
+            HashMap::from([("sb_0".to_string(), vec!["acc".to_string()])]),
+        ));
+        rec.run(&prog).unwrap();
+
+        let mut mode = replay_ctx(store.clone(), &[]);
+        if let Mode::Replay(ctx) = &mut mode {
+            let mut p = crate::prefetch::Prefetcher::spawn(
+                store.clone(),
+                vec![("sb_0".to_string(), STANDALONE_BASE)],
+            );
+            // Drain the schedule so the hit is deterministic.
+            p.join();
+            assert_eq!(p.fetched(), 1);
+            ctx.prefetcher = Some(p);
+        }
+        let mut rep = Interp::new(mode);
+        rep.run(&prog).unwrap();
+        if let Mode::Replay(ctx) = &rep.mode {
+            assert_eq!(ctx.stats.restored, 1);
+            assert_eq!(ctx.stats.prefetch_hits, 1, "restore must consume the prefetch");
         }
         assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 10);
     }

@@ -285,6 +285,38 @@ impl RunCatalog {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Generations of `run_id` whose checkpoint stores a retention policy
+    /// allows reclaiming, oldest first. The catalog itself is an
+    /// append-only log and keeps every generation's *metadata*; retention
+    /// governs which generations' *store directories* may be deleted
+    /// (dropped generations are then rewritten out of disk by the
+    /// registry's GC, the catalog's analogue of the store engine's
+    /// compaction).
+    pub fn prunable(&self, run_id: &str, policy: &RetentionPolicy) -> Vec<RunRecord> {
+        let history = self.history(run_id);
+        let keep = policy.keep_latest.max(1);
+        if history.len() <= keep {
+            return Vec::new();
+        }
+        history[..history.len() - keep].to_vec()
+    }
+}
+
+/// Which generations of a run keep their checkpoint stores on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep the newest `keep_latest` generations (at least 1 — the live
+    /// generation is never prunable).
+    pub keep_latest: usize,
+}
+
+impl Default for RetentionPolicy {
+    /// Keep everything but the live generation's predecessors beyond one
+    /// spare (the previous generation stays replayable for comparisons).
+    fn default() -> Self {
+        RetentionPolicy { keep_latest: 2 }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +347,29 @@ mod tests {
             record_overhead: 0.031,
             scaling_c: 1.7,
         }
+    }
+
+    #[test]
+    fn prunable_generations_respect_the_retention_policy() {
+        let cat = RunCatalog::open(tmpfile("prunable")).unwrap();
+        for _ in 0..4 {
+            cat.register(rec("alice", 6)).unwrap();
+        }
+        let policy = RetentionPolicy { keep_latest: 2 };
+        let prunable = cat.prunable("alice", &policy);
+        assert_eq!(
+            prunable.iter().map(|r| r.generation).collect::<Vec<_>>(),
+            vec![0, 1],
+            "oldest first, newest two kept"
+        );
+        // The live generation is never prunable, even at keep_latest=0.
+        let all_but_live = cat.prunable("alice", &RetentionPolicy { keep_latest: 0 });
+        assert_eq!(all_but_live.len(), 3);
+        // Unknown runs and short histories prune nothing.
+        assert!(cat.prunable("nobody", &policy).is_empty());
+        let cat2 = RunCatalog::open(tmpfile("prunable-short")).unwrap();
+        cat2.register(rec("bob", 1)).unwrap();
+        assert!(cat2.prunable("bob", &policy).is_empty());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use cache::{query_key, CachedResult, QueryCache};
-pub use catalog::{RunCatalog, RunRecord};
+pub use catalog::{RetentionPolicy, RunCatalog, RunRecord};
 pub use error::RegistryError;
 pub use scheduler::{JobId, JobState, QueryJob, ReplayScheduler};
 pub use service::{QueryOutcome, Registry};

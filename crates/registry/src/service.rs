@@ -355,4 +355,75 @@ impl Registry {
     pub fn open_store_handles(&self) -> usize {
         self.stores.lock().len()
     }
+
+    // ---- storage-engine surface -------------------------------------------
+
+    /// Storage-engine counters for a run's (latest-generation) checkpoint
+    /// store: segments, live/dead bytes, zero-copy read and cache
+    /// counters, compactions.
+    pub fn store_stats(&self, run_id: &str) -> Result<flor_chkpt::StoreStats, RegistryError> {
+        let rec = self.run(run_id)?;
+        Ok(self.store_handle_at(run_id, &rec.store_root)?.stats())
+    }
+
+    /// What open-time recovery found on the run's store (missing data,
+    /// orphaned segments, manifest repairs).
+    pub fn store_recovery(
+        &self,
+        run_id: &str,
+    ) -> Result<flor_chkpt::RecoveryReport, RegistryError> {
+        let rec = self.run(run_id)?;
+        Ok(self
+            .store_handle_at(run_id, &rec.store_root)?
+            .recovery_report()
+            .clone())
+    }
+
+    /// Compacts a run's checkpoint store: superseded re-puts and dead
+    /// segment bytes are rewritten out, legacy file-per-checkpoint data is
+    /// migrated into segments. Queries through the pooled handle keep
+    /// working throughout (readers never block on compaction).
+    pub fn compact_run(
+        &self,
+        run_id: &str,
+    ) -> Result<flor_chkpt::CompactionReport, RegistryError> {
+        let rec = self.run(run_id)?;
+        let store = self.store_handle_at(run_id, &rec.store_root)?;
+        Ok(store.compact()?)
+    }
+
+    /// Applies a [`RetentionPolicy`](crate::catalog::RetentionPolicy):
+    /// deletes the checkpoint stores of prunable (superseded) generations
+    /// and drops any pooled handle that pointed at them. Returns the
+    /// pruned generations. The catalog keeps their metadata — history
+    /// stays queryable; only the replay data is reclaimed.
+    pub fn apply_retention(
+        &self,
+        run_id: &str,
+        policy: &crate::catalog::RetentionPolicy,
+    ) -> Result<Vec<RunRecord>, RegistryError> {
+        // Resolve the run first so an unknown id errors instead of
+        // silently pruning nothing.
+        let live = self.run(run_id)?;
+        let prunable = self.catalog.prunable(run_id, policy);
+        let mut pruned = Vec::new();
+        for rec in prunable {
+            if rec.store_root == live.store_root || !rec.store_root.exists() {
+                continue;
+            }
+            // Invalidate a pooled handle before deleting the data under it.
+            {
+                let mut stores = self.stores.lock();
+                if stores
+                    .get(run_id)
+                    .is_some_and(|h| h.root() == rec.store_root)
+                {
+                    stores.remove(run_id);
+                }
+            }
+            std::fs::remove_dir_all(&rec.store_root)?;
+            pruned.push(rec);
+        }
+        Ok(pruned)
+    }
 }

@@ -90,7 +90,10 @@ pub fn simulate_replay(
     };
 
     let c = workload.epoch_secs();
-    let r = workload.restore_secs();
+    // Restore cost: the paper's compute-side R = c·M plus the storage
+    // engine's measured read constants (BENCH_replay.json) for pulling the
+    // checkpoint out of a segment.
+    let r = workload.restore_secs() + crate::cost::read_cost::restore_read_secs(workload.compressed_ckpt_gb);
     let mut restored = 0u64;
     let mut executed = 0u64;
     let mut wall: f64 = 0.0;

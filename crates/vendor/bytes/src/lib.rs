@@ -151,6 +151,20 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
+
+    /// Length of the whole backing allocation this view shares (≥
+    /// `len()`). A zero-copy slice of a large buffer pins the entire
+    /// backing; memory accounting must charge this, not the slice length.
+    pub fn backing_len(&self) -> usize {
+        (*self.owner).as_ref().len()
+    }
+
+    /// Identity of the backing allocation: two views share memory iff
+    /// their backing ids are equal (the id stays valid exactly as long as
+    /// some view of the backing is alive).
+    pub fn backing_id(&self) -> usize {
+        (*self.owner).as_ref().as_ptr() as usize
+    }
 }
 
 impl Default for Bytes {
@@ -345,6 +359,19 @@ mod tests {
         let s = a.copy_to_bytes(5);
         assert_eq!(s.to_vec(), vec![10, 11, 12, 13, 14]);
         assert_eq!(a.remaining(), 85);
+    }
+
+    #[test]
+    fn backing_accessors_expose_the_shared_allocation() {
+        let mut a = Bytes::from_vec((0u8..100).collect());
+        a.advance(10);
+        let s = a.copy_to_bytes(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.backing_len(), 100, "slice pins the whole backing");
+        assert_eq!(s.backing_id(), a.backing_id(), "same allocation");
+        let other = Bytes::from_vec(vec![1, 2, 3]);
+        assert_ne!(other.backing_id(), a.backing_id());
+        assert_eq!(other.backing_len(), 3);
     }
 
     #[test]

@@ -32,12 +32,15 @@ fn exact_opts(root: &PathBuf) -> RecordOptions {
 fn bitflip_in_checkpoint_is_caught_by_crc() {
     let root = store_dir("bitflip");
     record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
-    // Flip one byte in every checkpoint file.
-    for entry in fs::read_dir(root.join("ckpt")).unwrap() {
+    // Corrupt the middle half of every checkpoint segment: several
+    // checkpoints' payload bytes are guaranteed to be hit.
+    for entry in fs::read_dir(root.join("seg")).unwrap() {
         let path = entry.unwrap().path();
         let mut bytes = fs::read(&path).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x01;
+        let n = bytes.len();
+        for b in &mut bytes[n / 4..3 * n / 4] {
+            *b ^= 0x01;
+        }
         fs::write(&path, &bytes).unwrap();
     }
     let result = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default());
@@ -48,7 +51,9 @@ fn bitflip_in_checkpoint_is_caught_by_crc() {
 fn truncated_checkpoint_is_caught() {
     let root = store_dir("truncate");
     record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
-    for entry in fs::read_dir(root.join("ckpt")).unwrap() {
+    // A truncated segment is corruption, not a skipped checkpoint: the
+    // entries past the cut must fail their bounds check loudly.
+    for entry in fs::read_dir(root.join("seg")).unwrap() {
         let path = entry.unwrap().path();
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
@@ -64,12 +69,12 @@ fn deleted_checkpoint_falls_back_to_reexecution() {
     // still match the fingerprint.
     let root = store_dir("deleted");
     let rec = record(scripts::CV_TRAIN, &exact_opts(&root)).unwrap();
-    // Remove epoch 3's entry from the manifest and disk.
+    // Remove epoch 3's entry from the manifest (its payload bytes stay in
+    // the segment as dead space — exactly what compaction reclaims).
     let manifest = root.join("MANIFEST");
     let text = fs::read_to_string(&manifest).unwrap();
-    let kept: Vec<&str> = text.lines().filter(|l| !l.contains("\t3\t")).collect();
+    let kept: Vec<&str> = text.lines().filter(|l| !l.starts_with("sb_0\t3\t")).collect();
     fs::write(&manifest, kept.join("\n") + "\n").unwrap();
-    let _ = fs::remove_file(root.join("ckpt").join("sb_0.000003"));
 
     let rep = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default()).unwrap();
     assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
@@ -123,8 +128,8 @@ fn batch_cut_mid_group_commit_recovers_to_a_prefix_of_whole_checkpoints() {
         let victim = base.join(format!("cut-{cut}"));
         let _ = fs::remove_dir_all(&victim);
         fs::create_dir_all(victim.join("artifacts")).unwrap();
-        // Data files persist (written and fsynced before the manifest).
-        copy_dir(&reference.join("ckpt"), &victim.join("ckpt"));
+        // Segment data persists (written and fsynced before the manifest).
+        copy_dir(&reference.join("seg"), &victim.join("seg"));
         fs::write(victim.join("MANIFEST"), &manifest[..cut]).unwrap();
 
         let recovered = CheckpointStore::open(&victim)
@@ -216,4 +221,156 @@ fn record_into_reused_store_accumulates_but_replays_latest_source() {
     let _ = second;
     let rep = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default()).unwrap();
     assert!(rep.anomalies.is_empty(), "{:?}", rep.anomalies);
+}
+
+#[test]
+fn compaction_crash_at_every_byte_offset_loses_no_live_checkpoint() {
+    // The compaction rewrite's crash states, exhaustively:
+    //
+    //   A. killed while writing the new segment's temp sibling — one state
+    //      per byte offset of the new segment file,
+    //   B. killed after the rename, before the manifest swap,
+    //   C. killed after the manifest swap, before the old segments are
+    //      deleted,
+    //   D. killed after the deletes (i.e. completed).
+    //
+    // Every state must recover at open to either the pre-compaction or the
+    // post-compaction view — same live logical content either way — with
+    // zero live checkpoints lost and the store accepting new writes.
+    // (This mirrors the mid-group-commit cut test above: there the torn
+    // artifact is the appended manifest text; here it is the rewritten
+    // segment.)
+    use flor_chkpt::CheckpointStore;
+    let base = store_dir("compact-cut");
+    fs::create_dir_all(&base).unwrap();
+
+    // Live content: two blocks, a few seqs, with superseded re-puts so
+    // compaction has real garbage to drop. Payloads come from the shared
+    // deterministic incompressible generator, seeded per (block, seq,
+    // round).
+    let payload = |block: &str, seq: u64, round: u32| -> Vec<u8> {
+        let tag = *block.as_bytes().last().expect("non-empty block id") as u32;
+        flor_bench::replay_read::payload((seq as u32 + 1) * 1009 + round * 97 + tag, 1500)
+    };
+    let live_keys: Vec<(&str, u64)> = vec![("sb_a", 0), ("sb_a", 1), ("sb_a", 2), ("sb_b", 0)];
+
+    // Build the pre-compaction reference.
+    let before = base.join("before");
+    {
+        let store = CheckpointStore::open(&before).unwrap();
+        for round in 0..3u32 {
+            for (block, seq) in &live_keys {
+                store.put(block, *seq, &payload(block, *seq, round)).unwrap();
+            }
+        }
+    }
+
+    // Run a real compaction on a scratch copy to capture its artifacts:
+    // the new segment's bytes/name and the rewritten manifest.
+    let scratch = base.join("scratch");
+    copy_store(&before, &scratch);
+    let (new_seg_name, new_seg_bytes, new_manifest) = {
+        let store = CheckpointStore::open(&scratch).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.rewritten_entries, live_keys.len() as u64);
+        assert!(report.reclaimed_bytes > 0, "{report:?}");
+        assert_eq!(report.new_segments.len(), 1, "fixture fits one segment");
+        let name = format!("{:08}.seg", report.new_segments[0]);
+        let bytes = fs::read(scratch.join("seg").join(&name)).unwrap();
+        let manifest = fs::read(scratch.join("MANIFEST")).unwrap();
+        (name, bytes, manifest)
+    };
+
+    let verify = |victim: &std::path::Path, label: &str| {
+        let store = CheckpointStore::open(victim)
+            .unwrap_or_else(|e| panic!("{label}: failed to recover: {e}"));
+        assert_eq!(
+            store.entries().len(),
+            live_keys.len(),
+            "{label}: live checkpoint set changed"
+        );
+        for (block, seq) in &live_keys {
+            assert_eq!(
+                store.get(block, *seq).unwrap_or_else(|e| panic!(
+                    "{label}: live checkpoint {block}.{seq} lost: {e}"
+                )),
+                payload(block, *seq, 2),
+                "{label}: {block}.{seq} must hold the latest re-put"
+            );
+        }
+        // The recovered store accepts and persists new writes.
+        store.put("post", 0, b"post-recovery write").unwrap();
+        assert_eq!(store.get("post", 0).unwrap(), b"post-recovery write");
+    };
+
+    // A: cut at every byte offset of the new segment's temp sibling.
+    let tmp_name = format!(".compact-{new_seg_name}.tmp.99999");
+    for cut in 0..=new_seg_bytes.len() {
+        let victim = base.join("cut-a");
+        let _ = fs::remove_dir_all(&victim);
+        copy_store(&before, &victim);
+        fs::write(victim.join("seg").join(&tmp_name), &new_seg_bytes[..cut]).unwrap();
+        verify(&victim, &format!("A(cut={cut})"));
+    }
+
+    // B: new segment renamed in, manifest not yet swapped (the new segment
+    // is unreferenced — open must report it and fall back to the
+    // pre-view; the next compaction reclaims the disk space).
+    {
+        let victim = base.join("cut-b");
+        let _ = fs::remove_dir_all(&victim);
+        copy_store(&before, &victim);
+        fs::write(victim.join("seg").join(&new_seg_name), &new_seg_bytes).unwrap();
+        verify(&victim, "B");
+        {
+            let store = CheckpointStore::open(&victim).unwrap();
+            assert!(
+                !store.recovery_report().orphaned_segments.is_empty(),
+                "B: orphaned new segment must be reported"
+            );
+            store.compact().unwrap();
+        }
+        assert!(
+            !victim.join("seg").join(&new_seg_name).exists(),
+            "B: compaction must GC the orphaned segment"
+        );
+        let store = CheckpointStore::open(&victim).unwrap();
+        for (block, seq) in &live_keys {
+            assert_eq!(store.get(block, *seq).unwrap(), payload(block, *seq, 2));
+        }
+    }
+
+    // C: manifest swapped, old segments still on disk (they are the
+    // orphans now — recovery must land on the post-view).
+    {
+        let victim = base.join("cut-c");
+        let _ = fs::remove_dir_all(&victim);
+        copy_store(&before, &victim);
+        fs::write(victim.join("seg").join(&new_seg_name), &new_seg_bytes).unwrap();
+        fs::write(victim.join("MANIFEST"), &new_manifest).unwrap();
+        verify(&victim, "C");
+    }
+
+    // D: completed compaction (old segments deleted).
+    {
+        let victim = base.join("cut-d");
+        let _ = fs::remove_dir_all(&victim);
+        fs::create_dir_all(victim.join("seg")).unwrap();
+        fs::create_dir_all(victim.join("artifacts")).unwrap();
+        fs::write(victim.join("seg").join(&new_seg_name), &new_seg_bytes).unwrap();
+        fs::write(victim.join("MANIFEST"), &new_manifest).unwrap();
+        verify(&victim, "D");
+    }
+}
+
+/// Copies a store directory (MANIFEST + seg/) for crash-state fixtures.
+fn copy_store(src: &std::path::Path, dst: &std::path::Path) {
+    fs::create_dir_all(dst.join("seg")).unwrap();
+    fs::create_dir_all(dst.join("artifacts")).unwrap();
+    fs::create_dir_all(dst.join("ckpt")).unwrap();
+    fs::copy(src.join("MANIFEST"), dst.join("MANIFEST")).unwrap();
+    for entry in fs::read_dir(src.join("seg")).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join("seg").join(entry.file_name())).unwrap();
+    }
 }

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Record-hot-path benchmark runner. From the repo root:
+# Hot-path benchmark runner. From the repo root:
 #
-#   ./tools/bench.sh            # full run: criterion benches + BENCH_record.json
+#   ./tools/bench.sh            # full run: criterion benches + BENCH_*.json
 #   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
 #
-# Emits BENCH_record.json at the repo root: median/mean caller-thread
-# submit latency and blocked time per materialization strategy, for the
-# zero-copy pipeline vs the pre-refactor eager-copy baseline. The JSON is
-# committed so future PRs can be held to the trajectory.
+# Emits two committed artifacts at the repo root so future PRs can be held
+# to the trajectory:
+#   BENCH_record.json — caller-thread submit latency per materialization
+#                       strategy (zero-copy vs pre-refactor eager copies)
+#   BENCH_replay.json — restore-read latency + cold store-open time
+#                       (segmented get_bytes vs pre-refactor per-file get)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,13 +35,16 @@ else
     done
 fi
 
-# The benchmark artifact. Full runs refresh the committed BENCH_record.json;
+# The benchmark artifacts. Full runs refresh the committed BENCH_*.json;
 # quick (CI smoke) runs write under target/ so they never dirty the tree.
-OUT=BENCH_record.json
+RECORD_OUT=BENCH_record.json
+REPLAY_OUT=BENCH_replay.json
 if [[ "$QUICK" == "1" ]]; then
-    OUT=target/BENCH_record.quick.json
+    RECORD_OUT=target/BENCH_record.quick.json
+    REPLAY_OUT=target/BENCH_replay.quick.json
 fi
-FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$RECORD_OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_json -- "$REPLAY_OUT"
 
 echo
-echo "bench: OK ($OUT written)"
+echo "bench: OK ($RECORD_OUT, $REPLAY_OUT written)"
