@@ -103,6 +103,9 @@ mod tests {
     #[test]
     fn unknown_names_pass_through() {
         let o = oracle(&[]);
-        assert_eq!(augment_changeset(&names(&["x", "y"]), &o), names(&["x", "y"]));
+        assert_eq!(
+            augment_changeset(&names(&["x", "y"]), &o),
+            names(&["x", "y"])
+        );
     }
 }

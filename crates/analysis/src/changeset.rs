@@ -174,7 +174,16 @@ for batch in loader.epoch():
         assert!(a.ok(), "refused: {:?}", a.refusal);
         assert_eq!(
             a.raw_changeset,
-            vec!["loader", "batch", "optimizer", "net", "preds", "criterion", "loss", "avg_loss"]
+            vec![
+                "loader",
+                "batch",
+                "optimizer",
+                "net",
+                "preds",
+                "criterion",
+                "loss",
+                "avg_loss"
+            ]
         );
         // Rule trace numbers per statement.
         let rules: Vec<u8> = a.rule_trace.iter().map(|(_, r)| *r).collect();
@@ -272,7 +281,9 @@ for i in range(5):
 
     #[test]
     fn loader_header_is_rule1() {
-        let a = analyze_loop(&first_loop("for b in loader.epoch():\n    optimizer.step()\n"));
+        let a = analyze_loop(&first_loop(
+            "for b in loader.epoch():\n    optimizer.step()\n",
+        ));
         assert_eq!(a.rule_trace[0].1, 1);
         assert_eq!(a.raw_changeset, vec!["loader", "b", "optimizer"]);
     }

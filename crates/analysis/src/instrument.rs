@@ -85,7 +85,11 @@ pub fn instrument(user: &Program) -> InstrumentReport {
     let mut seen_main = false;
     for stmt in &user.body {
         match stmt {
-            Stmt::For { var, iter, body: loop_body } if !seen_main => {
+            Stmt::For {
+                var,
+                iter,
+                body: loop_body,
+            } if !seen_main => {
                 // The first top-level loop is the main loop: wrap its
                 // iterator in the Flor generator, instrument its body.
                 seen_main = true;
@@ -288,7 +292,10 @@ for epoch in range(200):
         assert_eq!(report.main_loop.as_ref().unwrap().var, "epoch");
 
         let printed = print_program(&report.program);
-        assert!(printed.contains("for epoch in flor.partition(range(200)):"), "{printed}");
+        assert!(
+            printed.contains("for epoch in flor.partition(range(200)):"),
+            "{printed}"
+        );
         assert!(printed.contains("skipblock \"sb_0\":"), "{printed}");
         // The eval call is outside any skipblock.
         let sb_pos = printed.find("skipblock").unwrap();
@@ -311,7 +318,7 @@ for epoch in range(200):
         // Rule trace matches the statement forms.
         let rules: Vec<u8> = plan.rule_trace.iter().map(|(_, r)| *r).collect();
         assert_eq!(rules, vec![1, 4, 1, 4]); // header, zero_grad, train_step, step
-        // The main loop is refused because of the rule-5 evaluate() call.
+                                             // The main loop is refused because of the rule-5 evaluate() call.
         assert_eq!(report.refused.len(), 1);
         assert!(report.refused[0].reason.reason.contains("evaluate"));
     }
@@ -345,7 +352,10 @@ for epoch in range(10):
         // Both the main loop (effects propagate outward) and the inner loop
         // are refused.
         assert_eq!(report.refused.len(), 2);
-        assert!(report.refused.iter().all(|r| r.reason.reason.contains("mystery")));
+        assert!(report
+            .refused
+            .iter()
+            .all(|r| r.reason.reason.contains("mystery")));
         let printed = print_program(&report.program);
         assert!(!printed.contains("skipblock"));
     }

@@ -246,7 +246,10 @@ mod tests {
         let app = match_rule(&stmt("evaluate(net, data)\n"), &empty());
         assert!(matches!(
             app,
-            RuleApplication::NoEstimate { rule: RuleId::Rule5, .. }
+            RuleApplication::NoEstimate {
+                rule: RuleId::Rule5,
+                ..
+            }
         ));
     }
 
@@ -255,7 +258,10 @@ mod tests {
         let app = match_rule(&stmt("x = x + 1\n"), &with(&["x"]));
         assert!(matches!(
             app,
-            RuleApplication::NoEstimate { rule: RuleId::Rule0, .. }
+            RuleApplication::NoEstimate {
+                rule: RuleId::Rule0,
+                ..
+            }
         ));
     }
 
@@ -266,14 +272,23 @@ mod tests {
         let app = match_rule(&stmt("opt = factory.make(opt)\n"), &with(&["opt"]));
         assert!(matches!(
             app,
-            RuleApplication::NoEstimate { rule: RuleId::Rule0, .. }
+            RuleApplication::NoEstimate {
+                rule: RuleId::Rule0,
+                ..
+            }
         ));
     }
 
     #[test]
     fn assignment_not_in_changeset_is_fine() {
         let app = match_rule(&stmt("y = x + 1\n"), &with(&["x"]));
-        assert!(matches!(app, RuleApplication::Delta { rule: RuleId::Rule3, .. }));
+        assert!(matches!(
+            app,
+            RuleApplication::Delta {
+                rule: RuleId::Rule3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -293,7 +308,10 @@ mod tests {
         let app = match_rule(&stmt("net.lr = 0.5\n"), &with(&["net"]));
         assert!(matches!(
             app,
-            RuleApplication::NoEstimate { rule: RuleId::Rule0, .. }
+            RuleApplication::NoEstimate {
+                rule: RuleId::Rule0,
+                ..
+            }
         ));
     }
 
@@ -311,7 +329,10 @@ mod tests {
 
     #[test]
     fn log_statement_is_exempt() {
-        assert_eq!(match_rule(&stmt("log(\"loss\", loss)\n"), &empty()), RuleApplication::NoMatch);
+        assert_eq!(
+            match_rule(&stmt("log(\"loss\", loss)\n"), &empty()),
+            RuleApplication::NoMatch
+        );
         assert_eq!(
             match_rule(&stmt("flor.log(\"loss\", loss)\n"), &empty()),
             RuleApplication::NoMatch
@@ -320,8 +341,14 @@ mod tests {
 
     #[test]
     fn control_flow_no_match() {
-        assert_eq!(match_rule(&stmt("import flor\n"), &empty()), RuleApplication::NoMatch);
-        assert_eq!(match_rule(&stmt("pass\n"), &empty()), RuleApplication::NoMatch);
+        assert_eq!(
+            match_rule(&stmt("import flor\n"), &empty()),
+            RuleApplication::NoMatch
+        );
+        assert_eq!(
+            match_rule(&stmt("pass\n"), &empty()),
+            RuleApplication::NoMatch
+        );
         assert_eq!(
             match_rule(&stmt("for i in r:\n    pass\n"), &empty()),
             RuleApplication::NoMatch
@@ -330,6 +357,9 @@ mod tests {
 
     #[test]
     fn bare_literal_no_match() {
-        assert_eq!(match_rule(&stmt("42\n"), &empty()), RuleApplication::NoMatch);
+        assert_eq!(
+            match_rule(&stmt("42\n"), &empty()),
+            RuleApplication::NoMatch
+        );
     }
 }

@@ -18,11 +18,7 @@ use std::collections::BTreeSet;
 /// Names defined by a statement sequence, in order, stopping at (and not
 /// descending into) the statement `until` points at — used to compute the
 /// set of names defined *before* a given loop.
-pub fn defined_before(
-    body: &[Stmt],
-    target: &Stmt,
-    defined: &mut BTreeSet<String>,
-) -> bool {
+pub fn defined_before(body: &[Stmt], target: &Stmt, defined: &mut BTreeSet<String>) -> bool {
     for stmt in body {
         if std::ptr::eq(stmt, target) {
             return true;
@@ -78,7 +74,11 @@ mod tests {
 
     #[test]
     fn filter_drops_fresh_loop_locals() {
-        let raw = vec!["batch".to_string(), "preds".to_string(), "optimizer".to_string()];
+        let raw = vec![
+            "batch".to_string(),
+            "preds".to_string(),
+            "optimizer".to_string(),
+        ];
         let loop_defined: BTreeSet<String> =
             ["batch", "preds"].iter().map(|s| s.to_string()).collect();
         let pre_defined = BTreeSet::new();
@@ -141,7 +141,10 @@ for e in range(3):
         let found = defined_before(&prog.body, inner, &mut defined);
         assert!(found);
         assert!(defined.contains("e"), "outer loop var visible");
-        assert!(defined.contains("acc"), "outer loop body assignment visible");
+        assert!(
+            defined.contains("acc"),
+            "outer loop body assignment visible"
+        );
         assert!(!defined.contains("b"));
     }
 

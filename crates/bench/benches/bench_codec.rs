@@ -21,7 +21,9 @@ fn bench_codec(c: &mut Criterion) {
     let encoded = encode(&payload);
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode", |b| b.iter(|| encode(std::hint::black_box(&payload))));
+    group.bench_function("encode", |b| {
+        b.iter(|| encode(std::hint::black_box(&payload)))
+    });
     group.bench_function("decode", |b| {
         b.iter(|| decode(std::hint::black_box(&encoded)).unwrap())
     });

@@ -21,10 +21,8 @@ fn bench_record(c: &mut Criterion) {
     group.bench_function("record", |b| {
         b.iter(|| {
             let run = RUN.fetch_add(1, Ordering::Relaxed);
-            let dir = std::env::temp_dir().join(format!(
-                "flor-bench-record-{}-{run}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir()
+                .join(format!("flor-bench-record-{}-{run}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             record(scripts::CV_TRAIN, &RecordOptions::new(dir)).unwrap()
         })

@@ -8,7 +8,8 @@ use flor_registry::{query_key, Registry, RunCatalog, RunRecord};
 use std::path::PathBuf;
 
 fn tmpdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("flor-bench-registry-{tag}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("flor-bench-registry-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -74,13 +75,22 @@ fn bench_registry(c: &mut Criterion) {
     );
     group.throughput(Throughput::Bytes(probed.len() as u64));
     group.bench_function("query_key", |b| {
-        b.iter(|| query_key("run-0500", 3, "feedbeeffeedbeef", std::hint::black_box(&probed)))
+        b.iter(|| {
+            query_key(
+                "run-0500",
+                3,
+                "feedbeeffeedbeef",
+                std::hint::black_box(&probed),
+            )
+        })
     });
 
     // Cached-query hit: record one real run, warm the cache, measure hits.
     let registry = Registry::open(tmpdir("service")).unwrap();
     registry
-        .record_run("alice-cv", TRAIN, |o: &mut RecordOptions| o.adaptive = false)
+        .record_run("alice-cv", TRAIN, |o: &mut RecordOptions| {
+            o.adaptive = false
+        })
         .unwrap();
     let warm = registry.query("alice-cv", &probed, 2).unwrap();
     assert!(!warm.cached);

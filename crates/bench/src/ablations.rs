@@ -31,16 +31,17 @@ pub fn lean() -> String {
             name.to_string(),
             format!("{} KiB", lean_rep.raw_bytes / 1024),
             format!("{} KiB", full_rep.raw_bytes / 1024),
-            format!("{:.2}x", full_rep.raw_bytes as f64 / lean_rep.raw_bytes.max(1) as f64),
+            format!(
+                "{:.2}x",
+                full_rep.raw_bytes as f64 / lean_rep.raw_bytes.max(1) as f64
+            ),
         ]);
     }
     let mut out = render_table(
         &["workload", "lean (changeset)", "full env", "inflation"],
         &rows,
     );
-    out.push_str(
-        "lean checkpointing drops loop-scoped state (batches, activations, gradients)\n",
-    );
+    out.push_str("lean checkpointing drops loop-scoped state (batches, activations, gradients)\n");
     out
 }
 
@@ -49,19 +50,32 @@ pub fn lean() -> String {
 /// sparsely, without it every epoch pays the full materialization cost.
 pub fn adaptive_live() -> String {
     let mut rows = Vec::new();
-    for (name, src) in [("cv_train", scripts::CV_TRAIN), ("finetune", scripts::FINETUNE)] {
-        let adaptive = record(src, &RecordOptions::new(fresh_dir(&format!("abl-ad-{name}"))))
-            .expect("adaptive record");
+    for (name, src) in [
+        ("cv_train", scripts::CV_TRAIN),
+        ("finetune", scripts::FINETUNE),
+    ] {
+        let adaptive = record(
+            src,
+            &RecordOptions::new(fresh_dir(&format!("abl-ad-{name}"))),
+        )
+        .expect("adaptive record");
         let mut off_opts = RecordOptions::new(fresh_dir(&format!("abl-off-{name}")));
         off_opts.adaptive = false;
         let off = record(src, &off_opts).expect("non-adaptive record");
         rows.push(vec![
             name.to_string(),
-            format!("{} ckpts / {} KiB", adaptive.checkpoints, adaptive.raw_bytes / 1024),
+            format!(
+                "{} ckpts / {} KiB",
+                adaptive.checkpoints,
+                adaptive.raw_bytes / 1024
+            ),
             format!("{} ckpts / {} KiB", off.checkpoints, off.raw_bytes / 1024),
         ]);
     }
-    let mut out = render_table(&["workload", "adaptive (Eq. 4)", "always checkpoint"], &rows);
+    let mut out = render_table(
+        &["workload", "adaptive (Eq. 4)", "always checkpoint"],
+        &rows,
+    );
     out.push_str("the fine-tune regime is where adaptivity pays (paper Figure 7)\n");
     out
 }

@@ -28,9 +28,31 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_record.json".to_string());
-    let quick = std::env::var("FLOR_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
-    let (tensors, floats, jobs) = if quick { (8, 16 * 1024, 24) } else { (8, 64 * 1024, 64) };
+    let quick = std::env::var("FLOR_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (tensors, floats, jobs) = if quick {
+        (8, 16 * 1024, 24)
+    } else {
+        (8, 64 * 1024, 64)
+    };
     let fixture = StateFixture::new(tensors, floats);
+
+    // Steady-state warmup: the process's first sustained measurement runs
+    // up to ~1.5× slow (CPU frequency/quota ramp on shared hosts), which
+    // used to land entirely on whichever configuration was measured first
+    // — the committed `Baseline zero_copy 0.68×` "regression" was exactly
+    // this artifact, not a pipeline cost. One discarded full-length
+    // measurement absorbs it for every configuration equally (regression-
+    // tested in `record_submit::tests`).
+    eprintln!("steady-state warmup…");
+    let _ = measure_submit(
+        &fixture,
+        flor_chkpt::Strategy::Baseline,
+        SubmitMode::EagerCopy,
+        jobs,
+        "steady-state-warmup",
+    );
 
     let mut body = String::new();
     let _ = writeln!(body, "{{");
@@ -49,16 +71,45 @@ fn main() {
         fixture.raw_bytes()
     );
     let _ = writeln!(body, "  \"strategies\": {{");
+    // Alternate zero/eager reps and keep each mode's best: transient CPU
+    // steal on shared hosts then cannot land on one mode only.
+    let reps = if quick { 1 } else { 3 };
     for (si, strategy) in ALL_STRATEGIES.iter().enumerate() {
-        let zero = measure_submit(&fixture, *strategy, SubmitMode::ZeroCopy, jobs, "json");
-        let eager = measure_submit(&fixture, *strategy, SubmitMode::EagerCopy, jobs, "json");
+        let mut zero: Option<SubmitMeasurement> = None;
+        let mut eager: Option<SubmitMeasurement> = None;
+        for rep in 0..reps {
+            let z = measure_submit(&fixture, *strategy, SubmitMode::ZeroCopy, jobs, "json");
+            let e = measure_submit(&fixture, *strategy, SubmitMode::EagerCopy, jobs, "json");
+            let _ = rep;
+            if zero
+                .as_ref()
+                .is_none_or(|b| z.mean_submit_ns < b.mean_submit_ns)
+            {
+                zero = Some(z);
+            }
+            if eager
+                .as_ref()
+                .is_none_or(|b| e.mean_submit_ns < b.mean_submit_ns)
+            {
+                eager = Some(e);
+            }
+        }
+        let (zero, eager) = (zero.expect("reps >= 1"), eager.expect("reps >= 1"));
         let speedup = eager.mean_submit_ns as f64 / zero.mean_submit_ns.max(1) as f64;
         let _ = write!(body, "    \"{strategy:?}\": {{\"zero_copy\": ");
         json_measurement(&mut body, &zero);
         let _ = write!(body, ", \"eager_copy_prepr\": ");
         json_measurement(&mut body, &eager);
         let _ = write!(body, ", \"mean_submit_speedup\": {speedup:.2}}}");
-        let _ = writeln!(body, "{}", if si + 1 < ALL_STRATEGIES.len() { "," } else { "" });
+        let _ = writeln!(
+            body,
+            "{}",
+            if si + 1 < ALL_STRATEGIES.len() {
+                ","
+            } else {
+                ""
+            }
+        );
         eprintln!(
             "{strategy:?}: zero-copy mean {} ns/ckpt, eager (pre-PR) mean {} ns/ckpt — {:.2}x",
             zero.mean_submit_ns, eager.mean_submit_ns, speedup

@@ -32,8 +32,14 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_replay.json".to_string());
-    let quick = std::env::var("FLOR_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
-    let (checkpoints, sample) = if quick { (5_000u64, 2_000u64) } else { (100_000, 20_000) };
+    let quick = std::env::var("FLOR_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (checkpoints, sample) = if quick {
+        (5_000u64, 2_000u64)
+    } else {
+        (100_000, 20_000)
+    };
 
     eprintln!("building {checkpoints}-checkpoint fixtures (segmented + file-per-checkpoint)…");
     let seg = ReadFixture::build("json-seg", StoreFormat::Segmented, checkpoints);

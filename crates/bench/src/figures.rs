@@ -57,7 +57,8 @@ pub fn fig05(payload_bytes: usize) -> String {
         ("IPC-Plasma", Strategy::Plasma),
         ("Fork (Flor)", Strategy::ForkBatched),
     ] {
-        let store = Arc::new(CheckpointStore::open(fresh_dir(&format!("fig05-{strategy:?}"))).unwrap());
+        let store =
+            Arc::new(CheckpointStore::open(fresh_dir(&format!("fig05-{strategy:?}"))).unwrap());
         let mat = Materializer::new(store, strategy, 2);
         let t0 = std::time::Instant::now();
         for seq in 0..jobs {
@@ -113,7 +114,13 @@ pub fn fig07() -> String {
         ]);
     }
     let mut out = render_table(
-        &["workload", "adaptivity OFF", "adaptivity ON", "ckpts", "epochs"],
+        &[
+            "workload",
+            "adaptivity OFF",
+            "adaptivity ON",
+            "ckpts",
+            "epochs",
+        ],
         &rows,
     );
     out.push_str("tolerance line ε = 6.67%; paper extremes: RTE 91%, CoLA 28% (OFF)\n");
@@ -135,11 +142,10 @@ pub fn fig10() -> String {
             format!("{:.1}%", 100.0 / max_speedup(w.epochs, 4)),
         ]);
     }
-    let mut out = render_table(
-        &["workload", "weak init", "strong init", "ideal"],
-        &rows,
+    let mut out = render_table(&["workload", "weak init", "strong init", "ideal"], &rows);
+    out.push_str(
+        "paper: near-ideal (25%) for epoch-rich workloads; RTE & CoLA floor at 2/6 = 33%\n",
     );
-    out.push_str("paper: near-ideal (25%) for epoch-rich workloads; RTE & CoLA floor at 2/6 = 33%\n");
     out
 }
 
@@ -234,12 +240,22 @@ pub fn fig12() -> String {
         let (inner_speedup, inner_wall, inner_g) = best(ProbePosition::Inner);
         rows.push(vec![
             w.name.to_string(),
-            format!("{outer_speedup:.0}x ({}, {outer_g} GPUs)", fmt_secs(outer_wall)),
-            format!("{inner_speedup:.1}x ({}, {inner_g} GPUs)", fmt_secs(inner_wall)),
+            format!(
+                "{outer_speedup:.0}x ({}, {outer_g} GPUs)",
+                fmt_secs(outer_wall)
+            ),
+            format!(
+                "{inner_speedup:.1}x ({}, {inner_g} GPUs)",
+                fmt_secs(inner_wall)
+            ),
         ]);
     }
     let mut out = render_table(
-        &["workload", "outer probe (partial+parallel)", "inner probe (parallel only)"],
+        &[
+            "workload",
+            "outer probe (partial+parallel)",
+            "inner probe (parallel only)",
+        ],
         &rows,
     );
     out.push_str("paper: outer-probe speedups 7x-1123x, favoring longer experiments\n");
@@ -261,7 +277,10 @@ pub fn fig13() -> String {
             format!("{:.2}x", max_speedup(w.epochs, gpus)),
         ]);
     }
-    let mut out = render_table(&["machines", "replay time", "speedup", "load-balance bound"], &rows);
+    let mut out = render_table(
+        &["machines", "replay time", "speedup", "load-balance bound"],
+        &rows,
+    );
     out.push_str("paper: max achievable at 16 GPUs is 200/13 = 15.38x\n");
     out
 }

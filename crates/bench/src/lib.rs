@@ -19,6 +19,7 @@ pub mod ablations;
 pub mod figures;
 pub mod record_submit;
 pub mod replay_read;
+pub mod replay_sched;
 pub mod scripts;
 pub mod tables;
 pub mod util;
@@ -28,18 +29,33 @@ pub fn all_experiments() -> String {
     let mut out = String::new();
     for (title, body) in [
         ("Table 1 — side-effect analysis rules", tables::tab01()),
-        ("Table 2 — adaptive checkpointing symbols (live)", tables::tab02()),
+        (
+            "Table 2 — adaptive checkpointing symbols (live)",
+            tables::tab02(),
+        ),
         ("Table 3 — evaluation workloads", tables::tab03()),
         ("Table 4 — checkpoint sizes and S3 cost", tables::tab04()),
-        ("Figure 5 — background materialization", figures::fig05(16 << 20)),
+        (
+            "Figure 5 — background materialization",
+            figures::fig05(16 << 20),
+        ),
         ("Figure 7 — adaptive checkpointing impact", figures::fig07()),
-        ("Figure 10 — parallel replay fraction (4 GPUs)", figures::fig10()),
+        (
+            "Figure 10 — parallel replay fraction (4 GPUs)",
+            figures::fig10(),
+        ),
         ("Figure 11 — record overhead", figures::fig11()),
-        ("Figure 12 — replay latency by probe position", figures::fig12()),
+        (
+            "Figure 12 — replay latency by probe position",
+            figures::fig12(),
+        ),
         ("Figure 13 — RsNt scale-out", figures::fig13()),
         ("Figure 14 — serial vs parallel cost", figures::fig14()),
         ("Ablation — lean checkpointing", ablations::lean()),
-        ("Ablation — adaptive checkpointing (live)", ablations::adaptive_live()),
+        (
+            "Ablation — adaptive checkpointing (live)",
+            ablations::adaptive_live(),
+        ),
     ] {
         out.push_str(&format!("\n=== {title} ===\n"));
         out.push_str(&body);

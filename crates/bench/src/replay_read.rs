@@ -143,7 +143,12 @@ pub struct ReadMeasurement {
 /// Reads up to `sample` keys of the fixture once each, in a deterministic
 /// pseudo-shuffled order (defeats trivial locality without `rand`), and
 /// reports the latency distribution.
-pub fn measure_reads(store: &CheckpointStore, fixture: &ReadFixture, mode: ReadMode, sample: u64) -> ReadMeasurement {
+pub fn measure_reads(
+    store: &CheckpointStore,
+    fixture: &ReadFixture,
+    mode: ReadMode,
+    sample: u64,
+) -> ReadMeasurement {
     let all = keys(fixture.checkpoints);
     let n = all.len() as u64;
     let sample = sample.min(n).max(1);

@@ -11,8 +11,18 @@ use std::collections::BTreeSet;
 /// the real rule matcher.
 pub fn tab01() -> String {
     let examples = [
-        ("0", "acc = acc + loss", &["acc"][..], "No Estimate (refuse loop)"),
-        ("1", "loss, preds = net.eval(batch)", &[], "{net, loss, preds}"),
+        (
+            "0",
+            "acc = acc + loss",
+            &["acc"][..],
+            "No Estimate (refuse loop)",
+        ),
+        (
+            "1",
+            "loss, preds = net.eval(batch)",
+            &[],
+            "{net, loss, preds}",
+        ),
         ("2", "preds = softmax(logits)", &[], "{preds}"),
         ("3", "lr = 0.1 * decay", &[], "{lr}"),
         ("4", "optimizer.step()", &[], "{optimizer}"),
@@ -38,7 +48,10 @@ pub fn tab01() -> String {
             expect.to_string(),
         ]);
     }
-    render_table(&["rule", "statement", "matcher output", "paper ΔChangeset"], &rows)
+    render_table(
+        &["rule", "statement", "matcher output", "paper ΔChangeset"],
+        &rows,
+    )
 }
 
 /// Table 2: the adaptive-checkpointing symbols, shown live by driving the
@@ -58,14 +71,45 @@ pub fn tab02() -> String {
     }
     let stats = ctrl.block_stats("rte").unwrap();
     let rows = vec![
-        vec!["M_i".into(), "time to materialize side-effects".into(), format!("{:.1} s", stats.mean_materialize_ns() / 1e9)],
-        vec!["R_i".into(), "time to restore side-effects".into(), format!("{:.1} s (= c·M_i)", 1.38 * stats.mean_materialize_ns() / 1e9)],
-        vec!["C_i".into(), "time to compute loop".into(), format!("{:.1} s", stats.mean_compute_ns() / 1e9)],
-        vec!["n_i".into(), "executions so far".into(), stats.executions.to_string()],
+        vec![
+            "M_i".into(),
+            "time to materialize side-effects".into(),
+            format!("{:.1} s", stats.mean_materialize_ns() / 1e9),
+        ],
+        vec![
+            "R_i".into(),
+            "time to restore side-effects".into(),
+            format!(
+                "{:.1} s (= c·M_i)",
+                1.38 * stats.mean_materialize_ns() / 1e9
+            ),
+        ],
+        vec![
+            "C_i".into(),
+            "time to compute loop".into(),
+            format!("{:.1} s", stats.mean_compute_ns() / 1e9),
+        ],
+        vec![
+            "n_i".into(),
+            "executions so far".into(),
+            stats.executions.to_string(),
+        ],
         vec!["k_i".into(), "checkpoints so far".into(), k.to_string()],
-        vec!["G".into(), "degree of replay parallelism".into(), "set at replay".into()],
-        vec!["c".into(), "R/M scaling factor (refined)".into(), format!("{:.2}", ctrl.c())],
-        vec!["ε".into(), "overhead tolerance".into(), "0.0667 (1/15)".into()],
+        vec![
+            "G".into(),
+            "degree of replay parallelism".into(),
+            "set at replay".into(),
+        ],
+        vec![
+            "c".into(),
+            "R/M scaling factor (refined)".into(),
+            format!("{:.2}", ctrl.c()),
+        ],
+        vec![
+            "ε".into(),
+            "overhead tolerance".into(),
+            "0.0667 (1/15)".into(),
+        ],
     ];
     render_table(&["symbol", "description", "live value (RTE stream)"], &rows)
 }
@@ -90,7 +134,15 @@ pub fn tab03() -> String {
         })
         .collect();
     render_table(
-        &["Name", "Benchmark", "Task", "Model", "Dataset", "Train/Tune", "Epochs"],
+        &[
+            "Name",
+            "Benchmark",
+            "Task",
+            "Model",
+            "Dataset",
+            "Train/Tune",
+            "Epochs",
+        ],
         &rows,
     )
 }
@@ -122,7 +174,14 @@ pub fn tab04() -> String {
         ]);
     }
     render_table(
-        &["Name", "sim GB", "sim $/mo", "paper GB", "paper $/mo", "ckpts"],
+        &[
+            "Name",
+            "sim GB",
+            "sim $/mo",
+            "paper GB",
+            "paper $/mo",
+            "ckpts",
+        ],
         &rows,
     )
 }

@@ -526,7 +526,10 @@ mod tests {
         assert_eq!(fork.group_commit_jobs, 12);
         let (plasma, _) = run_strategy(Strategy::Plasma, "nobatch");
         assert_eq!(plasma.dispatches, 12);
-        assert_eq!(plasma.group_commits, 0, "per-job path is not a group commit");
+        assert_eq!(
+            plasma.group_commits, 0,
+            "per-job path is not a group commit"
+        );
     }
 
     #[test]

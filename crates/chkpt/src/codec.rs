@@ -205,11 +205,13 @@ impl CVal {
             CVal::Bytes(b) => b.len() + 5,
             CVal::Lazy(l) => l.len() + 5,
             CVal::List(items) => items.iter().map(CVal::approx_bytes).sum::<usize>() + 5,
-            CVal::Map(pairs) => pairs
-                .iter()
-                .map(|(k, v)| k.len() + 5 + v.approx_bytes())
-                .sum::<usize>()
-                + 5,
+            CVal::Map(pairs) => {
+                pairs
+                    .iter()
+                    .map(|(k, v)| k.len() + 5 + v.approx_bytes())
+                    .sum::<usize>()
+                    + 5
+            }
         }
     }
 }
@@ -505,7 +507,11 @@ mod tests {
     #[test]
     fn roundtrip_containers() {
         roundtrip(CVal::bytes(vec![0, 1, 2, 255]));
-        roundtrip(CVal::List(vec![CVal::I64(1), CVal::Str("a".into()), CVal::Unit]));
+        roundtrip(CVal::List(vec![
+            CVal::I64(1),
+            CVal::Str("a".into()),
+            CVal::Unit,
+        ]));
         roundtrip(CVal::map(vec![
             ("weights", CVal::bytes(vec![1; 100])),
             ("step", CVal::I64(42)),

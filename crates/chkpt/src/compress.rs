@@ -85,8 +85,12 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut flag_bits = 0u8;
     let mut flag_count = 0u8;
 
-    let push_item = |out: &mut Vec<u8>, is_match: bool, payload: &[u8],
-                         flag_pos: &mut usize, flag_bits: &mut u8, flag_count: &mut u8| {
+    let push_item = |out: &mut Vec<u8>,
+                     is_match: bool,
+                     payload: &[u8],
+                     flag_pos: &mut usize,
+                     flag_bits: &mut u8,
+                     flag_count: &mut u8| {
         if *flag_count == 8 {
             out[*flag_pos] = *flag_bits;
             *flag_pos = out.len();
@@ -128,7 +132,12 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                         (len - MIN_MATCH) as u8,
                     ];
                     push_item(
-                        &mut out, true, &payload, &mut flag_pos, &mut flag_bits, &mut flag_count,
+                        &mut out,
+                        true,
+                        &payload,
+                        &mut flag_pos,
+                        &mut flag_bits,
+                        &mut flag_count,
                     );
                     // Index a few positions inside the match for better
                     // downstream matches.

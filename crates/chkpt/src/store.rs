@@ -154,7 +154,11 @@ impl fmt::Display for StoreError {
             StoreError::Missing { block_id, seq } => {
                 write!(f, "no checkpoint for block {block_id:?} seq {seq}")
             }
-            StoreError::Corrupt { block_id, seq, detail } => {
+            StoreError::Corrupt {
+                block_id,
+                seq,
+                detail,
+            } => {
                 write!(f, "corrupt checkpoint {block_id:?}.{seq}: {detail}")
             }
             StoreError::BadManifest(d) => write!(f, "bad manifest: {d}"),
@@ -269,7 +273,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, slot) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }
@@ -305,7 +313,12 @@ impl Location {
     fn render(&self) -> String {
         match self {
             Location::File(f) => f.clone(),
-            Location::Segment { seg, offset, len, raw_stored } => {
+            Location::Segment {
+                seg,
+                offset,
+                len,
+                raw_stored,
+            } => {
                 if *raw_stored {
                     format!("@{seg}:{offset}:{len}:r")
                 } else {
@@ -570,7 +583,9 @@ pub fn write_atomic(dest: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = dest.parent().unwrap_or_else(|| Path::new("."));
     let tmp = dir.join(format!(
         ".{}.tmp.{}",
-        dest.file_name().map(|n| n.to_string_lossy()).unwrap_or_default(),
+        dest.file_name()
+            .map(|n| n.to_string_lossy())
+            .unwrap_or_default(),
         std::process::id()
     ));
     {
@@ -786,9 +801,7 @@ impl CheckpointStore {
                 }
             }
         }
-        self.next_seg = AtomicU64::new(
-            seg_sizes.keys().max().map(|m| m + 1).unwrap_or(0),
-        );
+        self.next_seg = AtomicU64::new(seg_sizes.keys().max().map(|m| m + 1).unwrap_or(0));
 
         let path = self.manifest_path();
         let mut parsed: Vec<((String, u64), IndexEntry)> = Vec::new();
@@ -992,7 +1005,12 @@ impl CheckpointStore {
         };
         Ok((
             (parts[0].to_string(), seq),
-            IndexEntry { loc, raw, crc, stored },
+            IndexEntry {
+                loc,
+                raw,
+                crc,
+                stored,
+            },
         ))
     }
 
@@ -1223,7 +1241,12 @@ impl CheckpointStore {
                 }
                 Ok(Bytes::from_vec(payload))
             }
-            Location::Segment { seg, offset, len, raw_stored } => {
+            Location::Segment {
+                seg,
+                offset,
+                len,
+                raw_stored,
+            } => {
                 let slice = self.stored_slice(block_id, seq, *seg, *offset, *len)?;
                 if *raw_stored {
                     if slice.len() as u64 != entry.raw || crc32(slice.as_ref()) != entry.crc {
@@ -1232,8 +1255,7 @@ impl CheckpointStore {
                     self.reads.zero_copy.fetch_add(1, Ordering::Relaxed);
                     Ok(slice)
                 } else {
-                    let payload =
-                        decompress(slice.as_ref()).map_err(|e| corrupt(e.message))?;
+                    let payload = decompress(slice.as_ref()).map_err(|e| corrupt(e.message))?;
                     if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
                         return Err(corrupt("crc or length mismatch".into()));
                     }
@@ -1255,7 +1277,9 @@ impl CheckpointStore {
     pub fn get_stored(&self, block_id: &str, seq: u64) -> Result<Vec<u8>, StoreError> {
         self.read_with_relocation_retry(block_id, seq, |entry| match &entry.loc {
             Location::File(file) => Ok(fs::read(self.root.join("ckpt").join(file))?),
-            Location::Segment { seg, offset, len, .. } => Ok(self
+            Location::Segment {
+                seg, offset, len, ..
+            } => Ok(self
                 .stored_slice(block_id, seq, *seg, *offset, *len)?
                 .to_vec()),
         })
@@ -1283,8 +1307,7 @@ impl CheckpointStore {
         // never the whole cache, which would periodically cold-start every
         // concurrent reader. (Evicted buffers stay alive for readers still
         // holding slices of them; the budget bounds what the *cache* pins.)
-        while self.seg_cache_bytes.load(Ordering::Relaxed) + incoming
-            > SEGMENT_CACHE_BUDGET_BYTES
+        while self.seg_cache_bytes.load(Ordering::Relaxed) + incoming > SEGMENT_CACHE_BUDGET_BYTES
             && !cache.is_empty()
         {
             let victim = *cache.keys().next().expect("non-empty cache");
@@ -1453,7 +1476,10 @@ impl CheckpointStore {
                     let _ = fs::remove_file(entry.path());
                     continue;
                 }
-                if let Some(id) = name.strip_suffix(".seg").and_then(|n| n.parse::<u64>().ok()) {
+                if let Some(id) = name
+                    .strip_suffix(".seg")
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
                     old_segs.insert(id);
                 }
             }
@@ -1462,7 +1488,9 @@ impl CheckpointStore {
         let mut report = CompactionReport::default();
         let mut old_bytes = 0u64;
         for &id in &old_segs {
-            old_bytes += fs::metadata(self.segment_path(id)).map(|m| m.len()).unwrap_or(0);
+            old_bytes += fs::metadata(self.segment_path(id))
+                .map(|m| m.len())
+                .unwrap_or(0);
         }
 
         // Group live entries by source segment so old segments are read —
@@ -1473,7 +1501,12 @@ impl CheckpointStore {
         let mut legacy: Vec<(String, u64, String, u64, u32)> = Vec::new();
         for (block, seq, e) in &live {
             match &e.loc {
-                Location::Segment { seg, offset, len, raw_stored } => {
+                Location::Segment {
+                    seg,
+                    offset,
+                    len,
+                    raw_stored,
+                } => {
                     by_seg.entry(*seg).or_default().push((
                         block.clone(),
                         *seq,
@@ -1527,14 +1560,16 @@ impl CheckpointStore {
             ) -> Result<(), StoreError> {
                 let ns = self.cur.get_or_insert_with(|| {
                     let id = store.next_seg.fetch_add(1, Ordering::Relaxed);
-                    let mut bytes = Vec::with_capacity(
-                        (store.opts.segment_target_bytes as usize).min(1 << 20),
-                    );
+                    let mut bytes =
+                        Vec::with_capacity((store.opts.segment_target_bytes as usize).min(1 << 20));
                     bytes.extend_from_slice(SEGMENT_MAGIC);
-                    NewSeg { id, bytes, footer: Vec::new() }
+                    NewSeg {
+                        id,
+                        bytes,
+                        footer: Vec::new(),
+                    }
                 });
-                let offset =
-                    append_entry(&mut ns.bytes, block, seq, raw, crc, raw_stored, stored);
+                let offset = append_entry(&mut ns.bytes, block, seq, raw, crc, raw_stored, stored);
                 ns.footer.push(SegmentIndexEntry {
                     block_id: block.to_string(),
                     seq,
@@ -1949,10 +1984,13 @@ impl WriteBatch<'_> {
             });
             // `s.stored` drops here — the payload now lives only in `buf`.
         }
-        let write_result = active
-            .file
-            .write_all(&buf)
-            .and_then(|()| if sync { active.file.sync_data() } else { Ok(()) });
+        let write_result = active.file.write_all(&buf).and_then(|()| {
+            if sync {
+                active.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
         if let Err(e) = write_result {
             // A failed/partial O_APPEND write leaves the file's true end
             // unknown: `active.len` would be stale and every later offset
@@ -2127,7 +2165,9 @@ mod tests {
     fn multiple_seqs_per_block() {
         let store = CheckpointStore::open(tmpdir("seqs")).unwrap();
         for seq in 0..5 {
-            store.put("sb_0", seq, format!("payload{seq}").as_bytes()).unwrap();
+            store
+                .put("sb_0", seq, format!("payload{seq}").as_bytes())
+                .unwrap();
         }
         assert_eq!(store.count("sb_0"), 5);
         assert_eq!(store.latest_seq("sb_0"), Some(4));
@@ -2143,7 +2183,11 @@ mod tests {
             store.put("sb_1", 7, b"beta").unwrap();
         }
         let store = CheckpointStore::open(&dir).unwrap();
-        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+        assert!(
+            store.recovery_report().is_clean(),
+            "{:?}",
+            store.recovery_report()
+        );
         assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
         assert_eq!(store.get("sb_1", 7).unwrap(), b"beta");
         assert!(store.contains("sb_1", 7));
@@ -2317,13 +2361,15 @@ mod tests {
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .filter(|n| n.starts_with('.'))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
     }
 
     #[test]
     fn group_commit_durability_roundtrips() {
-        let store =
-            CheckpointStore::open_with(tmpdir("gc"), Durability::GroupCommit).unwrap();
+        let store = CheckpointStore::open_with(tmpdir("gc"), Durability::GroupCommit).unwrap();
         assert_eq!(store.durability(), Durability::GroupCommit);
         let mut batch = store.batch();
         for seq in 0..4u64 {
@@ -2491,7 +2537,9 @@ mod tests {
         {
             let store = CheckpointStore::open_opts(&dir, opts).unwrap();
             for seq in 0..12u64 {
-                store.put("sb_0", seq, &incompressible(1024, seq as u32 + 1)).unwrap();
+                store
+                    .put("sb_0", seq, &incompressible(1024, seq as u32 + 1))
+                    .unwrap();
             }
             let s = store.stats();
             assert!(s.segments >= 3, "expected several rolled segments: {s:?}");
@@ -2503,7 +2551,9 @@ mod tests {
         assert_eq!(s.sealed_segments, s.segments, "{s:?}");
         let mut footer_keys = Vec::new();
         for entry in fs::read_dir(dir.join("seg")).unwrap() {
-            let recs = read_segment_footer(&entry.unwrap().path()).unwrap().unwrap();
+            let recs = read_segment_footer(&entry.unwrap().path())
+                .unwrap()
+                .unwrap();
             for r in recs {
                 footer_keys.push((r.block_id, r.seq));
             }
@@ -2528,7 +2578,9 @@ mod tests {
         {
             let store = CheckpointStore::open_opts(&dir, opts).unwrap();
             for seq in 0..6u64 {
-                store.put("sb_0", seq, &incompressible(1024, seq as u32 + 9)).unwrap();
+                store
+                    .put("sb_0", seq, &incompressible(1024, seq as u32 + 9))
+                    .unwrap();
             }
             assert!(store.stats().segments >= 2);
         }
@@ -2556,7 +2608,11 @@ mod tests {
         assert_eq!(store.total_raw_bytes(), sum);
         // Repaired manifest reopens clean.
         let store = CheckpointStore::open_opts(&dir, opts).unwrap();
-        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+        assert!(
+            store.recovery_report().is_clean(),
+            "{:?}",
+            store.recovery_report()
+        );
     }
 
     #[test]
@@ -2599,7 +2655,9 @@ mod tests {
             )
             .unwrap();
             for seq in 0..5u64 {
-                store.put("sb_0", seq, format!("legacy-{seq}").repeat(50).as_bytes()).unwrap();
+                store
+                    .put("sb_0", seq, format!("legacy-{seq}").repeat(50).as_bytes())
+                    .unwrap();
             }
         }
         // Old-format store opens transparently under the segmented engine.
@@ -2630,7 +2688,11 @@ mod tests {
         // And the migrated store reopens clean.
         drop(store);
         let store = CheckpointStore::open(&dir).unwrap();
-        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+        assert!(
+            store.recovery_report().is_clean(),
+            "{:?}",
+            store.recovery_report()
+        );
         assert_eq!(store.count("sb_0"), 5);
     }
 
@@ -2640,7 +2702,9 @@ mod tests {
         let store = CheckpointStore::open(&dir).unwrap();
         // 20 re-puts of the same key: 19 dead payloads in the segments.
         for round in 0..20u32 {
-            store.put("sb_0", 0, &incompressible(8192, round + 1)).unwrap();
+            store
+                .put("sb_0", 0, &incompressible(8192, round + 1))
+                .unwrap();
         }
         store.put("sb_1", 0, &incompressible(8192, 777)).unwrap();
         let before = store.stats();
@@ -2653,12 +2717,22 @@ mod tests {
         assert_eq!(after.dead_segment_bytes, 0, "{after:?}");
         assert!(after.segment_disk_bytes < before.segment_disk_bytes / 5);
         assert_eq!(after.compactions, 1);
-        assert_eq!(store.get_bytes("sb_0", 0).unwrap().as_ref(), &incompressible(8192, 20)[..]);
-        assert_eq!(store.get_bytes("sb_1", 0).unwrap().as_ref(), &incompressible(8192, 777)[..]);
+        assert_eq!(
+            store.get_bytes("sb_0", 0).unwrap().as_ref(),
+            &incompressible(8192, 20)[..]
+        );
+        assert_eq!(
+            store.get_bytes("sb_1", 0).unwrap().as_ref(),
+            &incompressible(8192, 777)[..]
+        );
         // Post-compaction store reopens clean and keeps accepting writes.
         drop(store);
         let store = CheckpointStore::open(&dir).unwrap();
-        assert!(store.recovery_report().is_clean(), "{:?}", store.recovery_report());
+        assert!(
+            store.recovery_report().is_clean(),
+            "{:?}",
+            store.recovery_report()
+        );
         store.put("sb_2", 0, b"after compaction").unwrap();
         assert_eq!(store.get("sb_2", 0).unwrap(), b"after compaction");
     }
@@ -2670,7 +2744,9 @@ mod tests {
         // No garbage yet: below any threshold.
         assert!(store.maybe_compact(0.1).unwrap().is_none());
         for round in 0..10u32 {
-            store.put("sb_0", 0, &incompressible(4096, round + 2)).unwrap();
+            store
+                .put("sb_0", 0, &incompressible(4096, round + 2))
+                .unwrap();
         }
         assert!(store.maybe_compact(0.5).unwrap().is_some());
         assert!(store.maybe_compact(0.5).unwrap().is_none(), "already clean");
@@ -2681,7 +2757,9 @@ mod tests {
         let store = std::sync::Arc::new(CheckpointStore::open(tmpdir("bg-compact")).unwrap());
         for seq in 0..8u64 {
             for round in 0..4u32 {
-                store.put("sb_0", seq, &incompressible(4096, seq as u32 * 31 + round)).unwrap();
+                store
+                    .put("sb_0", seq, &incompressible(4096, seq as u32 * 31 + round))
+                    .unwrap();
             }
         }
         let reader = {
@@ -2741,7 +2819,10 @@ mod tests {
         fs::write(dir.join("ckpt").join("sb_9.000000"), b"stray").unwrap();
         let store = CheckpointStore::open(&dir).unwrap();
         assert_eq!(store.recovery_report().orphaned_files, vec!["sb_9.000000"]);
-        assert!(dir.join("ckpt").join("sb_9.000000").exists(), "reported, not deleted");
+        assert!(
+            dir.join("ckpt").join("sb_9.000000").exists(),
+            "reported, not deleted"
+        );
     }
 
     #[test]
@@ -2782,12 +2863,25 @@ mod tests {
             assert_eq!(store.get("sb_0", 0).unwrap(), b"alpha");
             assert!(!store.contains("sb_0", 1));
             let r = store.recovery_report();
-            assert!(r.dropped_torn_tail && r.repair_pending && !r.repaired_manifest, "{r:?}");
-            assert_eq!(fs::read_to_string(&manifest).unwrap(), torn, "no repair on disk");
+            assert!(
+                r.dropped_torn_tail && r.repair_pending && !r.repaired_manifest,
+                "{r:?}"
+            );
+            assert_eq!(
+                fs::read_to_string(&manifest).unwrap(),
+                torn,
+                "no repair on disk"
+            );
             // Every write surface refuses.
-            assert!(matches!(store.put("sb_1", 0, b"x"), Err(StoreError::ReadOnly)));
+            assert!(matches!(
+                store.put("sb_1", 0, b"x"),
+                Err(StoreError::ReadOnly)
+            ));
             assert!(matches!(store.compact(), Err(StoreError::ReadOnly)));
-            assert!(matches!(store.put_artifact("a", b"x"), Err(StoreError::ReadOnly)));
+            assert!(matches!(
+                store.put_artifact("a", b"x"),
+                Err(StoreError::ReadOnly)
+            ));
             assert!(store.seal_active_segment().is_ok(), "drop-path no-op");
         }
         // A writable open performs the repair the read-only one deferred.
@@ -2814,16 +2908,32 @@ mod tests {
         fs::remove_file(dir.join("seg").join("00000000.seg")).unwrap();
         let store = CheckpointStore::open(&dir).unwrap();
         let r = store.recovery_report();
-        assert!(r.missing_entries.is_empty(), "live checkpoint misreported: {r:?}");
-        assert_eq!(store.get_bytes("sb_0", 0).unwrap().as_ref(), &incompressible(512, 2)[..]);
+        assert!(
+            r.missing_entries.is_empty(),
+            "live checkpoint misreported: {r:?}"
+        );
+        assert_eq!(
+            store.get_bytes("sb_0", 0).unwrap().as_ref(),
+            &incompressible(512, 2)[..]
+        );
     }
 
     #[test]
     fn manifest_location_field_roundtrips() {
         for loc in [
             Location::File("sb_0.000007".into()),
-            Location::Segment { seg: 3, offset: 4096, len: 128, raw_stored: false },
-            Location::Segment { seg: 0, offset: 8, len: 1, raw_stored: true },
+            Location::Segment {
+                seg: 3,
+                offset: 4096,
+                len: 128,
+                raw_stored: false,
+            },
+            Location::Segment {
+                seg: 0,
+                offset: 8,
+                len: 1,
+                raw_stored: true,
+            },
         ] {
             assert_eq!(Location::parse(&loc.render()), loc);
         }

@@ -20,7 +20,7 @@ usage:
   flor run      <script.flr>
   flor record   <script.flr> --store <dir> [--epsilon F] [--no-adaptive]
                 [--registry <dir>] [--run-id <id>]
-  flor replay   <script.flr> --store <dir> [--workers N] [--weak]
+  flor replay   <script.flr> --store <dir> [--workers N] [--weak] [--steal]
   flor sample   <script.flr> --store <dir> --iters 3,7,12
   flor inspect  <script.flr>
   flor log      --store <dir>
@@ -29,7 +29,7 @@ usage:
   flor runs     list --registry <dir>
   flor runs     show <run-id> --registry <dir>
   flor runs     prune <run-id> --registry <dir> [--keep N]
-  flor query    <run-id> <probed.flr> --registry <dir> [--workers N]
+  flor query    <run-id> <probed.flr> --registry <dir> [--workers N] [--stream]
   flor serve    --registry <dir> [--workers N]";
 
 /// CLI failure modes.
@@ -83,8 +83,10 @@ impl<'a> Args<'a> {
         while i < raw.len() {
             let a = raw[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
-                let takes_value = ["store", "workers", "iters", "epsilon", "registry", "run-id", "keep"]
-                    .contains(&name);
+                let takes_value = [
+                    "store", "workers", "iters", "epsilon", "registry", "run-id", "keep",
+                ]
+                .contains(&name);
                 if takes_value {
                     let v = raw
                         .get(i + 1)
@@ -150,12 +152,22 @@ impl<'a> Args<'a> {
 
 /// Runs one CLI invocation and returns its stdout text.
 pub fn run_cli(raw: &[String]) -> Result<String, CliError> {
+    let mut buf: Vec<u8> = Vec::new();
+    run_cli_to(raw, &mut buf)?;
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// [`run_cli`] writing to `out` as output becomes available — the binary's
+/// entry point. Most commands produce their whole output at the end, but a
+/// streaming query (`flor query … --stream`) writes record-order entries
+/// and progress lines *while the replay runs*, flushed per event.
+pub fn run_cli_to(raw: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     let cmd = *args
         .positional
         .first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
-    match cmd {
+    let text = match cmd {
         "run" => cmd_run(&args),
         "record" => cmd_record(&args),
         "replay" => cmd_replay(&args),
@@ -164,10 +176,12 @@ pub fn run_cli(raw: &[String]) -> Result<String, CliError> {
         "log" => cmd_log(&args),
         "store" => cmd_store(&args),
         "runs" => cmd_runs(&args),
-        "query" => cmd_query(&args),
+        "query" => return cmd_query(&args, out),
         "serve" => cmd_serve(&args),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
-    }
+    }?;
+    out.write_all(text.as_bytes())?;
+    Ok(())
 }
 
 fn cmd_run(args: &Args) -> Result<String, CliError> {
@@ -177,7 +191,11 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     for e in &log {
         let _ = writeln!(out, "{e}");
     }
-    let _ = writeln!(out, "# vanilla run finished in {:.3}s", wall_ns as f64 / 1e9);
+    let _ = writeln!(
+        out,
+        "# vanilla run finished in {:.3}s",
+        wall_ns as f64 / 1e9
+    );
     Ok(out)
 }
 
@@ -251,7 +269,12 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
         report.materializer.group_commit_jobs
     );
     for b in &report.blocks {
-        let _ = writeln!(out, "# block {}: changeset {{{}}}", b.id, b.static_changeset.join(", "));
+        let _ = writeln!(
+            out,
+            "# block {}: changeset {{{}}}",
+            b.id,
+            b.static_changeset.join(", ")
+        );
     }
     for r in &report.refused {
         let _ = writeln!(out, "# refused {} ({})", r.header, r.reason.reason);
@@ -284,6 +307,7 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
         } else {
             InitMode::Strong
         },
+        steal: args.flag("steal"),
     };
     let report = replay(&src, store, &opts)?;
     let mut out = String::new();
@@ -297,6 +321,13 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
         report.stats.restored,
         report.stats.executed,
         report.probes.len()
+    );
+    let _ = writeln!(
+        out,
+        "# scheduler: {} range(s) executed, {} steal(s), first entry streamed after {:.3}ms",
+        report.stats.ranges_executed,
+        report.stats.steals,
+        report.stats.stream_first_entry_ns as f64 / 1e6
     );
     for a in &report.anomalies {
         let _ = writeln!(out, "# ANOMALY: {a}");
@@ -341,7 +372,12 @@ fn cmd_inspect(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(out, "# instrumented program:");
     out.push_str(&print_program(&report.program));
     for b in &report.blocks {
-        let _ = writeln!(out, "# block {}: changeset {{{}}}", b.id, b.static_changeset.join(", "));
+        let _ = writeln!(
+            out,
+            "# block {}: changeset {{{}}}",
+            b.id,
+            b.static_changeset.join(", ")
+        );
         for (stmt, rule) in &b.rule_trace {
             let _ = writeln!(out, "#   rule {rule}: {stmt}");
         }
@@ -419,11 +455,19 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
                     "recovery:     {} missing entr{} dropped, {} orphaned segment(s), \
                      {} orphaned file(s), {} stale temp file(s){}{}",
                     r.missing_entries.len(),
-                    if r.missing_entries.len() == 1 { "y" } else { "ies" },
+                    if r.missing_entries.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
                     r.orphaned_segments.len(),
                     r.orphaned_files.len(),
                     r.stale_temp_files,
-                    if r.dropped_torn_tail { ", torn manifest tail dropped" } else { "" },
+                    if r.dropped_torn_tail {
+                        ", torn manifest tail dropped"
+                    } else {
+                        ""
+                    },
                     if r.repaired_manifest {
                         ", manifest repaired"
                     } else if r.repair_pending {
@@ -439,7 +483,9 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
             Ok(out)
         }
         Some("compact") => {
-            let report = store.compact().map_err(|e| CliError::Failed(e.to_string()))?;
+            let report = store
+                .compact()
+                .map_err(|e| CliError::Failed(e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -560,7 +606,7 @@ fn cmd_runs(args: &Args) -> Result<String, CliError> {
     }
 }
 
-fn cmd_query(args: &Args) -> Result<String, CliError> {
+fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let registry = args.registry()?;
     let run_id = args
         .positional
@@ -568,25 +614,79 @@ fn cmd_query(args: &Args) -> Result<String, CliError> {
         .copied()
         .ok_or_else(|| CliError::Usage("missing run id".into()))?;
     let probed_src = args.script(2)?;
-    let outcome = registry.query(run_id, &probed_src, args.workers(1)?)?;
-    let mut out = String::new();
-    for e in &outcome.log {
-        let _ = writeln!(out, "{e}");
-    }
-    let _ = writeln!(
+    let workers = args.workers(1)?;
+    let outcome = if args.flag("stream") {
+        // Streaming mode: entries and progress are written (and flushed)
+        // the moment the replay delivers them — leading iterations reach
+        // the terminal while trailing workers are still replaying. I/O
+        // errors inside the observer are deferred to the end (the replay
+        // itself must not be torn down mid-range by a closed pipe).
+        let mut io_err: Option<std::io::Error> = None;
+        let outcome = registry.query_streaming(
+            run_id,
+            &probed_src,
+            workers,
+            &mut |ev: flor_registry::QueryEvent| {
+                if io_err.is_some() {
+                    return;
+                }
+                let result = (|| -> std::io::Result<()> {
+                    match ev {
+                        flor_registry::QueryEvent::Entries(chunk) => {
+                            for e in &chunk {
+                                writeln!(out, "{e}")?;
+                            }
+                        }
+                        flor_registry::QueryEvent::Progress {
+                            iterations_done,
+                            iterations_total,
+                            steals,
+                        } => writeln!(
+                            out,
+                            "# progress {iterations_done}/{iterations_total} iterations, \
+                             {steals} steal(s)"
+                        )?,
+                        flor_registry::QueryEvent::Anomaly(a) => {
+                            writeln!(out, "# ANOMALY: {a}")?;
+                        }
+                    }
+                    out.flush()
+                })();
+                io_err = result.err();
+            },
+        )?;
+        if let Some(e) = io_err {
+            return Err(e.into());
+        }
+        writeln!(
+            out,
+            "# stream: first entry after {:.3}ms, {} steal(s)",
+            outcome.stream_first_entry_ns as f64 / 1e6,
+            outcome.steals
+        )?;
+        outcome
+    } else {
+        let outcome = registry.query(run_id, &probed_src, workers)?;
+        for e in &outcome.log {
+            writeln!(out, "{e}")?;
+        }
+        for a in &outcome.anomalies {
+            writeln!(out, "# ANOMALY: {a}")?;
+        }
+        outcome
+    };
+    writeln!(
         out,
-        "# query {} ({}): {} probes, {} entries, {} restored, {} re-executed",
+        "# query {} ({}): {} probes, {} entries, {} restored, {} re-executed, {} steal(s)",
         outcome.key,
         if outcome.cached { "cached" } else { "fresh" },
         outcome.probes,
         outcome.log.len(),
         outcome.restored,
-        outcome.executed
-    );
-    for a in &outcome.anomalies {
-        let _ = writeln!(out, "# ANOMALY: {a}");
-    }
-    Ok(out)
+        outcome.executed,
+        outcome.steals
+    )?;
+    Ok(())
 }
 
 /// The `serve` loop over explicit I/O (unit-testable; `cmd_serve` wires it
@@ -617,32 +717,31 @@ pub fn serve_io(
     let mut submitted: Vec<flor_registry::JobId> = Vec::new();
     let mut reported = 0usize;
 
-    let report_finished =
-        |out: &mut dyn std::io::Write,
-         scheduler: &ReplayScheduler,
-         submitted: &[flor_registry::JobId],
-         reported: &mut usize|
-         -> Result<(), CliError> {
-            while *reported < submitted.len() {
-                let id = submitted[*reported];
-                match scheduler.wait(id)? {
-                    JobState::Completed(o) => writeln!(
-                        out,
-                        "job {id} done: run {:?} {} ({}), {} entries, {} anomalies",
-                        o.run_id,
-                        o.key,
-                        if o.cached { "cached" } else { "fresh" },
-                        o.log.len(),
-                        o.anomalies.len()
-                    )?,
-                    JobState::Failed(e) => writeln!(out, "job {id} FAILED: {e}")?,
-                    JobState::Cancelled => writeln!(out, "job {id} cancelled")?,
-                    JobState::Queued | JobState::Running => unreachable!("wait returns terminal"),
-                }
-                *reported += 1;
+    let report_finished = |out: &mut dyn std::io::Write,
+                           scheduler: &ReplayScheduler,
+                           submitted: &[flor_registry::JobId],
+                           reported: &mut usize|
+     -> Result<(), CliError> {
+        while *reported < submitted.len() {
+            let id = submitted[*reported];
+            match scheduler.wait(id)? {
+                JobState::Completed(o) => writeln!(
+                    out,
+                    "job {id} done: run {:?} {} ({}), {} entries, {} anomalies",
+                    o.run_id,
+                    o.key,
+                    if o.cached { "cached" } else { "fresh" },
+                    o.log.len(),
+                    o.anomalies.len()
+                )?,
+                JobState::Failed(e) => writeln!(out, "job {id} FAILED: {e}")?,
+                JobState::Cancelled => writeln!(out, "job {id} cancelled")?,
+                JobState::Queued | JobState::Running => unreachable!("wait returns terminal"),
             }
-            Ok(())
-        };
+            *reported += 1;
+        }
+        Ok(())
+    };
 
     for line in input.lines() {
         let line = line?;
@@ -926,8 +1025,14 @@ for epoch in range(4):
         .unwrap();
         assert!(out.contains("# 2 generation(s) pruned"), "{out}");
         // History metadata survives; the live generation still queries.
-        let out = cli(&["runs", "show", "train", "--registry", registry.to_str().unwrap()])
-            .unwrap();
+        let out = cli(&[
+            "runs",
+            "show",
+            "train",
+            "--registry",
+            registry.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(out.contains("generations:     3"), "{out}");
         let probed = SCRIPT.replace(
             "    log(\"loss\", avg.mean())\n",
@@ -943,6 +1048,56 @@ for epoch in range(4):
             registry.to_str().unwrap(),
         ])
         .unwrap();
+        assert_eq!(out.matches("wn\t").count(), 4, "{out}");
+    }
+
+    #[test]
+    fn query_stream_interleaves_progress() {
+        let (dir, script) = setup("stream");
+        let registry = dir.with_file_name("stream-registry");
+        cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--registry",
+            registry.to_str().unwrap(),
+            "--run-id",
+            "train",
+            "--no-adaptive",
+        ])
+        .unwrap();
+        let probed = SCRIPT.replace(
+            "    log(\"loss\", avg.mean())\n",
+            "    log(\"loss\", avg.mean())\n    log(\"wn\", net.weight_norm())\n",
+        );
+        let probed_path = script.with_file_name("probed-stream.flr");
+        std::fs::write(&probed_path, probed).unwrap();
+        let out = cli(&[
+            "query",
+            "train",
+            probed_path.to_str().unwrap(),
+            "--registry",
+            registry.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--stream",
+        ])
+        .unwrap();
+        assert_eq!(out.matches("wn\t").count(), 4, "{out}");
+        assert!(out.contains("# progress "), "{out}");
+        assert!(out.contains("4/4 iterations"), "{out}");
+        assert!(out.contains("# stream: first entry after"), "{out}");
+        assert!(out.contains("(fresh)"), "{out}");
+        // The cached repeat still streams: one chunk, full progress.
+        let out = cli(&[
+            "query",
+            "train",
+            probed_path.to_str().unwrap(),
+            "--registry",
+            registry.to_str().unwrap(),
+            "--stream",
+        ])
+        .unwrap();
+        assert!(out.contains("(cached)"), "{out}");
         assert_eq!(out.matches("wn\t").count(), 4, "{out}");
     }
 

@@ -10,12 +10,13 @@
 //! flor log      --store <dir>                    print the recorded log
 //! ```
 
-use flor_cli::{run_cli, CliError};
+use flor_cli::{run_cli_to, CliError};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run_cli(&args) {
-        Ok(output) => print!("{output}"),
+    let stdout = std::io::stdout();
+    match run_cli_to(&args, &mut stdout.lock()) {
+        Ok(()) => {}
         Err(CliError::Usage(msg)) => {
             eprintln!("{msg}");
             eprintln!("{}", flor_cli::USAGE);

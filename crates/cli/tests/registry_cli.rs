@@ -66,7 +66,10 @@ fn record_into(registry: &Path, script: &Path, run_id: &str) {
     ])
     .unwrap();
     assert!(out.contains("# recorded"), "{out}");
-    assert!(out.contains(&format!("# registered run {run_id:?}")), "{out}");
+    assert!(
+        out.contains(&format!("# registered run {run_id:?}")),
+        "{out}"
+    );
 }
 
 #[test]
@@ -129,7 +132,14 @@ fn query_materializes_and_second_hit_is_cached() {
     assert!(out.contains("(fresh)"), "{out}");
     assert!(!out.contains("ANOMALY"), "{out}");
 
-    let again = cli(&["query", "alice-cv", probed.to_str().unwrap(), "--registry", reg]).unwrap();
+    let again = cli(&[
+        "query",
+        "alice-cv",
+        probed.to_str().unwrap(),
+        "--registry",
+        reg,
+    ])
+    .unwrap();
     assert!(again.contains("(cached)"), "{again}");
     assert_eq!(again.matches("hindsight_wnorm\t").count(), 4, "{again}");
 }
@@ -152,7 +162,10 @@ fn serve_processes_queued_queries_from_input() {
     assert!(out.contains("queued job 1"), "{out}");
     assert!(out.contains("job 1 done: run \"run-a\""), "{out}");
     assert!(out.contains("job 2 done: run \"run-b\""), "{out}");
-    assert!(out.contains("job 3 FAILED") && out.contains("unknown run"), "{out}");
+    assert!(
+        out.contains("job 3 FAILED") && out.contains("unknown run"),
+        "{out}"
+    );
     assert!(out.contains("# served 3 job(s)"), "{out}");
 }
 
@@ -224,7 +237,13 @@ fn serve_end_to_end_through_the_binary() {
     assert!(String::from_utf8_lossy(&list.stdout).contains("e2e-run"));
 
     let mut serve = Command::new(flor)
-        .args(["serve", "--registry", registry.to_str().unwrap(), "--workers", "2"])
+        .args([
+            "serve",
+            "--registry",
+            registry.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()

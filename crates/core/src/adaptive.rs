@@ -262,7 +262,12 @@ mod tests {
     fn overhead_never_exceeds_epsilon_plus_first() {
         // Property over several cost regimes: cumulative overhead stays at
         // or under ε once past the first (estimated) checkpoint.
-        for (c_ns, m_ns) in [(10_000u64, 100u64), (1_000, 1_000), (100, 10_000), (500, 499)] {
+        for (c_ns, m_ns) in [
+            (10_000u64, 100u64),
+            (1_000, 1_000),
+            (100, 10_000),
+            (500, 499),
+        ] {
             let mut ctrl = AdaptiveController::new(DEFAULT_EPSILON);
             drive(&mut ctrl, "b", 500, c_ns, m_ns);
             let overhead = ctrl.record_overhead();

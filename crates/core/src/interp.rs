@@ -66,6 +66,10 @@ pub struct RecordCtx {
     pub standalone_seq: HashMap<String, u64>,
     /// Guard: blocks already executed in the current main-loop iteration.
     pub blocks_this_iter: HashSet<String>,
+    /// Per-iteration cost observations, persisted as the run's
+    /// [`cost profile`](crate::profile::CostProfile) so replay can schedule
+    /// cost-aware micro-ranges.
+    pub profile: crate::profile::ProfileBuilder,
 }
 
 /// Replay statistics for reports.
@@ -80,6 +84,16 @@ pub struct ReplayStats {
     /// Restores whose payload the worker's prefetcher had already read
     /// (segment I/O overlapped with interpretation).
     pub prefetch_hits: u64,
+    /// Micro-ranges that moved between workers (0 without `--steal`).
+    pub steals: u64,
+    /// Micro-ranges executed across all workers (equals the active worker
+    /// count under static partitioning).
+    pub ranges_executed: u64,
+    /// Time until the streaming merger emitted its first record-order log
+    /// entry, ns from replay start (0 when nothing was emitted). Always
+    /// strictly below the replay wall time when any worker produced output
+    /// before the last one finished — the streaming-merge win.
+    pub stream_first_entry_ns: u64,
 }
 
 /// Replay-mode state for one worker.
@@ -116,8 +130,17 @@ pub struct ReplayCtx {
     /// nearest checkpoint anchor. Overrides partition-based planning.
     pub sample: Option<Vec<u64>>,
     /// Per-worker checkpoint prefetcher, spawned once the worker's plan is
-    /// fixed so segment reads overlap with interpretation.
+    /// fixed so segment reads overlap with interpretation (re-targeted per
+    /// micro-range under the work-stealing executor).
     pub prefetcher: Option<crate::prefetch::Prefetcher>,
+    /// Shared work-stealing runtime (cost-aware micro-range queue). `None`
+    /// falls back to static per-worker partitioning via
+    /// [`crate::parallel::plan`] — the pre-refactor behavior, kept for
+    /// direct interpreter embedding.
+    pub runtime: Option<Arc<crate::replay::ReplayRuntime>>,
+    /// Channel to the streaming merger: completed ranges are drained from
+    /// the log and sent as soon as they finish.
+    pub sink: Option<crate::stream::RangeSink>,
 }
 
 impl ReplayCtx {
@@ -135,11 +158,7 @@ impl ReplayCtx {
             return anchors;
         }
         for g in 0..n_iters.saturating_sub(1) {
-            if self
-                .main_blocks
-                .iter()
-                .all(|b| self.store.contains(b, g))
-            {
+            if self.main_blocks.iter().all(|b| self.store.contains(b, g)) {
                 anchors.insert(g + 1);
             }
         }
@@ -319,6 +338,10 @@ impl Interp {
                 }
                 Ok(())
             }
+            Mode::Replay(ctx) if ctx.runtime.is_some() => {
+                let runtime = ctx.runtime.clone().expect("guarded");
+                self.exec_main_loop_ranges(var, &items, body, n, &runtime)
+            }
             Mode::Replay(ctx) => {
                 // Build this worker's plan. Weak init restricts partition
                 // boundaries to checkpoint anchors.
@@ -352,10 +375,8 @@ impl Interp {
                             }
                         }
                         if !keys.is_empty() {
-                            ctx.prefetcher = Some(crate::prefetch::Prefetcher::spawn(
-                                ctx.store.clone(),
-                                keys,
-                            ));
+                            ctx.prefetcher =
+                                Some(crate::prefetch::Prefetcher::spawn(ctx.store.clone(), keys));
                         }
                     }
                 }
@@ -399,6 +420,197 @@ impl Interp {
                 Ok(())
             }
         }
+    }
+
+    /// The cost-aware work-stealing replay executor (the tentpole runtime).
+    ///
+    /// Instead of owning one fixed partition, the worker pulls micro-ranges
+    /// from the shared [`RangeQueue`](crate::parallel::RangeQueue): its own
+    /// contiguous seed first (each pop continues exactly where the last
+    /// range ended — no re-initialization), then steals off stragglers. A
+    /// stolen range is a fresh init+work segment: the worker re-initializes
+    /// via checkpoint restores (rolling forward under strong init, jumping
+    /// to the range's anchor under weak init) and re-targets its
+    /// [`Prefetcher`](crate::prefetch::Prefetcher) to the new restore
+    /// schedule. Completed ranges are drained from the log and streamed to
+    /// the incremental merger immediately.
+    fn exec_main_loop_ranges(
+        &mut self,
+        var: &str,
+        items: &[Value],
+        body: &[Stmt],
+        n: u64,
+        runtime: &Arc<crate::replay::ReplayRuntime>,
+    ) -> Result<(), FlorError> {
+        // Seed the queue once; workers race, all would compute the same
+        // deterministic seeding, the first wins.
+        let seeded = {
+            let Mode::Replay(ctx) = &mut self.mode else {
+                unreachable!()
+            };
+            let deques = || runtime.seed_ranges(ctx, n);
+            runtime.queue.seed_once(n, deques)
+        };
+        let (pid, init_mode, sink) = {
+            let Mode::Replay(ctx) = &mut self.mode else {
+                unreachable!()
+            };
+            (ctx.pid, ctx.init_mode, ctx.sink.clone())
+        };
+        if seeded {
+            if let Some(sink) = &sink {
+                sink.send(crate::stream::StreamMsg::Total { n_iters: n });
+            }
+        }
+        // Stream the preamble (the merger keeps worker 0's).
+        if let Some(sink) = &sink {
+            sink.send(crate::stream::StreamMsg::Pre {
+                pid,
+                entries: self.log.drain(),
+            });
+        }
+
+        // Program state sits at the start of this iteration (exclusive
+        // upper bound of applied iterations); the preamble leaves it at 0.
+        let mut state_at = 0u64;
+        // One past the last iteration the current prefetcher covers; a
+        // range inside coverage keeps it (seed pops are contiguous — no
+        // churn), a discontinuity or overrun re-targets it.
+        let mut prefetched_to = 0u64;
+        let seeded_end = runtime.queue.seeded_span(pid).map(|s| s.end).unwrap_or(0);
+        while let Some(next) = runtime.queue.next(pid, state_at) {
+            let range = next.range;
+            // Initialization segment for this range. A seed pop continues
+            // where the previous range ended (no init); a steal rolls
+            // checkpoints forward from the current state (strong) or jumps
+            // to the range's anchor (weak). A backward steal under strong
+            // init must rewind to iteration 0 — the queue avoids handing
+            // those out unless nothing else remains.
+            let init_from = match init_mode {
+                InitMode::Strong => {
+                    if state_at <= range.start {
+                        state_at
+                    } else {
+                        0
+                    }
+                }
+                InitMode::Weak => {
+                    if state_at == range.start {
+                        range.start
+                    } else {
+                        // Range starts are anchors: iteration start-1 has a
+                        // full Loop End Checkpoint to jump from.
+                        range.start.saturating_sub(1)
+                    }
+                }
+            };
+            // Re-target the prefetcher when this range leaves the current
+            // coverage: on the first range it spans the whole seeded share
+            // (seed pops continue contiguously — one prefetcher serves
+            // them all); on a steal it spans the stolen range's fresh
+            // init+work segment. Ranges stolen *from* this worker by
+            // others waste some prefetched buffers — they sit at the
+            // share's back, fetched last, and are reclaimed on drop.
+            if range.start < state_at.min(prefetched_to) || range.end > prefetched_to {
+                let Mode::Replay(ctx) = &mut self.mode else {
+                    unreachable!()
+                };
+                if !ctx.force_execute_all && !ctx.main_blocks.is_empty() {
+                    let cover_end = if !next.stolen && range.end <= seeded_end {
+                        seeded_end
+                    } else {
+                        range.end
+                    };
+                    let mut keys: Vec<(String, u64)> = Vec::new();
+                    for j in init_from..range.start {
+                        for b in &ctx.main_blocks {
+                            keys.push((b.clone(), j));
+                        }
+                    }
+                    for g in range.start..cover_end {
+                        for b in &ctx.main_blocks {
+                            if !ctx.probed_blocks.contains(b) {
+                                keys.push((b.clone(), g));
+                            }
+                        }
+                    }
+                    ctx.prefetcher = if keys.is_empty() {
+                        None
+                    } else {
+                        Some(crate::prefetch::Prefetcher::spawn(ctx.store.clone(), keys))
+                    };
+                    prefetched_to = cover_end;
+                }
+            }
+            // Init phase: logs suppressed, SkipBlocks restore.
+            if init_from < range.start {
+                if let Mode::Replay(ctx) = &mut self.mode {
+                    ctx.phase = Phase::Init;
+                }
+                self.log.set_suppressed(true);
+                for j in init_from..range.start {
+                    self.enter_iter(j);
+                    self.env.set(var.to_string(), items[j as usize].clone());
+                    self.exec_body(body)?;
+                }
+                self.log.set_suppressed(false);
+            }
+            // Work phase.
+            if let Mode::Replay(ctx) = &mut self.mode {
+                ctx.phase = Phase::Work;
+            }
+            for g in range.iters() {
+                self.enter_iter(g);
+                self.env.set(var.to_string(), items[g as usize].clone());
+                self.exec_body(body)?;
+            }
+            state_at = range.end;
+            if let Mode::Replay(ctx) = &mut self.mode {
+                ctx.stats.ranges_executed += 1;
+            }
+            if let Some(sink) = &sink {
+                sink.send(crate::stream::StreamMsg::Range {
+                    start: range.start,
+                    end: range.end,
+                    stolen: next.stolen,
+                    entries: self.log.drain(),
+                });
+            }
+            // The final range's owner exits holding the true final program
+            // state: pulling further (earlier) ranges would rewind it and
+            // corrupt the postamble.
+            if range.end == n {
+                break;
+            }
+        }
+
+        self.exit_main_loop();
+        let Mode::Replay(ctx) = &mut self.mode else {
+            unreachable!()
+        };
+        // Report the seeded span as this worker's plan (stealing blurs the
+        // boundary, but the seed is what partitioning decided).
+        ctx.plan_used = runtime.queue.seeded_span(pid).map(|span| WorkerPlan {
+            pid,
+            work_start: span.start,
+            work_end: span.end,
+            init_start: match init_mode {
+                _ if span.start == 0 => 0,
+                InitMode::Strong => 0,
+                InitMode::Weak => span.start - 1,
+            },
+        });
+        // A second `flor.partition` loop (not the paper's model, but legal
+        // input) falls back to the static planner: the shared queue was
+        // consumed by this one.
+        ctx.runtime = None;
+        // Only a worker ending at the final iteration owns the true final
+        // state; everyone else's postamble is suppressed. An empty main
+        // loop matches the static path: no worker owns it.
+        if n == 0 || state_at != n {
+            self.log.set_suppressed(true);
+        }
+        Ok(())
     }
 
     fn enter_iter(&mut self, g: u64) {
@@ -479,10 +691,7 @@ impl Interp {
                             ))),
                         }
                     }
-                    other => Err(rt(format!(
-                        "cannot assign attribute on {}",
-                        other.kind()
-                    ))),
+                    other => Err(rt(format!("cannot assign attribute on {}", other.kind()))),
                 }
             }
             Expr::Subscript { obj, index } => {
@@ -526,10 +735,16 @@ impl Interp {
                 self.env.get(n)
             }
             Expr::List(items) => Ok(Value::list(
-                items.iter().map(|e| self.eval(e)).collect::<Result<_, _>>()?,
+                items
+                    .iter()
+                    .map(|e| self.eval(e))
+                    .collect::<Result<_, _>>()?,
             )),
             Expr::Tuple(items) => Ok(Value::Tuple(
-                items.iter().map(|e| self.eval(e)).collect::<Result<_, _>>()?,
+                items
+                    .iter()
+                    .map(|e| self.eval(e))
+                    .collect::<Result<_, _>>()?,
             )),
             Expr::Unary { op, expr } => {
                 let v = self.eval(expr)?;
@@ -663,9 +878,7 @@ impl Interp {
                     (Obj::Optim { inner, .. }, "weight_decay") => {
                         Ok(Value::Float(inner.weight_decay() as f64))
                     }
-                    (Obj::Sched { inner, .. }, "lr") => {
-                        Ok(Value::Float(inner.current_lr() as f64))
-                    }
+                    (Obj::Sched { inner, .. }, "lr") => Ok(Value::Float(inner.current_lr() as f64)),
                     (Obj::Meter(m), "count") => Ok(Value::Int(m.count() as i64)),
                     (Obj::Swa(s), "count") => Ok(Value::Int(s.count() as i64)),
                     (o, attr) => Err(rt(format!("no attribute {attr:?} on {}", o.kind()))),
@@ -807,7 +1020,12 @@ impl Interp {
                             let all: Vec<usize> = (0..ds.len()).collect();
                             ds.gather(&all)
                         }
-                        o => return Err(rt(format!("evaluate() expects a dataset, got {}", o.kind()))),
+                        o => {
+                            return Err(rt(format!(
+                                "evaluate() expects a dataset, got {}",
+                                o.kind()
+                            )))
+                        }
                     }
                 };
                 let mut n = net_rc.borrow_mut();
@@ -845,11 +1063,21 @@ impl Interp {
                 let seed = a.kw_i64("seed", self.next_seed() as i64)? as u64;
                 let rc = match ds {
                     Value::Obj(rc) => rc,
-                    other => return Err(rt(format!("dataloader() expects a dataset, got {}", other.kind()))),
+                    other => {
+                        return Err(rt(format!(
+                            "dataloader() expects a dataset, got {}",
+                            other.kind()
+                        )))
+                    }
                 };
                 let n = match &*rc.borrow() {
                     Obj::Dataset(d) => d.len(),
-                    o => return Err(rt(format!("dataloader() expects a dataset, got {}", o.kind()))),
+                    o => {
+                        return Err(rt(format!(
+                            "dataloader() expects a dataset, got {}",
+                            o.kind()
+                        )))
+                    }
                 };
                 Ok(Value::obj(Obj::Loader {
                     inner: DataLoader::new(n, batch_size, seed),
@@ -887,7 +1115,12 @@ impl Interp {
                 let seed = a.kw_i64("seed", self.next_seed() as i64)? as u64;
                 let mut rng = Pcg64::seeded(seed);
                 Ok(Value::obj(Obj::Model(models::convnet1d_flat(
-                    features, channels, conv_channels, kernel, classes, &mut rng,
+                    features,
+                    channels,
+                    conv_channels,
+                    kernel,
+                    classes,
+                    &mut rng,
                 ))))
             }
             "textnet" => {
@@ -974,7 +1207,12 @@ impl Interp {
 
     // ---- methods -------------------------------------------------------------
 
-    fn call_method(&mut self, recv: Value, name: &str, mut a: CallArgs) -> Result<Value, FlorError> {
+    fn call_method(
+        &mut self,
+        recv: Value,
+        name: &str,
+        mut a: CallArgs,
+    ) -> Result<Value, FlorError> {
         // Tensor methods (value receiver).
         if let Value::Tensor(t) = &recv {
             return match name {
@@ -1002,23 +1240,34 @@ impl Interp {
                 let arg = a.req(0, "forward")?;
                 let batch = as_batch(&arg)?;
                 let mut o = rc.borrow_mut();
-                let Obj::Model(m) = &mut *o else { unreachable!() };
+                let Obj::Model(m) = &mut *o else {
+                    unreachable!()
+                };
                 let x = model_input(m, &batch)?;
                 Action::Value(Value::Tensor(m.forward(&x)))
             }
             ("model", "backward") => {
                 let grad = match a.req(0, "backward")? {
                     Value::Tensor(t) => t,
-                    other => return Err(rt(format!("backward() expects a tensor, got {}", other.kind()))),
+                    other => {
+                        return Err(rt(format!(
+                            "backward() expects a tensor, got {}",
+                            other.kind()
+                        )))
+                    }
                 };
                 let mut o = rc.borrow_mut();
-                let Obj::Model(m) = &mut *o else { unreachable!() };
+                let Obj::Model(m) = &mut *o else {
+                    unreachable!()
+                };
                 m.backward(&grad);
                 Action::None
             }
             ("model", "zero_grad") => {
                 let mut o = rc.borrow_mut();
-                let Obj::Model(m) = &mut *o else { unreachable!() };
+                let Obj::Model(m) = &mut *o else {
+                    unreachable!()
+                };
                 m.zero_grad();
                 Action::None
             }
@@ -1041,17 +1290,23 @@ impl Interp {
                 let arg = a.req(0, "accuracy")?;
                 let batch = as_batch(&arg)?;
                 let mut o = rc.borrow_mut();
-                let Obj::Model(m) = &mut *o else { unreachable!() };
+                let Obj::Model(m) = &mut *o else {
+                    unreachable!()
+                };
                 let logits = m.forward(&model_input(m, &batch)?);
                 Action::Value(Value::Float(accuracy(&logits, &batch.y) as f64))
             }
             ("optimizer", "step") => {
                 let o = rc.borrow();
-                let Obj::Optim { model, .. } = &*o else { unreachable!() };
+                let Obj::Optim { model, .. } = &*o else {
+                    unreachable!()
+                };
                 let model = model.clone();
                 drop(o);
                 let mut o = rc.borrow_mut();
-                let Obj::Optim { inner, .. } = &mut *o else { unreachable!() };
+                let Obj::Optim { inner, .. } = &mut *o else {
+                    unreachable!()
+                };
                 let mut m = model.borrow_mut();
                 let Obj::Model(net) = &mut *m else {
                     return Err(rt("optimizer's model reference is not a model"));
@@ -1061,7 +1316,9 @@ impl Interp {
             }
             ("optimizer", "zero_grad") => {
                 let o = rc.borrow();
-                let Obj::Optim { model, .. } = &*o else { unreachable!() };
+                let Obj::Optim { model, .. } = &*o else {
+                    unreachable!()
+                };
                 let model = model.clone();
                 drop(o);
                 let mut m = model.borrow_mut();
@@ -1074,26 +1331,37 @@ impl Interp {
             ("optimizer", "set_lr") => {
                 let lr = a.req(0, "set_lr")?.as_f64()?;
                 let mut o = rc.borrow_mut();
-                let Obj::Optim { inner, .. } = &mut *o else { unreachable!() };
+                let Obj::Optim { inner, .. } = &mut *o else {
+                    unreachable!()
+                };
                 inner.set_lr(lr as f32);
                 Action::None
             }
             ("optimizer", "set_weight_decay") => {
                 let wd = a.req(0, "set_weight_decay")?.as_f64()?;
                 let mut o = rc.borrow_mut();
-                let Obj::Optim { inner, .. } = &mut *o else { unreachable!() };
+                let Obj::Optim { inner, .. } = &mut *o else {
+                    unreachable!()
+                };
                 inner.set_weight_decay(wd as f32);
                 Action::None
             }
             ("scheduler", "step") => {
                 let o = rc.borrow();
-                let Obj::Sched { optimizer, .. } = &*o else { unreachable!() };
+                let Obj::Sched { optimizer, .. } = &*o else {
+                    unreachable!()
+                };
                 let optimizer = optimizer.clone();
                 drop(o);
                 let mut s = rc.borrow_mut();
-                let Obj::Sched { inner, .. } = &mut *s else { unreachable!() };
+                let Obj::Sched { inner, .. } = &mut *s else {
+                    unreachable!()
+                };
                 let mut opt = optimizer.borrow_mut();
-                let Obj::Optim { inner: opt_inner, .. } = &mut *opt else {
+                let Obj::Optim {
+                    inner: opt_inner, ..
+                } = &mut *opt
+                else {
                     return Err(rt("scheduler's optimizer reference is not an optimizer"));
                 };
                 inner.step(opt_inner.as_mut());
@@ -1101,7 +1369,9 @@ impl Interp {
             }
             ("loader", "epoch") => {
                 let mut o = rc.borrow_mut();
-                let Obj::Loader { inner, dataset } = &mut *o else { unreachable!() };
+                let Obj::Loader { inner, dataset } = &mut *o else {
+                    unreachable!()
+                };
                 let batches = inner.next_epoch();
                 let dataset = dataset.clone();
                 drop(o);
@@ -1117,32 +1387,47 @@ impl Interp {
             }
             ("loader", "num_batches") => {
                 let o = rc.borrow();
-                let Obj::Loader { inner, .. } = &*o else { unreachable!() };
+                let Obj::Loader { inner, .. } = &*o else {
+                    unreachable!()
+                };
                 Action::Value(Value::Int(inner.batches_per_epoch() as i64))
             }
             ("loss", "forward") => {
                 let preds = match a.req(0, "forward")? {
                     Value::Tensor(t) => t,
-                    other => return Err(rt(format!("loss.forward expects logits tensor, got {}", other.kind()))),
+                    other => {
+                        return Err(rt(format!(
+                            "loss.forward expects logits tensor, got {}",
+                            other.kind()
+                        )))
+                    }
                 };
                 let batch_val = a.req(1, "forward")?;
                 let batch = as_batch(&batch_val)?;
                 let mut o = rc.borrow_mut();
-                let Obj::Loss(loss) = &mut *o else { unreachable!() };
+                let Obj::Loss(loss) = &mut *o else {
+                    unreachable!()
+                };
                 Action::Value(Value::Float(loss.forward(&preds, &batch.y) as f64))
             }
             ("loss", "backward") => {
                 let mut o = rc.borrow_mut();
-                let Obj::Loss(loss) = &mut *o else { unreachable!() };
+                let Obj::Loss(loss) = &mut *o else {
+                    unreachable!()
+                };
                 Action::Value(Value::Tensor(loss.backward()))
             }
             ("swa", "update") | ("swa", "update_buggy") => {
                 let net = a.req(0, name)?;
                 let model_rc = as_model_rc(net)?;
                 let m = model_rc.borrow();
-                let Obj::Model(model) = &*m else { unreachable!() };
+                let Obj::Model(model) = &*m else {
+                    unreachable!()
+                };
                 let mut o = rc.borrow_mut();
-                let Obj::Swa(swa) = &mut *o else { unreachable!() };
+                let Obj::Swa(swa) = &mut *o else {
+                    unreachable!()
+                };
                 if name == "update" {
                     swa.update(model);
                 } else {
@@ -1154,7 +1439,9 @@ impl Interp {
                 let net = a.req(0, "apply")?;
                 let model_rc = as_model_rc(net)?;
                 let mut m = model_rc.borrow_mut();
-                let Obj::Model(model) = &mut *m else { unreachable!() };
+                let Obj::Model(model) = &mut *m else {
+                    unreachable!()
+                };
                 let o = rc.borrow();
                 let Obj::Swa(swa) = &*o else { unreachable!() };
                 swa.try_apply(model).map_err(rt)?;
@@ -1163,7 +1450,9 @@ impl Interp {
             ("meter", "update") => {
                 let x = a.req(0, "update")?.as_f64()?;
                 let mut o = rc.borrow_mut();
-                let Obj::Meter(m) = &mut *o else { unreachable!() };
+                let Obj::Meter(m) = &mut *o else {
+                    unreachable!()
+                };
                 m.update(x as f32);
                 Action::None
             }
@@ -1174,7 +1463,9 @@ impl Interp {
             }
             ("meter", "reset") => {
                 let mut o = rc.borrow_mut();
-                let Obj::Meter(m) = &mut *o else { unreachable!() };
+                let Obj::Meter(m) = &mut *o else {
+                    unreachable!()
+                };
                 m.reset();
                 Action::None
             }
@@ -1246,7 +1537,10 @@ fn as_optim_rc(v: Value) -> Result<Rc<std::cell::RefCell<Obj>>, FlorError> {
             if matches!(&*rc.borrow(), Obj::Optim { .. }) {
                 Ok(rc)
             } else {
-                Err(rt(format!("expected an optimizer, got {}", rc.borrow().kind())))
+                Err(rt(format!(
+                    "expected an optimizer, got {}",
+                    rc.borrow().kind()
+                )))
             }
         }
         other => Err(rt(format!("expected an optimizer, got {}", other.kind()))),
@@ -1278,7 +1572,9 @@ mod tests {
     fn run_vanilla(src: &str) -> Interp {
         let prog = parse(src).unwrap();
         let mut interp = Interp::new(Mode::Vanilla);
-        interp.run(&prog).unwrap_or_else(|e| panic!("script failed: {e}\n{src}"));
+        interp
+            .run(&prog)
+            .unwrap_or_else(|e| panic!("script failed: {e}\n{src}"));
         interp
     }
 
@@ -1420,7 +1716,13 @@ log(\"end\", 1)
         let sections: Vec<Section> = i.log.entries().iter().map(|e| e.section).collect();
         assert_eq!(
             sections,
-            vec![Section::Pre, Section::Iter(0), Section::Iter(1), Section::Iter(2), Section::Post]
+            vec![
+                Section::Pre,
+                Section::Iter(0),
+                Section::Iter(1),
+                Section::Iter(2),
+                Section::Post
+            ]
         );
     }
 

@@ -41,7 +41,13 @@
 //! - [`replay`]: the replay phase — probe detection by source diff, partial
 //!   replay, deferred correctness checks (§3.2, §5.2.2).
 //! - [`parallel`]: hindsight parallelism — iterator partitioning, strong and
-//!   weak worker initialization (§5.4).
+//!   weak worker initialization (§5.4), plus the cost-aware micro-range
+//!   splitter and work-stealing queue the replay runtime schedules with.
+//! - [`profile`]: per-iteration cost profiles recorded alongside the run,
+//!   consumed by the micro-range splitter.
+//! - [`stream`]: the incremental record-order log merger — hindsight
+//!   queries stream results as leading iterations complete instead of
+//!   blocking on the last worker.
 //! - [`oracle`]: runtime changeset augmentation over the live object graph
 //!   (§5.2.1 step 3).
 
@@ -56,10 +62,12 @@ pub mod native;
 pub mod oracle;
 pub mod parallel;
 pub mod prefetch;
+pub mod profile;
 pub mod record;
 pub mod replay;
 pub mod sample;
 pub mod skipblock;
+pub mod stream;
 pub mod value;
 pub mod versions;
 
@@ -67,5 +75,7 @@ pub use adaptive::AdaptiveController;
 pub use error::FlorError;
 pub use logstream::{LogEntry, LogStream, Section};
 pub use parallel::InitMode;
+pub use profile::CostProfile;
 pub use record::{record, RecordOptions, RecordReport};
 pub use replay::{replay, ReplayOptions, ReplayReport};
+pub use stream::StreamEvent;

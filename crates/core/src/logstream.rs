@@ -102,6 +102,14 @@ impl LogStream {
         self.entries
     }
 
+    /// Removes and returns everything logged so far (section and
+    /// suppression state are untouched). The streaming replay executor
+    /// drains after each completed micro-range so entries flow to the
+    /// incremental merger instead of accumulating until the barrier.
+    pub fn drain(&mut self) -> Vec<LogEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
     /// Serializes entries to the artifact text format (one entry per line).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -150,12 +158,7 @@ pub fn merge_worker_logs(worker_logs: Vec<Vec<LogEntry>>) -> Vec<LogEntry> {
     let mut merged = Vec::new();
     // Preamble from worker 0 (all workers execute it identically).
     if let Some(first) = worker_logs.first() {
-        merged.extend(
-            first
-                .iter()
-                .filter(|e| e.section == Section::Pre)
-                .cloned(),
-        );
+        merged.extend(first.iter().filter(|e| e.section == Section::Pre).cloned());
     }
     // Iteration entries from every worker, sorted by global iteration.
     let mut iters: Vec<&LogEntry> = worker_logs
@@ -234,15 +237,43 @@ mod tests {
         // interpreter, so its log has no Post entries); worker 1 owns the
         // final segment and emits the postamble.
         let w0 = vec![
-            LogEntry { key: "pre".into(), value: "p".into(), section: Section::Pre },
-            LogEntry { key: "e".into(), value: "0".into(), section: Section::Iter(0) },
-            LogEntry { key: "e".into(), value: "1".into(), section: Section::Iter(1) },
+            LogEntry {
+                key: "pre".into(),
+                value: "p".into(),
+                section: Section::Pre,
+            },
+            LogEntry {
+                key: "e".into(),
+                value: "0".into(),
+                section: Section::Iter(0),
+            },
+            LogEntry {
+                key: "e".into(),
+                value: "1".into(),
+                section: Section::Iter(1),
+            },
         ];
         let w1 = vec![
-            LogEntry { key: "pre".into(), value: "p".into(), section: Section::Pre },
-            LogEntry { key: "e".into(), value: "2".into(), section: Section::Iter(2) },
-            LogEntry { key: "e".into(), value: "3".into(), section: Section::Iter(3) },
-            LogEntry { key: "post".into(), value: "w1".into(), section: Section::Post },
+            LogEntry {
+                key: "pre".into(),
+                value: "p".into(),
+                section: Section::Pre,
+            },
+            LogEntry {
+                key: "e".into(),
+                value: "2".into(),
+                section: Section::Iter(2),
+            },
+            LogEntry {
+                key: "e".into(),
+                value: "3".into(),
+                section: Section::Iter(3),
+            },
+            LogEntry {
+                key: "post".into(),
+                value: "w1".into(),
+                section: Section::Post,
+            },
         ];
         let merged = merge_worker_logs(vec![w0, w1]);
         let keys: Vec<&str> = merged.iter().map(|e| e.value.as_str()).collect();
@@ -254,8 +285,16 @@ mod tests {
         // A worker with no plan produces an empty (fully suppressed) log;
         // the postamble still comes through from the final-segment owner.
         let w0 = vec![
-            LogEntry { key: "e".into(), value: "0".into(), section: Section::Iter(0) },
-            LogEntry { key: "post".into(), value: "final".into(), section: Section::Post },
+            LogEntry {
+                key: "e".into(),
+                value: "0".into(),
+                section: Section::Iter(0),
+            },
+            LogEntry {
+                key: "post".into(),
+                value: "final".into(),
+                section: Section::Post,
+            },
         ];
         let w1: Vec<LogEntry> = Vec::new();
         let merged = merge_worker_logs(vec![w0, w1]);
@@ -265,8 +304,16 @@ mod tests {
     #[test]
     fn merge_is_stable_within_iteration() {
         let w0 = vec![
-            LogEntry { key: "a".into(), value: "1".into(), section: Section::Iter(0) },
-            LogEntry { key: "b".into(), value: "2".into(), section: Section::Iter(0) },
+            LogEntry {
+                key: "a".into(),
+                value: "1".into(),
+                section: Section::Iter(0),
+            },
+            LogEntry {
+                key: "b".into(),
+                value: "2".into(),
+                section: Section::Iter(0),
+            },
         ];
         let merged = merge_worker_logs(vec![w0]);
         assert_eq!(merged[0].key, "a");
@@ -276,9 +323,21 @@ mod tests {
     #[test]
     fn merge_single_worker_is_identity_shape() {
         let w = vec![
-            LogEntry { key: "p".into(), value: "".into(), section: Section::Pre },
-            LogEntry { key: "i".into(), value: "".into(), section: Section::Iter(0) },
-            LogEntry { key: "q".into(), value: "".into(), section: Section::Post },
+            LogEntry {
+                key: "p".into(),
+                value: "".into(),
+                section: Section::Pre,
+            },
+            LogEntry {
+                key: "i".into(),
+                value: "".into(),
+                section: Section::Iter(0),
+            },
+            LogEntry {
+                key: "q".into(),
+                value: "".into(),
+                section: Section::Post,
+            },
         ];
         let merged = merge_worker_logs(vec![w.clone()]);
         assert_eq!(merged, w);

@@ -63,8 +63,8 @@ use crate::adaptive::{AdaptiveController, DEFAULT_EPSILON};
 use crate::error::{rt, FlorError};
 use crate::logstream::{LogEntry, LogStream, Section};
 use flor_chkpt::{
-    encode, encode_into, BytesMut, CheckpointStore, CVal, Materializer, Payload,
-    SerializeSnapshot, Strategy,
+    encode, encode_into, BytesMut, CVal, CheckpointStore, Materializer, Payload, SerializeSnapshot,
+    Strategy,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -366,7 +366,9 @@ mod tests {
         let mut state = Counter(0);
         let mut s = Session::replay(&dir, &[]).unwrap();
         s.begin_iter(0);
-        let ran = s.skip_block("never_recorded", &mut state, |c| c.0 = 7).unwrap();
+        let ran = s
+            .skip_block("never_recorded", &mut state, |c| c.0 = 7)
+            .unwrap();
         assert!(ran);
         assert_eq!(state.0, 7);
     }

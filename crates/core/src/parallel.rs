@@ -171,6 +171,376 @@ pub fn max_speedup(n_iters: u64, workers: usize) -> f64 {
     n_iters as f64 / largest as f64
 }
 
+/// Profile-aware speedup bound: with per-iteration replay costs known, the
+/// makespan of *any* schedule is at least `max(total/G, max single
+/// iteration)`, so the speedup is at most `total / max(total/G, max_iter)`.
+///
+/// This is far tighter than [`max_speedup`] under skew — one iteration
+/// 1000× the rest caps the speedup near `total/max_iter` regardless of
+/// worker count — and reduces to the continuous relaxation `G` (which
+/// upper-bounds `n/⌈n/G⌉`) on uniform costs. Work-stealing over
+/// cost-sized micro-ranges approaches this bound; static contiguous
+/// partitioning generally cannot (the slowest contiguous share exceeds the
+/// greedy makespan whenever costs are skewed).
+pub fn max_speedup_profiled(iter_costs: &[u64], workers: usize) -> f64 {
+    if iter_costs.is_empty() || workers == 0 {
+        return 1.0;
+    }
+    let total: u64 = iter_costs.iter().map(|&c| c.max(1)).sum();
+    let largest: u64 = iter_costs.iter().map(|&c| c.max(1)).max().unwrap_or(1);
+    let lower_bound = (total as f64 / workers as f64).max(largest as f64);
+    total as f64 / lower_bound
+}
+
+// ---- cost-aware micro-range scheduling -------------------------------------
+
+/// A contiguous span of main-loop iterations — the unit of work-stealing.
+/// Smaller than a [`WorkerPlan`] work segment: a worker's seed partition is
+/// split into several micro-ranges so a drained worker can steal load off a
+/// straggler without breaking checkpoint-restore locality for the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroRange {
+    /// First global iteration (inclusive).
+    pub start: u64,
+    /// One past the last global iteration.
+    pub end: u64,
+}
+
+impl MicroRange {
+    /// Iterations covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for a degenerate empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Global iterations of the range.
+    pub fn iters(&self) -> std::ops::Range<u64> {
+        self.start..self.end
+    }
+}
+
+/// Micro-ranges a worker's seed deque should hold, as a multiple of the
+/// worker count: enough granularity that stealing can rebalance, few enough
+/// that per-range re-initialization stays negligible.
+pub const RANGES_PER_WORKER: u64 = 4;
+
+/// Candidate boundaries for range splitting: the anchors below `n_iters`
+/// plus both ends, or every iteration when unconstrained.
+fn split_bounds(n_iters: u64, anchors: Option<&std::collections::BTreeSet<u64>>) -> Vec<u64> {
+    match anchors {
+        Some(a) => {
+            let mut b: Vec<u64> = a.iter().copied().filter(|&x| x < n_iters).collect();
+            if b.first() != Some(&0) {
+                b.insert(0, 0);
+            }
+            b.push(n_iters);
+            b
+        }
+        None => (0..=n_iters).collect(),
+    }
+}
+
+/// Greedily packs the segments `bounds[lo..hi]` into at most `parts`
+/// contiguous spans of roughly equal cost. "Take-if-closer": a span keeps
+/// absorbing the next segment while doing so lands it nearer its cost
+/// target than stopping would — the rounding rule that reproduces the
+/// static planner's exact shares on uniform costs (stealing must tie
+/// there, not lose to seeding noise). The target is re-derived from the
+/// remaining cost before each span, so early rounding never dumps a
+/// remainder on the last span.
+fn pack_spans(bounds: &[u64], parts: usize, seg_cost: &[u64]) -> Vec<MicroRange> {
+    let n_segments = bounds.len() - 1;
+    let parts = parts.min(n_segments);
+    let mut spans = Vec::with_capacity(parts);
+    let mut remaining: u64 = seg_cost.iter().sum();
+    let mut seg = 0usize;
+    for part in 0..parts {
+        if seg >= n_segments {
+            break;
+        }
+        let spans_left = (parts - part) as u64;
+        let target = remaining.div_ceil(spans_left).max(1);
+        let start = bounds[seg];
+        let mut acc = seg_cost[seg];
+        seg += 1;
+        while seg < n_segments && (n_segments - seg) as u64 >= spans_left {
+            let c = seg_cost[seg];
+            let take = (acc + c).abs_diff(target) <= target.abs_diff(acc);
+            if !take {
+                break;
+            }
+            acc += c;
+            seg += 1;
+        }
+        remaining -= acc;
+        spans.push(MicroRange {
+            start,
+            end: bounds[seg],
+        });
+    }
+    // The rounding rule leaves ≥1 segment per remaining span, so by the
+    // last span everything is consumed.
+    if let (Some(last), true) = (spans.last_mut(), seg < n_segments) {
+        last.end = bounds[n_segments];
+    }
+    spans
+}
+
+/// Seeds `workers` deques with cost-balanced contiguous micro-ranges for
+/// an `n_iters`-iteration main loop: first `0..n_iters` is partitioned
+/// into one contiguous *share* per worker, balanced by per-iteration
+/// `costs` (ns; uniform when empty — missing profile entries cost the
+/// mean), then each share is split into up to [`RANGES_PER_WORKER`]
+/// micro-ranges so a drained worker can steal off a straggler without
+/// taking its whole share.
+///
+/// A single expensive iteration is never split (one iteration is the
+/// atomic unit of replay), and when `anchors` is non-empty every boundary
+/// is clamped to an anchor (weak initialization may only start a segment
+/// at a full-checkpoint boundary — paper §5.4.2). Workers may receive
+/// empty deques when there are fewer splittable segments than workers.
+pub fn seed_cost_ranges(
+    n_iters: u64,
+    workers: usize,
+    costs: &[u64],
+    anchors: Option<&std::collections::BTreeSet<u64>>,
+) -> Vec<Vec<MicroRange>> {
+    let mut deques: Vec<Vec<MicroRange>> = vec![Vec::new(); workers];
+    if n_iters == 0 || workers == 0 {
+        return deques;
+    }
+    let mean = if costs.is_empty() {
+        1
+    } else {
+        (costs.iter().sum::<u64>() / costs.len() as u64).max(1)
+    };
+    let cost_of = |g: u64| -> u64 { costs.get(g as usize).copied().unwrap_or(mean).max(1) };
+    let bounds = split_bounds(n_iters, anchors);
+    let seg_cost: Vec<u64> = bounds
+        .windows(2)
+        .map(|w| (w[0]..w[1]).map(cost_of).sum())
+        .collect();
+    let shares = pack_spans(&bounds, workers, &seg_cost);
+    for (pid, share) in shares.iter().enumerate() {
+        // Split the share along its own boundary subset.
+        let lo = bounds.partition_point(|&b| b < share.start);
+        let hi = bounds.partition_point(|&b| b < share.end);
+        let share_bounds = &bounds[lo..=hi];
+        let share_costs = &seg_cost[lo..hi];
+        deques[pid] = pack_spans(share_bounds, RANGES_PER_WORKER as usize, share_costs);
+    }
+    deques
+}
+
+/// [`seed_cost_ranges`] flattened: the contiguous micro-range cover of
+/// `0..n_iters` in ascending order (the seeding's range inventory).
+pub fn split_micro_ranges(
+    n_iters: u64,
+    workers: usize,
+    costs: &[u64],
+    anchors: Option<&std::collections::BTreeSet<u64>>,
+) -> Vec<MicroRange> {
+    seed_cost_ranges(n_iters, workers, costs, anchors)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// What [`RangeQueue::next`] hands a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextRange {
+    /// The range to execute.
+    pub range: MicroRange,
+    /// True when the range came off another worker's deque.
+    pub stolen: bool,
+}
+
+struct QueueState {
+    seeded: bool,
+    deques: Vec<std::collections::VecDeque<MicroRange>>,
+    /// Snapshot of each worker's seeded span (taken at seed time — the
+    /// live deques drain as workers pull).
+    spans: Vec<Option<MicroRange>>,
+    /// Per-iteration cost estimates used at seed time (empty = uniform);
+    /// victim selection weighs remaining ranges by it.
+    iter_cost: Vec<u64>,
+    /// One past the last global iteration. The final range (`end ==
+    /// n_iters`) is stolen only as a last resort: its executor retires
+    /// holding the true final program state (and owns the postamble).
+    n_iters: u64,
+}
+
+impl QueueState {
+    fn range_cost(&self, r: &MicroRange) -> u64 {
+        r.iters()
+            .map(|g| self.iter_cost.get(g as usize).copied().unwrap_or(1).max(1))
+            .sum()
+    }
+}
+
+/// The shared work-stealing range queue (the tentpole's scheduling core).
+///
+/// Each worker owns a deque seeded with a contiguous run of micro-ranges
+/// and pops from its *front* (ascending iteration order — every pop
+/// continues exactly where the previous range ended, so no
+/// re-initialization). A drained worker steals from the *back* of the
+/// most-loaded victim: the work farthest from the victim's current
+/// position, which the victim would have reached last anyway. Two
+/// preferences keep the paper's replay semantics cheap:
+///
+/// - thieves prefer ranges **ahead of their own position** (`start ≥`
+///   their current state), because a forward steal re-initializes by
+///   rolling checkpoints forward while a backward steal must rewind;
+/// - the **final range** (ending at `n_iters`) is taken only as a last
+///   resort: whoever executes it exits the pull loop holding the true
+///   final program state (and owns the postamble), so handing it out
+///   early would retire a worker while other ranges still wait.
+pub struct RangeQueue {
+    state: parking_lot::Mutex<QueueState>,
+    steal_enabled: bool,
+    steals: std::sync::atomic::AtomicU64,
+}
+
+impl RangeQueue {
+    /// Unseeded queue for `workers` deques. `steal_enabled = false` reduces
+    /// the executor to static partitioning (each worker drains only its own
+    /// seed — bitwise the pre-refactor behavior).
+    pub fn new(workers: usize, steal_enabled: bool) -> Self {
+        RangeQueue {
+            state: parking_lot::Mutex::new(QueueState {
+                seeded: false,
+                deques: vec![std::collections::VecDeque::new(); workers],
+                spans: vec![None; workers],
+                iter_cost: Vec::new(),
+                n_iters: 0,
+            }),
+            steal_enabled,
+            steals: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Seeds the queue exactly once (workers race to seed; all compute the
+    /// same deterministic seeding, the first wins). `seed` returns the
+    /// per-worker deques plus the per-iteration cost vector they were
+    /// balanced by (empty = uniform), which steers victim selection.
+    /// Returns true for the seeding caller.
+    pub fn seed_once(
+        &self,
+        n_iters: u64,
+        seed: impl FnOnce() -> (Vec<Vec<MicroRange>>, Vec<u64>),
+    ) -> bool {
+        let mut state = self.state.lock();
+        if state.seeded {
+            return false;
+        }
+        let (deques, iter_cost) = seed();
+        state.iter_cost = iter_cost;
+        state.spans = deques
+            .iter()
+            .map(|d| {
+                let (first, last) = (d.first()?, d.last()?);
+                Some(MicroRange {
+                    start: first.start,
+                    end: last.end,
+                })
+            })
+            .collect();
+        state.deques = deques
+            .into_iter()
+            .map(std::collections::VecDeque::from)
+            .collect();
+        state.n_iters = n_iters;
+        state.seeded = true;
+        true
+    }
+
+    /// The contiguous span seeded for `pid` (for reporting; a snapshot
+    /// taken at seed time, stable as the live deques drain).
+    pub fn seeded_span(&self, pid: usize) -> Option<MicroRange> {
+        self.state.lock().spans.get(pid).copied().flatten()
+    }
+
+    /// Pops the next range for worker `pid`, whose program state currently
+    /// sits at iteration `state_at`. Own deque first (front); then, with
+    /// stealing enabled, the back of the most-loaded victim — preferring
+    /// forward ranges and never the final range. `None` means the replay's
+    /// range pool is exhausted for this worker.
+    pub fn next(&self, pid: usize, state_at: u64) -> Option<NextRange> {
+        let mut state = self.state.lock();
+        if let Some(r) = state.deques.get_mut(pid).and_then(|d| d.pop_front()) {
+            return Some(NextRange {
+                range: r,
+                stolen: false,
+            });
+        }
+        if !self.steal_enabled {
+            return None;
+        }
+        let n = state.n_iters;
+        // Candidate victims by remaining load (seed-cost weighted — under
+        // skew the straggler is whoever holds the expensive ranges, not
+        // the most iterations), descending.
+        let mut victims: Vec<usize> = (0..state.deques.len())
+            .filter(|&v| v != pid && !state.deques[v].is_empty())
+            .collect();
+        victims.sort_by_key(|&v| {
+            std::cmp::Reverse(
+                state.deques[v]
+                    .iter()
+                    .map(|r| state.range_cost(r))
+                    .sum::<u64>(),
+            )
+        });
+        // Three passes: forward steals of non-final ranges, then backward
+        // ones, then — nothing else left anywhere — the final range, whose
+        // thief will retire holding the final program state. A backward
+        // steal of a range starting at 0 is never allowed for a worker
+        // already past it: there is no checkpoint before iteration 0 to
+        // rewind to.
+        for (forward_only, allow_final) in [(true, false), (false, false), (false, true)] {
+            for &vid in &victims {
+                let deque = &mut state.deques[vid];
+                // From the back: the work farthest from the victim's own
+                // position, which it would have reached last anyway.
+                let idx = deque
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, r)| {
+                        (allow_final || r.end != n)
+                            && (!forward_only || r.start >= state_at)
+                            && !(r.start == 0 && state_at > 0)
+                    })
+                    .map(|(i, _)| i);
+                if let Some(i) = idx {
+                    let r = deque.remove(i).expect("index in bounds");
+                    self.steals
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Some(NextRange {
+                        range: r,
+                        stolen: true,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Ranges stolen so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// One past the last global iteration (0 before seeding).
+    pub fn n_iters(&self) -> u64 {
+        self.state.lock().n_iters
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,7 +552,11 @@ mod tests {
             covered.extend(p.work_iters());
         }
         covered.sort_unstable();
-        assert_eq!(covered, (0..n).collect::<Vec<_>>(), "plans must cover 0..{n} disjointly");
+        assert_eq!(
+            covered,
+            (0..n).collect::<Vec<_>>(),
+            "plans must cover 0..{n} disjointly"
+        );
     }
 
     #[test]
@@ -206,7 +580,11 @@ mod tests {
     #[test]
     fn more_workers_than_iterations() {
         let plans = plan(3, 8, InitMode::Strong);
-        assert_eq!(plans.len(), 3, "workers beyond the iteration count are dropped");
+        assert_eq!(
+            plans.len(),
+            3,
+            "workers beyond the iteration count are dropped"
+        );
         assert_covering(3, &plans);
     }
 
@@ -341,7 +719,38 @@ mod tests {
         assert!(plans.len() <= 4);
         assert_covering(198, &plans);
         let largest = plans.iter().map(WorkerPlan::work_len).max().unwrap();
-        assert!(largest >= 66, "largest share {largest} covers ≥ 2 intervals");
+        assert!(
+            largest >= 66,
+            "largest share {largest} covers ≥ 2 intervals"
+        );
+    }
+
+    #[test]
+    fn anchored_plan_under_extreme_interval_skew() {
+        use std::collections::BTreeSet;
+        // One checkpoint interval spans 1000 iterations, the rest are
+        // single-iteration: plans must still cover disjointly, start on
+        // anchors, and give the giant interval to exactly one worker.
+        let mut anchors: BTreeSet<u64> = (0..5).collect(); // 0..4 singles
+        anchors.insert(1004); // then [4, 1004) is one giant interval
+        let n = 1008;
+        for workers in [2usize, 4, 16] {
+            let plans = plan_anchored(n, &anchors, workers);
+            assert_covering(n, &plans);
+            for p in &plans {
+                assert!(anchors.contains(&p.work_start) || p.work_start == 0);
+                assert!(p.work_len() > 0, "no empty plans under skew");
+            }
+            let giant = plans
+                .iter()
+                .filter(|p| p.work_iters().contains(&500))
+                .count();
+            assert_eq!(giant, 1, "the giant interval is atomic");
+        }
+        // More workers than segments: capped at the segment count.
+        let plans = plan_anchored(n, &anchors, 64);
+        assert!(plans.len() <= 6);
+        assert_covering(n, &plans);
     }
 
     #[test]
@@ -360,6 +769,318 @@ mod tests {
         let plans = plan_anchored(10, &anchors, 4);
         assert_eq!(plans.len(), 1, "no checkpoints → no parallelism");
         assert_covering(10, &plans);
+    }
+
+    // ---- micro-range splitter & work-stealing queue ------------------------
+
+    fn assert_ranges_cover(n: u64, ranges: &[MicroRange]) {
+        let mut covered = Vec::new();
+        for r in ranges {
+            assert!(r.start < r.end, "no empty ranges: {r:?}");
+            covered.extend(r.iters());
+        }
+        covered.sort_unstable();
+        assert_eq!(
+            covered,
+            (0..n).collect::<Vec<_>>(),
+            "ranges must cover 0..{n}"
+        );
+    }
+
+    #[test]
+    fn uniform_split_covers_and_balances() {
+        let costs = vec![10u64; 64];
+        let ranges = split_micro_ranges(64, 4, &costs, None);
+        assert_ranges_cover(64, &ranges);
+        assert!(
+            ranges.len() >= 8 && ranges.len() <= 64,
+            "uniform costs → several ranges per worker, got {}",
+            ranges.len()
+        );
+    }
+
+    #[test]
+    fn skewed_split_isolates_expensive_iterations() {
+        // One iteration 1000× the rest: it must land in a range of its own,
+        // so a steal can move everything around it.
+        let mut costs = vec![1u64; 32];
+        costs[17] = 1000;
+        let ranges = split_micro_ranges(32, 4, &costs, None);
+        assert_ranges_cover(32, &ranges);
+        let heavy = ranges
+            .iter()
+            .find(|r| r.iters().contains(&17))
+            .expect("iteration 17 covered");
+        assert_eq!(
+            (heavy.start, heavy.end),
+            (17, 18),
+            "the 1000× iteration stands alone: {heavy:?}"
+        );
+    }
+
+    #[test]
+    fn zero_cost_iterations_do_not_degenerate_the_split() {
+        let costs = vec![0u64; 20];
+        let ranges = split_micro_ranges(20, 4, &costs, None);
+        assert_ranges_cover(20, &ranges);
+        // Zero costs are floored to 1, so the split is the uniform one, not
+        // a single all-covering range and not 20 singletons per worker.
+        assert!(ranges.len() > 1, "zero costs must not collapse the split");
+    }
+
+    #[test]
+    fn split_with_more_workers_than_iterations() {
+        let ranges = split_micro_ranges(3, 16, &[5, 5, 5], None);
+        assert_ranges_cover(3, &ranges);
+        assert_eq!(ranges.len(), 3, "one singleton range per iteration");
+    }
+
+    #[test]
+    fn split_without_profile_falls_back_to_uniform() {
+        // Empty cost slice = profile missing: every iteration costs 1.
+        let ranges = split_micro_ranges(40, 4, &[], None);
+        assert_ranges_cover(40, &ranges);
+        let lens: Vec<u64> = ranges.iter().map(MicroRange::len).collect();
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(max - min <= 2, "uniform fallback stays balanced: {lens:?}");
+    }
+
+    #[test]
+    fn split_with_partial_profile_costs_missing_iterations_at_mean() {
+        // Profile covers only the first 4 of 16 iterations (e.g. a block
+        // whose loop ran longer at replay than at record).
+        let costs = vec![100u64, 100, 100, 100];
+        let ranges = split_micro_ranges(16, 2, &costs, None);
+        assert_ranges_cover(16, &ranges);
+        assert!(ranges.len() >= 4);
+    }
+
+    #[test]
+    fn anchored_split_respects_boundaries_under_skew() {
+        use std::collections::BTreeSet;
+        let anchors: BTreeSet<u64> = [0u64, 10, 20, 30].into_iter().collect();
+        let mut costs = vec![1u64; 40];
+        costs[5] = 1000; // heavy iteration inside the first interval
+        let ranges = split_micro_ranges(40, 4, &costs, Some(&anchors));
+        assert_ranges_cover(40, &ranges);
+        for r in &ranges {
+            assert!(
+                anchors.contains(&r.start),
+                "range start {} must be an anchor",
+                r.start
+            );
+        }
+        // The heavy interval [0,10) cannot be split below the anchor
+        // granularity — it stands alone instead.
+        let heavy = ranges.iter().find(|r| r.iters().contains(&5)).unwrap();
+        assert_eq!((heavy.start, heavy.end), (0, 10));
+    }
+
+    #[test]
+    fn degenerate_split_inputs() {
+        assert!(split_micro_ranges(0, 4, &[], None).is_empty());
+        assert!(split_micro_ranges(4, 0, &[], None).is_empty());
+    }
+
+    #[test]
+    fn seeding_is_contiguous_and_cost_balanced() {
+        let mut costs = vec![1u64; 24];
+        for c in costs.iter_mut().take(24).skip(20) {
+            *c = 50; // tail-heavy skew
+        }
+        let deques = seed_cost_ranges(24, 4, &costs, None);
+        assert_eq!(deques.len(), 4);
+        // Contiguity: each deque's ranges chain, and deques chain globally.
+        let mut pos = 0u64;
+        for d in &deques {
+            for r in d {
+                assert_eq!(r.start, pos, "seeded ranges must chain contiguously");
+                pos = r.end;
+            }
+        }
+        assert_eq!(pos, 24);
+        // Cost balance: the heavy tail is not all on one worker.
+        let worker_cost = |d: &Vec<MicroRange>| -> u64 {
+            d.iter()
+                .flat_map(MicroRange::iters)
+                .map(|g| costs[g as usize])
+                .sum()
+        };
+        let max = deques.iter().map(worker_cost).max().unwrap();
+        let total: u64 = costs.iter().sum();
+        assert!(
+            max <= total / 2,
+            "seeding must spread cost: max {max} of total {total}"
+        );
+    }
+
+    #[test]
+    fn seeding_uniform_costs_reproduces_static_shares() {
+        // On uniform costs the cost-balanced seeding must hand each worker
+        // exactly the share the static planner would — stealing ties, it
+        // never loses ground to seeding noise.
+        let deques = seed_cost_ranges(200, 16, &[], None);
+        let plans = plan(200, 16, InitMode::Strong);
+        for (pid, plan) in plans.iter().enumerate() {
+            let first = deques[pid].first().unwrap();
+            let last = deques[pid].last().unwrap();
+            assert_eq!(
+                (first.start, last.end),
+                (plan.work_start, plan.work_end),
+                "worker {pid} share"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_with_more_workers_than_ranges_leaves_empty_deques() {
+        let deques = seed_cost_ranges(3, 8, &[], None);
+        assert_eq!(deques.len(), 8);
+        let non_empty = deques.iter().filter(|d| !d.is_empty()).count();
+        assert_eq!(non_empty, 3);
+    }
+
+    #[test]
+    fn queue_static_mode_serves_only_own_deque() {
+        let q = RangeQueue::new(2, false);
+        q.seed_once(4, || {
+            (
+                vec![
+                    vec![MicroRange { start: 0, end: 2 }],
+                    vec![MicroRange { start: 2, end: 4 }],
+                ],
+                Vec::new(),
+            )
+        });
+        assert_eq!(
+            q.next(0, 0),
+            Some(NextRange {
+                range: MicroRange { start: 0, end: 2 },
+                stolen: false
+            })
+        );
+        assert_eq!(q.next(0, 2), None, "stealing disabled");
+        assert!(q.next(1, 0).is_some());
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn queue_steals_from_most_loaded_victim_back() {
+        let q = RangeQueue::new(2, true);
+        q.seed_once(8, || {
+            (
+                vec![
+                    vec![MicroRange { start: 0, end: 1 }],
+                    vec![
+                        MicroRange { start: 1, end: 3 },
+                        MicroRange { start: 3, end: 5 },
+                        MicroRange { start: 5, end: 8 },
+                    ],
+                ],
+                Vec::new(),
+            )
+        });
+        let own = q.next(0, 0).unwrap();
+        assert!(!own.stolen);
+        // Worker 0 drained: steals from worker 1's back, skipping the
+        // pinned final range (5..8).
+        let stolen = q.next(0, 1).unwrap();
+        assert!(stolen.stolen);
+        assert_eq!(stolen.range, MicroRange { start: 3, end: 5 });
+        assert_eq!(q.steals(), 1);
+        // The final range stays with its owner.
+        let r1 = q.next(1, 0).unwrap();
+        assert_eq!(r1.range, MicroRange { start: 1, end: 3 });
+        let r2 = q.next(1, 3).unwrap();
+        assert_eq!(r2.range, MicroRange { start: 5, end: 8 });
+        assert!(!r2.stolen);
+        // Nothing left for the thief: the final range is not stealable.
+        assert_eq!(q.next(0, 5), None);
+    }
+
+    #[test]
+    fn queue_prefers_forward_steals() {
+        let q = RangeQueue::new(3, true);
+        q.seed_once(9, || {
+            (
+                vec![
+                    vec![MicroRange { start: 0, end: 3 }],
+                    vec![MicroRange { start: 3, end: 6 }],
+                    vec![MicroRange { start: 6, end: 9 }],
+                ],
+                Vec::new(),
+            )
+        });
+        // Worker 2 takes its own (final) range first, then sits at state 9;
+        // both remaining ranges are behind it — the backward pass still
+        // serves one rather than idling the worker.
+        assert!(!q.next(2, 0).unwrap().stolen);
+        let behind = q.next(2, 9).unwrap();
+        assert!(behind.stolen);
+        // Worker 0 at state 0: 3..6 is ahead, preferred over nothing.
+        let ahead = q.next(0, 0);
+        let _ = ahead; // whichever range remains, it must be servable
+    }
+
+    #[test]
+    fn final_range_is_stolen_only_as_last_resort() {
+        let q = RangeQueue::new(2, true);
+        q.seed_once(6, || {
+            (
+                vec![
+                    vec![MicroRange { start: 0, end: 2 }],
+                    vec![
+                        MicroRange { start: 2, end: 4 },
+                        MicroRange { start: 4, end: 6 },
+                    ],
+                ],
+                Vec::new(),
+            )
+        });
+        assert!(!q.next(0, 0).unwrap().stolen);
+        // Non-final work is preferred even though the final range sits at
+        // the victim's back.
+        let s1 = q.next(0, 2).unwrap();
+        assert_eq!(s1.range, MicroRange { start: 2, end: 4 });
+        assert!(s1.stolen);
+        // Nothing else left anywhere: the final range is handed out so an
+        // idle worker can absorb a heavy tail (its thief retires with the
+        // final program state).
+        let s2 = q.next(0, 4).unwrap();
+        assert_eq!(s2.range, MicroRange { start: 4, end: 6 });
+        assert!(s2.stolen);
+        assert_eq!(q.next(1, 0), None, "owner finds its deque emptied");
+    }
+
+    #[test]
+    fn queue_seed_once_is_idempotent() {
+        let q = RangeQueue::new(1, true);
+        assert!(q.seed_once(2, || (
+            vec![vec![MicroRange { start: 0, end: 2 }]],
+            Vec::new()
+        )));
+        assert!(!q.seed_once(2, || panic!("second seed must not run")));
+        assert_eq!(q.n_iters(), 2);
+        assert_eq!(q.seeded_span(0), Some(MicroRange { start: 0, end: 2 }));
+    }
+
+    #[test]
+    fn profiled_bound_tightens_under_skew_and_matches_uniform() {
+        // Uniform: the continuous relaxation — total/(total/G) = G — which
+        // upper-bounds the integral count-based bound.
+        let uniform = vec![7u64; 200];
+        let u = max_speedup_profiled(&uniform, 16);
+        assert!((u - 16.0).abs() < 1e-9, "uniform bound {u}");
+        assert!(u >= max_speedup(200, 16));
+        // Skew: one iteration dominates — bound collapses toward total/max.
+        let mut skewed = vec![1u64; 100];
+        skewed[0] = 1000;
+        let b = max_speedup_profiled(&skewed, 16);
+        assert!((b - 1099.0 / 1000.0).abs() < 1e-9, "bound {b}");
+        assert!(b < max_speedup(100, 16), "profile-aware bound is tighter");
+        // Degenerate inputs.
+        assert_eq!(max_speedup_profiled(&[], 4), 1.0);
+        assert_eq!(max_speedup_profiled(&[5], 0), 1.0);
     }
 
     #[test]

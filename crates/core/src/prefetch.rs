@@ -147,7 +147,9 @@ impl Prefetcher {
             if slot.0 == 0 {
                 let released = slot.1;
                 charged.remove(&bytes.backing_id());
-                self.shared.outstanding.fetch_sub(released, Ordering::AcqRel);
+                self.shared
+                    .outstanding
+                    .fetch_sub(released, Ordering::AcqRel);
             }
         }
         Some(bytes)
@@ -221,7 +223,9 @@ mod tests {
     fn prefetches_scheduled_keys_and_serves_takes() {
         let store = tmpstore("basic");
         for seq in 0..6u64 {
-            store.put("sb_0", seq, format!("payload-{seq}").as_bytes()).unwrap();
+            store
+                .put("sb_0", seq, format!("payload-{seq}").as_bytes())
+                .unwrap();
         }
         let keys: Vec<_> = (0..6u64).map(|s| ("sb_0".to_string(), s)).collect();
         let mut p = Prefetcher::spawn(store, keys);
@@ -255,7 +259,9 @@ mod tests {
     fn mark_consumed_skips_future_fetches_and_releases_parked_ones() {
         let store = tmpstore("consumed");
         for seq in 0..2u64 {
-            store.put("sb_0", seq, format!("p{seq}").as_bytes()).unwrap();
+            store
+                .put("sb_0", seq, format!("p{seq}").as_bytes())
+                .unwrap();
         }
         let mut p = Prefetcher::spawn(
             store,
@@ -307,7 +313,11 @@ mod tests {
             );
         }
         p.take("sb_0", 3).unwrap();
-        assert_eq!(p.outstanding_backing_bytes(), 0, "last take releases the backing");
+        assert_eq!(
+            p.outstanding_backing_bytes(),
+            0,
+            "last take releases the backing"
+        );
     }
 
     #[test]

@@ -160,6 +160,7 @@ pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError
         main_iter: None,
         standalone_seq: HashMap::new(),
         blocks_this_iter: HashSet::new(),
+        profile: crate::profile::ProfileBuilder::new(),
     };
 
     let mut interp = Interp::new(Mode::Record(Box::new(ctx)));
@@ -173,6 +174,16 @@ pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError
         unreachable!()
     };
     let mat_stats = ctx.materializer.stats();
+    // Persist the per-iteration cost profile: replay's work-stealing
+    // scheduler sizes micro-ranges by it (skewed iterations — warmup, eval
+    // epochs, LR phase changes — get their own stealable ranges).
+    let cost_profile = ctx.profile.clone().finish(ctx.controller.c());
+    if !cost_profile.is_empty() {
+        store.put_artifact(
+            crate::profile::COST_PROFILE_ARTIFACT,
+            cost_profile.to_text().as_bytes(),
+        )?;
+    }
     let report = RecordReport {
         wall_ns,
         blocks: inst.blocks,
@@ -282,7 +293,10 @@ log(\"accuracy\", acc)
         let root = tmproot("logs");
         let report = record(TRAIN_SRC, &RecordOptions::new(&root)).unwrap();
         let (_, vanilla_log) = run_vanilla(TRAIN_SRC).unwrap();
-        assert_eq!(report.log, vanilla_log, "checkpointing must not perturb training");
+        assert_eq!(
+            report.log, vanilla_log,
+            "checkpointing must not perturb training"
+        );
     }
 
     #[test]

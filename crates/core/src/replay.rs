@@ -11,16 +11,23 @@
 //! 2. instrument the *new* source identically and structurally diff the two
 //!    — added log statements become probes, attributed to their enclosing
 //!    SkipBlock; anything else poisons checkpoint reuse,
-//! 3. run `G` parallel workers, each executing the full program with its
-//!    own partition of the main loop (strong or weak initialization),
-//! 4. merge worker logs back into record order,
-//! 5. run the deferred correctness check: the replayed fingerprint must
-//!    match the record log everywhere both produced output.
+//! 3. run `G` parallel workers against a shared [`ReplayRuntime`]: each
+//!    pulls cost-sized micro-ranges off the work-stealing queue (seeded
+//!    contiguously to preserve strong/weak initialization semantics and
+//!    checkpoint-restore locality; `--steal` lets drained workers take load
+//!    off stragglers),
+//! 4. stream completed ranges into the incremental merger, which emits the
+//!    record-order prefix as soon as it is contiguous — no barrier join,
+//! 5. run the deferred correctness check incrementally on that prefix: the
+//!    replayed fingerprint must match the record log everywhere both
+//!    produced output.
 
 use crate::error::FlorError;
 use crate::interp::{Interp, Mode, Phase, ReplayCtx, ReplayStats};
-use crate::logstream::{merge_worker_logs, LogEntry, LogStream, Section};
-use crate::parallel::{InitMode, WorkerPlan};
+use crate::logstream::{LogEntry, LogStream, Section};
+use crate::parallel::{plan, plan_anchored, InitMode, MicroRange, RangeQueue, WorkerPlan};
+use crate::profile::{CostProfile, COST_PROFILE_ARTIFACT};
+use crate::stream::{RangeSink, StreamEvent, StreamMsg, StreamingMerger};
 use flor_analysis::instrument::instrument;
 use flor_chkpt::CheckpointStore;
 use flor_lang::ast::{Expr, Program, Stmt};
@@ -37,6 +44,12 @@ pub struct ReplayOptions {
     pub workers: usize,
     /// Worker initialization strategy (default Strong, as in the paper).
     pub init_mode: InitMode,
+    /// Work-stealing over cost-sized micro-ranges. Off, each worker owns a
+    /// static contiguous partition (the paper's §5.4 plan — the slowest
+    /// worker gates completion). On, partitions are split into micro-ranges
+    /// sized by the run's recorded cost profile, and drained workers steal
+    /// off stragglers.
+    pub steal: bool,
 }
 
 impl Default for ReplayOptions {
@@ -44,6 +57,7 @@ impl Default for ReplayOptions {
         ReplayOptions {
             workers: 1,
             init_mode: InitMode::Strong,
+            steal: false,
         }
     }
 }
@@ -55,6 +69,90 @@ impl ReplayOptions {
             workers,
             ..Default::default()
         }
+    }
+
+    /// Replay with `workers` work-stealing workers.
+    pub fn with_stealing(workers: usize) -> Self {
+        ReplayOptions {
+            workers,
+            steal: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Shared state of one replay run's worker pool: the work-stealing range
+/// queue plus everything needed to seed it (done lazily by the first worker
+/// to reach the main loop, since only workers know the iteration count).
+pub struct ReplayRuntime {
+    /// The micro-range queue workers pull from.
+    pub queue: RangeQueue,
+    /// The run's recorded per-iteration cost profile, if present.
+    pub profile: Option<CostProfile>,
+    /// Worker count.
+    pub workers: usize,
+    /// Whether stealing is enabled (mirrors [`RangeQueue`]'s flag; kept for
+    /// seeding decisions).
+    pub steal: bool,
+}
+
+impl ReplayRuntime {
+    /// Runtime for `workers` workers.
+    pub fn new(workers: usize, steal: bool, profile: Option<CostProfile>) -> Self {
+        ReplayRuntime {
+            queue: RangeQueue::new(workers, steal),
+            profile,
+            workers,
+            steal,
+        }
+    }
+
+    /// Computes the seed deques for an `n`-iteration main loop — called
+    /// exactly once per replay, by whichever worker reaches the loop first
+    /// (every worker would compute the same result).
+    ///
+    /// Static mode reproduces the legacy planner's contiguous segments
+    /// verbatim (one range per worker). Stealing mode splits iterations
+    /// into cost-sized micro-ranges — the cost of an iteration taken from
+    /// the record-time profile when one exists, uniform otherwise — and
+    /// seeds them contiguously, balanced by cost. Returns the deques plus
+    /// the cost vector they were balanced by (the queue weighs victims
+    /// with it).
+    pub fn seed_ranges(&self, ctx: &ReplayCtx, n: u64) -> (Vec<Vec<MicroRange>>, Vec<u64>) {
+        if !self.steal {
+            let plans = match ctx.init_mode {
+                InitMode::Strong => plan(n, self.workers, InitMode::Strong),
+                InitMode::Weak => plan_anchored(n, &ctx.anchors(n), self.workers),
+            };
+            let mut deques: Vec<Vec<MicroRange>> = vec![Vec::new(); self.workers];
+            for p in plans {
+                deques[p.pid].push(MicroRange {
+                    start: p.work_start,
+                    end: p.work_end,
+                });
+            }
+            return (deques, Vec::new());
+        }
+        // Will replay *execute* iterations (probed / poisoned / unmemoized)
+        // or restore them? Determines which cost column of the profile
+        // applies.
+        let executes = ctx.force_execute_all
+            || ctx.main_blocks.is_empty()
+            || ctx
+                .main_blocks
+                .iter()
+                .any(|b| ctx.probed_blocks.contains(b));
+        let costs: Vec<u64> = self
+            .profile
+            .as_ref()
+            .map(|p| p.replay_costs(n, executes))
+            .unwrap_or_default();
+        let anchors = match ctx.init_mode {
+            InitMode::Strong => None,
+            InitMode::Weak => Some(ctx.anchors(n)),
+        };
+        let deques = crate::parallel::seed_cost_ranges(n, self.workers, &costs, anchors.as_ref());
+        (deques, costs)
     }
 }
 
@@ -145,6 +243,21 @@ pub fn replay_with_store(
     store: Arc<CheckpointStore>,
     opts: &ReplayOptions,
 ) -> Result<ReplayReport, FlorError> {
+    replay_streaming(new_src, store, opts, |_| {})
+}
+
+/// [`replay_with_store`] with a streaming observer: `on_event` receives
+/// record-order log-entry chunks as soon as the leading contiguous prefix
+/// of iterations completes (long before the last worker finishes), plus
+/// progress counters and incrementally-detected anomalies. The returned
+/// report is identical to the non-streaming call — the final log is the
+/// concatenation of the streamed chunks.
+pub fn replay_streaming(
+    new_src: &str,
+    store: Arc<CheckpointStore>,
+    opts: &ReplayOptions,
+    on_event: impl FnMut(StreamEvent<'_>),
+) -> Result<ReplayReport, FlorError> {
     let recorded_src = String::from_utf8(store.get_artifact("source.flr")?)
         .map_err(|_| crate::error::rt("recorded source is not valid UTF-8"))?;
     let recorded_prog = parse(&recorded_src)?;
@@ -161,12 +274,27 @@ pub fn replay_with_store(
     let force_execute_all = !diff.is_pure_hindsight();
     let main_blocks = main_loop_blocks(&inst.program);
 
+    // The record log (for the incremental deferred check) and the cost
+    // profile (for micro-range sizing) are loaded before workers start.
+    let record_log = LogStream::parse_text(
+        &String::from_utf8(store.get_artifact("record_log.txt")?)
+            .map_err(|_| crate::error::rt("record log is not valid UTF-8"))?,
+    );
+    let profile = store
+        .get_artifact(COST_PROFILE_ARTIFACT)
+        .ok()
+        .and_then(|bytes| String::from_utf8(bytes).ok())
+        .and_then(|text| CostProfile::parse_text(&text));
+
     // Run the workers. Interpreter values are Rc-based (single-threaded by
     // design, like CPython); each worker owns a fresh interpreter inside
-    // its thread — workers share nothing but the store, exactly the
-    // coordination-free model of §5.4.
+    // its thread — workers share nothing but the store and the range
+    // queue, the coordination-free model of §5.4 plus one lock-guarded
+    // steal point.
     let t0 = Instant::now();
     let workers = opts.workers.max(1);
+    let runtime = Arc::new(ReplayRuntime::new(workers, opts.steal, profile));
+    let (tx, rx) = std::sync::mpsc::channel::<StreamMsg>();
     let mut handles = Vec::with_capacity(workers);
     for pid in 0..workers {
         let prog = inst.program.clone();
@@ -174,8 +302,10 @@ pub fn replay_with_store(
         let probed_blocks = probed_blocks.clone();
         let main_blocks = main_blocks.clone();
         let init_mode = opts.init_mode;
+        let runtime = runtime.clone();
+        let sink = RangeSink::new(tx.clone());
         handles.push(std::thread::spawn(
-            move || -> Result<(Vec<LogEntry>, ReplayStats, Option<WorkerPlan>), FlorError> {
+            move || -> Result<(ReplayStats, Option<WorkerPlan>), FlorError> {
                 let ctx = ReplayCtx {
                     store,
                     pid,
@@ -192,44 +322,53 @@ pub fn replay_with_store(
                     plan_used: None,
                     sample: None,
                     prefetcher: None,
+                    runtime: Some(runtime),
+                    sink: Some(sink.clone()),
                 };
                 let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
                 interp.run(&prog)?;
                 let Mode::Replay(ctx) = interp.mode else {
                     unreachable!()
                 };
-                Ok((interp.log.into_entries(), ctx.stats, ctx.plan_used))
+                // Whatever the main loop didn't drain: preamble entries of
+                // a loop-less program, and the postamble (suppressed — and
+                // therefore empty — unless this worker owns the final
+                // state).
+                let leftover = interp.log.into_entries();
+                let (pre, post): (Vec<LogEntry>, Vec<LogEntry>) = leftover
+                    .into_iter()
+                    .partition(|e| e.section == Section::Pre);
+                sink.send(StreamMsg::Pre { pid, entries: pre });
+                sink.send(StreamMsg::Post { entries: post });
+                Ok((ctx.stats, ctx.plan_used))
             },
         ));
     }
+    drop(tx);
 
-    let mut worker_logs = Vec::with_capacity(workers);
+    // Drive the incremental merger on this thread until every worker's
+    // sink is gone; entries stream to the observer as prefixes complete.
+    let mut merger = StreamingMerger::new(&record_log, t0, on_event);
+    merger.run(&rx);
+
     let mut stats = ReplayStats::default();
     let mut worker_plans = Vec::with_capacity(workers);
     for h in handles {
-        let (log, s, plan) = h
+        let (s, plan) = h
             .join()
             .map_err(|_| crate::error::rt("replay worker panicked"))??;
-        worker_logs.push(log);
         stats.restored += s.restored;
         stats.executed += s.executed;
         stats.restore_ns += s.restore_ns;
         stats.prefetch_hits += s.prefetch_hits;
+        stats.ranges_executed += s.ranges_executed;
         worker_plans.push(plan);
     }
+    let (merged, mut anomalies, first_entry_ns) = merger.finish();
+    stats.steals = runtime.queue.steals();
+    stats.stream_first_entry_ns = first_entry_ns;
     let wall_ns = t0.elapsed().as_nanos() as u64;
 
-    // Merge partitions: order worker logs so the final-segment owner comes
-    // last (its postamble is the true one; all other postambles were
-    // suppressed by the interpreter anyway).
-    let merged = merge_worker_logs(worker_logs);
-
-    // Deferred correctness check against the record log.
-    let record_log = LogStream::parse_text(
-        &String::from_utf8(store.get_artifact("record_log.txt")?)
-            .map_err(|_| crate::error::rt("record log is not valid UTF-8"))?,
-    );
-    let mut anomalies = deferred_check(&record_log, &merged);
     if force_execute_all {
         anomalies.insert(
             0,
@@ -387,6 +526,130 @@ mod tests {
     }
 
     #[test]
+    fn stealing_replay_merges_to_identical_log() {
+        // The cost-aware work-stealing executor must produce the exact
+        // sequential log for every worker count and both probe positions.
+        let root = tmproot("steal");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        for probed in [inner_probed(), outer_probed()] {
+            let seq = replay(&probed, &root, &ReplayOptions::default()).unwrap();
+            for workers in [2usize, 3, 4, 8] {
+                let par = replay(&probed, &root, &ReplayOptions::with_stealing(workers)).unwrap();
+                assert!(
+                    par.anomalies.is_empty(),
+                    "{workers} workers: {:?}",
+                    par.anomalies
+                );
+                assert_eq!(par.log, seq.log, "{workers}-worker stealing merge");
+                assert!(par.stats.ranges_executed >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_weak_init_matches_strong() {
+        let root = tmproot("steal-weak");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let strong = replay(&inner_probed(), &root, &ReplayOptions::with_stealing(3)).unwrap();
+        let weak = replay(
+            &inner_probed(),
+            &root,
+            &ReplayOptions {
+                workers: 3,
+                init_mode: InitMode::Weak,
+                steal: true,
+            },
+        )
+        .unwrap();
+        assert!(weak.anomalies.is_empty(), "{:?}", weak.anomalies);
+        assert_eq!(weak.log, strong.log);
+    }
+
+    #[test]
+    fn stealing_poisoned_reuse_matches_static() {
+        // Non-hindsight edits poison checkpoint reuse; the stealing
+        // executor must full-re-execute to the same log the static one
+        // does, and still surface the poisoning anomaly.
+        let root = tmproot("steal-poison");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let edited = TRAIN_SRC.replace("lr=0.1", "lr=0.05");
+        let stat = replay(&edited, &root, &ReplayOptions::with_workers(3)).unwrap();
+        let steal = replay(&edited, &root, &ReplayOptions::with_stealing(3)).unwrap();
+        assert_eq!(steal.log, stat.log);
+        assert!(!steal.anomalies.is_empty(), "poisoning must be surfaced");
+        assert!(
+            steal.anomalies[0].contains("source changed"),
+            "{:?}",
+            steal.anomalies
+        );
+        assert_eq!(steal.stats.restored, 0);
+    }
+
+    #[test]
+    fn record_persists_cost_profile_artifact() {
+        let root = tmproot("profile-artifact");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let store = CheckpointStore::open(&root).unwrap();
+        let text = String::from_utf8(
+            store
+                .get_artifact(crate::profile::COST_PROFILE_ARTIFACT)
+                .unwrap(),
+        )
+        .unwrap();
+        let profile = crate::profile::CostProfile::parse_text(&text).unwrap();
+        assert_eq!(profile.len(), 6, "one entry per epoch");
+        for it in &profile.iters {
+            assert!(it.compute_ns > 0);
+            assert!(
+                it.fully_checkpointed(),
+                "adaptivity off → every epoch checkpointed"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_replay_delivers_entries_and_progress() {
+        let root = tmproot("streaming");
+        record(TRAIN_SRC, &opts_exact(&root)).unwrap();
+        let store = Arc::new(CheckpointStore::open(&root).unwrap());
+        let mut streamed: Vec<LogEntry> = Vec::new();
+        let mut progress_seen = 0u64;
+        let mut last_total = 0u64;
+        let report = replay_streaming(
+            &inner_probed(),
+            store,
+            &ReplayOptions::with_stealing(3),
+            |ev| match ev {
+                crate::stream::StreamEvent::Entries(chunk) => {
+                    streamed.extend(chunk.iter().cloned())
+                }
+                crate::stream::StreamEvent::Progress {
+                    iterations_done,
+                    iterations_total,
+                    ..
+                } => {
+                    progress_seen += 1;
+                    assert!(iterations_done <= iterations_total.max(iterations_done));
+                    last_total = iterations_total;
+                }
+                crate::stream::StreamEvent::Anomaly(a) => panic!("unexpected anomaly: {a}"),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            streamed, report.log,
+            "streamed chunks concatenate to the final log"
+        );
+        assert!(progress_seen >= 1, "at least one progress event per range");
+        assert_eq!(last_total, 6);
+        assert!(report.stats.stream_first_entry_ns > 0);
+        assert!(
+            report.stats.stream_first_entry_ns <= report.wall_ns,
+            "first entry must not be after the replay finished"
+        );
+    }
+
+    #[test]
     fn parallel_replay_merges_to_identical_log() {
         let root = tmproot("parallel");
         record(TRAIN_SRC, &opts_exact(&root)).unwrap();
@@ -398,7 +661,11 @@ mod tests {
                 &ReplayOptions::with_workers(workers),
             )
             .unwrap();
-            assert!(par.anomalies.is_empty(), "{workers} workers: {:?}", par.anomalies);
+            assert!(
+                par.anomalies.is_empty(),
+                "{workers} workers: {:?}",
+                par.anomalies
+            );
             assert_eq!(
                 par.log, seq.log,
                 "{workers}-worker merge must equal sequential replay"
@@ -432,6 +699,7 @@ mod tests {
             &ReplayOptions {
                 workers: 3,
                 init_mode: InitMode::Weak,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -476,15 +744,39 @@ mod tests {
     fn deferred_check_semantics() {
         use Section::*;
         let rec = vec![
-            LogEntry { key: "loss".into(), value: "0.5".into(), section: Iter(0) },
-            LogEntry { key: "loss".into(), value: "0.4".into(), section: Iter(1) },
-            LogEntry { key: "skipped".into(), value: "x".into(), section: Iter(0) },
+            LogEntry {
+                key: "loss".into(),
+                value: "0.5".into(),
+                section: Iter(0),
+            },
+            LogEntry {
+                key: "loss".into(),
+                value: "0.4".into(),
+                section: Iter(1),
+            },
+            LogEntry {
+                key: "skipped".into(),
+                value: "x".into(),
+                section: Iter(0),
+            },
         ];
         // Replay skipped "skipped", re-produced loss@0, added a probe.
         let rep_ok = vec![
-            LogEntry { key: "loss".into(), value: "0.5".into(), section: Iter(0) },
-            LogEntry { key: "loss".into(), value: "0.4".into(), section: Iter(1) },
-            LogEntry { key: "probe".into(), value: "p".into(), section: Iter(0) },
+            LogEntry {
+                key: "loss".into(),
+                value: "0.5".into(),
+                section: Iter(0),
+            },
+            LogEntry {
+                key: "loss".into(),
+                value: "0.4".into(),
+                section: Iter(1),
+            },
+            LogEntry {
+                key: "probe".into(),
+                value: "p".into(),
+                section: Iter(0),
+            },
         ];
         assert!(deferred_check(&rec, &rep_ok).is_empty());
         // Divergent value → anomaly.

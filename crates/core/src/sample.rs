@@ -72,6 +72,8 @@ pub fn replay_sample(
         plan_used: None,
         sample: Some(sample),
         prefetcher: None,
+        runtime: None,
+        sink: None,
     };
     let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
     interp.run(&inst.program)?;

@@ -161,6 +161,11 @@ fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
         let main_ns = t1.elapsed().as_nanos() as u64;
         ctx.controller
             .observe_materialize(id, main_ns.max(1), est_bytes as u64);
+        if let Some(g) = ctx.main_iter {
+            ctx.profile.observe(g, compute_ns, Some(main_ns.max(1)));
+        }
+    } else if let Some(g) = ctx.main_iter {
+        ctx.profile.observe(g, compute_ns, None);
     }
     Ok(())
 }
@@ -204,7 +209,9 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
     // prefetch miss falls through to a direct zero-copy store read.
     let t0 = Instant::now();
     let payload_bytes = {
-        let Mode::Replay(ctx) = &mut interp.mode else { unreachable!() };
+        let Mode::Replay(ctx) = &mut interp.mode else {
+            unreachable!()
+        };
         match ctx.prefetcher.as_ref().and_then(|p| p.take(id, seq)) {
             Some(bytes) => {
                 ctx.stats.prefetch_hits += 1;
@@ -223,7 +230,9 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
     };
     let cval = flor_chkpt::decode(payload_bytes.as_ref())?;
     let CVal::Map(pairs) = cval else {
-        return Err(rt(format!("checkpoint {id:?}.{seq} has a malformed payload")));
+        return Err(rt(format!(
+            "checkpoint {id:?}.{seq} has a malformed payload"
+        )));
     };
     for (name, snap) in &pairs {
         let existing = interp.env.try_get(name);
@@ -268,6 +277,7 @@ mod tests {
             main_iter: None,
             standalone_seq: HashMap::new(),
             blocks_this_iter: HashSet::new(),
+            profile: crate::profile::ProfileBuilder::new(),
         }))
     }
 
@@ -288,6 +298,8 @@ mod tests {
             plan_used: None,
             sample: None,
             prefetcher: None,
+            runtime: None,
+            sink: None,
         }))
     }
 
@@ -371,7 +383,10 @@ log(\"acc\", acc)
         rep.run(&prog).unwrap();
         if let Mode::Replay(ctx) = &rep.mode {
             assert_eq!(ctx.stats.restored, 1);
-            assert_eq!(ctx.stats.prefetch_hits, 1, "restore must consume the prefetch");
+            assert_eq!(
+                ctx.stats.prefetch_hits, 1,
+                "restore must consume the prefetch"
+            );
         }
         assert_eq!(rep.env.get("acc").unwrap().as_i64().unwrap(), 10);
     }
@@ -471,7 +486,12 @@ log(\"w\", w)
         let prog = parse(src).unwrap();
         let changesets = HashMap::from([(
             "sb_0".to_string(),
-            vec!["loader".to_string(), "optimizer".to_string(), "net".to_string(), "criterion".to_string()],
+            vec![
+                "loader".to_string(),
+                "optimizer".to_string(),
+                "net".to_string(),
+                "criterion".to_string(),
+            ],
         )]);
         let mut rec = Interp::new(record_ctx(store.clone(), changesets));
         rec.run(&prog).unwrap();

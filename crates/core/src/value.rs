@@ -170,7 +170,11 @@ impl Value {
                     + 16
             }
             Value::Tuple(items) => {
-                items.iter().map(Value::estimate_snapshot_bytes).sum::<usize>() + 16
+                items
+                    .iter()
+                    .map(Value::estimate_snapshot_bytes)
+                    .sum::<usize>()
+                    + 16
             }
             Value::Obj(o) => match &*o.borrow() {
                 Obj::Model(m) => m.numel() * 4 + 64,
@@ -190,7 +194,9 @@ impl Value {
     pub fn snapshot(&self) -> Result<CVal, FlorError> {
         Ok(match self {
             Value::None => CVal::map(vec![("t", CVal::Str("none".into()))]),
-            Value::Bool(b) => CVal::map(vec![("t", CVal::Str("bool".into())), ("v", CVal::Bool(*b))]),
+            Value::Bool(b) => {
+                CVal::map(vec![("t", CVal::Str("bool".into())), ("v", CVal::Bool(*b))])
+            }
             Value::Int(i) => CVal::map(vec![("t", CVal::Str("int".into())), ("v", CVal::I64(*i))]),
             Value::Float(x) => {
                 CVal::map(vec![("t", CVal::Str("float".into())), ("v", CVal::F64(*x))])
@@ -220,7 +226,12 @@ impl Value {
                 ("t", CVal::Str("tuple".into())),
                 (
                     "v",
-                    CVal::List(items.iter().map(Value::snapshot).collect::<Result<_, _>>()?),
+                    CVal::List(
+                        items
+                            .iter()
+                            .map(Value::snapshot)
+                            .collect::<Result<_, _>>()?,
+                    ),
                 ),
             ]),
             Value::Obj(o) => {
@@ -263,8 +274,7 @@ impl Value {
             },
             "tensor" => match v.and_then(CVal::as_bytes) {
                 Some(b) => Value::Tensor(
-                    Tensor::from_bytes(b.as_ref())
-                        .ok_or_else(|| rt("corrupt tensor snapshot"))?,
+                    Tensor::from_bytes(b.as_ref()).ok_or_else(|| rt("corrupt tensor snapshot"))?,
                 ),
                 None => return Err(rt("malformed tensor snapshot")),
             },
@@ -470,10 +480,7 @@ impl Obj {
                     Some(sd) => state_dict_to_cval(sd),
                     None => CVal::Unit,
                 };
-                CVal::map(vec![
-                    ("count", CVal::I64(s.count() as i64)),
-                    ("avg", avg),
-                ])
+                CVal::map(vec![("count", CVal::I64(s.count() as i64)), ("avg", avg)])
             }
             Obj::Meter(m) => CVal::map(vec![
                 ("mean", CVal::F64(m.mean() as f64)),
@@ -665,9 +672,7 @@ mod tests {
         let guard = model_rc.borrow();
         if let Obj::Model(m) = &*guard {
             let mut all_nine = true;
-            m.visit_params(&mut |p| {
-                all_nine &= p.value.data().iter().all(|&x| x == 9.0)
-            });
+            m.visit_params(&mut |p| all_nine &= p.value.data().iter().all(|&x| x == 9.0));
             assert!(all_nine);
         }
     }

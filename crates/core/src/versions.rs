@@ -124,12 +124,7 @@ pub fn find_runs_where(
     let answers = replay_runs(stores, probe, opts)?;
     Ok(answers
         .into_iter()
-        .filter(|a| {
-            a.report
-                .as_ref()
-                .map(|r| pred(&r.log))
-                .unwrap_or(false)
-        })
+        .filter(|a| a.report.as_ref().map(|r| pred(&r.log)).unwrap_or(false))
         .map(|a| a.store)
         .collect())
 }
@@ -182,7 +177,9 @@ for epoch in range({epochs}):
     #[test]
     fn probe_applies_at_every_anchor() {
         let probe = Probe::new("optimizer.step()", "log(\"g\", net.grad_norm())");
-        let probed = probe.apply(&version_src(0.1, 0.0, 4)).expect("anchor present");
+        let probed = probe
+            .apply(&version_src(0.1, 0.0, 4))
+            .expect("anchor present");
         assert_eq!(probed.matches("log(\"g\"").count(), 1);
         // Indentation matches the anchor line.
         assert!(probed.contains("        optimizer.step()\n        log(\"g\""));
@@ -225,7 +222,11 @@ for epoch in range({epochs}):
                 .any(|g| g > 100.0)
         })
         .unwrap();
-        assert_eq!(hits, vec![stores[1].clone()], "only the over-regularized run explodes");
+        assert_eq!(
+            hits,
+            vec![stores[1].clone()],
+            "only the over-regularized run explodes"
+        );
     }
 
     #[test]
@@ -244,12 +245,7 @@ log(\"accuracy\", acc)
         record(eval_only, &opts_exact(&root_b)).unwrap();
 
         let probe = Probe::new("optimizer.step()", "log(\"g\", net.grad_norm())");
-        let answers = replay_runs(
-            &[root_a, root_b],
-            &probe,
-            &ReplayOptions::default(),
-        )
-        .unwrap();
+        let answers = replay_runs(&[root_a, root_b], &probe, &ReplayOptions::default()).unwrap();
         assert!(answers[0].report.is_some());
         assert!(answers[1].report.is_none(), "anchor absent → skipped");
     }

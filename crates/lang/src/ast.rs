@@ -258,11 +258,11 @@ impl Stmt {
     /// form: a bare call to `log(...)` or `flor.log(...)`.
     pub fn is_log_stmt(&self) -> bool {
         match self {
-            Stmt::ExprStmt { expr: Expr::Call { func, .. } } => match func.as_ref() {
+            Stmt::ExprStmt {
+                expr: Expr::Call { func, .. },
+            } => match func.as_ref() {
                 Expr::Name(n) => n == "log",
-                Expr::Attr { obj, name } => {
-                    name == "log" && obj.as_name() == Some("flor")
-                }
+                Expr::Attr { obj, name } => name == "log" && obj.as_name() == Some("flor"),
                 _ => false,
             },
             _ => false,

@@ -66,19 +66,16 @@ pub fn diff_programs(old: &Program, new: &Program) -> DiffReport {
 /// for container statements (so body edits don't break header alignment).
 fn stmt_key(stmt: &Stmt) -> String {
     match stmt {
-        Stmt::For { var, iter, .. } => format!("for {var} in {}:", crate::printer::print_expr(iter)),
+        Stmt::For { var, iter, .. } => {
+            format!("for {var} in {}:", crate::printer::print_expr(iter))
+        }
         Stmt::If { cond, .. } => format!("if {}:", crate::printer::print_expr(cond)),
         Stmt::SkipBlock { id, .. } => format!("skipblock {id:?}:"),
         simple => print_stmt_at(simple, 0),
     }
 }
 
-fn diff_block(
-    old: &[Stmt],
-    new: &[Stmt],
-    enclosing_sb: Option<&str>,
-    report: &mut DiffReport,
-) {
+fn diff_block(old: &[Stmt], new: &[Stmt], enclosing_sb: Option<&str>, report: &mut DiffReport) {
     let old_keys: Vec<String> = old.iter().map(stmt_key).collect();
     let new_keys: Vec<String> = new.iter().map(stmt_key).collect();
     let (n, m) = (old.len(), new.len());
@@ -104,8 +101,16 @@ fn diff_block(
                     diff_block(ob, nb, enclosing_sb, report);
                 }
                 (
-                    Stmt::If { then: ot, orelse: oe, .. },
-                    Stmt::If { then: nt, orelse: ne, .. },
+                    Stmt::If {
+                        then: ot,
+                        orelse: oe,
+                        ..
+                    },
+                    Stmt::If {
+                        then: nt,
+                        orelse: ne,
+                        ..
+                    },
                 ) => {
                     diff_block(ot, nt, enclosing_sb, report);
                     diff_block(oe, ne, enclosing_sb, report);

@@ -70,7 +70,18 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const KEYWORDS: &[&str] = &[
-    "import", "for", "in", "if", "else", "and", "or", "not", "True", "False", "None", "pass",
+    "import",
+    "for",
+    "in",
+    "if",
+    "else",
+    "and",
+    "or",
+    "not",
+    "True",
+    "False",
+    "None",
+    "pass",
     "skipblock",
 ];
 
@@ -117,7 +128,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
 
-        lex_line(line.trim_start_matches(' '), lineno, &mut out, &mut bracket_depth)?;
+        lex_line(
+            line.trim_start_matches(' '),
+            lineno,
+            &mut out,
+            &mut bracket_depth,
+        )?;
 
         if bracket_depth == 0 {
             out.push((Token::Newline, lineno));
@@ -186,7 +202,8 @@ fn lex_line(
         {
             let start = i;
             let mut is_float = false;
-            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '_')
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '_')
             {
                 if chars[i] == '.' {
                     if is_float {

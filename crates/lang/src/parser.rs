@@ -231,11 +231,7 @@ impl Parser {
             for t in &exprs {
                 match t {
                     Expr::Name(_) | Expr::Attr { .. } | Expr::Subscript { .. } => {}
-                    other => {
-                        return Err(
-                            self.err(format!("invalid assignment target: {other}"))
-                        )
-                    }
+                    other => return Err(self.err(format!("invalid assignment target: {other}"))),
                 }
             }
             let mut values = vec![self.parse_expr()?];
@@ -509,7 +505,11 @@ mod tests {
                 assert_eq!(targets, &[Expr::name("x")]);
                 // Precedence: 1 + (2 * 3)
                 match value {
-                    Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                    Expr::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }))
                     }
                     other => panic!("bad tree: {other:?}"),
@@ -557,7 +557,9 @@ mod tests {
     fn method_call_statement() {
         let prog = p("optimizer.step()\n");
         match &prog.body[0] {
-            Stmt::ExprStmt { expr: Expr::Call { func, args } } => {
+            Stmt::ExprStmt {
+                expr: Expr::Call { func, args },
+            } => {
                 assert!(args.is_empty());
                 assert!(matches!(func.as_ref(), Expr::Attr { .. }));
             }
@@ -569,7 +571,10 @@ mod tests {
     fn keyword_arguments() {
         let prog = p("opt = sgd(net, lr=0.1, momentum=0.9)\n");
         match &prog.body[0] {
-            Stmt::Assign { value: Expr::Call { args, .. }, .. } => {
+            Stmt::Assign {
+                value: Expr::Call { args, .. },
+                ..
+            } => {
                 assert_eq!(args.len(), 3);
                 assert_eq!(args[0].name, None);
                 assert_eq!(args[1].name.as_deref(), Some("lr"));
@@ -595,7 +600,8 @@ mod tests {
 
     #[test]
     fn nested_loops() {
-        let src = "for e in range(2):\n    for b in loader:\n        net.step(b)\n    sched.step()\n";
+        let src =
+            "for e in range(2):\n    for b in loader:\n        net.step(b)\n    sched.step()\n";
         let prog = p(src);
         match &prog.body[0] {
             Stmt::For { body, .. } => {
@@ -647,7 +653,10 @@ mod tests {
     fn list_literal() {
         let prog = p("xs = [1, 2.5, \"a\"]\n");
         match &prog.body[0] {
-            Stmt::Assign { value: Expr::List(items), .. } => assert_eq!(items.len(), 3),
+            Stmt::Assign {
+                value: Expr::List(items),
+                ..
+            } => assert_eq!(items.len(), 3),
             other => panic!("{other:?}"),
         }
     }
@@ -657,7 +666,10 @@ mod tests {
         let prog = p("ok = x >= 1 and not done or y == 2\n");
         assert!(matches!(
             &prog.body[0],
-            Stmt::Assign { value: Expr::Bin { op: BinOp::Or, .. }, .. }
+            Stmt::Assign {
+                value: Expr::Bin { op: BinOp::Or, .. },
+                ..
+            }
         ));
     }
 
@@ -665,8 +677,17 @@ mod tests {
     fn unary_minus() {
         let prog = p("x = -y + 1\n");
         match &prog.body[0] {
-            Stmt::Assign { value: Expr::Bin { lhs, .. }, .. } => {
-                assert!(matches!(lhs.as_ref(), Expr::Unary { op: UnaryOp::Neg, .. }));
+            Stmt::Assign {
+                value: Expr::Bin { lhs, .. },
+                ..
+            } => {
+                assert!(matches!(
+                    lhs.as_ref(),
+                    Expr::Unary {
+                        op: UnaryOp::Neg,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -710,7 +731,10 @@ for epoch in range(200):
     fn parenthesized_tuple() {
         let prog = p("t = (1, 2, 3)\n");
         match &prog.body[0] {
-            Stmt::Assign { value: Expr::Tuple(items), .. } => assert_eq!(items.len(), 3),
+            Stmt::Assign {
+                value: Expr::Tuple(items),
+                ..
+            } => assert_eq!(items.len(), 3),
             other => panic!("{other:?}"),
         }
     }

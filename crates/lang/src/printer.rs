@@ -43,11 +43,9 @@ fn print_stmt(stmt: &Stmt, depth: usize, out: &mut String) {
                 .join(", ");
             // Bare tuple on the RHS prints without parens (Python style).
             let v = match value {
-                Expr::Tuple(items) if !items.is_empty() => items
-                    .iter()
-                    .map(print_expr)
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                Expr::Tuple(items) if !items.is_empty() => {
+                    items.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+                }
                 other => print_expr(other),
             };
             let _ = writeln!(out, "{pad}{t} = {v}");
@@ -196,8 +194,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let prog = parse(src).expect("initial parse");
         let printed = print_program(&prog);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
         assert_eq!(prog, reparsed, "roundtrip mismatch for:\n{printed}");
         // Printing again must be a fixed point.
         assert_eq!(printed, print_program(&reparsed));

@@ -24,7 +24,10 @@ impl SyntheticClassification {
     /// Generates `n` examples of dimension `dim` across `classes` Gaussian
     /// clusters with the given intra-cluster standard deviation.
     pub fn generate(n: usize, dim: usize, classes: usize, spread: f32, seed: u64) -> Self {
-        assert!(classes > 0 && dim > 0, "need at least one class and one dim");
+        assert!(
+            classes > 0 && dim > 0,
+            "need at least one class and one dim"
+        );
         let mut rng = Pcg64::new(seed, 101);
         // Class centers on a scaled hypercube-ish lattice.
         let centers: Vec<Vec<f32>> = (0..classes)
@@ -192,10 +195,7 @@ impl DataLoader {
     pub fn next_epoch(&mut self) -> Vec<Vec<usize>> {
         let mut order: Vec<usize> = (0..self.n).collect();
         self.rng.shuffle(&mut order);
-        order
-            .chunks(self.batch_size)
-            .map(|c| c.to_vec())
-            .collect()
+        order.chunks(self.batch_size).map(|c| c.to_vec()).collect()
     }
 
     /// RNG words for checkpointing.
@@ -241,7 +241,11 @@ mod tests {
     #[test]
     fn tokens_within_vocab() {
         let d = SyntheticTokens::generate(40, 8, 20, 4, 2);
-        assert!(d.tokens.data().iter().all(|&t| t >= 0.0 && (t as usize) < 20));
+        assert!(d
+            .tokens
+            .data()
+            .iter()
+            .all(|&t| t >= 0.0 && (t as usize) < 20));
     }
 
     #[test]

@@ -79,7 +79,8 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor) -> Tensor {
         self.cached_input = Some(x.clone());
-        x.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -859,7 +860,12 @@ mod tests {
     #[test]
     fn activation_grads_match_finite_difference() {
         let mut rng = Pcg64::seeded(4);
-        for kind in [ActKind::Relu, ActKind::Tanh, ActKind::Sigmoid, ActKind::Gelu] {
+        for kind in [
+            ActKind::Relu,
+            ActKind::Tanh,
+            ActKind::Sigmoid,
+            ActKind::Gelu,
+        ] {
             let mut l = Activation::new(kind);
             // Stay away from relu's kink at 0.
             let x = init::uniform([2, 6], 0.1, 1.5, &mut rng);

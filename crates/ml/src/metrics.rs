@@ -15,11 +15,7 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
     if targets.is_empty() {
         return 0.0;
     }
-    let correct = preds
-        .iter()
-        .zip(targets)
-        .filter(|(p, t)| *p == *t)
-        .count();
+    let correct = preds.iter().zip(targets).filter(|(p, t)| *p == *t).count();
     correct as f32 / targets.len() as f32
 }
 

@@ -11,20 +11,27 @@
 //! | RnnT (RNN w/ attention)  | [`textnet`] with deeper head | sequence classification |
 
 use crate::layer::{
-    Activation, Conv1d, Embedding, Flatten, FrozenBackbone, LayerNorm, Linear, Residual,
-    ToChannels,
+    Activation, Conv1d, Embedding, Flatten, FrozenBackbone, LayerNorm, Linear, Residual, ToChannels,
 };
 use crate::module::Sequential;
 use flor_tensor::Pcg64;
 
 /// Plain multi-layer perceptron: `depth` hidden ReLU layers.
-pub fn mlp(input: usize, hidden: usize, classes: usize, depth: usize, rng: &mut Pcg64) -> Sequential {
+pub fn mlp(
+    input: usize,
+    hidden: usize,
+    classes: usize,
+    depth: usize,
+    rng: &mut Pcg64,
+) -> Sequential {
     assert!(depth >= 1, "mlp needs at least one hidden layer");
     let mut m = Sequential::new("mlp")
         .push(Linear::new(input, hidden, rng))
         .push(Activation::relu());
     for _ in 1..depth {
-        m = m.push(Linear::new(hidden, hidden, rng)).push(Activation::relu());
+        m = m
+            .push(Linear::new(hidden, hidden, rng))
+            .push(Activation::relu());
     }
     m.push(Linear::new(hidden, classes, rng))
 }
@@ -51,7 +58,8 @@ pub fn resnet_mini(
                 .push(Linear::new_zero(hidden, hidden)),
         );
     }
-    m.push(Activation::relu()).push(Linear::new(hidden, classes, rng))
+    m.push(Activation::relu())
+        .push(Linear::new(hidden, classes, rng))
 }
 
 /// 1-D convolutional classifier (Jasper-style): conv stack → flatten → head.
@@ -206,7 +214,10 @@ mod tests {
             sum
         };
         assert_eq!(frozen_before, frozen_after, "frozen mass must not move");
-        assert!(m.numel_trainable() * 10 < m.numel(), "head is a small fraction");
+        assert!(
+            m.numel_trainable() * 10 < m.numel(),
+            "head is a small fraction"
+        );
     }
 
     #[test]

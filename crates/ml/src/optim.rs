@@ -335,7 +335,9 @@ mod tests {
         // Two separable clusters so the toy problem is actually learnable.
         let x = Tensor::new(
             [4, 3],
-            vec![1.0, 0.0, 1.0, -1.0, 0.5, -1.0, 0.9, -0.1, 1.1, -0.8, 0.4, -0.9],
+            vec![
+                1.0, 0.0, 1.0, -1.0, 0.5, -1.0, 0.9, -0.1, 1.1, -0.8, 0.4, -0.9,
+            ],
         );
         let targets = [0usize, 1, 0, 1];
         let logits = m.forward(&x);
@@ -385,7 +387,8 @@ mod tests {
         }
         // With momentum: steps of 1, 1.9, 2.71 → total 5.61 * lr.
         let after = m.state_dict();
-        let delta = before.get("1.bias").unwrap().data()[0] - after.get("1.bias").unwrap().data()[0];
+        let delta =
+            before.get("1.bias").unwrap().data()[0] - after.get("1.bias").unwrap().data()[0];
         assert!((delta - 0.561).abs() < 1e-4, "delta {delta}");
     }
 

@@ -60,7 +60,12 @@ impl Scheduler for StepLr {
         let mut sd = StateDict::new();
         sd.insert(
             "hyper",
-            Tensor::from_slice(&[self.base_lr, self.step_size as f32, self.gamma, self.epoch as f32]),
+            Tensor::from_slice(&[
+                self.base_lr,
+                self.step_size as f32,
+                self.gamma,
+                self.epoch as f32,
+            ]),
         );
         sd
     }
@@ -113,13 +118,20 @@ impl Scheduler for CosineLr {
         let mut sd = StateDict::new();
         sd.insert(
             "hyper",
-            Tensor::from_slice(&[self.base_lr, self.eta_min, self.t_max as f32, self.epoch as f32]),
+            Tensor::from_slice(&[
+                self.base_lr,
+                self.eta_min,
+                self.t_max as f32,
+                self.epoch as f32,
+            ]),
         );
         sd
     }
 
     fn load_state_dict(&mut self, sd: &StateDict) {
-        let h = sd.get("hyper").expect("CosineLr state dict missing 'hyper'");
+        let h = sd
+            .get("hyper")
+            .expect("CosineLr state dict missing 'hyper'");
         let d = h.data();
         assert_eq!(d.len(), 4);
         self.base_lr = d[0];
@@ -173,13 +185,20 @@ impl Scheduler for CyclicLr {
         let mut sd = StateDict::new();
         sd.insert(
             "hyper",
-            Tensor::from_slice(&[self.min_lr, self.max_lr, self.period as f32, self.epoch as f32]),
+            Tensor::from_slice(&[
+                self.min_lr,
+                self.max_lr,
+                self.period as f32,
+                self.epoch as f32,
+            ]),
         );
         sd
     }
 
     fn load_state_dict(&mut self, sd: &StateDict) {
-        let h = sd.get("hyper").expect("CyclicLr state dict missing 'hyper'");
+        let h = sd
+            .get("hyper")
+            .expect("CyclicLr state dict missing 'hyper'");
         let d = h.data();
         assert_eq!(d.len(), 4);
         self.min_lr = d[0];

@@ -196,7 +196,10 @@ mod tests {
         swa.update_buggy(&m);
         let mut m2 = model(4);
         let err = swa.try_apply(&mut m2).unwrap_err();
-        assert!(err.contains("shape"), "diagnostic should mention shape: {err}");
+        assert!(
+            err.contains("shape"),
+            "diagnostic should mention shape: {err}"
+        );
     }
 
     #[test]
@@ -207,7 +210,10 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             swa.update(&m);
         }));
-        assert!(result.is_err(), "mixing buggy and correct updates must fail");
+        assert!(
+            result.is_err(),
+            "mixing buggy and correct updates must fail"
+        );
     }
 
     #[test]

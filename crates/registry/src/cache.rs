@@ -167,9 +167,21 @@ mod tests {
         CachedResult {
             probes: 2,
             log: vec![
-                LogEntry { key: "loss".into(), value: "0.5".into(), section: Section::Iter(0) },
-                LogEntry { key: "g".into(), value: "1.25".into(), section: Section::Iter(0) },
-                LogEntry { key: "acc".into(), value: "0.9".into(), section: Section::Post },
+                LogEntry {
+                    key: "loss".into(),
+                    value: "0.5".into(),
+                    section: Section::Iter(0),
+                },
+                LogEntry {
+                    key: "g".into(),
+                    value: "1.25".into(),
+                    section: Section::Iter(0),
+                },
+                LogEntry {
+                    key: "acc".into(),
+                    value: "0.9".into(),
+                    section: Section::Post,
+                },
             ],
         }
     }
@@ -220,7 +232,10 @@ mod tests {
     #[test]
     fn empty_log_roundtrips() {
         let cache = tmpcache("empty");
-        let result = CachedResult { probes: 0, log: Vec::new() };
+        let result = CachedResult {
+            probes: 0,
+            log: Vec::new(),
+        };
         cache.put("k", &result).unwrap();
         assert_eq!(cache.get("k").unwrap(), result);
     }

@@ -478,7 +478,10 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         match RunCatalog::open(&path) {
             Err(RegistryError::Corrupt { line: 1, .. }) => {}
-            other => panic!("expected Corrupt at line 1, got {other:?}", other = other.err()),
+            other => panic!(
+                "expected Corrupt at line 1, got {other:?}",
+                other = other.err()
+            ),
         }
     }
 

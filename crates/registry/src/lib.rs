@@ -28,5 +28,5 @@ pub mod service;
 pub use cache::{query_key, CachedResult, QueryCache};
 pub use catalog::{RetentionPolicy, RunCatalog, RunRecord};
 pub use error::RegistryError;
-pub use scheduler::{JobId, JobState, QueryJob, ReplayScheduler};
-pub use service::{QueryOutcome, Registry};
+pub use scheduler::{JobId, JobProgress, JobState, QueryJob, ReplayScheduler};
+pub use service::{QueryEvent, QueryOutcome, Registry};

@@ -9,7 +9,7 @@
 //! blocks until a job reaches a terminal state.
 
 use crate::error::RegistryError;
-use crate::service::{QueryOutcome, Registry};
+use crate::service::{QueryEvent, QueryOutcome, Registry};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -56,6 +56,21 @@ impl JobState {
     }
 }
 
+/// Live progress of a running (or finished) job, fed by the streaming
+/// replay runtime — poll it with [`ReplayScheduler::progress`] while
+/// [`ReplayScheduler::status`] still says `Running`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Main-loop iterations completed across the job's replay workers.
+    pub iterations_done: u64,
+    /// Total main-loop iterations (0 until the replay learns it).
+    pub iterations_total: u64,
+    /// Micro-ranges stolen between the job's replay workers.
+    pub steals: u64,
+    /// Record-order log entries streamed out so far.
+    pub entries_streamed: u64,
+}
+
 /// Entry in the priority queue. Ordering: priority desc, then submission
 /// order asc (BinaryHeap is a max-heap, so `seq` is compared reversed).
 struct QueuedJob {
@@ -87,6 +102,8 @@ impl Ord for QueuedJob {
 struct SchedState {
     queue: BinaryHeap<QueuedJob>,
     jobs: HashMap<JobId, JobState>,
+    /// Streaming progress per job (kept after completion for inspection).
+    progress: HashMap<JobId, JobProgress>,
     next_id: JobId,
     next_seq: u64,
     /// Jobs submitted but not yet terminal (queued or running).
@@ -119,6 +136,7 @@ impl ReplayScheduler {
             state: Mutex::new(SchedState {
                 queue: BinaryHeap::new(),
                 jobs: HashMap::new(),
+                progress: HashMap::new(),
                 next_id: 1,
                 next_seq: 0,
                 outstanding: 0,
@@ -167,6 +185,13 @@ impl ReplayScheduler {
     /// Current state of a job (`None` for unknown ids).
     pub fn status(&self, id: JobId) -> Option<JobState> {
         self.shared.state.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Streaming progress of a job (`None` before its replay started).
+    /// Running jobs update continuously as workers complete micro-ranges;
+    /// finished jobs retain their final counters.
+    pub fn progress(&self, id: JobId) -> Option<JobProgress> {
+        self.shared.state.lock().unwrap().progress.get(&id).copied()
     }
 
     /// Cancels a job if it is still queued. Returns `true` on success;
@@ -263,9 +288,31 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        let outcome = shared
-            .registry
-            .query(&job.run_id, &job.probed_source, job.workers);
+        // Stream the query so pollers see live progress (iterations done,
+        // steals, entries emitted) while the replay workers run.
+        let mut on_event = |ev: QueryEvent| {
+            let mut state = shared.state.lock().unwrap();
+            let p = state.progress.entry(id).or_default();
+            match ev {
+                QueryEvent::Entries(chunk) => p.entries_streamed += chunk.len() as u64,
+                QueryEvent::Progress {
+                    iterations_done,
+                    iterations_total,
+                    steals,
+                } => {
+                    p.iterations_done = iterations_done;
+                    p.iterations_total = iterations_total;
+                    p.steals = steals;
+                }
+                QueryEvent::Anomaly(_) => {}
+            }
+        };
+        let outcome = shared.registry.query_streaming(
+            &job.run_id,
+            &job.probed_source,
+            job.workers,
+            &mut on_event,
+        );
         let terminal = match outcome {
             Ok(result) => JobState::Completed(result),
             Err(e) => JobState::Failed(e.to_string()),

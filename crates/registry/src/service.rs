@@ -29,7 +29,8 @@ use flor_core::logstream::LogEntry;
 use flor_core::record::{
     log_iterations, record, source_version, RecordOptions, RecordReport, RUN_META_ARTIFACT,
 };
-use flor_core::replay::{replay_with_store, ReplayOptions};
+use flor_core::replay::{replay_streaming, ReplayOptions};
+use flor_core::stream::StreamEvent;
 use flor_core::InitMode;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -58,6 +59,31 @@ pub struct QueryOutcome {
     pub executed: u64,
     /// Time spent replaying, ns (0 for cache hits).
     pub wall_ns: u64,
+    /// Micro-ranges stolen between replay workers (0 for cache hits).
+    pub steals: u64,
+    /// Time until the streaming merge emitted the first record-order log
+    /// entry, ns from replay start (0 for cache hits — the whole result
+    /// was available at once).
+    pub stream_first_entry_ns: u64,
+}
+
+/// One streaming-query event, delivered while the replay is still running.
+#[derive(Debug, Clone)]
+pub enum QueryEvent {
+    /// A record-order chunk of the hindsight log (never re-delivered; the
+    /// concatenation of all chunks is the final `QueryOutcome::log`).
+    Entries(Vec<LogEntry>),
+    /// Progress counters after a worker completed a micro-range.
+    Progress {
+        /// Iterations completed across all workers.
+        iterations_done: u64,
+        /// Total main-loop iterations (0 until known).
+        iterations_total: u64,
+        /// Micro-ranges stolen so far.
+        steals: u64,
+    },
+    /// An anomaly found by the incremental deferred check.
+    Anomaly(String),
 }
 
 /// A multi-run registry rooted at one directory.
@@ -254,36 +280,74 @@ impl Registry {
         probed_source: &str,
         workers: usize,
     ) -> Result<QueryOutcome, RegistryError> {
+        self.query_impl(run_id, probed_source, workers, None)
+    }
+
+    /// [`Registry::query`] with a streaming observer: `on_event` receives
+    /// record-order log chunks, progress counters, and anomalies while the
+    /// replay is still executing — leading iterations stream out before
+    /// the last replay worker finishes. Cache hits deliver the whole log
+    /// as one chunk. Fresh replays run on the cost-aware work-stealing
+    /// executor; the assembled result is cached exactly like `query`'s.
+    pub fn query_streaming(
+        &self,
+        run_id: &str,
+        probed_source: &str,
+        workers: usize,
+        on_event: &mut dyn FnMut(QueryEvent),
+    ) -> Result<QueryOutcome, RegistryError> {
+        self.query_impl(run_id, probed_source, workers, Some(on_event))
+    }
+
+    /// Shared body of [`Registry::query`] / [`Registry::query_streaming`].
+    /// `observer: None` skips event construction entirely — a cache hit on
+    /// the non-streaming path must not clone its log just to drop it.
+    fn query_impl(
+        &self,
+        run_id: &str,
+        probed_source: &str,
+        workers: usize,
+        mut observer: Option<&mut dyn FnMut(QueryEvent)>,
+    ) -> Result<QueryOutcome, RegistryError> {
         let rec = self.run(run_id)?;
         let key = query_key(run_id, rec.generation, &rec.source_version, probed_source);
-        let cached_outcome = |hit: CachedResult| QueryOutcome {
-            run_id: run_id.to_string(),
-            key: key.clone(),
-            cached: true,
-            log: hit.log,
-            probes: hit.probes,
-            anomalies: Vec::new(),
-            restored: 0,
-            executed: 0,
-            wall_ns: 0,
-        };
+        let cached_outcome =
+            |hit: CachedResult, observer: &mut Option<&mut dyn FnMut(QueryEvent)>| {
+                if let Some(on_event) = observer {
+                    let total = log_iterations(&hit.log);
+                    on_event(QueryEvent::Entries(hit.log.clone()));
+                    on_event(QueryEvent::Progress {
+                        iterations_done: total,
+                        iterations_total: total,
+                        steals: 0,
+                    });
+                }
+                QueryOutcome {
+                    run_id: run_id.to_string(),
+                    key: key.clone(),
+                    cached: true,
+                    log: hit.log,
+                    probes: hit.probes,
+                    anomalies: Vec::new(),
+                    restored: 0,
+                    executed: 0,
+                    wall_ns: 0,
+                    steals: 0,
+                    stream_first_entry_ns: 0,
+                }
+            };
         if let Some(hit) = self.cache.get(&key) {
-            return Ok(cached_outcome(hit));
+            return Ok(cached_outcome(hit, &mut observer));
         }
         // Single-flight: identical concurrent queries wait for the first
         // one's replay and then read its cached result.
-        let gate = self
-            .inflight
-            .lock()
-            .entry(key.clone())
-            .or_default()
-            .clone();
+        let gate = self.inflight.lock().entry(key.clone()).or_default().clone();
         let result = {
             let _in_flight = gate.lock();
             if let Some(hit) = self.cache.get(&key) {
-                Ok(cached_outcome(hit))
+                Ok(cached_outcome(hit, &mut observer))
             } else {
-                self.replay_query(run_id, &rec, probed_source, workers, &key)
+                self.replay_query(run_id, &rec, probed_source, workers, &key, observer)
             }
         };
         // Drop the gate's map entry so a long-lived service doesn't grow
@@ -300,13 +364,35 @@ impl Registry {
         probed_source: &str,
         workers: usize,
         key: &str,
+        mut observer: Option<&mut dyn FnMut(QueryEvent)>,
     ) -> Result<QueryOutcome, RegistryError> {
         let store = self.store_handle_at(run_id, &rec.store_root)?;
+        // Fresh replays run on the work-stealing executor: the run's cost
+        // profile sizes micro-ranges, stragglers get robbed, and results
+        // stream out in record order.
         let opts = ReplayOptions {
             workers: workers.max(1),
             init_mode: InitMode::Strong,
+            steal: true,
         };
-        let report = replay_with_store(probed_source, store, &opts)?;
+        let report = replay_streaming(probed_source, store, &opts, |ev| {
+            let Some(on_event) = observer.as_deref_mut() else {
+                return;
+            };
+            match ev {
+                StreamEvent::Entries(chunk) => on_event(QueryEvent::Entries(chunk.to_vec())),
+                StreamEvent::Anomaly(a) => on_event(QueryEvent::Anomaly(a.to_string())),
+                StreamEvent::Progress {
+                    iterations_done,
+                    iterations_total,
+                    steals,
+                } => on_event(QueryEvent::Progress {
+                    iterations_done,
+                    iterations_total,
+                    steals,
+                }),
+            }
+        })?;
         let outcome = QueryOutcome {
             run_id: run_id.to_string(),
             key: key.to_string(),
@@ -316,6 +402,8 @@ impl Registry {
             restored: report.stats.restored,
             executed: report.stats.executed,
             wall_ns: report.wall_ns,
+            steals: report.stats.steals,
+            stream_first_entry_ns: report.stats.stream_first_entry_ns,
             log: report.log,
         };
         // Only clean materializations are worth addressing by content:
@@ -383,10 +471,7 @@ impl Registry {
     /// segment bytes are rewritten out, legacy file-per-checkpoint data is
     /// migrated into segments. Queries through the pooled handle keep
     /// working throughout (readers never block on compaction).
-    pub fn compact_run(
-        &self,
-        run_id: &str,
-    ) -> Result<flor_chkpt::CompactionReport, RegistryError> {
+    pub fn compact_run(&self, run_id: &str) -> Result<flor_chkpt::CompactionReport, RegistryError> {
         let rec = self.run(run_id)?;
         let store = self.store_handle_at(run_id, &rec.store_root)?;
         Ok(store.compact()?)

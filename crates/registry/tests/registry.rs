@@ -90,7 +90,13 @@ fn adopt_existing_store_via_run_meta() {
     assert_eq!(rec.iterations, 3);
     assert_eq!(rec.store_root, store_root);
     let out = reg.query("legacy-run", &probed(&src), 1).unwrap();
-    assert_eq!(out.log.iter().filter(|e| e.key == "hindsight_wnorm").count(), 3);
+    assert_eq!(
+        out.log
+            .iter()
+            .filter(|e| e.key == "hindsight_wnorm")
+            .count(),
+        3
+    );
 }
 
 #[test]
@@ -108,7 +114,11 @@ fn second_identical_query_is_served_from_cache() {
 
     let second = reg.query("alice-cv", &q, 2).unwrap();
     assert!(second.cached, "identical repeat query must hit the cache");
-    assert_eq!(second.restored + second.executed, 0, "cache hit replays nothing");
+    assert_eq!(
+        second.restored + second.executed,
+        0,
+        "cache hit replays nothing"
+    );
     assert_eq!(second.log, first.log, "cached stream is byte-identical");
     assert_eq!(second.key, first.key);
 
@@ -138,7 +148,11 @@ fn reregistration_invalidates_cached_answers() {
     let fresh = reg.query("run", &q2, 1).unwrap();
     assert!(!fresh.cached);
     assert_eq!(
-        fresh.log.iter().filter(|e| e.key == "hindsight_wnorm").count(),
+        fresh
+            .log
+            .iter()
+            .filter(|e| e.key == "hindsight_wnorm")
+            .count(),
         5
     );
 }

@@ -170,7 +170,10 @@ mod tests {
         use crate::workload::ALL_WORKLOADS;
         // The whole point of the segmented engine: fixed per-read cost
         // beats the per-file open/read/close path by ≥2×.
-        let (seg, file) = (read_cost::SEGMENTED_GET_SECS, read_cost::FILE_PER_CKPT_GET_SECS);
+        let (seg, file) = (
+            read_cost::SEGMENTED_GET_SECS,
+            read_cost::FILE_PER_CKPT_GET_SECS,
+        );
         assert!(seg * 2.0 <= file, "{seg} vs {file}");
         // Proportional in checkpoint size, monotone.
         assert!(read_cost::restore_read_secs(1.0) > read_cost::restore_read_secs(0.001));

@@ -32,9 +32,11 @@ pub mod cost;
 pub mod des;
 pub mod record_sim;
 pub mod replay_sim;
+pub mod sched_sim;
 pub mod workload;
 
 pub use cost::{machine, monthly_storage_usd, ReplayBill};
 pub use record_sim::{simulate_record, RecordSim};
 pub use replay_sim::{simulate_replay, ProbePosition, ReplaySim};
+pub use sched_sim::{compare as compare_schedules, SchedSim};
 pub use workload::{Workload, WorkloadKind, ALL_WORKLOADS};

@@ -53,7 +53,11 @@ pub fn simulate_record(workload: &Workload, epsilon: f64, adaptive: bool) -> Rec
         // The controller tests Eq. 4 after the loop executes, before
         // materialization — exactly the live engine's call sequence.
         if controller.should_materialize(workload.name, c_ns, m_ns) {
-            controller.observe_materialize(workload.name, m_ns, (workload.compressed_ckpt_gb * 1e9) as u64);
+            controller.observe_materialize(
+                workload.name,
+                m_ns,
+                (workload.compressed_ckpt_gb * 1e9) as u64,
+            );
             checkpointed.insert(epoch);
             record_secs += workload.materialize_secs();
         }
@@ -96,9 +100,17 @@ mod tests {
     fn figure7_disabled_adaptivity_extremes() {
         // "adaptivity-disabled overhead is 91% for RTE and 28% for CoLA".
         let rte = simulate_record(Workload::by_name("RTE").unwrap(), EPSILON, false);
-        assert!((rte.overhead - 0.91).abs() < 1e-6, "RTE {:.3}", rte.overhead);
+        assert!(
+            (rte.overhead - 0.91).abs() < 1e-6,
+            "RTE {:.3}",
+            rte.overhead
+        );
         let cola = simulate_record(Workload::by_name("CoLA").unwrap(), EPSILON, false);
-        assert!((cola.overhead - 0.28).abs() < 1e-6, "CoLA {:.3}", cola.overhead);
+        assert!(
+            (cola.overhead - 0.28).abs() < 1e-6,
+            "CoLA {:.3}",
+            cola.overhead
+        );
     }
 
     #[test]

@@ -93,7 +93,8 @@ pub fn simulate_replay(
     // Restore cost: the paper's compute-side R = c·M plus the storage
     // engine's measured read constants (BENCH_replay.json) for pulling the
     // checkpoint out of a segment.
-    let r = workload.restore_secs() + crate::cost::read_cost::restore_read_secs(workload.compressed_ckpt_gb);
+    let r = workload.restore_secs()
+        + crate::cost::read_cost::restore_read_secs(workload.compressed_ckpt_gb);
     let mut restored = 0u64;
     let mut executed = 0u64;
     let mut wall: f64 = 0.0;
@@ -236,7 +237,10 @@ mod tests {
             "RTE cannot beat its checkpoint-partition bound: {frac:.3}"
         );
         // And it is still a real improvement over sequential.
-        assert!(frac < 0.7, "RTE parallel replay should still win: {frac:.3}");
+        assert!(
+            frac < 0.7,
+            "RTE parallel replay should still win: {frac:.3}"
+        );
     }
 
     #[test]

@@ -121,7 +121,7 @@ pub static ALL_WORKLOADS: &[Workload] = &[
         dataset: "Cifar100",
         kind: WorkloadKind::Train,
         epochs: 200,
-        vanilla_hours: 1.0, // §2.1: "after one hour of training"
+        vanilla_hours: 1.0,          // §2.1: "after one hour of training"
         compressed_ckpt_gb: 0.00352, // 705 MB / 200 (Table 4)
         m_over_c: 0.002,
     },

@@ -63,11 +63,18 @@ mod tests {
         let mut rng = Pcg64::seeded(13);
         let w = kaiming_normal(50, 2000, &mut rng);
         let mean = w.mean();
-        let std = (w.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let std = (w
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / w.numel() as f32)
             .sqrt();
         let expect = (2.0f32 / 50.0).sqrt();
-        assert!((std - expect).abs() / expect < 0.05, "std {std} vs {expect}");
+        assert!(
+            (std - expect).abs() / expect < 0.05,
+            "std {std} vs {expect}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// All-zeros tensor.
@@ -126,7 +129,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with shape {}", self.shape);
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with shape {}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -270,7 +278,11 @@ impl Tensor {
     /// L2 norm of all elements. This is the quantity Alice probes in the
     /// paper's §2.1 scenario ("magnitudes of the weights and gradients").
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Maximum element; `-inf` for empty tensors.
@@ -619,7 +631,10 @@ mod tests {
         let before = a.data().as_ptr();
         a.map_inplace(|x| x * 2.0);
         a.axpy(1.0, &Tensor::from_slice(&[1.0, 1.0]));
-        assert!(std::ptr::eq(before, a.data().as_ptr()), "sole owner mutates in place");
+        assert!(
+            std::ptr::eq(before, a.data().as_ptr()),
+            "sole owner mutates in place"
+        );
         assert_eq!(a.data(), &[3.0, 5.0]);
     }
 

@@ -187,7 +187,8 @@ impl Criterion {
     /// Runs a single benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let target = self.target;
-        self.benchmark_group(name.to_string()).run("", target, 10_000, None, f);
+        self.benchmark_group(name.to_string())
+            .run("", target, 10_000, None, f);
         self
     }
 }

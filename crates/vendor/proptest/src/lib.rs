@@ -171,7 +171,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter({:?}) rejected 1000 samples in a row", self.reason);
+        panic!(
+            "prop_filter({:?}) rejected 1000 samples in a row",
+            self.reason
+        );
     }
 }
 
@@ -427,10 +430,10 @@ macro_rules! tuple_strategy {
     )+};
 }
 tuple_strategy!(
-    (A/0, B/1),
-    (A/0, B/1, C/2),
-    (A/0, B/1, C/2, D/3),
-    (A/0, B/1, C/2, D/3, E/4),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
 );
 
 /// Collection strategies.
@@ -577,7 +580,8 @@ macro_rules! prop_assert_ne {
         let (a, b) = (&$a, &$b);
         if a == b {
             return Err($crate::TestCaseError::fail(format!(
-                "assertion failed: {:?} == {:?}", a, b
+                "assertion failed: {:?} == {:?}",
+                a, b
             )));
         }
     }};

@@ -50,6 +50,7 @@ fn main() {
         &ReplayOptions {
             workers: 2,
             init_mode: InitMode::Weak,
+            ..Default::default()
         },
     )
     .expect("replay");

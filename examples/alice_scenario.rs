@@ -117,8 +117,7 @@ fn main() {
         "        optimizer.step()\n",
         "        optimizer.step()\n        log(\"g_norm\", net.grad_norm())\n",
     );
-    let rep = replay(&probed_inner, &store, &ReplayOptions::with_workers(4))
-        .expect("inner replay");
+    let rep = replay(&probed_inner, &store, &ReplayOptions::with_workers(4)).expect("inner replay");
     let norms: Vec<f64> = rep
         .log
         .iter()

@@ -56,8 +56,7 @@ fn main() {
 
     let mut reference: Option<Vec<flor_core::LogEntry>> = None;
     for workers in [1usize, 2, 4] {
-        let rep = replay(&probed, &store, &ReplayOptions::with_workers(workers))
-            .expect("replay");
+        let rep = replay(&probed, &store, &ReplayOptions::with_workers(workers)).expect("replay");
         let plans: Vec<String> = rep
             .worker_plans
             .iter()
@@ -90,5 +89,7 @@ fn main() {
 
     let reference = reference.unwrap();
     let probes = reference.iter().filter(|e| e.key == "g_norm").count();
-    println!("\nhindsight log contains {probes} per-batch gradient norms (never logged at record time)");
+    println!(
+        "\nhindsight log contains {probes} per-batch gradient norms (never logged at record time)"
+    );
 }

@@ -69,8 +69,15 @@ fn main() {
     }
     session.end_loop();
     let record_log = session.finish().expect("finish record");
-    println!("recorded {} epochs, {} log entries", epochs, record_log.len());
-    println!("final weight norm (recorded run): {:.4}", state.weights.norm());
+    println!(
+        "recorded {} epochs, {} log entries",
+        epochs,
+        record_log.len()
+    );
+    println!(
+        "final weight norm (recorded run): {:.4}",
+        state.weights.norm()
+    );
 
     // ---- Hindsight: what was the weight norm after *every* epoch? -------
     // We never logged it. Replay restores each epoch's end state from its
@@ -90,7 +97,11 @@ fn main() {
         println!(
             "  epoch {epoch}: |w| = {:.4}   ({})",
             state.weights.norm(),
-            if executed { "re-executed" } else { "restored from checkpoint" }
+            if executed {
+                "re-executed"
+            } else {
+                "restored from checkpoint"
+            }
         );
     }
     println!(

@@ -59,11 +59,7 @@ fn main() {
     );
     println!("probes detected: {}", rep.probes.len());
     println!("\n--- hindsight log ---");
-    for e in rep
-        .log
-        .iter()
-        .filter(|e| e.key.starts_with("hindsight_"))
-    {
+    for e in rep.log.iter().filter(|e| e.key.starts_with("hindsight_")) {
         println!("  {e}");
     }
     assert!(rep.anomalies.is_empty());

@@ -28,10 +28,13 @@ fn every_mini_workload_records_and_replays_identically() {
     for (name, src) in MINI_WORKLOADS {
         let root = store_dir(&format!("roundtrip-{name}"));
         let rec = record(src, &exact_opts(&root)).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let rep = replay(src, &root, &ReplayOptions::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rep =
+            replay(src, &root, &ReplayOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(rep.anomalies.is_empty(), "{name}: {:?}", rep.anomalies);
-        assert_eq!(rep.log, rec.log, "{name}: unchanged replay must reproduce the log");
+        assert_eq!(
+            rep.log, rec.log,
+            "{name}: unchanged replay must reproduce the log"
+        );
         assert_eq!(
             rep.stats.restored,
             scripts::MINI_EPOCHS,
@@ -59,7 +62,10 @@ fn outer_probes_answer_without_reexecution() {
         record(src, &exact_opts(&root)).unwrap();
         let rep = replay(&scripts::probe_outer(src), &root, &ReplayOptions::default()).unwrap();
         assert!(rep.anomalies.is_empty(), "{name}: {:?}", rep.anomalies);
-        assert_eq!(rep.stats.executed, 0, "{name}: outer probes must not re-execute");
+        assert_eq!(
+            rep.stats.executed, 0,
+            "{name}: outer probes must not re-execute"
+        );
         let probes = rep.log.iter().filter(|e| e.key == "probe_wnorm").count();
         assert_eq!(probes as u64, scripts::MINI_EPOCHS, "{name}");
     }
@@ -92,7 +98,11 @@ fn parallel_replay_is_worker_count_invariant() {
             let rep = replay(
                 &probed,
                 &root,
-                &ReplayOptions { workers, init_mode },
+                &ReplayOptions {
+                    workers,
+                    init_mode,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert!(
@@ -129,6 +139,7 @@ fn adaptive_finetune_checkpoints_sparsely_but_replays_correctly() {
         &ReplayOptions {
             workers: 3,
             init_mode: InitMode::Weak,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -165,7 +176,10 @@ fn record_overhead_is_modest_on_live_training() {
         let rec = record(src, &RecordOptions::new(store_dir(&format!("overhead{i}")))).unwrap();
         best = best.min(rec.wall_ns as f64 / vanilla_ns as f64 - 1.0);
     }
-    assert!(best < 1.0, "live record overhead {best:.2} looks pathological");
+    assert!(
+        best < 1.0,
+        "live record overhead {best:.2} looks pathological"
+    );
 }
 
 #[test]
@@ -176,6 +190,9 @@ fn source_change_is_detected_and_survives() {
     let edited = src.replace("lr=0.1", "lr=0.01");
     let rep = replay(&edited, &root, &ReplayOptions::default()).unwrap();
     assert!(!rep.other_changes.is_empty());
-    assert!(!rep.anomalies.is_empty(), "non-hindsight change must be surfaced");
+    assert!(
+        !rep.anomalies.is_empty(),
+        "non-hindsight change must be surfaced"
+    );
     assert_eq!(rep.stats.restored, 0, "checkpoints must not be reused");
 }

@@ -44,7 +44,10 @@ fn bitflip_in_checkpoint_is_caught_by_crc() {
         fs::write(&path, &bytes).unwrap();
     }
     let result = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default());
-    assert!(result.is_err(), "corrupt checkpoints must not restore silently");
+    assert!(
+        result.is_err(),
+        "corrupt checkpoints must not restore silently"
+    );
 }
 
 #[test]
@@ -73,7 +76,10 @@ fn deleted_checkpoint_falls_back_to_reexecution() {
     // the segment as dead space — exactly what compaction reclaims).
     let manifest = root.join("MANIFEST");
     let text = fs::read_to_string(&manifest).unwrap();
-    let kept: Vec<&str> = text.lines().filter(|l| !l.starts_with("sb_0\t3\t")).collect();
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with("sb_0\t3\t"))
+        .collect();
     fs::write(&manifest, kept.join("\n") + "\n").unwrap();
 
     let rep = replay(scripts::CV_TRAIN, &root, &ReplayOptions::default()).unwrap();
@@ -112,7 +118,11 @@ fn batch_cut_mid_group_commit_recovers_to_a_prefix_of_whole_checkpoints() {
     // Build a reference store with one committed batch of 6 checkpoints.
     let reference = base.join("ref");
     let store = CheckpointStore::open_with(&reference, Durability::GroupCommit).unwrap();
-    let payload = |seq: u64| format!("group-commit payload {seq}").repeat(20).into_bytes();
+    let payload = |seq: u64| {
+        format!("group-commit payload {seq}")
+            .repeat(20)
+            .into_bytes()
+    };
     let mut batch = store.batch();
     for seq in 0..6u64 {
         batch.stage("sb_0", seq, &payload(seq));
@@ -139,7 +149,10 @@ fn batch_cut_mid_group_commit_recovers_to_a_prefix_of_whole_checkpoints() {
         // every surviving checkpoint reads back verbatim.
         for (i, (block, seq)) in entries.iter().enumerate() {
             assert_eq!(block, "sb_0");
-            assert_eq!(*seq, i as u64, "cut at {cut}: recovered set is not a prefix");
+            assert_eq!(
+                *seq, i as u64,
+                "cut at {cut}: recovered set is not a prefix"
+            );
             assert_eq!(
                 recovered.get(block, *seq).unwrap(),
                 payload(*seq),
@@ -188,13 +201,29 @@ fn rule5_evasion_is_caught_by_deferred_check() {
 #[test]
 fn deferred_check_tolerates_skips_and_probes_only() {
     let rec = vec![
-        LogEntry { key: "loss".into(), value: "1.0".into(), section: Section::Iter(0) },
-        LogEntry { key: "inner".into(), value: "x".into(), section: Section::Iter(0) },
+        LogEntry {
+            key: "loss".into(),
+            value: "1.0".into(),
+            section: Section::Iter(0),
+        },
+        LogEntry {
+            key: "inner".into(),
+            value: "x".into(),
+            section: Section::Iter(0),
+        },
     ];
     // Replay skipped "inner" (memoized) and added a probe — fine.
     let ok = vec![
-        LogEntry { key: "loss".into(), value: "1.0".into(), section: Section::Iter(0) },
-        LogEntry { key: "probe".into(), value: "p".into(), section: Section::Iter(0) },
+        LogEntry {
+            key: "loss".into(),
+            value: "1.0".into(),
+            section: Section::Iter(0),
+        },
+        LogEntry {
+            key: "probe".into(),
+            value: "p".into(),
+            section: Section::Iter(0),
+        },
     ];
     assert!(deferred_check(&rec, &ok).is_empty());
     // Value drift is an anomaly.
@@ -260,7 +289,9 @@ fn compaction_crash_at_every_byte_offset_loses_no_live_checkpoint() {
         let store = CheckpointStore::open(&before).unwrap();
         for round in 0..3u32 {
             for (block, seq) in &live_keys {
-                store.put(block, *seq, &payload(block, *seq, round)).unwrap();
+                store
+                    .put(block, *seq, &payload(block, *seq, round))
+                    .unwrap();
             }
         }
     }
@@ -291,9 +322,9 @@ fn compaction_crash_at_every_byte_offset_loses_no_live_checkpoint() {
         );
         for (block, seq) in &live_keys {
             assert_eq!(
-                store.get(block, *seq).unwrap_or_else(|e| panic!(
-                    "{label}: live checkpoint {block}.{seq} lost: {e}"
-                )),
+                store
+                    .get(block, *seq)
+                    .unwrap_or_else(|e| panic!("{label}: live checkpoint {block}.{seq} lost: {e}")),
                 payload(block, *seq, 2),
                 "{label}: {block}.{seq} must hold the latest re-put"
             );

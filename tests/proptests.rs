@@ -259,8 +259,19 @@ proptest! {
 
 fn arb_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
-        !["for", "in", "if", "else", "and", "or", "not", "pass", "import", "skipblock"]
-            .contains(&s.as_str())
+        ![
+            "for",
+            "in",
+            "if",
+            "else",
+            "and",
+            "or",
+            "not",
+            "pass",
+            "import",
+            "skipblock",
+        ]
+        .contains(&s.as_str())
     })
 }
 
@@ -278,8 +289,7 @@ fn arb_expr_src() -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} + {b}")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} * ({b})")),
             (arb_name(), inner.clone()).prop_map(|(f, a)| format!("{f}({a})")),
-            (arb_name(), arb_name(), inner.clone())
-                .prop_map(|(o, m, a)| format!("{o}.{m}({a})")),
+            (arb_name(), arb_name(), inner.clone()).prop_map(|(o, m, a)| format!("{o}.{m}({a})")),
             (arb_name(), inner.clone()).prop_map(|(f, a)| format!("{f}(x={a})")),
             (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
         ]
@@ -292,12 +302,10 @@ fn arb_stmt_src() -> impl Strategy<Value = String> {
         (arb_name(), arb_name(), arb_expr_src())
             .prop_map(|(a, b, e)| format!("{a}, {b} = {e}, {e}\n")),
         (arb_name(), arb_name()).prop_map(|(o, m)| format!("{o}.{m}()\n")),
-        (arb_name(), arb_expr_src(), arb_name(), arb_expr_src()).prop_map(
-            |(v, it, n, e)| format!("for {v} in range({it}):\n    {n} = {e}\n")
-        ),
-        (arb_expr_src(), arb_name(), arb_expr_src()).prop_map(|(c, n, e)| {
-            format!("if {c}:\n    {n} = {e}\nelse:\n    pass\n")
-        }),
+        (arb_name(), arb_expr_src(), arb_name(), arb_expr_src())
+            .prop_map(|(v, it, n, e)| format!("for {v} in range({it}):\n    {n} = {e}\n")),
+        (arb_expr_src(), arb_name(), arb_expr_src())
+            .prop_map(|(c, n, e)| { format!("if {c}:\n    {n} = {e}\nelse:\n    pass\n") }),
         arb_expr_src().prop_map(|e| format!("log(\"k\", {e})\n")),
     ]
 }
@@ -340,6 +348,109 @@ proptest! {
                 prop_assert_eq!(p.init_start, p.work_start - 1);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming merge ≡ barrier merge
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The incremental streaming merger must produce a byte-identical log
+    /// to the barrier `merge_worker_logs` for arbitrary worker partitions
+    /// (including empty ones) and arbitrary range-completion (steal)
+    /// orders. `boundary_bits` picks where partitions split, `perm_seed`
+    /// shuffles delivery order, `entries_per_iter` varies log density.
+    #[test]
+    fn streaming_merge_equals_barrier_merge(
+        n in 0u64..60,
+        workers in 1usize..6,
+        boundary_bits in proptest::collection::vec(any::<bool>(), 0..60),
+        perm_seed in any::<u64>(),
+        entries_per_iter in 0usize..3,
+        with_pre in any::<bool>(),
+        with_post in any::<bool>(),
+    ) {
+        use flor_core::logstream::{merge_worker_logs, LogEntry, Section};
+        use flor_core::stream::{StreamMsg, StreamingMerger};
+
+        // Build contiguous ranges from the boundary bits.
+        let mut bounds: Vec<u64> = (1..n)
+            .filter(|&i| boundary_bits.get(i as usize).copied().unwrap_or(false))
+            .collect();
+        bounds.insert(0, 0);
+        bounds.push(n);
+        bounds.dedup();
+        let ranges: Vec<(u64, u64)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let ranges: Vec<(u64, u64)> = ranges.into_iter().filter(|(a, b)| a < b).collect();
+
+        let iter_entries = |g: u64| -> Vec<LogEntry> {
+            (0..entries_per_iter.max(if g.is_multiple_of(3) { 1 } else { entries_per_iter }))
+                .map(|k| LogEntry {
+                    key: format!("k{k}"),
+                    value: format!("v{g}.{k}"),
+                    section: Section::Iter(g),
+                })
+                .collect()
+        };
+        let pre_entries: Vec<LogEntry> = if with_pre {
+            vec![LogEntry { key: "pre".into(), value: "p".into(), section: Section::Pre }]
+        } else {
+            Vec::new()
+        };
+        let post_entries: Vec<LogEntry> = if with_post {
+            vec![LogEntry { key: "post".into(), value: "q".into(), section: Section::Post }]
+        } else {
+            Vec::new()
+        };
+
+        // Assign each range to a worker round-robin (some workers may get
+        // nothing — the empty-partition case), then reconstruct the
+        // equivalent per-worker barrier logs: every worker has the
+        // preamble; the final-range owner has the postamble.
+        let owner = |idx: usize| idx % workers;
+        let mut worker_logs: Vec<Vec<LogEntry>> = vec![pre_entries.clone(); workers];
+        for (idx, &(a, b)) in ranges.iter().enumerate() {
+            for g in a..b {
+                worker_logs[owner(idx)].extend(iter_entries(g));
+            }
+        }
+        let final_owner = ranges.iter().enumerate().next_back().map(|(i, _)| owner(i));
+        match final_owner {
+            Some(w) => worker_logs[w].extend(post_entries.clone()),
+            None => worker_logs[0].extend(post_entries.clone()),
+        }
+        let barrier = merge_worker_logs(worker_logs);
+
+        // Stream the same content in a pseudo-random (steal) order.
+        let mut order: Vec<usize> = (0..ranges.len()).collect();
+        let mut x = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            order.swap(i, (x as usize) % (i + 1));
+        }
+        let mut streamed = Vec::new();
+        let mut merger = StreamingMerger::new(&[], std::time::Instant::now(), |ev| {
+            if let flor_core::stream::StreamEvent::Entries(chunk) = ev {
+                streamed.extend(chunk.iter().cloned());
+            }
+        });
+        for pid in 0..workers {
+            merger.push(StreamMsg::Pre { pid, entries: pre_entries.clone() });
+        }
+        merger.push(StreamMsg::Total { n_iters: n });
+        for &idx in &order {
+            let (a, b) = ranges[idx];
+            let entries: Vec<LogEntry> = (a..b).flat_map(iter_entries).collect();
+            merger.push(StreamMsg::Range { start: a, end: b, stolen: idx % 2 == 1, entries });
+        }
+        merger.push(StreamMsg::Post { entries: post_entries.clone() });
+        let (merged, anomalies, _) = merger.finish();
+        prop_assert_eq!(&streamed, &merged);
+        prop_assert_eq!(merged, barrier);
+        prop_assert!(anomalies.is_empty());
     }
 }
 

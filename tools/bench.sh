@@ -4,12 +4,14 @@
 #   ./tools/bench.sh            # full run: criterion benches + BENCH_*.json
 #   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
 #
-# Emits two committed artifacts at the repo root so future PRs can be held
-# to the trajectory:
-#   BENCH_record.json — caller-thread submit latency per materialization
-#                       strategy (zero-copy vs pre-refactor eager copies)
-#   BENCH_replay.json — restore-read latency + cold store-open time
-#                       (segmented get_bytes vs pre-refactor per-file get)
+# Emits three committed artifacts at the repo root so future PRs can be
+# held to the trajectory:
+#   BENCH_record.json       — caller-thread submit latency per materialization
+#                             strategy (zero-copy vs pre-refactor eager copies)
+#   BENCH_replay.json       — restore-read latency + cold store-open time
+#                             (segmented get_bytes vs pre-refactor per-file get)
+#   BENCH_replay_sched.json — replay scheduling: static contiguous partitioning
+#                             vs cost-aware work-stealing + streaming merge
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,12 +41,15 @@ fi
 # quick (CI smoke) runs write under target/ so they never dirty the tree.
 RECORD_OUT=BENCH_record.json
 REPLAY_OUT=BENCH_replay.json
+SCHED_OUT=BENCH_replay_sched.json
 if [[ "$QUICK" == "1" ]]; then
     RECORD_OUT=target/BENCH_record.quick.json
     REPLAY_OUT=target/BENCH_replay.quick.json
+    SCHED_OUT=target/BENCH_replay_sched.quick.json
 fi
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$RECORD_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_json -- "$REPLAY_OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_sched -- "$SCHED_OUT"
 
 echo
-echo "bench: OK ($RECORD_OUT, $REPLAY_OUT written)"
+echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT written)"

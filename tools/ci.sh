@@ -19,6 +19,7 @@ run() {
 run cargo build --release
 run cargo test -q
 run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --check
 
 # Record-hot-path smoke bench: quick criterion pass + quick submit-latency
 # JSON (written under target/, never dirties the committed artifact).
