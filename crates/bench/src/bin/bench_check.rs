@@ -1,0 +1,108 @@
+//! Bench-regression gate for `tools/ci.sh`: compares freshly generated
+//! `BENCH_*.json` metrics against the committed baselines with a tolerance
+//! band, failing on regressions past it.
+//!
+//! ```text
+//! bench_check <committed.json> <fresh.json> <metric>=<direction> ...
+//! ```
+//!
+//! A metric is a dotted path (`segmented.median_ns` finds the number for
+//! key `median_ns` inside the object introduced by key `segmented`);
+//! `direction` is `lower` (latency-style: fail when fresh exceeds the
+//! baseline by more than the band) or `higher` (ratio-style: fail when
+//! fresh falls more than the band below it). The band defaults to 20%
+//! and can be widened with `FLOR_BENCH_TOLERANCE` (e.g. `0.35`).
+//!
+//! Only *scale-invariant* metrics belong here (per-unit medians, speedup
+//! ratios): CI runs the quick fixtures, so absolute totals would not be
+//! comparable against the committed full-scale baselines.
+
+use std::process::ExitCode;
+
+/// Finds the number attached to a dotted key path in a JSON text, by
+/// nesting-free scanning: each path segment narrows the search window to
+/// the text after its first occurrence. Good enough for the flat,
+/// generated `BENCH_*.json` shape — not a general JSON parser.
+fn lookup(text: &str, path: &str) -> Option<f64> {
+    let mut window = text;
+    for seg in path.split('.') {
+        let needle = format!("\"{seg}\"");
+        let at = window.find(&needle)?;
+        window = &window[at + needle.len()..];
+    }
+    let colon = window.find(':')?;
+    let rest = window[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_check <committed.json> <fresh.json> <metric>=<lower|higher> ...");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = std::env::var("FLOR_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let committed_path = &args[0];
+    let fresh_path = &args[1];
+    let committed = match std::fs::read_to_string(committed_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {committed_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match std::fs::read_to_string(fresh_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {fresh_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0u32;
+    for spec in &args[2..] {
+        let Some((path, direction)) = spec.split_once('=') else {
+            eprintln!("bench_check: bad spec {spec:?} (want metric=lower|higher)");
+            return ExitCode::from(2);
+        };
+        let (Some(base), Some(new)) = (lookup(&committed, path), lookup(&fresh, path)) else {
+            eprintln!("bench_check: FAIL {path}: metric missing from one side");
+            failures += 1;
+            continue;
+        };
+        let (ok, verdict) = match direction {
+            "lower" => (new <= base * (1.0 + tolerance), "≤"),
+            "higher" => (new >= base / (1.0 + tolerance), "≥"),
+            other => {
+                eprintln!("bench_check: bad direction {other:?} in {spec:?}");
+                return ExitCode::from(2);
+            }
+        };
+        let band_pct = tolerance * 100.0;
+        if ok {
+            eprintln!(
+                "bench_check: ok   {path}: {new} vs committed {base} \
+                 ({direction}, band {band_pct:.0}%)"
+            );
+        } else {
+            eprintln!(
+                "bench_check: FAIL {path}: fresh {new} regressed past committed {base} \
+                 (must stay {verdict} within {band_pct:.0}%)"
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_check: {failures} regression(s) vs committed baselines");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_check: all metrics within the band");
+        ExitCode::SUCCESS
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod compress_delta;
 pub mod figures;
 pub mod record_submit;
 pub mod replay_read;

@@ -135,6 +135,15 @@ pub struct MaterializerStats {
     pub group_commits: u64,
     /// Checkpoints that landed through those group commits.
     pub group_commit_jobs: u64,
+    /// Checkpoints stored as delta frames against the block's previous
+    /// version (meaningful after [`Materializer::flush`]).
+    pub delta_checkpoints: u64,
+    /// Checkpoints stored as full keyframes.
+    pub keyframe_checkpoints: u64,
+    /// Bytes actually written to the store across all checkpoints
+    /// (compressed / delta-framed / raw) — compare against `raw_bytes`
+    /// for the pipeline's effective compression ratio.
+    pub stored_bytes: u64,
 }
 
 struct Job {
@@ -154,6 +163,24 @@ enum WorkerMsg {
 struct WorkerStats {
     group_commits: AtomicU64,
     group_commit_jobs: AtomicU64,
+    delta_checkpoints: AtomicU64,
+    keyframe_checkpoints: AtomicU64,
+    stored_bytes: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Folds one commit's metas into the landing counters.
+    fn observe_metas(&self, metas: &[crate::store::CkptMeta]) {
+        for m in metas {
+            if m.chain_depth > 0 {
+                self.delta_checkpoints.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.keyframe_checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            self.stored_bytes
+                .fetch_add(m.stored_bytes, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Asynchronous checkpoint writer with a pluggable strategy.
@@ -201,12 +228,12 @@ impl Materializer {
                 handles.push(std::thread::spawn(move || loop {
                     match rx.recv() {
                         Ok(WorkerMsg::One(job)) => {
-                            write_jobs(&store, vec![job], &pool, &errors);
+                            write_jobs(&store, vec![job], &pool, &errors, &worker_stats);
                             in_flight.fetch_sub(1, Ordering::AcqRel);
                         }
                         Ok(WorkerMsg::Batch(jobs)) => {
                             let n = jobs.len() as u64;
-                            write_jobs(&store, jobs, &pool, &errors);
+                            write_jobs(&store, jobs, &pool, &errors, &worker_stats);
                             worker_stats.group_commits.fetch_add(1, Ordering::Relaxed);
                             worker_stats
                                 .group_commit_jobs
@@ -258,8 +285,9 @@ impl Materializer {
                         self.store.put(block_id, seq, buf.as_ref())
                     }),
                 };
-                if let Err(e) = result {
-                    self.errors.lock().push(e.to_string());
+                match result {
+                    Ok(meta) => self.worker_stats.observe_metas(std::slice::from_ref(&meta)),
+                    Err(e) => self.errors.lock().push(e.to_string()),
                 }
                 self.dispatches.fetch_add(1, Ordering::Relaxed);
             }
@@ -365,6 +393,12 @@ impl Materializer {
             dispatches: self.dispatches.load(Ordering::Relaxed),
             group_commits: self.worker_stats.group_commits.load(Ordering::Relaxed),
             group_commit_jobs: self.worker_stats.group_commit_jobs.load(Ordering::Relaxed),
+            delta_checkpoints: self.worker_stats.delta_checkpoints.load(Ordering::Relaxed),
+            keyframe_checkpoints: self
+                .worker_stats
+                .keyframe_checkpoints
+                .load(Ordering::Relaxed),
+            stored_bytes: self.worker_stats.stored_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -395,6 +429,7 @@ fn write_jobs(
     jobs: Vec<Job>,
     pool: &EncodePool,
     errors: &Mutex<Vec<String>>,
+    stats: &WorkerStats,
 ) {
     let mut batch = store.batch();
     pool.with_buffer(|buf| {
@@ -408,8 +443,9 @@ fn write_jobs(
             }
         }
     });
-    if let Err(e) = batch.commit() {
-        errors.lock().push(format!("background write failed: {e}"));
+    match batch.commit() {
+        Ok(metas) => stats.observe_metas(&metas),
+        Err(e) => errors.lock().push(format!("background write failed: {e}")),
     }
 }
 
@@ -564,6 +600,36 @@ mod tests {
     fn stats_track_bytes() {
         let (stats, _) = run_strategy(Strategy::Plasma, "stats");
         assert_eq!(stats.raw_bytes, 12 * 2000);
+    }
+
+    #[test]
+    fn drifting_snapshots_land_as_delta_chains() {
+        let store = tmpstore("delta-mat");
+        let mat = Materializer::new(store.clone(), Strategy::ForkBatched, 2);
+        // Drifting f32 payloads: structurally identical, slightly moved.
+        let payload = |v: u64| -> Vec<u8> {
+            (0..1024u32)
+                .flat_map(|i| {
+                    let f =
+                        (i as f32 * 0.11).cos() + if i % 13 == 0 { v as f32 * 0.01 } else { 0.0 };
+                    f.to_le_bytes()
+                })
+                .collect()
+        };
+        for seq in 0..12u64 {
+            mat.submit("sb_0", seq, Payload::Bytes(payload(seq)));
+        }
+        mat.flush();
+        let stats = mat.stats();
+        assert_eq!(stats.delta_checkpoints + stats.keyframe_checkpoints, 12);
+        assert!(stats.delta_checkpoints >= 6, "{stats:?}");
+        assert!(
+            stats.stored_bytes * 3 < stats.raw_bytes,
+            "delta pipeline must shrink drifting payloads ≥3×: {stats:?}"
+        );
+        for seq in 0..12u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), payload(seq));
+        }
     }
 
     #[test]

@@ -15,13 +15,22 @@
 //! tag     := u8
 //! Unit    0x00 —
 //! Bool    0x01 u8
-//! I64     0x02 zigzag varint
+//! I64     0x02 zigzag varint     (legacy; still decoded)
 //! F64     0x03 8 bytes
 //! Str     0x04 len bytes(utf8)
 //! Bytes   0x05 len bytes
 //! List    0x06 count value*
 //! Map     0x07 count (str value)*
+//! I64     0x08 8 bytes           (what the encoder emits)
 //! ```
+//!
+//! Integers encode **fixed-width** (tag `0x08`): a varint scalar early in
+//! a snapshot (an RNG state, a step counter) would change length between
+//! checkpoint versions and shift every later byte, destroying the
+//! byte-alignment the store's XOR delta chains depend on. Length prefixes
+//! stay varint — they describe structure (names, shapes, counts) that is
+//! stable across versions of one checkpoint. The legacy `0x02` zigzag
+//! form is still decoded, so pre-existing stores read unchanged.
 //!
 //! Two properties matter for the record hot path:
 //!
@@ -268,6 +277,9 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
+/// Zigzag for the legacy varint I64 form (the encoder now emits fixed
+/// width; this survives for tests pinning legacy-stream decoding).
+#[cfg(test)]
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
@@ -284,8 +296,11 @@ fn encode_value(val: &CVal, buf: &mut BytesMut) {
             buf.put_u8(*b as u8);
         }
         CVal::I64(i) => {
-            buf.put_u8(0x02);
-            put_varint(buf, zigzag(*i));
+            // Fixed-width (tag 0x08): a varint here would change length as
+            // the value drifts between checkpoint versions and shift every
+            // later byte, breaking delta-chain alignment.
+            buf.put_u8(0x08);
+            buf.put_slice(&i.to_le_bytes());
         }
         CVal::F64(x) => {
             buf.put_u8(0x03);
@@ -398,6 +413,15 @@ fn decode_one(buf: &mut Bytes) -> Result<CVal, CodecError> {
             }
         }
         0x02 => Ok(CVal::I64(unzigzag(get_varint(buf)?))),
+        0x08 => {
+            if buf.remaining() < 8 {
+                return Err(err("truncated i64"));
+            }
+            let raw = buf.copy_to_bytes(8);
+            Ok(CVal::I64(i64::from_le_bytes(
+                raw.as_ref().try_into().expect("8 bytes"),
+            )))
+        }
         0x03 => {
             if buf.remaining() < 8 {
                 return Err(err("truncated f64"));
@@ -487,6 +511,41 @@ mod tests {
         let bytes = encode(&v);
         let back = decode(&bytes).expect("decode");
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn i64_encoding_is_length_stable() {
+        // The delta-chain prerequisite: drifting integers (RNG states,
+        // step counters) must not change the encoded length and shift
+        // every later byte of the snapshot.
+        let lens: Vec<usize> = [0i64, 1, -1, 127, 128, 1 << 20, i64::MAX, i64::MIN]
+            .into_iter()
+            .map(|v| encode(&CVal::I64(v)).len())
+            .collect();
+        assert!(
+            lens.windows(2).all(|w| w[0] == w[1]),
+            "i64 lengths vary: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_varint_i64_streams_still_decode() {
+        // Streams written before the fixed-width encoder (tag 0x02,
+        // zigzag varint) must read back unchanged.
+        for v in [0i64, 1, -1, 63, -64, 300, -300, i64::MAX, i64::MIN] {
+            let mut legacy = vec![MAGIC, 0x02];
+            let mut z = zigzag(v);
+            loop {
+                let byte = (z & 0x7f) as u8;
+                z >>= 7;
+                if z == 0 {
+                    legacy.push(byte);
+                    break;
+                }
+                legacy.push(byte | 0x80);
+            }
+            assert_eq!(decode(&legacy).unwrap(), CVal::I64(v), "value {v}");
+        }
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //!   MANIFEST              one line per checkpoint:
 //!                         "<block_id>\t<seq>\t<location>\t<raw>\t<crc32>\t<line_crc32>"
 //!                         location is either a legacy file name under ckpt/
-//!                         (v1 stores) or "@<seg>:<offset>:<len>[:r]" — a
-//!                         payload slice inside a segment (":r" = stored
-//!                         uncompressed). line_crc32 covers the first five
+//!                         (v1 stores) or "@<seg>:<offset>:<len>[:r | :d<base>:<depth>]"
+//!                         — a payload slice inside a segment (":r" = stored
+//!                         uncompressed; ":d<base>:<depth>" = a delta frame
+//!                         against the same block's seq <base>, at chain
+//!                         depth <depth>). The delta suffix is a strict
+//!                         extension of the v2 grammar: v2 lines parse
+//!                         unchanged. line_crc32 covers the first five
 //!                         fields, so a torn append is detectable.
 //!   seg/<NNNNNNNN>.seg    append-only segment files packing many checkpoint
 //!                         payloads (the write path for all new checkpoints)
@@ -30,12 +34,35 @@
 //! ```
 //!
 //! `flags` bit 0 set means the payload is stored raw (compression did not
-//! shrink it); `crc` is always the CRC32 of the *uncompressed* payload.
+//! shrink it); bit 1 set means the payload is a [`crate::delta`] frame
+//! (whose own header carries the base seq, chain depth, and base CRC, so
+//! segments stay self-describing). `crc` is always the CRC32 of the fully
+//! reconstructed *uncompressed* payload.
 //! The footer is written when a segment is sealed (rolled over or the store
 //! is dropped cleanly) and makes a segment self-describing: the index can be
 //! rebuilt from footers (or, failing that, an entry-header scan) without the
 //! MANIFEST. The MANIFEST remains the authoritative index; an unsealed
 //! segment (crash before roll) is still fully readable through it.
+//!
+//! # Delta chains
+//!
+//! Successive versions of one block differ only slightly (one optimizer
+//! step), so [`WriteBatch::stage`] stores a version as a [`crate::delta`]
+//! frame against the block's previous payload whenever that earns ≥ 2×
+//! over storing it raw: XOR against the base, byte-shuffle into f32
+//! lanes, zero-RLE, LZ. The store keeps a per-block last-payload cache
+//! ([`Bytes`], refcounted) feeding the encode side, and full keyframes
+//! every [`StoreOptions::delta_keyframe_interval`] versions bound every
+//! restore to a short chain walk. Reads resolve chains iteratively with a
+//! per-block restore cache (sequential replay restores pay O(1) links
+//! each, not O(depth)); every level is CRC-verified, and each frame's
+//! recorded base CRC is checked against the live base entry so a re-put
+//! base fails loudly instead of decoding garbage. Open-time recovery
+//! cascade-drops delta entries whose chain base is gone (their data is
+//! unreachable — the same contract as a missing segment), and compaction
+//! re-encodes delta-bearing blocks payload-by-payload, folding chains
+//! into fresh keyframes when the current policy no longer supports them
+//! ([`CompactionReport::chains_folded`]).
 //!
 //! # Read path: zero-copy `get_bytes`
 //!
@@ -109,7 +136,8 @@
 //! checkpoint missing. Legacy v1 stores are migrated into segments by the
 //! same pass, which is the upgrade path for old-format data.
 
-use crate::compress::{compress, decompress};
+use crate::compress::{compress_auto, decompress_any};
+use crate::delta;
 use bytes::{Buf, Bytes};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -182,10 +210,13 @@ pub struct CkptMeta {
     pub block_id: String,
     /// Execution sequence number of this block (0-based).
     pub seq: u64,
-    /// Stored (compressed, or raw when incompressible) payload size.
+    /// Stored (compressed, delta-framed, or raw when incompressible)
+    /// payload size.
     pub stored_bytes: u64,
     /// Uncompressed payload size.
     pub raw_bytes: u64,
+    /// Delta-chain depth this checkpoint landed at (0 = full keyframe).
+    pub chain_depth: u32,
 }
 
 /// When the put path reaches stable storage.
@@ -214,6 +245,20 @@ pub enum StoreFormat {
     FilePerCheckpoint,
 }
 
+/// Which LZ encoder the plain (non-delta) stage path uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compressor {
+    /// Hash-chain match finder + parallel chunked frames for large
+    /// payloads — the production pipeline.
+    #[default]
+    Pipeline,
+    /// The pre-delta single-threaded naive-scan encoder
+    /// ([`crate::compress::compress_reference`]), kept writable for
+    /// before/after benchmarks (`bench_compress_json`) the same way
+    /// [`StoreFormat::FilePerCheckpoint`] is.
+    Reference,
+}
+
 /// Open-time knobs. [`StoreOptions::default`] is a segmented, buffered
 /// store with an 8 MiB segment roll target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,6 +277,19 @@ pub struct StoreOptions {
     /// tooling (`flor store stats`) uses to stay safe against a store
     /// another process is recording into.
     pub read_only: bool,
+    /// Delta-chain keyframe interval K: a checkpoint may be stored as a
+    /// [`crate::delta`] frame against the previous version of the same
+    /// block only while its chain depth stays below K, so every K-th
+    /// version is a full keyframe and a restore resolves at most K − 1
+    /// links. `0` disables delta encoding entirely (every checkpoint is a
+    /// keyframe — the pre-delta pipeline).
+    pub delta_keyframe_interval: u32,
+    /// Payloads below this size are never delta-encoded (the frame header
+    /// and the chain walk aren't worth it, and tiny payloads compress or
+    /// store raw just fine).
+    pub delta_min_bytes: u64,
+    /// LZ encoder for the plain (non-delta) stage path.
+    pub compressor: Compressor,
 }
 
 impl Default for StoreOptions {
@@ -241,12 +299,39 @@ impl Default for StoreOptions {
             format: StoreFormat::default(),
             segment_target_bytes: DEFAULT_SEGMENT_TARGET_BYTES,
             read_only: false,
+            delta_keyframe_interval: DEFAULT_DELTA_KEYFRAME_INTERVAL,
+            delta_min_bytes: DEFAULT_DELTA_MIN_BYTES,
+            compressor: Compressor::default(),
         }
     }
 }
 
 /// Default segment roll threshold.
 pub const DEFAULT_SEGMENT_TARGET_BYTES: u64 = 8 * 1024 * 1024;
+/// Default delta keyframe interval (chain length bound).
+pub const DEFAULT_DELTA_KEYFRAME_INTERVAL: u32 = 8;
+/// Default minimum payload size for delta encoding.
+pub const DEFAULT_DELTA_MIN_BYTES: u64 = 1024;
+/// Depth buckets in [`StoreStats::chain_depth_hist`] (deeper chains land
+/// in the last bucket).
+pub const CHAIN_DEPTH_BUCKETS: usize = 16;
+/// Byte budget for the per-block last-reconstructed-payload cache that
+/// makes sequential chain restores O(1) links each.
+const RESTORE_CACHE_BUDGET_BYTES: u64 = 256 << 20;
+/// Byte budget for the per-block last-committed-payload write cache (the
+/// delta base source). An evicted block's next stage falls back to
+/// reading the newest committed version from the index — chains survive,
+/// the handle just stops pinning raw payloads it may never need again.
+const DELTA_WRITE_BUDGET_BYTES: u64 = 256 << 20;
+/// After this many consecutive failed delta-encode attempts for a block,
+/// the stage path stops probing (and stops copying payloads into the base
+/// cache) for it — a from-scratch training run that rewrites every
+/// checkpoint must not pay an XOR pass plus a payload memcpy per submit
+/// for deltas that never materialize.
+const DELTA_REJECT_THRESHOLD: u32 = 4;
+/// A back-off'd block re-probes once per this many sequence numbers, so a
+/// regime change (training → fine-tuning) resumes chaining.
+const DELTA_RETRY_PERIOD: u64 = 8;
 
 const SEGMENT_MAGIC: &[u8; 8] = b"FLRSEG1\n";
 const FOOTER_MAGIC: &[u8; 8] = b"FLRSEGF1";
@@ -256,6 +341,9 @@ const ENTRY_HEADER_BYTES: u64 = 2 + 8 + 8 + 4 + 4 + 1;
 const TRAILER_BYTES: u64 = 20;
 /// Payload stored uncompressed (compression did not shrink it).
 const FLAG_RAW: u8 = 1;
+/// Payload stored as a delta frame (the frame header carries the base
+/// seq/depth, so segments stay self-describing).
+const FLAG_DELTA: u8 = 2;
 /// Index shards; reads lock exactly one, with no allocation.
 const SHARDS: usize = 16;
 /// Byte budget for cached whole-segment read buffers, per store handle
@@ -264,9 +352,61 @@ const SHARDS: usize = 16;
 const SEGMENT_CACHE_BUDGET_BYTES: u64 = 256 << 20;
 
 /// CRC32 (IEEE, reflected) — hand-rolled so corruption detection has no
-/// external dependency.
+/// external dependency. Slicing-by-8: eight table lookups per 8 input
+/// bytes instead of one per byte — the put path CRCs every payload, so
+/// this sits on the record hot path (~5× over the byte-at-a-time loop,
+/// bit-identical results).
 pub fn crc32(data: &[u8]) -> u32 {
-    // Build the table once.
+    // Build the eight tables once.
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    let t = TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        let mut t0 = [0u32; 256];
+        for (i, slot) in t0.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t[0] = t0;
+        for k in 1..8usize {
+            let prev_row = t[k - 1];
+            for (slot, &prev) in t[k].iter_mut().zip(prev_row.iter()) {
+                *slot = (prev >> 8) ^ t0[(prev & 0xff) as usize];
+            }
+        }
+        t
+    });
+    let mut c = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes(ch[0..4].try_into().expect("4 bytes")) ^ c;
+        let hi = u32::from_le_bytes(ch[4..8].try_into().expect("4 bytes"));
+        c = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The pre-PR byte-at-a-time CRC32 — bit-identical to [`crc32`], kept as
+/// the differential oracle and as part of the [`Compressor::Reference`]
+/// pipeline so before/after benchmarks measure the true pre-PR submit
+/// cost.
+pub fn crc32_reference(data: &[u8]) -> u32 {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
@@ -305,6 +445,11 @@ enum Location {
         len: u32,
         /// Stored uncompressed (zero-copy readable).
         raw_stored: bool,
+        /// `Some((base_seq, depth))` when the stored bytes are a
+        /// [`crate::delta`] frame against the same block's `base_seq`
+        /// version; `depth` is this entry's chain depth (keyframes are
+        /// `None`). Mutually exclusive with `raw_stored`.
+        delta: Option<(u64, u32)>,
     },
 }
 
@@ -318,24 +463,35 @@ impl Location {
                 offset,
                 len,
                 raw_stored,
-            } => {
-                if *raw_stored {
-                    format!("@{seg}:{offset}:{len}:r")
-                } else {
-                    format!("@{seg}:{offset}:{len}")
-                }
-            }
+                delta,
+            } => match (raw_stored, delta) {
+                (true, _) => format!("@{seg}:{offset}:{len}:r"),
+                (false, Some((base, depth))) => format!("@{seg}:{offset}:{len}:d{base}:{depth}"),
+                (false, None) => format!("@{seg}:{offset}:{len}"),
+            },
         }
     }
 
     /// Parses a manifest `location` field. Anything that is not a strict
-    /// `@<seg>:<offset>:<len>[:r]` is a legacy file name (legacy names
-    /// always contain a `.`-separated seq suffix, so they can never parse
-    /// as a segment slice).
+    /// `@<seg>:<offset>:<len>[:r | :d<base>:<depth>]` is a legacy file
+    /// name (legacy names always contain a `.`-separated seq suffix, so
+    /// they can never parse as a segment slice). The delta suffix is a
+    /// strict extension of the v2 grammar: v2 lines parse unchanged.
     fn parse(s: &str) -> Location {
         if let Some(rest) = s.strip_prefix('@') {
             let parts: Vec<&str> = rest.split(':').collect();
-            if parts.len() == 3 || (parts.len() == 4 && parts[3] == "r") {
+            let delta = match parts.as_slice() {
+                [_, _, _] => Some(None),
+                [_, _, _, "r"] => Some(None),
+                [_, _, _, d, depth] if d.starts_with('d') && d.len() > 1 => {
+                    match (d[1..].parse::<u64>(), depth.parse::<u32>()) {
+                        (Ok(base), Ok(depth)) => Some(Some((base, depth))),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(delta) = delta {
                 if let (Ok(seg), Ok(offset), Ok(len)) =
                     (parts[0].parse(), parts[1].parse(), parts[2].parse())
                 {
@@ -343,12 +499,21 @@ impl Location {
                         seg,
                         offset,
                         len,
-                        raw_stored: parts.len() == 4,
+                        raw_stored: parts.len() == 4 && parts[3] == "r",
+                        delta,
                     };
                 }
             }
         }
         Location::File(s.to_string())
+    }
+
+    /// The delta chain link of this location, if any.
+    fn delta_link(&self) -> Option<(u64, u32)> {
+        match self {
+            Location::Segment { delta, .. } => *delta,
+            Location::File(_) => None,
+        }
     }
 }
 
@@ -383,6 +548,13 @@ pub struct SegmentIndexEntry {
     pub crc: u32,
     /// True when the payload is stored uncompressed.
     pub raw_stored: bool,
+    /// True when the payload is a delta frame (the frame's own header
+    /// carries the base seq, depth, and base CRC).
+    pub delta_stored: bool,
+}
+
+fn entry_flags(raw_stored: bool, delta_stored: bool) -> u8 {
+    (if raw_stored { FLAG_RAW } else { 0 }) | (if delta_stored { FLAG_DELTA } else { 0 })
 }
 
 fn encode_footer(recs: &[SegmentIndexEntry]) -> Vec<u8> {
@@ -396,7 +568,7 @@ fn encode_footer(recs: &[SegmentIndexEntry]) -> Vec<u8> {
         body.extend_from_slice(&r.raw.to_le_bytes());
         body.extend_from_slice(&r.stored.to_le_bytes());
         body.extend_from_slice(&r.crc.to_le_bytes());
-        body.push(if r.raw_stored { FLAG_RAW } else { 0 });
+        body.push(entry_flags(r.raw_stored, r.delta_stored));
     }
     let crc = crc32(&body);
     let len = body.len() as u64;
@@ -461,6 +633,7 @@ fn parse_segment_footer(data: &[u8]) -> Result<Option<Vec<SegmentIndexEntry>>, S
             stored,
             crc,
             raw_stored: flags & FLAG_RAW != 0,
+            delta_stored: flags & FLAG_DELTA != 0,
         });
     }
     Ok(Some(recs))
@@ -555,6 +728,32 @@ pub struct StoreStats {
     pub compactions: u64,
     /// Disk bytes reclaimed by those compactions.
     pub compaction_reclaimed_bytes: u64,
+    /// Live checkpoints stored as delta frames.
+    pub delta_entries: u64,
+    /// Live checkpoints stored as full keyframes (chain depth 0).
+    pub keyframe_entries: u64,
+    /// Live entries per chain depth (bucket 0 = keyframes; depths past
+    /// the last bucket clamp into it).
+    pub chain_depth_hist: [u64; CHAIN_DEPTH_BUCKETS],
+    /// Reads that resolved a delta entry.
+    pub delta_reads: u64,
+    /// Chain links decoded across all delta reads (frames applied).
+    pub chain_links_resolved: u64,
+    /// Chain-base resolutions served by the per-block restore cache
+    /// instead of a recursive decode.
+    pub restore_cache_hits: u64,
+}
+
+impl StoreStats {
+    /// Compression ratio: raw bytes over stored bytes (> 1 means the
+    /// store shrank the data; 1.0 when nothing is stored).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.stored_bytes as f64
+        }
+    }
 }
 
 /// What one [`CheckpointStore::compact`] pass did.
@@ -570,6 +769,13 @@ pub struct CompactionReport {
     pub legacy_files_removed: u64,
     /// Net disk bytes freed (old bytes − new segment bytes).
     pub reclaimed_bytes: u64,
+    /// Delta entries folded into fresh keyframes (their chain depth
+    /// dropped to 0 — e.g. the store was reopened with a smaller
+    /// keyframe interval, or the chain no longer earns its keep).
+    pub chains_folded: u64,
+    /// Entries of delta-bearing blocks re-encoded payload-by-payload
+    /// (plain blocks move their stored bytes verbatim instead).
+    pub reencoded_entries: u64,
     /// Ids of the segments the live data now lives in.
     pub new_segments: Vec<u64>,
 }
@@ -605,6 +811,41 @@ pub fn write_atomic(dest: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// block → seq → entry; one per shard.
 type BlockMap = HashMap<String, BTreeMap<u64, IndexEntry>>;
 
+/// Picks the stored representation for one payload: a delta frame when it
+/// clearly wins (≤ 50% of raw — compression skipped entirely), otherwise
+/// whichever of {marginal frame, compressed bytes, raw payload} is
+/// smallest (raw only where the layout supports it, i.e. segments).
+/// Shared by [`WriteBatch::stage`] and the compaction re-encode walk so
+/// both sides apply exactly one policy. Returns
+/// `(stored, raw_stored, delta_link)`.
+fn arbitrate_stored(
+    encoded: Option<(Vec<u8>, u64, u32)>,
+    payload: &[u8],
+    compressor: Compressor,
+    raw_allowed: bool,
+) -> (Vec<u8>, bool, Option<(u64, u32)>) {
+    match encoded {
+        Some((frame, base_seq, depth)) if delta::is_clear_win(&frame, payload.len()) => {
+            (frame, false, Some((base_seq, depth)))
+        }
+        other => {
+            let compressed = match compressor {
+                Compressor::Pipeline => compress_auto(payload),
+                Compressor::Reference => crate::compress::compress_reference(payload),
+            };
+            match other {
+                Some((frame, base_seq, depth)) if frame.len() < compressed.len() => {
+                    (frame, false, Some((base_seq, depth)))
+                }
+                _ if raw_allowed && compressed.len() >= payload.len() => {
+                    (payload.to_vec(), true, None)
+                }
+                _ => (compressed, false, None),
+            }
+        }
+    }
+}
+
 /// The active (append-target) segment of this writer session.
 struct ActiveSegment {
     id: u64,
@@ -624,6 +865,20 @@ struct ReadCounters {
     zero_copy: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    delta_reads: AtomicU64,
+    chain_links: AtomicU64,
+    restore_cache_hits: AtomicU64,
+}
+
+/// The last committed payload of one block — the base the next version of
+/// that block delta-encodes against (the per-name last-payload cache the
+/// materializer's write path leans on).
+#[derive(Clone)]
+struct DeltaBase {
+    seq: u64,
+    depth: u32,
+    crc: u32,
+    payload: Bytes,
 }
 
 #[derive(Default)]
@@ -655,6 +910,20 @@ pub struct CheckpointStore {
     seg_cache: RwLock<HashMap<u64, Bytes>>,
     /// Total bytes resident in `seg_cache` (updated under its write lock).
     seg_cache_bytes: AtomicU64,
+    /// block → last committed payload: the delta base for the block's
+    /// next version (write-path cache; see [`DeltaBase`]).
+    delta_write: Mutex<HashMap<String, DeltaBase>>,
+    /// Payload bytes resident in `delta_write` (updated under its lock).
+    delta_write_bytes: AtomicU64,
+    /// block → consecutive failed delta-encode attempts (back-off state;
+    /// see [`DELTA_REJECT_THRESHOLD`]).
+    delta_rejects: Mutex<HashMap<String, u32>>,
+    /// block → (seq, payload crc, reconstructed payload): the most recent
+    /// chain resolution per block, so a sequential replay restores each
+    /// delta with one link instead of re-walking to the keyframe.
+    restore_cache: Mutex<HashMap<String, (u64, u32, Bytes)>>,
+    /// Payload bytes resident in `restore_cache` (updated under its lock).
+    restore_cache_bytes: AtomicU64,
     reads: ReadCounters,
     gc: CompactionCounters,
     recovery: RecoveryReport,
@@ -724,6 +993,11 @@ impl CheckpointStore {
             next_seg: AtomicU64::new(0),
             seg_cache: RwLock::new(HashMap::new()),
             seg_cache_bytes: AtomicU64::new(0),
+            delta_write: Mutex::new(HashMap::new()),
+            delta_write_bytes: AtomicU64::new(0),
+            delta_rejects: Mutex::new(HashMap::new()),
+            restore_cache: Mutex::new(HashMap::new()),
+            restore_cache_bytes: AtomicU64::new(0),
             reads: ReadCounters::default(),
             gc: CompactionCounters::default(),
             recovery: RecoveryReport::default(),
@@ -865,8 +1139,9 @@ impl CheckpointStore {
             }
         }
 
-        // Validate data presence and build the sharded index.
+        // Validate data presence.
         let mut dropped_missing = false;
+        let mut alive: Vec<((String, u64), IndexEntry)> = Vec::with_capacity(winners.len());
         for ((block, seq), mut entry) in winners {
             match &entry.loc {
                 Location::Segment { seg, .. } => {
@@ -901,7 +1176,62 @@ impl CheckpointStore {
                     }
                 }
             }
-            self.index_insert(block, seq, entry);
+            alive.push(((block, seq), entry));
+        }
+
+        // Cascade-drop delta entries whose chain base is gone (the base's
+        // segment vanished, or the base itself was a dropped delta): a
+        // delta frame without its base can never restore, so keeping it
+        // indexed would turn a recoverable gap into a read-time error.
+        // Mark-based fixpoint over borrowed keys — one map build, no
+        // String clones, and delta-free stores skip it entirely (cold
+        // open stays O(n) with a small constant). Chains are short
+        // (≤ keyframe interval), so the fixpoint converges in a handful
+        // of rounds even on deep legacy chains.
+        let mut dead = vec![false; alive.len()];
+        if alive.iter().any(|(_, e)| e.loc.delta_link().is_some()) {
+            let mut index_by_block: HashMap<&str, HashMap<u64, usize>> = HashMap::new();
+            for (i, ((block, seq), _)) in alive.iter().enumerate() {
+                index_by_block
+                    .entry(block.as_str())
+                    .or_default()
+                    .insert(*seq, i);
+            }
+            loop {
+                let mut changed = false;
+                for (i, ((block, _), entry)) in alive.iter().enumerate() {
+                    if dead[i] {
+                        continue;
+                    }
+                    if let Some((base_seq, _)) = entry.loc.delta_link() {
+                        let base_alive = index_by_block
+                            .get(block.as_str())
+                            .and_then(|seqs| seqs.get(&base_seq))
+                            .is_some_and(|&j| !dead[j]);
+                        if !base_alive {
+                            dead[i] = true;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // Build the sharded index from the survivors; report the dropped.
+        for (i, ((block, seq), entry)) in alive.into_iter().enumerate() {
+            if dead[i] {
+                report.missing_entries.push(MissingEntry {
+                    block_id: block,
+                    seq,
+                    location: entry.loc.render(),
+                });
+                dropped_missing = true;
+            } else {
+                self.index_insert(block, seq, entry);
+            }
         }
 
         // Orphaned segments: on disk, referenced by nothing. These are the
@@ -1106,6 +1436,7 @@ impl CheckpointStore {
         WriteBatch {
             store: self,
             staged: Vec::new(),
+            pending_bases: HashMap::new(),
         }
     }
 
@@ -1220,8 +1551,23 @@ impl CheckpointStore {
         Ok(view.copy_to_bytes(len as usize))
     }
 
-    /// Reads and verifies one entry's payload at its recorded location.
+    /// Reads and verifies one entry's payload at its recorded location,
+    /// resolving delta chains.
     fn read_payload(
+        &self,
+        block_id: &str,
+        seq: u64,
+        entry: &IndexEntry,
+    ) -> Result<Bytes, StoreError> {
+        if entry.loc.delta_link().is_some() {
+            self.reads.delta_reads.fetch_add(1, Ordering::Relaxed);
+            return self.resolve_delta(block_id, seq, entry);
+        }
+        self.read_keyframe_payload(block_id, seq, entry)
+    }
+
+    /// Reads and verifies a *non-delta* entry's payload.
+    fn read_keyframe_payload(
         &self,
         block_id: &str,
         seq: u64,
@@ -1235,7 +1581,7 @@ impl CheckpointStore {
         match &entry.loc {
             Location::File(file) => {
                 let compressed = fs::read(self.root.join("ckpt").join(file))?;
-                let payload = decompress(&compressed).map_err(|e| corrupt(e.message))?;
+                let payload = decompress_any(&compressed).map_err(|e| corrupt(e.message))?;
                 if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
                     return Err(corrupt("crc or length mismatch".into()));
                 }
@@ -1246,6 +1592,7 @@ impl CheckpointStore {
                 offset,
                 len,
                 raw_stored,
+                ..
             } => {
                 let slice = self.stored_slice(block_id, seq, *seg, *offset, *len)?;
                 if *raw_stored {
@@ -1255,7 +1602,7 @@ impl CheckpointStore {
                     self.reads.zero_copy.fetch_add(1, Ordering::Relaxed);
                     Ok(slice)
                 } else {
-                    let payload = decompress(slice.as_ref()).map_err(|e| corrupt(e.message))?;
+                    let payload = decompress_any(slice.as_ref()).map_err(|e| corrupt(e.message))?;
                     if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
                         return Err(corrupt("crc or length mismatch".into()));
                     }
@@ -1265,6 +1612,174 @@ impl CheckpointStore {
         }
     }
 
+    /// Resolves a delta entry: walks the chain toward its keyframe,
+    /// stopping early at a per-block restore-cache hit, then applies the
+    /// collected frames newest-last. Every reconstructed level is verified
+    /// against its index entry's length and CRC, and every frame's
+    /// recorded base CRC is checked against the base entry — a base that
+    /// was re-put with different content fails loudly as corruption
+    /// instead of silently decoding garbage.
+    fn resolve_delta(
+        &self,
+        block_id: &str,
+        seq: u64,
+        entry: &IndexEntry,
+    ) -> Result<Bytes, StoreError> {
+        let corrupt = |s: u64, detail: String| StoreError::Corrupt {
+            block_id: block_id.to_string(),
+            seq: s,
+            detail,
+        };
+        // The requested seq itself may be the cached reconstruction —
+        // repeated reads of one delta entry must not re-walk its chain.
+        {
+            let cache = self.restore_cache.lock();
+            if let Some((cseq, ccrc, cbytes)) = cache.get(block_id) {
+                if *cseq == seq && *ccrc == entry.crc {
+                    self.reads
+                        .restore_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(cbytes.clone());
+                }
+            }
+        }
+        // Walk down: collect (seq, entry, frame) from the target toward
+        // the keyframe.
+        let mut frames: Vec<(u64, IndexEntry, Bytes)> = Vec::new();
+        let mut cur_seq = seq;
+        let mut cur = entry.clone();
+        let base: Bytes = loop {
+            let Some((base_seq, _depth)) = cur.loc.delta_link() else {
+                // Keyframe reached: decode it plainly.
+                break self.read_keyframe_payload(block_id, cur_seq, &cur)?;
+            };
+            let Location::Segment {
+                seg, offset, len, ..
+            } = &cur.loc
+            else {
+                unreachable!("delta entries are always segment-resident")
+            };
+            let frame = self.stored_slice(block_id, cur_seq, *seg, *offset, *len)?;
+            let h = delta::header(frame.as_ref())
+                .map_err(|e| corrupt(cur_seq, format!("delta frame: {}", e.message)))?;
+            if h.base_seq != base_seq || h.raw_len != cur.raw {
+                return Err(corrupt(
+                    cur_seq,
+                    "delta frame header disagrees with manifest".into(),
+                ));
+            }
+            if frames.len() >= 1024 {
+                return Err(corrupt(cur_seq, "delta chain implausibly deep".into()));
+            }
+            let base_entry = self
+                .lookup(block_id, base_seq)
+                .ok_or_else(|| corrupt(cur_seq, format!("delta base seq {base_seq} is missing")))?;
+            if h.base_crc != base_entry.crc {
+                return Err(corrupt(
+                    cur_seq,
+                    format!("delta base seq {base_seq} changed since encode (re-put?)"),
+                ));
+            }
+            frames.push((cur_seq, cur, frame));
+            // Restore-cache hit on the base ends the walk.
+            {
+                let cache = self.restore_cache.lock();
+                if let Some((cseq, ccrc, cbytes)) = cache.get(block_id) {
+                    if *cseq == base_seq && *ccrc == base_entry.crc {
+                        self.reads
+                            .restore_cache_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        break cbytes.clone();
+                    }
+                }
+            }
+            cur_seq = base_seq;
+            cur = base_entry;
+        };
+        // Apply frames keyframe-first.
+        let mut payload = base;
+        for (fseq, fentry, frame) in frames.iter().rev() {
+            let decoded = delta::decode(frame.as_ref(), payload.as_ref())
+                .map_err(|e| corrupt(*fseq, format!("delta decode: {}", e.message)))?;
+            if decoded.len() as u64 != fentry.raw || crc32(&decoded) != fentry.crc {
+                return Err(corrupt(*fseq, "crc or length mismatch".into()));
+            }
+            self.reads.chain_links.fetch_add(1, Ordering::Relaxed);
+            payload = Bytes::from_vec(decoded);
+        }
+        self.restore_cache_put(block_id, seq, entry.crc, payload.clone());
+        Ok(payload)
+    }
+
+    /// Parks the most recent reconstruction for a block (bounded by
+    /// [`RESTORE_CACHE_BUDGET_BYTES`]; one entry per block).
+    fn restore_cache_put(&self, block_id: &str, seq: u64, crc: u32, payload: Bytes) {
+        let incoming = payload.len() as u64;
+        let mut cache = self.restore_cache.lock();
+        while self.restore_cache_bytes.load(Ordering::Relaxed) + incoming
+            > RESTORE_CACHE_BUDGET_BYTES
+            && !cache.is_empty()
+        {
+            let victim = cache.keys().next().expect("non-empty cache").clone();
+            if let Some((_, _, evicted)) = cache.remove(&victim) {
+                self.restore_cache_bytes
+                    .fetch_sub(evicted.len() as u64, Ordering::Relaxed);
+            }
+        }
+        if let Some((_, _, old)) = cache.insert(block_id.to_string(), (seq, crc, payload)) {
+            self.restore_cache_bytes
+                .fetch_sub(old.len() as u64, Ordering::Relaxed);
+        }
+        self.restore_cache_bytes
+            .fetch_add(incoming, Ordering::Relaxed);
+    }
+
+    /// The delta chain link of a stored checkpoint: `Some((base_seq,
+    /// depth))` for delta entries, `None` for keyframes (or when the
+    /// checkpoint does not exist). Operator surfaces and the prefetcher
+    /// use this to reason about chains without reading payloads.
+    pub fn chain_info(&self, block_id: &str, seq: u64) -> Option<(u64, u32)> {
+        self.lookup(block_id, seq)?.loc.delta_link()
+    }
+
+    /// The newest committed version of `block_id` strictly below
+    /// `before_seq`, as a delta base: racing materializer batches commit
+    /// out of order, so when the write cache has no usable base the stage
+    /// path chains against whatever *is* durable (frames record their
+    /// base seq explicitly, so a gap chain — seq 4 on seq 1 — is just as
+    /// valid as a dense one).
+    fn delta_base_from_index(&self, block_id: &str, before_seq: u64) -> Option<DeltaBase> {
+        let (seq, depth, crc) = {
+            let shard = self.shards[Self::shard_of(block_id)].read();
+            let seqs = shard.get(block_id)?;
+            let (seq, entry) = seqs.range(..before_seq).next_back()?;
+            (
+                *seq,
+                entry.loc.delta_link().map_or(0, |(_, d)| d),
+                entry.crc,
+            )
+        };
+        let payload = self.get_bytes(block_id, seq).ok()?;
+        Some(DeltaBase {
+            seq,
+            depth,
+            crc,
+            payload,
+        })
+    }
+
+    /// O(1) snapshot of the delta read counters: `(delta_reads,
+    /// chain_links_resolved, restore_cache_hits)`. Replay wraps its run in
+    /// two snapshots to attribute chain work to one replay on a pooled
+    /// handle without paying a full [`CheckpointStore::stats`] walk.
+    pub fn delta_read_counters(&self) -> (u64, u64, u64) {
+        (
+            self.reads.delta_reads.load(Ordering::Relaxed),
+            self.reads.chain_links.load(Ordering::Relaxed),
+            self.reads.restore_cache_hits.load(Ordering::Relaxed),
+        )
+    }
+
     /// Reads and verifies the checkpoint payload for `(block_id, seq)`.
     /// Compatibility wrapper over [`CheckpointStore::get_bytes`] (pays one
     /// copy into an owned `Vec`; hot paths should use `get_bytes`).
@@ -1272,8 +1787,30 @@ impl CheckpointStore {
         Ok(self.get_bytes(block_id, seq)?.to_vec())
     }
 
-    /// The stored (possibly compressed) representation of a checkpoint —
-    /// what spooling to object storage ships.
+    /// A *self-contained* stored representation of a checkpoint, suitable
+    /// for shipping to object storage: non-delta entries return their
+    /// on-disk bytes verbatim; delta entries are resolved through their
+    /// chain and re-compressed standalone (a delta frame without its base
+    /// would be unrestorable in a bucket). The `bool` reports whether a
+    /// chain was resolved.
+    pub fn export_stored(&self, block_id: &str, seq: u64) -> Result<(Vec<u8>, bool), StoreError> {
+        if self.chain_info(block_id, seq).is_some() {
+            let payload = self.get_bytes(block_id, seq)?;
+            let compressed = compress_auto(payload.as_ref());
+            let stored = if compressed.len() >= payload.len() {
+                payload.to_vec()
+            } else {
+                compressed
+            };
+            return Ok((stored, true));
+        }
+        Ok((self.get_stored(block_id, seq)?, false))
+    }
+
+    /// The stored (possibly compressed; for delta entries, the raw delta
+    /// frame) representation of a checkpoint as it sits on disk. Spooling
+    /// uses [`CheckpointStore::export_stored`] instead, which resolves
+    /// chains into self-contained objects.
     pub fn get_stored(&self, block_id: &str, seq: u64) -> Result<Vec<u8>, StoreError> {
         self.read_with_relocation_retry(block_id, seq, |entry| match &entry.loc {
             Location::File(file) => Ok(fs::read(self.root.join("ckpt").join(file))?),
@@ -1390,6 +1927,9 @@ impl CheckpointStore {
             segment_cache_misses: self.reads.cache_misses.load(Ordering::Relaxed),
             compactions: self.gc.runs.load(Ordering::Relaxed),
             compaction_reclaimed_bytes: self.gc.reclaimed.load(Ordering::Relaxed),
+            delta_reads: self.reads.delta_reads.load(Ordering::Relaxed),
+            chain_links_resolved: self.reads.chain_links.load(Ordering::Relaxed),
+            restore_cache_hits: self.reads.restore_cache_hits.load(Ordering::Relaxed),
             ..StoreStats::default()
         };
         // Live framing overhead counts as live when estimating dead bytes.
@@ -1400,12 +1940,23 @@ impl CheckpointStore {
                 for e in seqs.values() {
                     s.entries += 1;
                     match &e.loc {
-                        Location::Segment { .. } => {
+                        Location::Segment { delta, .. } => {
                             s.segment_entries += 1;
                             s.live_segment_bytes += e.stored;
                             live_overhead += ENTRY_HEADER_BYTES + block.len() as u64;
+                            let depth = delta.map_or(0, |(_, d)| d) as usize;
+                            s.chain_depth_hist[depth.min(CHAIN_DEPTH_BUCKETS - 1)] += 1;
+                            if delta.is_some() {
+                                s.delta_entries += 1;
+                            } else {
+                                s.keyframe_entries += 1;
+                            }
                         }
-                        Location::File(_) => s.legacy_entries += 1,
+                        Location::File(_) => {
+                            s.legacy_entries += 1;
+                            s.keyframe_entries += 1;
+                            s.chain_depth_hist[0] += 1;
+                        }
                     }
                 }
             }
@@ -1493,19 +2044,44 @@ impl CheckpointStore {
                 .unwrap_or(0);
         }
 
-        // Group live entries by source segment so old segments are read —
-        // and freed — one at a time: peak memory is one old segment plus
-        // the new segment being assembled, never the whole store.
+        // Blocks holding any delta entry are re-encoded payload-by-payload
+        // (chains resolved, then folded or re-chained under the current
+        // keyframe policy); every other block's entries move their stored
+        // bytes verbatim. Group the verbatim entries by source segment so
+        // old segments are read — and freed — one at a time: peak memory
+        // is one old segment plus the new segment being assembled, never
+        // the whole store.
+        let delta_blocks: HashSet<String> = live
+            .iter()
+            .filter(|(_, _, e)| e.loc.delta_link().is_some())
+            .map(|(block, _, _)| block.clone())
+            .collect();
         type SegEntryRef = (String, u64, u64, u32, u64, u32, bool);
         let mut by_seg: BTreeMap<u64, Vec<SegEntryRef>> = BTreeMap::new();
         let mut legacy: Vec<(String, u64, String, u64, u32)> = Vec::new();
+        let mut reencode: BTreeMap<String, Vec<(u64, IndexEntry)>> = BTreeMap::new();
+        let mut reencoded_legacy: Vec<String> = Vec::new();
         for (block, seq, e) in &live {
+            if delta_blocks.contains(block) {
+                reencode
+                    .entry(block.clone())
+                    .or_default()
+                    .push((*seq, e.clone()));
+                // A re-encoded block may still hold legacy v1 files; they
+                // migrate through the re-encode walk but must be deleted
+                // (and accounted) like any other migrated file.
+                if let Location::File(file) = &e.loc {
+                    reencoded_legacy.push(file.clone());
+                }
+                continue;
+            }
             match &e.loc {
                 Location::Segment {
                     seg,
                     offset,
                     len,
                     raw_stored,
+                    ..
                 } => {
                     by_seg.entry(*seg).or_default().push((
                         block.clone(),
@@ -1540,7 +2116,7 @@ impl CheckpointStore {
         }
         struct SegmentRewriter {
             cur: Option<NewSeg>,
-            new_locs: Vec<(String, u64, Location)>,
+            new_locs: Vec<(String, u64, Location, u64)>,
             new_segments: Vec<u64>,
             bytes_written: u64,
         }
@@ -1556,6 +2132,7 @@ impl CheckpointStore {
                 raw: u64,
                 crc: u32,
                 raw_stored: bool,
+                delta: Option<(u64, u32)>,
                 stored: &[u8],
             ) -> Result<(), StoreError> {
                 let ns = self.cur.get_or_insert_with(|| {
@@ -1569,7 +2146,16 @@ impl CheckpointStore {
                         footer: Vec::new(),
                     }
                 });
-                let offset = append_entry(&mut ns.bytes, block, seq, raw, crc, raw_stored, stored);
+                let offset = append_entry(
+                    &mut ns.bytes,
+                    block,
+                    seq,
+                    raw,
+                    crc,
+                    raw_stored,
+                    delta.is_some(),
+                    stored,
+                );
                 ns.footer.push(SegmentIndexEntry {
                     block_id: block.to_string(),
                     seq,
@@ -1578,6 +2164,7 @@ impl CheckpointStore {
                     stored: stored.len() as u32,
                     crc,
                     raw_stored,
+                    delta_stored: delta.is_some(),
                 });
                 self.new_locs.push((
                     block.to_string(),
@@ -1587,7 +2174,9 @@ impl CheckpointStore {
                         offset,
                         len: stored.len() as u32,
                         raw_stored,
+                        delta,
                     },
+                    stored.len() as u64,
                 ));
                 if ns.bytes.len() as u64 >= store.opts.segment_target_bytes {
                     self.flush(store)?;
@@ -1629,6 +2218,7 @@ impl CheckpointStore {
                     *raw,
                     *crc,
                     *raw_stored,
+                    None,
                     &data[*offset as usize..end],
                 )?;
                 report.rewritten_entries += 1;
@@ -1642,7 +2232,98 @@ impl CheckpointStore {
             old_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             let stored = fs::read(&path)?;
             // Legacy files are always compressed (raw_stored = false).
-            rewriter.push(self, block, *seq, *raw, *crc, false, &stored)?;
+            rewriter.push(self, block, *seq, *raw, *crc, false, None, &stored)?;
+            migrated_legacy.push(file.clone());
+            report.migrated_files += 1;
+        }
+
+        // Delta-bearing blocks: resolve every payload through the normal
+        // chain-aware read path (the old segments are still in place),
+        // then re-encode under the current keyframe policy. Long or
+        // orphan-prone chains fold into fresh keyframes here; healthy
+        // chains re-chain against their rewritten neighbors. An entry
+        // whose payload cannot be reconstructed (bit-rot, a re-put base)
+        // is moved *verbatim* — stored bytes and chain link unchanged, so
+        // it keeps failing loudly at read time — instead of aborting the
+        // whole pass: one corrupt checkpoint must not permanently disable
+        // GC for the entire store.
+        let k = self.opts.delta_keyframe_interval;
+        let min_bytes = self.opts.delta_min_bytes;
+        for (block, mut entries) in reencode {
+            entries.sort_by_key(|(seq, _)| *seq);
+            let mut prev: Option<DeltaBase> = None;
+            for (seq, entry) in entries {
+                let payload = match self.read_payload(&block, seq, &entry) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        let (stored, raw_stored, delta_link) = match &entry.loc {
+                            Location::Segment {
+                                seg,
+                                offset,
+                                len,
+                                raw_stored,
+                                delta,
+                            } => (
+                                self.stored_slice(&block, seq, *seg, *offset, *len)?
+                                    .to_vec(),
+                                *raw_stored,
+                                *delta,
+                            ),
+                            Location::File(file) => {
+                                (fs::read(self.root.join("ckpt").join(file))?, false, None)
+                            }
+                        };
+                        rewriter.push(
+                            self, &block, seq, entry.raw, entry.crc, raw_stored, delta_link,
+                            &stored,
+                        )?;
+                        report.rewritten_entries += 1;
+                        // `prev` stays: the next entry can still chain
+                        // against the last successfully decoded payload.
+                        continue;
+                    }
+                };
+                let mut encoded: Option<(Vec<u8>, u64, u32)> = None;
+                if k > 0 && payload.len() as u64 >= min_bytes {
+                    if let Some(p) = &prev {
+                        if p.seq < seq && p.depth + 1 < k {
+                            if let Some(f) = delta::encode(
+                                p.payload.as_ref(),
+                                payload.as_ref(),
+                                p.seq,
+                                p.crc,
+                                p.depth + 1,
+                            ) {
+                                encoded = Some((f, p.seq, p.depth + 1));
+                            }
+                        }
+                    }
+                }
+                let (stored, raw_stored, delta_link) =
+                    arbitrate_stored(encoded, payload.as_ref(), self.opts.compressor, true);
+                let old_depth = entry.loc.delta_link().map_or(0, |(_, d)| d);
+                let new_depth = delta_link.map_or(0, |(_, d)| d);
+                if old_depth > 0 && new_depth == 0 {
+                    report.chains_folded += 1;
+                }
+                report.reencoded_entries += 1;
+                report.rewritten_entries += 1;
+                rewriter.push(
+                    self, &block, seq, entry.raw, entry.crc, raw_stored, delta_link, &stored,
+                )?;
+                if k > 0 && payload.len() as u64 >= min_bytes {
+                    prev = Some(DeltaBase {
+                        seq,
+                        depth: new_depth,
+                        crc: entry.crc,
+                        payload,
+                    });
+                }
+            }
+        }
+        for file in &reencoded_legacy {
+            let path = self.root.join("ckpt").join(file);
+            old_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             migrated_legacy.push(file.clone());
             report.migrated_files += 1;
         }
@@ -1658,11 +2339,18 @@ impl CheckpointStore {
         // Swap the index over to the new locations, then the manifest
         // (atomically). Readers between these two steps see the new
         // segments; readers before see the old ones — both complete views.
-        for (block, seq, loc) in new_locs {
+        for (block, seq, loc, stored_len) in new_locs {
             let shard = &self.shards[Self::shard_of(&block)];
             let mut m = shard.write();
             if let Some(e) = m.get_mut(&block).and_then(|seqs| seqs.get_mut(&seq)) {
                 e.loc = loc;
+                // Re-encoded entries may change stored size; keep the O(1)
+                // byte totals truthful.
+                if e.stored != stored_len {
+                    self.stored_total.fetch_add(stored_len, Ordering::Relaxed);
+                    self.stored_total.fetch_sub(e.stored, Ordering::Relaxed);
+                    e.stored = stored_len;
+                }
             }
         }
         self.rewrite_manifest()?;
@@ -1683,6 +2371,20 @@ impl CheckpointStore {
             let mut cache = self.seg_cache.write();
             cache.clear();
             self.seg_cache_bytes.store(0, Ordering::Relaxed);
+        }
+        // Chain shapes changed: the delta caches must not serve stale
+        // depths or reconstructions. (Content-wise they'd still be right,
+        // but the depth bookkeeping governs future chain growth.)
+        {
+            let mut wcache = self.delta_write.lock();
+            wcache.clear();
+            self.delta_write_bytes.store(0, Ordering::Relaxed);
+        }
+        self.delta_rejects.lock().clear();
+        {
+            let mut cache = self.restore_cache.lock();
+            cache.clear();
+            self.restore_cache_bytes.store(0, Ordering::Relaxed);
         }
 
         report.reclaimed_bytes = old_bytes.saturating_sub(new_bytes_total);
@@ -1775,6 +2477,9 @@ impl Drop for CheckpointStore {
 
 /// Appends one entry (header + block id + payload) to a segment buffer,
 /// returning the payload offset.
+// One parameter per on-disk entry field; bundling them would just
+// re-invent the header struct ad hoc.
+#[allow(clippy::too_many_arguments)]
 fn append_entry(
     bytes: &mut Vec<u8>,
     block: &str,
@@ -1782,6 +2487,7 @@ fn append_entry(
     raw: u64,
     crc: u32,
     raw_stored: bool,
+    delta_stored: bool,
     stored: &[u8],
 ) -> u64 {
     assert!(block.len() <= u16::MAX as usize, "block id too long");
@@ -1790,7 +2496,7 @@ fn append_entry(
     bytes.extend_from_slice(&raw.to_le_bytes());
     bytes.extend_from_slice(&(stored.len() as u32).to_le_bytes());
     bytes.extend_from_slice(&crc.to_le_bytes());
-    bytes.push(if raw_stored { FLAG_RAW } else { 0 });
+    bytes.push(entry_flags(raw_stored, delta_stored));
     bytes.extend_from_slice(block.as_bytes());
     let offset = bytes.len() as u64;
     bytes.extend_from_slice(stored);
@@ -1822,10 +2528,12 @@ struct Staged {
     seq: u64,
     raw_len: u64,
     crc: u32,
-    /// Stored representation: compressed, or the raw payload when
-    /// compression did not shrink it (segmented format only).
+    /// Stored representation: a delta frame, compressed bytes, or the raw
+    /// payload when compression did not shrink it (segmented format only).
     stored: Vec<u8>,
     raw_stored: bool,
+    /// `Some((base_seq, depth))` when `stored` is a delta frame.
+    delta: Option<(u64, u32)>,
 }
 
 /// A group of checkpoints committed together.
@@ -1837,28 +2545,104 @@ struct Staged {
 pub struct WriteBatch<'a> {
     store: &'a CheckpointStore,
     staged: Vec<Staged>,
+    /// Per-block last payload staged *in this batch* — the delta base for
+    /// the block's next stage before anything commits. Promoted into the
+    /// store's write cache only when the batch commits.
+    pending_bases: HashMap<String, DeltaBase>,
 }
 
 impl WriteBatch<'_> {
-    /// Stages a checkpoint payload for `(block_id, seq)`. Compression and
-    /// CRC stamping happen now; nothing touches disk until
-    /// [`WriteBatch::commit`]. Payloads that compression does not shrink
-    /// are stored raw (segmented format), which is what makes their reads
-    /// zero-copy.
+    /// Stages a checkpoint payload for `(block_id, seq)`. Compression,
+    /// delta encoding, and CRC stamping happen now; nothing touches disk
+    /// until [`WriteBatch::commit`]. Payloads that compression does not
+    /// shrink are stored raw (segmented format), which is what makes
+    /// their reads zero-copy; payloads that differ only slightly from the
+    /// block's previous version are stored as [`crate::delta`] frames
+    /// (chain depth bounded by
+    /// [`StoreOptions::delta_keyframe_interval`]). Within one batch,
+    /// earlier stages serve as delta bases for later stages of the same
+    /// block — correct across a crash because commit appends them in
+    /// stage order, so any durable manifest prefix contains a delta's
+    /// base before the delta itself.
     pub fn stage(&mut self, block_id: &str, seq: u64, payload: &[u8]) {
         assert!(
             !block_id.contains(['\t', '\n', '/']),
             "block id {block_id:?} contains reserved characters"
         );
-        let crc = crc32(payload);
-        let compressed = compress(payload);
-        let (stored, raw_stored) = if self.store.opts.format == StoreFormat::Segmented
-            && compressed.len() >= payload.len()
-        {
-            (payload.to_vec(), true)
-        } else {
-            (compressed, false)
+        // The Reference pipeline reproduces the full pre-PR submit cost
+        // (its CRC included) so before/after benchmarks stay honest.
+        let crc = match self.store.opts.compressor {
+            Compressor::Pipeline => crc32(payload),
+            Compressor::Reference => crc32_reference(payload),
         };
+        let segmented = self.store.opts.format == StoreFormat::Segmented;
+        let k = self.store.opts.delta_keyframe_interval;
+        let delta_eligible =
+            segmented && k > 0 && payload.len() as u64 >= self.store.opts.delta_min_bytes;
+
+        // Back-off: a block whose payloads keep rewriting themselves (a
+        // from-scratch training regime) stops paying the probe and the
+        // base-cache memcpy after a few consecutive rejections, re-probing
+        // periodically so a regime change resumes chaining.
+        let probe = delta_eligible
+            && (seq.is_multiple_of(DELTA_RETRY_PERIOD)
+                || self
+                    .store
+                    .delta_rejects
+                    .lock()
+                    .get(block_id)
+                    .is_none_or(|&r| r < DELTA_REJECT_THRESHOLD));
+
+        let mut encoded: Option<(Vec<u8>, u64, u32)> = None;
+        let mut base_found = false;
+        if probe {
+            // Strictly forward chains only: a re-put or out-of-order seq
+            // takes the keyframe path (and a same-seq re-put is detected
+            // at read time via the frame's base CRC). Base priority: this
+            // batch's own stages, then the store-wide write cache, then —
+            // when racing batches left both behind — the newest committed
+            // version from the index.
+            let base = self
+                .pending_bases
+                .get(block_id)
+                .cloned()
+                .or_else(|| self.store.delta_write.lock().get(block_id).cloned())
+                .filter(|b| b.seq < seq && b.depth + 1 < k)
+                .or_else(|| {
+                    self.store
+                        .delta_base_from_index(block_id, seq)
+                        .filter(|b| b.depth + 1 < k)
+                });
+            if let Some(b) = base {
+                base_found = true;
+                if let Some(frame) =
+                    delta::encode(b.payload.as_ref(), payload, b.seq, b.crc, b.depth + 1)
+                {
+                    encoded = Some((frame, b.seq, b.depth + 1));
+                }
+            }
+        }
+        if base_found {
+            let mut rejects = self.store.delta_rejects.lock();
+            if encoded.is_some() {
+                rejects.remove(block_id);
+            } else {
+                *rejects.entry(block_id.to_string()).or_insert(0) += 1;
+            }
+        }
+        let (stored, raw_stored, delta) =
+            arbitrate_stored(encoded, payload, self.store.opts.compressor, segmented);
+        if probe || delta.is_some() {
+            self.pending_bases.insert(
+                block_id.to_string(),
+                DeltaBase {
+                    seq,
+                    depth: delta.map_or(0, |(_, d)| d),
+                    crc,
+                    payload: Bytes::copy_from_slice(payload),
+                },
+            );
+        }
         self.staged.push(Staged {
             block_id: block_id.to_string(),
             seq,
@@ -1866,6 +2650,7 @@ impl WriteBatch<'_> {
             crc,
             stored,
             raw_stored,
+            delta,
         });
     }
 
@@ -1918,6 +2703,7 @@ impl WriteBatch<'_> {
             raw_len: u64,
             crc: u32,
             stored_len: u64,
+            chain_depth: u32,
             loc: Location,
         }
         let mut placed: Vec<PlacedMeta> = Vec::with_capacity(self.staged.len());
@@ -1956,6 +2742,7 @@ impl WriteBatch<'_> {
                 s.raw_len,
                 s.crc,
                 s.raw_stored,
+                s.delta.is_some(),
                 &s.stored,
             );
             let offset = active.len + offset_in_buf;
@@ -1964,6 +2751,7 @@ impl WriteBatch<'_> {
                 offset,
                 len: s.stored.len() as u32,
                 raw_stored: s.raw_stored,
+                delta: s.delta,
             };
             recs.push(SegmentIndexEntry {
                 block_id: s.block_id.clone(),
@@ -1973,6 +2761,7 @@ impl WriteBatch<'_> {
                 stored: s.stored.len() as u32,
                 crc: s.crc,
                 raw_stored: s.raw_stored,
+                delta_stored: s.delta.is_some(),
             });
             placed.push(PlacedMeta {
                 stored_len: s.stored.len() as u64,
@@ -1980,6 +2769,7 @@ impl WriteBatch<'_> {
                 seq: s.seq,
                 raw_len: s.raw_len,
                 crc: s.crc,
+                chain_depth: s.delta.map_or(0, |(_, d)| d),
                 loc,
             });
             // `s.stored` drops here — the payload now lives only in `buf`.
@@ -2036,7 +2826,22 @@ impl WriteBatch<'_> {
                 seq: p.seq,
                 stored_bytes: p.stored_len,
                 raw_bytes: p.raw_len,
+                chain_depth: p.chain_depth,
             });
+            // A re-put over a cached reconstruction would leave the
+            // restore cache serving stale bytes to later chain walks.
+            {
+                let mut cache = store.restore_cache.lock();
+                if let Some((cseq, _, _)) = cache.get(&p.block_id) {
+                    if *cseq == p.seq {
+                        if let Some((_, _, old)) = cache.remove(&p.block_id) {
+                            store
+                                .restore_cache_bytes
+                                .fetch_sub(old.len() as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
             store.index_insert(
                 p.block_id,
                 p.seq,
@@ -2047,6 +2852,41 @@ impl WriteBatch<'_> {
                     stored: p.stored_len,
                 },
             );
+        }
+        // Promote this batch's last payloads into the store-wide delta
+        // base cache (monotonic per block: concurrent batches may commit
+        // out of seq order, and the base must only ever move forward).
+        // Byte-budgeted like the read-side caches — an evicted block's
+        // next stage falls back to the committed index, so a long-lived
+        // handle never pins unbounded raw payloads.
+        if !self.pending_bases.is_empty() {
+            let mut wcache = store.delta_write.lock();
+            for (block, base) in self.pending_bases {
+                match wcache.get(&block) {
+                    Some(existing) if existing.seq > base.seq => {}
+                    _ => {
+                        let incoming = base.payload.len() as u64;
+                        if let Some(old) = wcache.insert(block, base) {
+                            store
+                                .delta_write_bytes
+                                .fetch_sub(old.payload.len() as u64, Ordering::Relaxed);
+                        }
+                        store
+                            .delta_write_bytes
+                            .fetch_add(incoming, Ordering::Relaxed);
+                    }
+                }
+            }
+            while store.delta_write_bytes.load(Ordering::Relaxed) > DELTA_WRITE_BUDGET_BYTES
+                && wcache.len() > 1
+            {
+                let victim = wcache.keys().next().expect("non-empty cache").clone();
+                if let Some(evicted) = wcache.remove(&victim) {
+                    store
+                        .delta_write_bytes
+                        .fetch_sub(evicted.payload.len() as u64, Ordering::Relaxed);
+                }
+            }
         }
         Ok(metas)
     }
@@ -2094,6 +2934,7 @@ impl WriteBatch<'_> {
                 seq: s.seq,
                 stored_bytes: s.stored.len() as u64,
                 raw_bytes: s.raw_len,
+                chain_depth: 0,
             });
             store.index_insert(
                 s.block_id,
@@ -2477,6 +3318,25 @@ mod tests {
         // IEEE CRC32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32_reference(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn crc32_sliced_matches_reference_across_lengths() {
+        // Slicing-by-8 must be bit-identical to the byte-at-a-time loop
+        // for every remainder length and content.
+        let mut x = 0xACE1u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        for n in (0..64).chain([255, 1000, 4095, 4096]) {
+            assert_eq!(crc32(&data[..n]), crc32_reference(&data[..n]), "len {n}");
+        }
     }
 
     #[test]
@@ -2530,8 +3390,12 @@ mod tests {
     #[test]
     fn segments_roll_at_target_and_sealed_footers_index_them() {
         let dir = tmpdir("roll");
+        // Delta off: the `seed | 1` fixture makes adjacent payloads
+        // identical, which delta would collapse — this test is about
+        // rolling, so keep every entry full-size.
         let opts = StoreOptions {
             segment_target_bytes: 4096,
+            delta_keyframe_interval: 0,
             ..StoreOptions::default()
         };
         {
@@ -2833,7 +3697,7 @@ mod tests {
         let meta = store.put("sb_0", 0, &payload).unwrap();
         let stored = store.get_stored("sb_0", 0).unwrap();
         assert_eq!(stored.len() as u64, meta.stored_bytes);
-        assert_eq!(decompress(&stored).unwrap(), payload);
+        assert_eq!(decompress_any(&stored).unwrap(), payload);
         // Incompressible payload: stored form is the payload itself.
         let raw = incompressible(2048, 5);
         store.put("sb_0", 1, &raw).unwrap();
@@ -2927,19 +3791,469 @@ mod tests {
                 offset: 4096,
                 len: 128,
                 raw_stored: false,
+                delta: None,
             },
             Location::Segment {
                 seg: 0,
                 offset: 8,
                 len: 1,
                 raw_stored: true,
+                delta: None,
+            },
+            Location::Segment {
+                seg: 12,
+                offset: 900,
+                len: 77,
+                raw_stored: false,
+                delta: Some((41, 3)),
             },
         ] {
             assert_eq!(Location::parse(&loc.render()), loc);
         }
         // Near-miss strings fall back to legacy file names.
-        for s in ["@1:2", "@1:2:x", "@1:2:3:z", "@a:b:c", "sb.000001"] {
+        for s in [
+            "@1:2",
+            "@1:2:x",
+            "@1:2:3:z",
+            "@a:b:c",
+            "sb.000001",
+            "@1:2:3:d",
+            "@1:2:3:dx:1",
+            "@1:2:3:d4:x",
+            "@1:2:3:d4:5:6",
+        ] {
             assert_eq!(Location::parse(s), Location::File(s.to_string()));
+        }
+    }
+
+    // ---- delta chains ------------------------------------------------------
+
+    /// A drifting f32 slab: version `v` perturbs a sliding 5% of the
+    /// elements of version `v - 1`, like one optimizer step.
+    fn drifting_payload(version: u64, floats: usize) -> Vec<u8> {
+        let mut vals: Vec<f32> = (0..floats).map(|i| (i as f32 * 0.37).sin()).collect();
+        for v in 1..=version {
+            for (i, val) in vals.iter_mut().enumerate() {
+                if (i as u64).wrapping_mul(31).wrapping_add(v) % 20 == 0 {
+                    *val += 0.001 * v as f32;
+                }
+            }
+        }
+        vals.iter().flat_map(|f| f.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn delta_chains_shrink_storage_and_roundtrip_across_reopen() {
+        let dir = tmpdir("delta-roundtrip");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            for seq in 0..12u64 {
+                store
+                    .put("sb_0", seq, &drifting_payload(seq, 4096))
+                    .unwrap();
+            }
+            let s = store.stats();
+            assert!(s.delta_entries >= 8, "{s:?}");
+            assert!(
+                s.keyframe_entries >= 2,
+                "K=8 forces a second keyframe: {s:?}"
+            );
+            assert!(
+                s.stored_bytes * 3 < s.raw_bytes,
+                "delta must shrink the drifting workload ≥3×: {s:?}"
+            );
+            for seq in 0..12u64 {
+                assert_eq!(store.get("sb_0", seq).unwrap(), drifting_payload(seq, 4096));
+            }
+        }
+        // Reopen: chains reload from the manifest and resolve identically.
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().is_clean());
+        for seq in (0..12u64).rev() {
+            assert_eq!(store.get("sb_0", seq).unwrap(), drifting_payload(seq, 4096));
+        }
+    }
+
+    #[test]
+    fn keyframe_interval_bounds_chain_depth() {
+        let store = CheckpointStore::open_opts(
+            tmpdir("delta-depth"),
+            StoreOptions {
+                delta_keyframe_interval: 4,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        for seq in 0..12u64 {
+            let meta = store
+                .put("sb_0", seq, &drifting_payload(seq, 2048))
+                .unwrap();
+            assert_eq!(meta.chain_depth as u64, seq % 4, "seq {seq}");
+        }
+        let s = store.stats();
+        assert_eq!(s.keyframe_entries, 3);
+        assert_eq!(s.delta_entries, 9);
+        assert_eq!(&s.chain_depth_hist[..4], &[3, 3, 3, 3]);
+        for seq in 0..12u64 {
+            assert_eq!(
+                store.chain_info("sb_0", seq),
+                if seq % 4 == 0 {
+                    None
+                } else {
+                    Some((seq - 1, (seq % 4) as u32))
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_chain_restores_hit_the_restore_cache() {
+        let store = CheckpointStore::open(tmpdir("delta-cache")).unwrap();
+        for seq in 0..8u64 {
+            store
+                .put("sb_0", seq, &drifting_payload(seq, 2048))
+                .unwrap();
+        }
+        for seq in 0..8u64 {
+            store.get_bytes("sb_0", seq).unwrap();
+        }
+        let s = store.stats();
+        assert!(s.delta_reads >= 7, "{s:?}");
+        assert!(s.restore_cache_hits >= 5, "{s:?}");
+        // Each sequential delta restore resolves O(1) links, not O(depth).
+        assert!(
+            s.chain_links_resolved <= s.delta_reads + 4,
+            "sequential restores must not re-walk whole chains: {s:?}"
+        );
+    }
+
+    #[test]
+    fn never_chaining_blocks_back_off_and_regime_changes_resume() {
+        // A block whose versions rewrite themselves entirely must stop
+        // paying the probe + base-cache copy after a few rejections…
+        let store = CheckpointStore::open(tmpdir("delta-backoff")).unwrap();
+        for seq in 1..6u64 {
+            // Avoid retry seqs (multiples of DELTA_RETRY_PERIOD).
+            store
+                .put("sb_0", seq, &incompressible(4096, seq as u32 * 7 + 1))
+                .unwrap();
+        }
+        assert!(
+            *store.delta_rejects.lock().get("sb_0").unwrap() >= DELTA_REJECT_THRESHOLD,
+            "rejections must accumulate"
+        );
+        // Back-off active: non-retry stages stop caching payloads.
+        let cached_before = store.delta_write_bytes.load(Ordering::Relaxed);
+        store.put("sb_0", 6, &incompressible(4096, 999)).unwrap();
+        assert_eq!(
+            store.delta_write_bytes.load(Ordering::Relaxed),
+            cached_before,
+            "backed-off stages must not copy payloads into the base cache"
+        );
+        assert_eq!(store.stats().delta_entries, 0);
+        // …and resume chaining when the content regime changes: a retry
+        // seq caches the first new-regime payload, the retry after that
+        // chains against it and resets the streak, and dense chains
+        // resume from there.
+        let drift_base = drifting_payload(0, 1024);
+        for seq in 8..24u64 {
+            let mut p = drift_base.clone();
+            p[seq as usize] ^= 1; // tiny per-version difference
+            store.put("sb_0", seq, &p).unwrap();
+        }
+        let s = store.stats();
+        assert!(
+            s.delta_entries >= 6,
+            "regime change must resume chaining: {s:?}"
+        );
+        for seq in 8..24u64 {
+            let mut p = drift_base.clone();
+            p[seq as usize] ^= 1;
+            assert_eq!(store.get("sb_0", seq).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn repeated_reads_of_one_delta_entry_hit_the_restore_cache() {
+        let store = CheckpointStore::open(tmpdir("delta-repeat")).unwrap();
+        for seq in 0..6u64 {
+            store
+                .put("sb_0", seq, &drifting_payload(seq, 2048))
+                .unwrap();
+        }
+        store.get_bytes("sb_0", 5).unwrap();
+        let links_after_first = store.stats().chain_links_resolved;
+        store.get_bytes("sb_0", 5).unwrap();
+        let s = store.stats();
+        assert_eq!(
+            s.chain_links_resolved, links_after_first,
+            "second read of the same entry must not re-walk the chain: {s:?}"
+        );
+        assert!(s.restore_cache_hits >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn compaction_survives_a_corrupt_chain_member() {
+        // One bit-rotted delta frame must not permanently disable GC:
+        // compaction moves the broken entry verbatim (still failing
+        // loudly at read time) and completes for everything else.
+        let dir = tmpdir("delta-compact-corrupt");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            for seq in 0..6u64 {
+                store
+                    .put("sb_0", seq, &drifting_payload(seq, 2048))
+                    .unwrap();
+            }
+            // Corrupt the middle of seq 3's stored frame on disk.
+            let e = store.lookup("sb_0", 3).unwrap();
+            let Location::Segment {
+                seg, offset, len, ..
+            } = e.loc
+            else {
+                panic!("expected a segment entry");
+            };
+            assert!(e.loc.delta_link().is_some(), "fixture must corrupt a delta");
+            let path = store.segment_path(seg);
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[(offset + len as u64 / 2) as usize] ^= 0xFF;
+            fs::write(&path, &bytes).unwrap();
+        }
+        // Fresh handle (no warm caches).
+        let store = CheckpointStore::open(&dir).unwrap();
+        let report = store.compact().expect("compaction must complete");
+        assert_eq!(report.rewritten_entries, 6, "{report:?}");
+        // Seq 3 (and any chain member that decoded through it) stays
+        // loud; everything up-chain of the corruption reads fine.
+        for seq in 0..3u64 {
+            assert_eq!(
+                store.get("sb_0", seq).unwrap(),
+                drifting_payload(seq, 2048),
+                "seq {seq}"
+            );
+        }
+        assert!(store.get("sb_0", 3).is_err(), "corruption must stay loud");
+        // And GC keeps working on later passes.
+        store.put("sb_1", 0, &drifting_payload(0, 2048)).unwrap();
+        store
+            .compact()
+            .expect("subsequent compactions keep working");
+    }
+
+    #[test]
+    fn missing_chain_base_cascades_at_open() {
+        let dir = tmpdir("delta-cascade");
+        let opts = StoreOptions {
+            segment_target_bytes: 1, // roll after every commit
+            ..StoreOptions::default()
+        };
+        {
+            let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+            for seq in 0..4u64 {
+                store
+                    .put("sb_0", seq, &drifting_payload(seq, 2048))
+                    .unwrap();
+            }
+            assert!(store.stats().delta_entries >= 3);
+        }
+        // The keyframe's segment vanishes: every chained descendant is
+        // unrestorable and must cascade out of the index, loudly.
+        fs::remove_file(dir.join("seg").join("00000000.seg")).unwrap();
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        let r = store.recovery_report().clone();
+        assert_eq!(r.missing_entries.len(), 4, "{r:?}");
+        assert!(r.repaired_manifest);
+        assert_eq!(store.entries().len(), 0);
+        // The repaired store reopens without missing entries; the dropped
+        // chains' segments linger only as reported orphans (reclaimed by
+        // the next compaction, as usual).
+        drop(store);
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        let r = store.recovery_report().clone();
+        assert!(r.missing_entries.is_empty(), "{r:?}");
+        assert!(!r.repaired_manifest, "{r:?}");
+        assert!(!r.orphaned_segments.is_empty(), "{r:?}");
+        store.compact().unwrap();
+        drop(store);
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        assert!(store.recovery_report().is_clean());
+    }
+
+    #[test]
+    fn re_put_over_a_delta_base_fails_loudly_not_silently() {
+        let store = CheckpointStore::open(tmpdir("delta-reput")).unwrap();
+        store.put("sb_0", 0, &drifting_payload(0, 2048)).unwrap();
+        store.put("sb_0", 1, &drifting_payload(1, 2048)).unwrap();
+        assert!(store.chain_info("sb_0", 1).is_some());
+        // Re-put the base with different content: the chained child's
+        // recorded base CRC no longer matches.
+        store.put("sb_0", 0, &drifting_payload(7, 2048)).unwrap();
+        match store.get_bytes("sb_0", 1) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("re-put"), "{detail}");
+            }
+            other => panic!("expected loud corruption, got {other:?}"),
+        }
+        // The re-put base itself reads fine.
+        assert_eq!(store.get("sb_0", 0).unwrap(), drifting_payload(7, 2048));
+    }
+
+    #[test]
+    fn compaction_preserves_chains_and_reads() {
+        let dir = tmpdir("delta-compact");
+        let store = CheckpointStore::open(&dir).unwrap();
+        for seq in 0..10u64 {
+            store
+                .put("sb_0", seq, &drifting_payload(seq, 2048))
+                .unwrap();
+        }
+        // Some dead bytes via a re-put of the newest version (no children).
+        store.put("sb_0", 9, &drifting_payload(9, 2048)).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.reencoded_entries, 10);
+        assert!(store.stats().delta_entries >= 7, "{:?}", store.stats());
+        for seq in 0..10u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), drifting_payload(seq, 2048));
+        }
+        // Reopen after compaction: still clean, still readable.
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().is_clean());
+        assert_eq!(store.get("sb_0", 9).unwrap(), drifting_payload(9, 2048));
+    }
+
+    #[test]
+    fn compaction_folds_chains_under_a_smaller_interval() {
+        let dir = tmpdir("delta-fold");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            for seq in 0..8u64 {
+                store
+                    .put("sb_0", seq, &drifting_payload(seq, 2048))
+                    .unwrap();
+            }
+            assert!(store.stats().delta_entries >= 6);
+        }
+        // Reopen with delta disabled: compaction folds every chain into
+        // fresh keyframes.
+        let store = CheckpointStore::open_opts(
+            &dir,
+            StoreOptions {
+                delta_keyframe_interval: 0,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let report = store.compact().unwrap();
+        assert!(report.chains_folded >= 6, "{report:?}");
+        let s = store.stats();
+        assert_eq!(s.delta_entries, 0, "{s:?}");
+        for seq in 0..8u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), drifting_payload(seq, 2048));
+        }
+    }
+
+    #[test]
+    fn delta_stored_form_and_standalone_export() {
+        let store = CheckpointStore::open(tmpdir("delta-export")).unwrap();
+        store.put("sb_0", 0, &drifting_payload(0, 2048)).unwrap();
+        store.put("sb_0", 1, &drifting_payload(1, 2048)).unwrap();
+        // On-disk form of the chained entry is a delta frame…
+        let stored = store.get_stored("sb_0", 1).unwrap();
+        assert!(delta::is_delta(&stored));
+        // …but the export is self-contained.
+        let (exported, resolved) = store.export_stored("sb_0", 1).unwrap();
+        assert!(resolved);
+        assert!(!delta::is_delta(&exported));
+        let payload =
+            crate::compress::decompress_any(&exported).unwrap_or_else(|_| exported.clone());
+        assert_eq!(payload, drifting_payload(1, 2048));
+        let (key_export, key_resolved) = store.export_stored("sb_0", 0).unwrap();
+        assert!(!key_resolved);
+        assert_eq!(
+            crate::compress::decompress_any(&key_export).unwrap_or(key_export),
+            drifting_payload(0, 2048)
+        );
+    }
+
+    #[test]
+    fn delta_disabled_stores_behave_like_before() {
+        let store = CheckpointStore::open_opts(
+            tmpdir("delta-off"),
+            StoreOptions {
+                delta_keyframe_interval: 0,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        for seq in 0..6u64 {
+            store
+                .put("sb_0", seq, &drifting_payload(seq, 2048))
+                .unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.delta_entries, 0);
+        assert_eq!(s.keyframe_entries, 6);
+        for seq in 0..6u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), drifting_payload(seq, 2048));
+        }
+    }
+
+    #[test]
+    fn tiny_payloads_never_chain() {
+        let store = CheckpointStore::open(tmpdir("delta-tiny")).unwrap();
+        for seq in 0..6u64 {
+            store
+                .put("sb_0", seq, format!("tiny-{}", seq % 2).as_bytes())
+                .unwrap();
+        }
+        assert_eq!(store.stats().delta_entries, 0);
+    }
+
+    #[test]
+    fn batch_internal_chains_commit_in_stage_order() {
+        // Later stages in one batch delta against earlier stages of the
+        // same batch; a crash-recovered prefix always contains a delta's
+        // base before the delta (manifest lines land in stage order).
+        let dir = tmpdir("delta-batch");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut batch = store.batch();
+        for seq in 0..6u64 {
+            batch.stage("sb_0", seq, &drifting_payload(seq, 2048));
+        }
+        batch.commit().unwrap();
+        assert!(store.stats().delta_entries >= 5, "{:?}", store.stats());
+        for seq in 0..6u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), drifting_payload(seq, 2048));
+        }
+        // Every manifest prefix (cut at line granularity) reopens into a
+        // store whose surviving chain entries all read back.
+        let manifest_text = fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        let lines: Vec<&str> = manifest_text.lines().collect();
+        for keep in 0..=lines.len() {
+            let prefix_dir = tmpdir(&format!("delta-batch-prefix-{keep}"));
+            fs::create_dir_all(&prefix_dir).unwrap();
+            // Clone the segments, truncate the manifest to `keep` lines.
+            let mut text = String::new();
+            for l in &lines[..keep] {
+                text.push_str(l);
+                text.push('\n');
+            }
+            fs::write(prefix_dir.join("MANIFEST"), text).unwrap();
+            fs::create_dir_all(prefix_dir.join("seg")).unwrap();
+            for entry in fs::read_dir(dir.join("seg")).unwrap() {
+                let entry = entry.unwrap();
+                fs::copy(entry.path(), prefix_dir.join("seg").join(entry.file_name())).unwrap();
+            }
+            let prefix_store = CheckpointStore::open(&prefix_dir).unwrap();
+            assert_eq!(prefix_store.entries().len(), keep, "prefix {keep}");
+            for seq in 0..keep as u64 {
+                assert_eq!(
+                    prefix_store.get("sb_0", seq).unwrap(),
+                    drifting_payload(seq, 2048),
+                    "prefix {keep} seq {seq}"
+                );
+            }
         }
     }
 }

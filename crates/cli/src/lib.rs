@@ -19,7 +19,7 @@ pub const USAGE: &str = "\
 usage:
   flor run      <script.flr>
   flor record   <script.flr> --store <dir> [--epsilon F] [--no-adaptive]
-                [--registry <dir>] [--run-id <id>]
+                [--registry <dir>] [--run-id <id>] [--delta-keyframe K]
   flor replay   <script.flr> --store <dir> [--workers N] [--weak] [--steal]
   flor sample   <script.flr> --store <dir> --iters 3,7,12
   flor inspect  <script.flr>
@@ -84,7 +84,14 @@ impl<'a> Args<'a> {
             let a = raw[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
                 let takes_value = [
-                    "store", "workers", "iters", "epsilon", "registry", "run-id", "keep",
+                    "store",
+                    "workers",
+                    "iters",
+                    "epsilon",
+                    "registry",
+                    "run-id",
+                    "keep",
+                    "delta-keyframe",
                 ]
                 .contains(&name);
                 if takes_value {
@@ -217,6 +224,12 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --epsilon {eps:?}")))?;
     }
+    if let Some(k) = args.value("delta-keyframe") {
+        opts.delta_keyframe_interval = Some(
+            k.parse()
+                .map_err(|_| CliError::Usage(format!("bad --delta-keyframe {k:?}")))?,
+        );
+    }
 
     let mut registered = None;
     let report = match registry_root {
@@ -241,6 +254,7 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
                     let (report, rec) = registry.record_run(&run_id, &src, |o| {
                         o.adaptive = opts.adaptive;
                         o.epsilon = opts.epsilon;
+                        o.delta_keyframe_interval = opts.delta_keyframe_interval;
                     })?;
                     registered = Some(rec);
                     report
@@ -267,6 +281,11 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
         report.materializer.jobs,
         report.materializer.group_commits,
         report.materializer.group_commit_jobs
+    );
+    let _ = writeln!(
+        out,
+        "# delta chains: {} delta checkpoint(s), {} keyframe(s)",
+        report.materializer.delta_checkpoints, report.materializer.keyframe_checkpoints
     );
     for b in &report.blocks {
         let _ = writeln!(
@@ -433,9 +452,37 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
         );
         let _ = writeln!(
             out,
+            "compression:  {:.2}x (raw/stored)",
+            s.compression_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "delta chains: {} delta entr{}, {} keyframe(s)",
+            s.delta_entries,
+            if s.delta_entries == 1 { "y" } else { "ies" },
+            s.keyframe_entries
+        );
+        // Depth histogram, trimmed at the deepest populated bucket.
+        let deepest = s.chain_depth_hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let hist = s.chain_depth_hist[..=deepest]
+            .iter()
+            .enumerate()
+            .map(|(d, c)| format!("{d}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "chain depths: {hist}");
+        let _ = writeln!(
+            out,
             "reads:        {} ({} zero-copy; segment cache {} hits / {} misses)",
             s.reads, s.zero_copy_reads, s.segment_cache_hits, s.segment_cache_misses
         );
+        if s.delta_reads > 0 {
+            let _ = writeln!(
+                out,
+                "delta reads:  {} ({} links resolved, {} restore-cache hits)",
+                s.delta_reads, s.chain_links_resolved, s.restore_cache_hits
+            );
+        }
         let _ = writeln!(
             out,
             "compactions:  {} ({} bytes reclaimed)",
@@ -496,6 +543,11 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
                 report.segments_removed,
                 report.legacy_files_removed,
                 report.reclaimed_bytes
+            );
+            let _ = writeln!(
+                out,
+                "# delta chains: {} re-encoded, {} chain(s) folded into fresh keyframes",
+                report.reencoded_entries, report.chains_folded
             );
             out.push_str(&render_stats(&store.stats()));
             Ok(out)
@@ -974,10 +1026,14 @@ for epoch in range(4):
         let out = cli(&["store", "stats", "--store", store.to_str().unwrap()]).unwrap();
         assert!(out.contains("entries:"), "{out}");
         assert!(out.contains("segments:"), "{out}");
+        assert!(out.contains("compression:"), "{out}");
+        assert!(out.contains("delta chains:"), "{out}");
+        assert!(out.contains("chain depths: 0:"), "{out}");
         assert!(out.contains("recovery:     clean"), "{out}");
 
         let out = cli(&["store", "compact", "--store", store.to_str().unwrap()]).unwrap();
         assert!(out.contains("# compacted:"), "{out}");
+        assert!(out.contains("chain(s) folded"), "{out}");
         assert!(out.contains("compactions:  1"), "{out}");
 
         // Compacted store still replays cleanly.

@@ -94,6 +94,12 @@ pub struct ReplayStats {
     /// strictly below the replay wall time when any worker produced output
     /// before the last one finished — the streaming-merge win.
     pub stream_first_entry_ns: u64,
+    /// Restores that resolved a delta-chain entry (store-level counter,
+    /// attributed to this replay).
+    pub delta_restores: u64,
+    /// Delta links decoded across those restores (≈ `delta_restores` when
+    /// the store's restore cache rides sequential partitions).
+    pub chain_links: u64,
 }
 
 /// Replay-mode state for one worker.

@@ -10,6 +10,14 @@
 //! interpreter's own execution instead of serializing behind it, the
 //! worker-thread analogue of the record phase's background materializer.
 //!
+//! Delta-chained checkpoints make the prefetcher pull *bases* ahead for
+//! free: `get_bytes` resolves a chain entry by walking to its keyframe
+//! (or to the store's per-block restore cache), so the background thread
+//! absorbs the whole chain walk and leaves the restore cache warm — the
+//! worker's later restores of deeper links in the same chain then pay a
+//! single delta decode each, whether they hit the parked buffer or fall
+//! through to a direct read.
+//!
 //! The restore path consumes buffers with [`Prefetcher::take`]; a miss
 //! (not fetched yet, or the fetch failed) simply falls through to a direct
 //! store read, which re-surfaces any error with full context. Fetched
@@ -282,19 +290,24 @@ mod tests {
     #[test]
     fn budget_charges_shared_backings_once_and_releases_on_last_take() {
         let store = tmpstore("backing");
-        // Incompressible payloads land raw-stored in one segment: every
-        // fetched slice shares that segment's backing buffer.
-        let mut x = 0x9E3779B9u32;
-        let payload: Vec<u8> = (0..2048)
-            .map(|_| {
-                x ^= x << 13;
-                x ^= x >> 17;
-                x ^= x << 5;
-                x as u8
-            })
-            .collect();
+        // Distinct incompressible payloads land raw-stored in one segment:
+        // every fetched slice shares that segment's backing buffer.
+        // (Distinct, not repeated — identical payloads would delta-chain
+        // and reconstruct into private buffers instead of zero-copy
+        // slices.)
+        let payload = |seq: u64| -> Vec<u8> {
+            let mut x = 0x9E3779B9u32 ^ ((seq as u32 + 1) << 8);
+            (0..2048)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    x as u8
+                })
+                .collect()
+        };
         for seq in 0..4u64 {
-            store.put("sb_0", seq, &payload).unwrap();
+            store.put("sb_0", seq, &payload(seq)).unwrap();
         }
         let keys: Vec<_> = (0..4u64).map(|s| ("sb_0".to_string(), s)).collect();
         let mut p = Prefetcher::spawn(store, keys);
@@ -317,6 +330,44 @@ mod tests {
             p.outstanding_backing_bytes(),
             0,
             "last take releases the backing"
+        );
+    }
+
+    #[test]
+    fn delta_chains_prefetch_fully_resolved() {
+        // A worker partition often starts mid-chain (weak init lands on an
+        // anchor, work iterations walk forward). The prefetcher must hand
+        // back fully reconstructed payloads, having done the chain walk —
+        // keyframe read plus delta decodes — on the background thread.
+        let store = tmpstore("delta-chain");
+        let payload = |v: u64| -> Vec<u8> {
+            (0..1024u32)
+                .flat_map(|i| {
+                    let f =
+                        (i as f32 * 0.07).sin() + if i % 11 == 0 { v as f32 * 0.01 } else { 0.0 };
+                    f.to_le_bytes()
+                })
+                .collect()
+        };
+        for seq in 0..8u64 {
+            store.put("sb_0", seq, &payload(seq)).unwrap();
+        }
+        assert!(store.stats().delta_entries >= 6, "{:?}", store.stats());
+        // Schedule starts mid-chain: seq 3's chain walks back to the
+        // keyframe; 4..8 each resolve one link off the warm restore cache.
+        let keys: Vec<_> = (3..8u64).map(|s| ("sb_0".to_string(), s)).collect();
+        let mut p = Prefetcher::spawn(store.clone(), keys);
+        p.join();
+        assert_eq!(p.fetched(), 5);
+        for seq in 3..8u64 {
+            let b = p.take("sb_0", seq).expect("prefetched");
+            assert_eq!(b.as_ref(), &payload(seq)[..], "seq {seq}");
+        }
+        let s = store.stats();
+        assert!(s.delta_reads >= 5, "{s:?}");
+        assert!(
+            s.restore_cache_hits >= 4,
+            "sequential prefetch must ride the restore cache: {s:?}"
         );
     }
 

@@ -40,6 +40,10 @@ pub struct RecordOptions {
     /// *entire* environment instead of the analyzed changeset — the
     /// ablation for §5.2's "avoiding the capture of too many redundancies".
     pub lean: bool,
+    /// Delta-chain keyframe interval for the checkpoint store (`None` =
+    /// store default; `Some(0)` disables delta encoding — every
+    /// checkpoint is a full keyframe, the pre-delta pipeline).
+    pub delta_keyframe_interval: Option<u32>,
 }
 
 impl RecordOptions {
@@ -52,6 +56,7 @@ impl RecordOptions {
             adaptive: true,
             background_workers: 2,
             lean: true,
+            delta_keyframe_interval: None,
         }
     }
 }
@@ -137,7 +142,11 @@ pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError
     let user_prog = parse(src)?;
     let inst = instrument(&user_prog);
 
-    let store = Arc::new(CheckpointStore::open(&opts.store_root)?);
+    let mut store_opts = flor_chkpt::StoreOptions::default();
+    if let Some(k) = opts.delta_keyframe_interval {
+        store_opts.delta_keyframe_interval = k;
+    }
+    let store = Arc::new(CheckpointStore::open_opts(&opts.store_root, store_opts)?);
     let instrumented_src = print_program(&inst.program);
     store.put_artifact("source.flr", instrumented_src.as_bytes())?;
 

@@ -487,3 +487,122 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Delta-encoded checkpoint chains
+// ---------------------------------------------------------------------------
+
+/// A random tensor-drift trajectory: a base f32 slab plus per-version
+/// sparse updates (index stride, epsilon) — the workload delta chains
+/// exist for, with the degenerate corners (no drift, full rewrite)
+/// reachable through the parameter ranges.
+fn drift_trajectory(
+    floats: usize,
+    versions: usize,
+    seed: u64,
+    stride: usize,
+    eps: f32,
+) -> Vec<Vec<u8>> {
+    let mut x = seed | 1;
+    let mut slab: Vec<f32> = (0..floats)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect();
+    let mut out = Vec::with_capacity(versions);
+    out.push(slab.iter().flat_map(|f| f.to_le_bytes()).collect());
+    for v in 1..versions {
+        for (i, val) in slab.iter_mut().enumerate() {
+            if stride > 0 && (i + v) % stride == 0 {
+                *val += eps * (v as f32);
+            }
+        }
+        out.push(slab.iter().flat_map(|f| f.to_le_bytes()).collect());
+    }
+    out
+}
+
+proptest! {
+    /// Delta frames roundtrip byte-identically across arbitrary tensor
+    /// drift: whenever the encoder judges a pair worth a frame, decoding
+    /// that frame against the base must reproduce the new payload exactly.
+    #[test]
+    fn delta_roundtrip_is_byte_identical_across_random_drift(
+        floats in 16usize..600,
+        versions in 2usize..6,
+        seed in 1u64..u64::MAX,
+        stride in 1usize..40,
+        eps in prop_oneof![Just(0.0f32), Just(1e-6), Just(1e-3), Just(0.5), Just(1e4)],
+    ) {
+        use flor_chkpt::{delta, store::crc32};
+        let traj = drift_trajectory(floats, versions, seed, stride, eps);
+        for pair in traj.windows(2) {
+            let (base, new) = (&pair[0], &pair[1]);
+            if let Some(frame) = delta::encode(base, new, 0, crc32(base), 1) {
+                let h = delta::header(&frame).expect("frame header");
+                prop_assert_eq!(h.raw_len as usize, new.len());
+                prop_assert_eq!(h.base_crc, crc32(base));
+                let decoded = delta::decode(&frame, base).expect("decode");
+                prop_assert_eq!(&decoded, new, "delta roundtrip diverged");
+            }
+        }
+    }
+
+    /// Store-level chains over random drift: every version written through
+    /// a delta-enabled store reads back exactly, in order and shuffled,
+    /// and across a reopen.
+    #[test]
+    fn delta_chained_store_roundtrips_random_drift(
+        floats in 300usize..800,
+        versions in 3usize..9,
+        seed in 1u64..u64::MAX,
+        stride in 2usize..50,
+        k in 2u32..6,
+    ) {
+        use flor_chkpt::{CheckpointStore, StoreOptions};
+        let dir = std::env::temp_dir().join(format!(
+            "flor-prop-delta-{}-{:?}-{seed}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions {
+            delta_keyframe_interval: k,
+            delta_min_bytes: 64,
+            ..StoreOptions::default()
+        };
+        let traj = drift_trajectory(floats, versions, seed, stride, 1e-3);
+        {
+            let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+            for (v, payload) in traj.iter().enumerate() {
+                let meta = store.put("sb_0", v as u64, payload).unwrap();
+                prop_assert!(meta.chain_depth < k, "chain depth {} ≥ K {k}", meta.chain_depth);
+            }
+            // Read back newest-first (worst case for the restore cache).
+            for (v, payload) in traj.iter().enumerate().rev() {
+                prop_assert_eq!(&store.get("sb_0", v as u64).unwrap(), payload);
+            }
+        }
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        for (v, payload) in traj.iter().enumerate() {
+            prop_assert_eq!(&store.get("sb_0", v as u64).unwrap(), payload);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The chunked parallel frame roundtrips arbitrary bytes at arbitrary
+    /// chunk sizes (including chunk boundaries straddling every content
+    /// shape proptest can produce).
+    #[test]
+    fn chunked_frames_roundtrip_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        chunk in 1usize..3000,
+    ) {
+        let framed = compress::compress_chunked(&data, chunk);
+        prop_assert!(compress::is_chunked(&framed));
+        prop_assert_eq!(compress::decompress_chunked(&framed).expect("roundtrip"), data);
+    }
+}

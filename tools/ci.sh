@@ -25,6 +25,21 @@ run cargo fmt --check
 # JSON (written under target/, never dirties the committed artifact).
 run ./tools/bench.sh --quick
 
+# Bench-regression gate: scale-invariant metrics of the quick runs must
+# stay within a tolerance band of the committed full-scale baselines
+# (>20% regressions fail; widen with FLOR_BENCH_TOLERANCE for noisy
+# hosts). Ratios and per-unit medians only — absolute totals differ
+# between quick and full fixtures by design.
+run cargo run --release -q -p flor-bench --bin bench_check -- \
+    BENCH_replay.json target/BENCH_replay.quick.json \
+    segmented.median_ns=lower median_get_speedup=higher
+run cargo run --release -q -p flor-bench --bin bench_check -- \
+    BENCH_compress.json target/BENCH_compress.quick.json \
+    bytes_reduction=higher submit_speedup=higher delta_frame_ratio=lower
+# BENCH_record's speedup columns are ratios of µs-scale submit costs
+# (O(1) handle pushes) — too noisy for a 20% band; its own regression
+# test (`bench_record_json` pins zero-copy ≤ eager) guards it instead.
+
 if [[ "${1:-}" == "--bench" ]]; then
     for bench in bench_registry bench_codec bench_tensor; do
         run cargo bench -p flor-bench --bench "$bench"
