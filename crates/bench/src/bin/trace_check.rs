@@ -1,0 +1,153 @@
+//! Chrome-trace smoke gate for `tools/ci.sh`: validates that a trace file
+//! emitted by `flor query --trace` is well-formed `trace_event` JSON and
+//! carries the structure the viewer relies on.
+//!
+//! ```text
+//! trace_check <trace.json> [--min-events N] [--min-lanes N] [--min-categories N]
+//! ```
+//!
+//! Checks, in order: the document parses with the workspace JSON parser,
+//! `traceEvents` is an array, every event has `name`/`ph`/`pid`/`tid`/`ts`,
+//! every duration event (`ph == "X"`) has a non-negative `dur`, and the
+//! lane/category counts (metadata events excluded) meet the requested
+//! minimums. Exit code 0 on success, 1 on a structural or threshold
+//! failure, 2 on usage/IO errors — same convention as `bench_check`.
+
+use flor_obs::json::{self, Json};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!(
+            "usage: trace_check <trace.json> [--min-events N] [--min-lanes N] \
+             [--min-categories N]"
+        );
+        return ExitCode::from(2);
+    };
+    let mut min_events = 1usize;
+    let mut min_lanes = 1usize;
+    let mut min_categories = 1usize;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: usize| -> Option<usize> { args.get(i + 1)?.parse().ok() };
+        match args[i].as_str() {
+            "--min-events" => min_events = value(i).unwrap_or(min_events),
+            "--min-lanes" => min_lanes = value(i).unwrap_or(min_lanes),
+            "--min-categories" => min_categories = value(i).unwrap_or(min_categories),
+            other => {
+                eprintln!("trace_check: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace_check: FAIL {path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        eprintln!("trace_check: FAIL {path}: missing traceEvents array");
+        return ExitCode::FAILURE;
+    };
+
+    let mut lanes = BTreeSet::new();
+    let mut categories = BTreeSet::new();
+    let mut named_lanes = 0usize;
+    let mut spans = 0usize;
+    for (idx, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph").and_then(Json::as_str) {
+            Some(p) => p,
+            None => {
+                eprintln!("trace_check: FAIL event #{idx}: missing ph");
+                return ExitCode::FAILURE;
+            }
+        };
+        for key in ["name", "pid", "tid"] {
+            if ev.get(key).is_none() {
+                eprintln!("trace_check: FAIL event #{idx} (ph {ph:?}): missing {key}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Timestamps are mandatory on span/instant events; metadata
+        // (ph "M") carries none in the trace_event format.
+        if ph != "M" && ev.get("ts").and_then(Json::as_f64).is_none() {
+            eprintln!("trace_check: FAIL event #{idx} (ph {ph:?}): missing ts");
+            return ExitCode::FAILURE;
+        }
+        match ph {
+            "M" => {
+                // thread_name metadata labels a lane for the viewer.
+                if ev.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    named_lanes += 1;
+                }
+            }
+            "X" => {
+                if ev.get("dur").and_then(Json::as_f64).is_none_or(|d| d < 0.0) {
+                    eprintln!("trace_check: FAIL event #{idx}: ph X without valid dur");
+                    return ExitCode::FAILURE;
+                }
+                spans += 1;
+                lanes.extend(ev.get("tid").and_then(Json::as_u64));
+                categories.extend(ev.get("cat").and_then(Json::as_str).map(String::from));
+            }
+            "i" => {
+                lanes.extend(ev.get("tid").and_then(Json::as_u64));
+                categories.extend(ev.get("cat").and_then(Json::as_str).map(String::from));
+            }
+            other => {
+                eprintln!("trace_check: FAIL event #{idx}: unexpected ph {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cats: Vec<&str> = categories.iter().map(String::as_str).collect();
+    eprintln!(
+        "trace_check: {path}: {} event(s) ({spans} span(s)), {} lane(s) \
+         ({named_lanes} named), categories [{}]",
+        events.len(),
+        lanes.len(),
+        cats.join(", ")
+    );
+    let mut failures = 0u32;
+    if events.len() < min_events {
+        eprintln!(
+            "trace_check: FAIL: {} event(s) < required {min_events}",
+            events.len()
+        );
+        failures += 1;
+    }
+    if lanes.len() < min_lanes {
+        eprintln!(
+            "trace_check: FAIL: {} lane(s) < required {min_lanes}",
+            lanes.len()
+        );
+        failures += 1;
+    }
+    if categories.len() < min_categories {
+        eprintln!(
+            "trace_check: FAIL: {} categories < required {min_categories}",
+            categories.len()
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("trace_check: trace is well-formed");
+        ExitCode::SUCCESS
+    }
+}

@@ -37,7 +37,6 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Objects per background dispatch for [`Strategy::ForkBatched`]
 /// (the paper's fork batching, scaled to the miniature workloads).
@@ -218,29 +217,39 @@ impl Materializer {
         let pool: Arc<EncodePool> = Arc::new(EncodePool::new());
         let mut handles = Vec::new();
         if strategy != Strategy::Baseline {
-            for _ in 0..workers.max(1) {
+            for i in 0..workers.max(1) {
                 let rx = rx.clone();
                 let store = store.clone();
                 let errors = errors.clone();
                 let in_flight = in_flight.clone();
                 let worker_stats = worker_stats.clone();
                 let pool = pool.clone();
-                handles.push(std::thread::spawn(move || loop {
-                    match rx.recv() {
-                        Ok(WorkerMsg::One(job)) => {
-                            write_jobs(&store, vec![job], &pool, &errors, &worker_stats);
-                            in_flight.fetch_sub(1, Ordering::AcqRel);
+                handles.push(std::thread::spawn(move || {
+                    flor_obs::set_lane(
+                        flor_obs::trace::LANE_MATERIALIZER_BASE + i as u32,
+                        &format!("materializer-{i}"),
+                    );
+                    loop {
+                        match rx.recv() {
+                            Ok(WorkerMsg::One(job)) => {
+                                write_jobs(&store, vec![job], &pool, &errors, &worker_stats);
+                                in_flight.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            Ok(WorkerMsg::Batch(jobs)) => {
+                                let n = jobs.len() as u64;
+                                let mut span =
+                                    flor_obs::span(flor_obs::Category::Commit, "group_commit");
+                                span.set_args(n, 0);
+                                write_jobs(&store, jobs, &pool, &errors, &worker_stats);
+                                drop(span);
+                                worker_stats.group_commits.fetch_add(1, Ordering::Relaxed);
+                                worker_stats
+                                    .group_commit_jobs
+                                    .fetch_add(n, Ordering::Relaxed);
+                                in_flight.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            Ok(WorkerMsg::Shutdown) | Err(_) => return,
                         }
-                        Ok(WorkerMsg::Batch(jobs)) => {
-                            let n = jobs.len() as u64;
-                            write_jobs(&store, jobs, &pool, &errors, &worker_stats);
-                            worker_stats.group_commits.fetch_add(1, Ordering::Relaxed);
-                            worker_stats
-                                .group_commit_jobs
-                                .fetch_add(n, Ordering::Relaxed);
-                            in_flight.fetch_sub(1, Ordering::AcqRel);
-                        }
-                        Ok(WorkerMsg::Shutdown) | Err(_) => return,
                     }
                 }));
             }
@@ -271,10 +280,12 @@ impl Materializer {
     /// Submits one checkpoint. The caller-visible cost of this call is the
     /// quantity Figure 5 measures.
     pub fn submit(&self, block_id: &str, seq: u64, payload: Payload) {
-        let start = Instant::now();
+        let approx = payload.approx_bytes() as u64;
+        let mut span = flor_obs::span(flor_obs::Category::Record, "submit");
+        span.set_args(seq, approx);
+        let t0 = flor_obs::clock::now_ns();
         self.jobs.fetch_add(1, Ordering::Relaxed);
-        self.raw_bytes
-            .fetch_add(payload.approx_bytes() as u64, Ordering::Relaxed);
+        self.raw_bytes.fetch_add(approx, Ordering::Relaxed);
         match self.strategy {
             Strategy::Baseline => {
                 // Everything on the training thread.
@@ -336,8 +347,9 @@ impl Materializer {
                 }
             }
         }
-        self.main_thread_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let main_ns = flor_obs::clock::since_ns(t0);
+        flor_obs::histogram!("record.submit_ns").observe(main_ns);
+        self.main_thread_ns.fetch_add(main_ns, Ordering::Relaxed);
     }
 
     fn send(&self, msg: WorkerMsg) {
@@ -361,7 +373,7 @@ impl Materializer {
     /// background" — the durability barrier happens after the training
     /// program's work is done.
     pub fn flush(&self) {
-        let start = Instant::now();
+        let t0 = flor_obs::clock::now_ns();
         let batch = {
             let mut pending = self.pending.lock();
             *self.pending_objects.lock() = 0;
@@ -372,7 +384,7 @@ impl Materializer {
             self.dispatches.fetch_add(1, Ordering::Relaxed);
         }
         self.main_thread_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(flor_obs::clock::since_ns(t0), Ordering::Relaxed);
         // Durability barrier: wait for the in-flight message count to reach
         // zero (not charged to the Figure 5 metric).
         if self.strategy != Strategy::Baseline {

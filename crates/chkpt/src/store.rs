@@ -754,6 +754,57 @@ impl StoreStats {
             self.raw_bytes as f64 / self.stored_bytes as f64
         }
     }
+
+    /// Every scalar counter as `(name, value)`, in presentation order.
+    /// Both [`StoreStats::to_json`] and the CLI's pretty printer iterate
+    /// this list, so the two surfaces cannot drift.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("entries", self.entries),
+            ("segment_entries", self.segment_entries),
+            ("legacy_entries", self.legacy_entries),
+            ("segments", self.segments),
+            ("sealed_segments", self.sealed_segments),
+            ("segment_disk_bytes", self.segment_disk_bytes),
+            ("live_segment_bytes", self.live_segment_bytes),
+            ("dead_segment_bytes", self.dead_segment_bytes),
+            ("raw_bytes", self.raw_bytes),
+            ("stored_bytes", self.stored_bytes),
+            ("reads", self.reads),
+            ("zero_copy_reads", self.zero_copy_reads),
+            ("segment_cache_hits", self.segment_cache_hits),
+            ("segment_cache_misses", self.segment_cache_misses),
+            ("compactions", self.compactions),
+            (
+                "compaction_reclaimed_bytes",
+                self.compaction_reclaimed_bytes,
+            ),
+            ("delta_entries", self.delta_entries),
+            ("keyframe_entries", self.keyframe_entries),
+            ("delta_reads", self.delta_reads),
+            ("chain_links_resolved", self.chain_links_resolved),
+            ("restore_cache_hits", self.restore_cache_hits),
+        ]
+    }
+
+    /// Serializes through the shared [`flor_obs::json::JsonWriter`] — the
+    /// payload of `flor store stats --json`.
+    pub fn to_json(&self) -> String {
+        let mut w = flor_obs::json::JsonWriter::new();
+        w.begin_obj();
+        for (name, v) in self.fields() {
+            w.field_u64(name, v);
+        }
+        w.field_f64("compression_ratio", self.compression_ratio());
+        w.key("chain_depth_hist");
+        w.begin_arr();
+        for b in &self.chain_depth_hist {
+            w.u64_val(*b);
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
 }
 
 /// What one [`CheckpointStore::compact`] pass did.
@@ -1484,6 +1535,10 @@ impl CheckpointStore {
     /// into a fresh buffer. Either way the payload CRC is verified on every
     /// read.
     pub fn get_bytes(&self, block_id: &str, seq: u64) -> Result<Bytes, StoreError> {
+        // Disabled tracing costs one atomic load here — this is the ~1µs
+        // restore read the replay bench gates.
+        let mut span = flor_obs::span(flor_obs::Category::RestoreChain, "store_read");
+        span.set_args(seq, 0);
         self.reads.reads.fetch_add(1, Ordering::Relaxed);
         self.read_with_relocation_retry(block_id, seq, |entry| {
             self.read_payload(block_id, seq, entry)
@@ -1630,6 +1685,8 @@ impl CheckpointStore {
             seq: s,
             detail,
         };
+        let mut span = flor_obs::span(flor_obs::Category::RestoreChain, "chain_resolve");
+        let t0 = flor_obs::clock::now_ns();
         // The requested seq itself may be the cached reconstruction —
         // repeated reads of one delta entry must not re-walk its chain.
         {
@@ -1708,6 +1765,8 @@ impl CheckpointStore {
             payload = Bytes::from_vec(decoded);
         }
         self.restore_cache_put(block_id, seq, entry.crc, payload.clone());
+        span.set_args(frames.len() as u64, payload.len() as u64);
+        flor_obs::histogram!("store.chain_resolve_ns").observe(flor_obs::clock::since_ns(t0));
         Ok(payload)
     }
 
@@ -2007,6 +2066,8 @@ impl CheckpointStore {
     /// concurrent recorders, so `Registry::compact_run` is safe there).
     pub fn compact(&self) -> Result<CompactionReport, StoreError> {
         self.ensure_writable()?;
+        let mut span = flor_obs::span(flor_obs::Category::Compact, "compact");
+        let t0 = flor_obs::clock::now_ns();
         let mut w = self.writer.lock();
         // The active segment's live entries get rewritten like everyone
         // else's; stop appending to it.
@@ -2393,6 +2454,9 @@ impl CheckpointStore {
             .reclaimed
             .fetch_add(report.reclaimed_bytes, Ordering::Relaxed);
         drop(w);
+        span.set_args(report.rewritten_entries, report.reclaimed_bytes);
+        flor_obs::histogram!("store.compact_ns").observe(flor_obs::clock::since_ns(t0));
+        flor_obs::counter!("store.compactions").inc();
         Ok(report)
     }
 
@@ -2674,10 +2738,19 @@ impl WriteBatch<'_> {
         if self.staged.is_empty() {
             return Ok(Vec::new());
         }
-        match self.store.opts.format {
+        let mut span = flor_obs::span(flor_obs::Category::Commit, "commit");
+        span.set_args(self.staged.len() as u64, 0);
+        let t0 = flor_obs::clock::now_ns();
+        let result = match self.store.opts.format {
             StoreFormat::Segmented => self.commit_segmented(),
             StoreFormat::FilePerCheckpoint => self.commit_files(),
+        };
+        if let Ok(metas) = &result {
+            flor_obs::histogram!("store.commit_ns").observe(flor_obs::clock::since_ns(t0));
+            flor_obs::counter!("store.commits").inc();
+            flor_obs::counter!("store.commit_entries").add(metas.len() as u64);
         }
+        result
     }
 
     /// Segmented commit: one buffered `write_all` appends every staged

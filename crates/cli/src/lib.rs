@@ -24,12 +24,13 @@ usage:
   flor sample   <script.flr> --store <dir> --iters 3,7,12
   flor inspect  <script.flr>
   flor log      --store <dir>
-  flor store    stats --store <dir>
+  flor store    stats --store <dir> [--json]
   flor store    compact --store <dir>
   flor runs     list --registry <dir>
-  flor runs     show <run-id> --registry <dir>
+  flor runs     show <run-id> --registry <dir> [--json]
   flor runs     prune <run-id> --registry <dir> [--keep N]
   flor query    <run-id> <probed.flr> --registry <dir> [--workers N] [--stream]
+                [--trace <out.json>]
   flor serve    --registry <dir> [--workers N]";
 
 /// CLI failure modes.
@@ -92,6 +93,7 @@ impl<'a> Args<'a> {
                     "run-id",
                     "keep",
                     "delta-keyframe",
+                    "trace",
                 ]
                 .contains(&name);
                 if takes_value {
@@ -434,21 +436,38 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
     }
     .map_err(|e| CliError::Failed(e.to_string()))?;
     let render_stats = |s: &flor_chkpt::StoreStats| -> String {
+        // Prose over the same `(name, value)` list `StoreStats::to_json`
+        // serializes — a counter renamed or dropped on one side panics
+        // here instead of silently drifting between the two surfaces.
+        let fields = s.fields();
+        let f = |name: &str| -> u64 {
+            fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("StoreStats::fields lost {name:?}"))
+        };
         let mut out = String::new();
         let _ = writeln!(
             out,
             "entries:      {} ({} in segments, {} legacy files)",
-            s.entries, s.segment_entries, s.legacy_entries
+            f("entries"),
+            f("segment_entries"),
+            f("legacy_entries")
         );
         let _ = writeln!(
             out,
             "segments:     {} ({} sealed), {} bytes on disk",
-            s.segments, s.sealed_segments, s.segment_disk_bytes
+            f("segments"),
+            f("sealed_segments"),
+            f("segment_disk_bytes")
         );
         let _ = writeln!(
             out,
             "bytes:        {} raw, {} stored, {} dead in segments",
-            s.raw_bytes, s.stored_bytes, s.dead_segment_bytes
+            f("raw_bytes"),
+            f("stored_bytes"),
+            f("dead_segment_bytes")
         );
         let _ = writeln!(
             out,
@@ -458,9 +477,9 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "delta chains: {} delta entr{}, {} keyframe(s)",
-            s.delta_entries,
-            if s.delta_entries == 1 { "y" } else { "ies" },
-            s.keyframe_entries
+            f("delta_entries"),
+            if f("delta_entries") == 1 { "y" } else { "ies" },
+            f("keyframe_entries")
         );
         // Depth histogram, trimmed at the deepest populated bucket.
         let deepest = s.chain_depth_hist.iter().rposition(|&c| c > 0).unwrap_or(0);
@@ -474,23 +493,34 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "reads:        {} ({} zero-copy; segment cache {} hits / {} misses)",
-            s.reads, s.zero_copy_reads, s.segment_cache_hits, s.segment_cache_misses
+            f("reads"),
+            f("zero_copy_reads"),
+            f("segment_cache_hits"),
+            f("segment_cache_misses")
         );
-        if s.delta_reads > 0 {
+        if f("delta_reads") > 0 {
             let _ = writeln!(
                 out,
                 "delta reads:  {} ({} links resolved, {} restore-cache hits)",
-                s.delta_reads, s.chain_links_resolved, s.restore_cache_hits
+                f("delta_reads"),
+                f("chain_links_resolved"),
+                f("restore_cache_hits")
             );
         }
         let _ = writeln!(
             out,
             "compactions:  {} ({} bytes reclaimed)",
-            s.compactions, s.compaction_reclaimed_bytes
+            f("compactions"),
+            f("compaction_reclaimed_bytes")
         );
         out
     };
     match sub {
+        Some("stats") if args.flag("json") => {
+            let mut out = store.stats().to_json();
+            out.push('\n');
+            Ok(out)
+        }
         Some("stats") => {
             let mut out = render_stats(&store.stats());
             let r = store.recovery_report();
@@ -593,23 +623,45 @@ fn cmd_runs(args: &Args) -> Result<String, CliError> {
                 .copied()
                 .ok_or_else(|| CliError::Usage("missing run id".into()))?;
             let rec = registry.run(id)?;
+            if args.flag("json") {
+                let mut out = rec.to_json();
+                out.push('\n');
+                return Ok(out);
+            }
+            // Prose over the same field list `RunRecord::to_json`
+            // serializes — a field renamed on one side panics here
+            // instead of drifting between the two surfaces.
+            let (strs, nums) = rec.fields();
+            let fs = |name: &str| -> &str {
+                strs.iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or_else(|| panic!("RunRecord::fields lost {name:?}"))
+            };
+            let fnum = |name: &str| -> f64 {
+                nums.iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("RunRecord::fields lost {name:?}"))
+            };
             let mut out = String::new();
-            let _ = writeln!(out, "run:             {}", rec.run_id);
-            let _ = writeln!(out, "generation:      {}", rec.generation);
-            let _ = writeln!(out, "source version:  {}", rec.source_version);
-            let _ = writeln!(out, "store root:      {}", rec.store_root.display());
-            let _ = writeln!(out, "iterations:      {}", rec.iterations);
-            let _ = writeln!(out, "checkpoints:     {}", rec.checkpoints);
+            let _ = writeln!(out, "run:             {}", fs("run_id"));
+            let _ = writeln!(out, "generation:      {}", fnum("generation"));
+            let _ = writeln!(out, "source version:  {}", fs("source_version"));
+            let _ = writeln!(out, "store root:      {}", fs("store_root"));
+            let _ = writeln!(out, "iterations:      {}", fnum("iterations"));
+            let _ = writeln!(out, "checkpoints:     {}", fnum("checkpoints"));
             let _ = writeln!(
                 out,
                 "bytes:           {} raw, {} stored",
-                rec.raw_bytes, rec.stored_bytes
+                fnum("raw_bytes"),
+                fnum("stored_bytes")
             );
             let _ = writeln!(
                 out,
                 "record overhead: {:.2}% (scaling c {:.3})",
-                rec.record_overhead * 100.0,
-                rec.scaling_c
+                fnum("record_overhead") * 100.0,
+                fnum("scaling_c")
             );
             let history = registry.catalog().history(id);
             if history.len() > 1 {
@@ -667,6 +719,11 @@ fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
         .ok_or_else(|| CliError::Usage("missing run id".into()))?;
     let probed_src = args.script(2)?;
     let workers = args.workers(1)?;
+    // `--trace out.json` wraps the whole query in a tracing window and
+    // writes a Chrome trace_event file: one lane per replay worker plus
+    // the merge driver and materializer/scheduler roles.
+    let trace_path = args.value("trace").map(PathBuf::from);
+    let session = trace_path.as_ref().map(|_| flor_obs::TraceSession::start());
     let outcome = if args.flag("stream") {
         // Streaming mode: entries and progress are written (and flushed)
         // the moment the replay delivers them — leading iterations reach
@@ -738,6 +795,19 @@ fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
         outcome.executed,
         outcome.steals
     )?;
+    if let (Some(path), Some(session)) = (trace_path, session) {
+        let trace = session.finish();
+        std::fs::write(&path, trace.to_chrome_json())?;
+        let cats: Vec<&str> = trace.categories().iter().map(|c| c.as_str()).collect();
+        writeln!(
+            out,
+            "# trace: {} event(s) on {} lane(s) [{}] -> {}",
+            trace.events.len(),
+            trace.lanes().len(),
+            cats.join(","),
+            path.display()
+        )?;
+    }
     Ok(())
 }
 
@@ -749,6 +819,7 @@ fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
 /// status <job-id>                               poll a job
 /// cancel <job-id>                               cancel a queued job
 /// runs                                          list cataloged runs
+/// metrics                                       process metrics as one JSON line
 /// drain                                         report all finished jobs
 /// quit                                          drain and exit (EOF works too)
 /// ```
@@ -843,12 +914,30 @@ pub fn serve_io(
                 submitted.push(id);
                 writeln!(out, "queued job {id}: run {run_id:?} priority {priority}")?;
             }
+            ["metrics"] => {
+                // One JSON line: counters and latency histograms for every
+                // instrumented subsystem, via the shared serializer.
+                writeln!(out, "{}", registry.metrics_snapshot().to_json())?;
+            }
             ["status", id] => match id.parse::<flor_registry::JobId>() {
                 Err(_) => writeln!(out, "bad job id {id:?}")?,
                 Ok(id) => match scheduler.status(id) {
                     None => writeln!(out, "job {id}: unknown")?,
                     Some(JobState::Completed(o)) => {
                         writeln!(out, "job {id}: completed ({} entries)", o.log.len())?
+                    }
+                    Some(JobState::Running) => {
+                        let p = scheduler.progress(id).unwrap_or_default();
+                        writeln!(
+                            out,
+                            "job {id}: running ({}/{} iterations, {} steal(s), \
+                             {} entries streamed, {:.1}ms elapsed)",
+                            p.iterations_done,
+                            p.iterations_total,
+                            p.steals,
+                            p.entries_streamed,
+                            p.wall_ns as f64 / 1e6
+                        )?
                     }
                     Some(s) => writeln!(out, "job {id}: {s:?}")?,
                 },
@@ -1051,6 +1140,50 @@ for epoch in range(4):
             cli(&["store", "bogus", "--store", store.to_str().unwrap()]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn store_stats_json_parses_and_matches_pretty() {
+        let (store, script) = setup("stats-json");
+        cli(&[
+            "record",
+            script.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--no-adaptive",
+        ])
+        .unwrap();
+        let pretty = cli(&["store", "stats", "--store", store.to_str().unwrap()]).unwrap();
+        let out = cli(&[
+            "store",
+            "stats",
+            "--store",
+            store.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        let doc = flor_obs::json::parse(out.trim()).expect("--json output parses");
+        let entries = doc.get("entries").and_then(|v| v.as_u64()).unwrap();
+        assert!(entries > 0);
+        // Same source list on both surfaces: the pretty line carries the
+        // exact value the JSON reports.
+        assert!(
+            pretty.contains(&format!("entries:      {entries} (")),
+            "{pretty}"
+        );
+        assert!(
+            doc.get("compression_ratio")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
+        );
+        assert!(doc
+            .get("chain_depth_hist")
+            .and_then(|v| v.as_arr())
+            .is_some());
+        for key in ["segments", "raw_bytes", "stored_bytes", "reads"] {
+            assert!(doc.get(key).is_some(), "missing {key}: {out}");
+        }
     }
 
     #[test]

@@ -193,6 +193,56 @@ fn serve_status_and_cancel_commands() {
 }
 
 #[test]
+fn runs_show_json_parses_and_matches_pretty() {
+    let (registry, script, _) = setup("show-json");
+    record_into(&registry, &script, "alice-cv");
+    let reg = registry.to_str().unwrap();
+    let pretty = cli(&["runs", "show", "alice-cv", "--registry", reg]).unwrap();
+    let out = cli(&["runs", "show", "alice-cv", "--registry", reg, "--json"]).unwrap();
+    let doc = flor_obs::json::parse(out.trim()).expect("--json output parses");
+    assert_eq!(
+        doc.get("run_id").and_then(|v| v.as_str()),
+        Some("alice-cv"),
+        "{out}"
+    );
+    let iters = doc.get("iterations").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(iters, 4);
+    // Both surfaces iterate RunRecord::fields(), so the numbers agree.
+    assert!(
+        pretty.contains(&format!("iterations:      {iters}")),
+        "{pretty}"
+    );
+    for key in ["generation", "source_version", "store_root", "stored_bytes"] {
+        assert!(doc.get(key).is_some(), "missing {key}: {out}");
+    }
+    // The JSON form is machine-facing: one line, no recorded source dump.
+    assert_eq!(out.trim().lines().count(), 1, "{out}");
+    assert!(!out.contains("optimizer.step()"), "{out}");
+}
+
+#[test]
+fn serve_metrics_verb_emits_one_parseable_json_line() {
+    let (registry, script, probed) = setup("serve-metrics");
+    record_into(&registry, &script, "run-a");
+    let commands = format!("query run-a {}\ndrain\nmetrics\nquit\n", probed.display());
+    let mut out = Vec::new();
+    serve_io(&registry, 1, commands.as_bytes(), &mut out).unwrap();
+    let out = String::from_utf8(out).unwrap();
+    let json_line = out
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("metrics line");
+    let doc = flor_obs::json::parse(json_line).expect("metrics JSON parses");
+    let counters = doc.get("counters").expect("counters object");
+    // The job just drained, so the instrumented subsystems have counted.
+    assert!(
+        counters.get("registry.queries").and_then(|v| v.as_u64()) >= Some(1),
+        "{json_line}"
+    );
+    assert!(doc.get("histograms").is_some(), "{json_line}");
+}
+
+#[test]
 fn usage_errors_for_registry_commands() {
     assert!(matches!(
         cli(&["runs", "list"]),

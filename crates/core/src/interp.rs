@@ -463,6 +463,8 @@ impl Interp {
             };
             (ctx.pid, ctx.init_mode, ctx.sink.clone())
         };
+        // Replay workers trace on their own lane, keyed by pid.
+        flor_obs::set_lane(pid as u32, &format!("worker-{pid}"));
         if seeded {
             if let Some(sink) = &sink {
                 sink.send(crate::stream::StreamMsg::Total { n_iters: n });
@@ -550,6 +552,8 @@ impl Interp {
             }
             // Init phase: logs suppressed, SkipBlocks restore.
             if init_from < range.start {
+                let mut span = flor_obs::span(flor_obs::Category::RangeExec, "init");
+                span.set_args(init_from, range.start);
                 if let Mode::Replay(ctx) = &mut self.mode {
                     ctx.phase = Phase::Init;
                 }
@@ -562,6 +566,8 @@ impl Interp {
                 self.log.set_suppressed(false);
             }
             // Work phase.
+            let mut span = flor_obs::span(flor_obs::Category::RangeExec, "range");
+            span.set_args(range.start, range.end);
             if let Mode::Replay(ctx) = &mut self.mode {
                 ctx.phase = Phase::Work;
             }
@@ -570,6 +576,7 @@ impl Interp {
                 self.env.set(var.to_string(), items[g as usize].clone());
                 self.exec_body(body)?;
             }
+            drop(span);
             state_at = range.end;
             if let Mode::Replay(ctx) = &mut self.mode {
                 ctx.stats.ranges_executed += 1;

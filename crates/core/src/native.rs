@@ -69,7 +69,6 @@ use flor_chkpt::{
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// State a native SkipBlock can memoize.
 pub trait Checkpointable {
@@ -209,14 +208,14 @@ impl Session {
         };
         match self.kind {
             SessionKind::Record => {
-                let t0 = Instant::now();
+                let t0 = flor_obs::clock::now_ns();
                 body(state);
-                let compute_ns = t0.elapsed().as_nanos() as u64;
+                let compute_ns = flor_obs::clock::since_ns(t0);
                 let cval = state.to_cval();
                 let bytes = cval.approx_bytes() as u64;
                 let est = self.controller.estimate_materialize_ns(id, bytes);
                 if self.controller.should_materialize(id, compute_ns, est) {
-                    let t1 = Instant::now();
+                    let t1 = flor_obs::clock::now_ns();
                     let mat = self
                         .materializer
                         .as_ref()
@@ -224,7 +223,7 @@ impl Session {
                     mat.submit(id, seq, Payload::Deferred(Arc::new(NativeSnapshot(cval))));
                     self.controller.observe_materialize(
                         id,
-                        (t1.elapsed().as_nanos() as u64).max(1),
+                        flor_obs::clock::since_ns(t1).max(1),
                         bytes,
                     );
                 }
@@ -234,12 +233,12 @@ impl Session {
             SessionKind::Replay => {
                 let probed = self.probed.iter().any(|p| p == id);
                 if !probed && self.store.contains(id, seq) {
-                    let t0 = Instant::now();
+                    let t0 = flor_obs::clock::now_ns();
                     let payload = self.store.get(id, seq)?;
                     let cval = flor_chkpt::decode(&payload)?;
                     state.from_cval(&cval).map_err(rt)?;
                     self.controller
-                        .observe_restore(id, t0.elapsed().as_nanos() as u64);
+                        .observe_restore(id, flor_obs::clock::since_ns(t0));
                     self.restored += 1;
                     Ok(false)
                 } else {

@@ -520,6 +520,7 @@ impl RangeQueue {
                     let r = deque.remove(i).expect("index in bounds");
                     self.steals
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    flor_obs::instant(flor_obs::Category::Steal, "steal", r.start, r.end);
                     return Some(NextRange {
                         range: r,
                         stolen: true,

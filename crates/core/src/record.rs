@@ -20,7 +20,6 @@ use flor_lang::{parse, print_program};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Knobs for a record run.
 pub struct RecordOptions {
@@ -173,9 +172,9 @@ pub fn record(src: &str, opts: &RecordOptions) -> Result<RecordReport, FlorError
     };
 
     let mut interp = Interp::new(Mode::Record(Box::new(ctx)));
-    let t0 = Instant::now();
+    let t0 = flor_obs::clock::now_ns();
     interp.run(&inst.program)?;
-    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let wall_ns = flor_obs::clock::since_ns(t0);
 
     store.put_artifact("record_log.txt", interp.log.to_text().as_bytes())?;
 
@@ -217,9 +216,9 @@ pub fn run_vanilla(src: &str) -> Result<(u64, Vec<LogEntry>), FlorError> {
     let user_prog = parse(src)?;
     let inst = instrument(&user_prog);
     let mut interp = Interp::new(Mode::Vanilla);
-    let t0 = Instant::now();
+    let t0 = flor_obs::clock::now_ns();
     interp.run(&inst.program)?;
-    Ok((t0.elapsed().as_nanos() as u64, interp.log.into_entries()))
+    Ok((flor_obs::clock::since_ns(t0), interp.log.into_entries()))
 }
 
 #[cfg(test)]

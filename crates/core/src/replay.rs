@@ -35,7 +35,6 @@ use flor_lang::{diff_programs, parse, ProbeSite};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Knobs for a replay run.
 #[derive(Debug, Clone)]
@@ -291,7 +290,7 @@ pub fn replay_streaming(
     // its thread — workers share nothing but the store and the range
     // queue, the coordination-free model of §5.4 plus one lock-guarded
     // steal point.
-    let t0 = Instant::now();
+    let t0 = flor_obs::clock::now_ns();
     let delta_counters_before = store.delta_read_counters();
     let workers = opts.workers.max(1);
     let runtime = Arc::new(ReplayRuntime::new(workers, opts.steal, profile));
@@ -349,6 +348,7 @@ pub fn replay_streaming(
 
     // Drive the incremental merger on this thread until every worker's
     // sink is gone; entries stream to the observer as prefixes complete.
+    flor_obs::set_lane(flor_obs::trace::LANE_DRIVER, "driver");
     let mut merger = StreamingMerger::new(&record_log, t0, on_event);
     merger.run(&rx);
 
@@ -377,7 +377,7 @@ pub fn replay_streaming(
     stats.chain_links = delta_counters_after
         .1
         .saturating_sub(delta_counters_before.1);
-    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let wall_ns = flor_obs::clock::since_ns(t0);
 
     if force_execute_all {
         anomalies.insert(

@@ -26,7 +26,6 @@ use flor_lang::{diff_programs, parse};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Replays only the given main-loop iterations (any order; duplicates are
 /// collapsed). The returned report's log contains entries for exactly the
@@ -55,7 +54,7 @@ pub fn replay_sample(
     sample.sort_unstable();
     sample.dedup();
 
-    let t0 = Instant::now();
+    let t0 = flor_obs::clock::now_ns();
     let ctx = ReplayCtx {
         store,
         pid: 0,
@@ -86,7 +85,7 @@ pub fn replay_sample(
         other_changes: diff.other_changes,
         anomalies: Vec::new(), // sampled output is partial by design
         stats: ctx.stats,
-        wall_ns: t0.elapsed().as_nanos() as u64,
+        wall_ns: flor_obs::clock::since_ns(t0),
         worker_plans: vec![None],
     })
 }

@@ -28,7 +28,6 @@ use flor_analysis::augment_changeset;
 use flor_chkpt::{encode, encode_into, BytesMut, CVal, Payload, SerializeSnapshot};
 use flor_lang::ast::Stmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Sequence-number base for SkipBlocks executed outside the main loop,
 /// keeping them disjoint from main-loop iteration numbers.
@@ -104,10 +103,12 @@ fn next_seq(
 }
 
 fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+    let mut span = flor_obs::span(flor_obs::Category::Record, "record_block");
     // 1. Execute the enclosed loop, timing its compute (C_i).
-    let t0 = Instant::now();
+    let t0 = flor_obs::clock::now_ns();
     interp.exec_body(body)?;
-    let compute_ns = t0.elapsed().as_nanos() as u64;
+    let compute_ns = flor_obs::clock::since_ns(t0);
+    flor_obs::histogram!("record.compute_ns").observe(compute_ns);
 
     let Mode::Record(ctx) = &mut interp.mode else {
         unreachable!("exec_record outside record mode")
@@ -118,6 +119,7 @@ fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
         &mut ctx.blocks_this_iter,
         id,
     )?;
+    span.set_args(seq, compute_ns);
 
     // 2. Changeset: static analysis result, augmented at runtime with
     //    library knowledge over the live object graph (paper §5.2.1).
@@ -144,7 +146,7 @@ fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
     // 4. Joint invariant (Eq. 4): materialize only if it keeps both the
     //    record-overhead and replay-latency invariants.
     if ctx.controller.should_materialize(id, compute_ns, est_m) {
-        let t1 = Instant::now();
+        let t1 = flor_obs::clock::now_ns();
         let mut pairs: Vec<(String, CVal)> = Vec::with_capacity(augmented.len());
         for name in &augmented {
             if let Some(v) = env.try_get(name) {
@@ -158,7 +160,7 @@ fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
         // M_i observed: the caller-visible cost (snapshot build + submit).
         // The serialize+compress+write runs in the background, exactly the
         // cost the paper's fork() hides from the training thread.
-        let main_ns = t1.elapsed().as_nanos() as u64;
+        let main_ns = flor_obs::clock::since_ns(t1);
         ctx.controller
             .observe_materialize(id, main_ns.max(1), est_bytes as u64);
         if let Some(g) = ctx.main_iter {
@@ -196,6 +198,10 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
     };
 
     if do_execute {
+        // Re-executing a block during replay regenerates its log records —
+        // hindsight logging's deferred record work, so cat = Record.
+        let mut span = flor_obs::span(flor_obs::Category::Record, "exec_block");
+        span.set_args(seq, 0);
         interp.exec_body(body)?;
         if let Mode::Replay(ctx) = &mut interp.mode {
             ctx.stats.executed += 1;
@@ -207,12 +213,15 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
     // arrives as a refcounted `Bytes` — ideally one the worker's
     // prefetcher already pulled while earlier iterations interpreted; a
     // prefetch miss falls through to a direct zero-copy store read.
-    let t0 = Instant::now();
+    let mut span = flor_obs::span(flor_obs::Category::RestoreChain, "restore");
+    span.set_args(seq, 0);
+    let t0 = flor_obs::clock::now_ns();
     let payload_bytes = {
         let Mode::Replay(ctx) = &mut interp.mode else {
             unreachable!()
         };
-        match ctx.prefetcher.as_ref().and_then(|p| p.take(id, seq)) {
+        let fetch = flor_obs::span(flor_obs::Category::Prefetch, "payload_wait");
+        let bytes = match ctx.prefetcher.as_ref().and_then(|p| p.take(id, seq)) {
             Some(bytes) => {
                 ctx.stats.prefetch_hits += 1;
                 bytes
@@ -226,7 +235,9 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
                 }
                 bytes
             }
-        }
+        };
+        drop(fetch);
+        bytes
     };
     let cval = flor_chkpt::decode(payload_bytes.as_ref())?;
     let CVal::Map(pairs) = cval else {
@@ -240,8 +251,10 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
         interp.env.set(name.clone(), restored);
     }
     if let Mode::Replay(ctx) = &mut interp.mode {
+        let restore_ns = flor_obs::clock::since_ns(t0);
+        flor_obs::histogram!("replay.restore_ns").observe(restore_ns);
         ctx.stats.restored += 1;
-        ctx.stats.restore_ns += t0.elapsed().as_nanos() as u64;
+        ctx.stats.restore_ns += restore_ns;
     }
     Ok(())
 }

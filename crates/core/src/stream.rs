@@ -20,7 +20,6 @@ use crate::logstream::{LogEntry, Section};
 use crate::replay::deferred_check;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{Receiver, Sender};
-use std::time::Instant;
 
 /// One message from a replay worker to the merger.
 #[derive(Debug)]
@@ -102,7 +101,9 @@ pub struct StreamingMerger<'a> {
     /// Record log grouped by section, for the incremental deferred check.
     record_by_section: BTreeMap<Section, Vec<LogEntry>>,
     on_event: Box<dyn FnMut(StreamEvent<'_>) + 'a>,
-    t0: Instant,
+    /// Replay start on the [`flor_obs::clock`] timeline, for
+    /// time-to-first-entry.
+    t0_ns: u64,
     /// Completed-but-not-yet-emittable ranges, keyed by start.
     pending: BTreeMap<u64, (u64, Vec<LogEntry>)>,
     /// Next iteration the contiguous prefix needs.
@@ -120,10 +121,11 @@ pub struct StreamingMerger<'a> {
 
 impl<'a> StreamingMerger<'a> {
     /// Merger checking against `record_log`, reporting to `on_event`,
-    /// timing first emission relative to `t0` (the replay start).
+    /// timing first emission relative to `t0_ns` (the replay start, on the
+    /// [`flor_obs::clock`] timeline).
     pub fn new(
         record_log: &[LogEntry],
-        t0: Instant,
+        t0_ns: u64,
         on_event: impl FnMut(StreamEvent<'_>) + 'a,
     ) -> Self {
         let mut record_by_section: BTreeMap<Section, Vec<LogEntry>> = BTreeMap::new();
@@ -136,7 +138,7 @@ impl<'a> StreamingMerger<'a> {
         StreamingMerger {
             record_by_section,
             on_event: Box::new(on_event),
-            t0,
+            t0_ns,
             pending: BTreeMap::new(),
             next: 0,
             pre: None,
@@ -239,9 +241,11 @@ impl<'a> StreamingMerger<'a> {
             return;
         }
         if self.first_entry_ns.is_none() {
-            self.first_entry_ns = Some(self.t0.elapsed().as_nanos() as u64);
+            self.first_entry_ns = Some(flor_obs::clock::since_ns(self.t0_ns));
         }
+        let span = flor_obs::span(flor_obs::Category::StreamMerge, "emit");
         (self.on_event)(StreamEvent::Entries(&entries));
+        drop(span);
         self.merged.extend(entries);
     }
 
@@ -296,7 +300,7 @@ mod tests {
 
     fn collect_merge(record: &[LogEntry], msgs: Vec<StreamMsg>) -> (Vec<LogEntry>, Vec<String>) {
         let mut streamed = Vec::new();
-        let mut merger = StreamingMerger::new(record, Instant::now(), |ev| {
+        let mut merger = StreamingMerger::new(record, flor_obs::clock::now_ns(), |ev| {
             if let StreamEvent::Entries(chunk) = ev {
                 streamed.extend(chunk.iter().cloned());
             }
@@ -445,7 +449,7 @@ mod tests {
 
     #[test]
     fn first_entry_timing_precedes_finish() {
-        let mut merger = StreamingMerger::new(&[], Instant::now(), |_| {});
+        let mut merger = StreamingMerger::new(&[], flor_obs::clock::now_ns(), |_| {});
         assert_eq!(merger.first_entry_ns(), None);
         merger.push(StreamMsg::Pre {
             pid: 0,
@@ -467,7 +471,7 @@ mod tests {
     #[test]
     fn progress_counts_iterations_and_steals() {
         let mut events = Vec::new();
-        let mut merger = StreamingMerger::new(&[], Instant::now(), |ev| {
+        let mut merger = StreamingMerger::new(&[], flor_obs::clock::now_ns(), |ev| {
             if let StreamEvent::Progress {
                 iterations_done,
                 iterations_total,

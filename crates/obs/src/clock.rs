@@ -1,0 +1,50 @@
+//! The monotonic clock: nanoseconds since the process-wide epoch.
+//!
+//! Every duration in flor-rs is a difference of two [`now_ns`] readings,
+//! so all subsystems (record timing, replay stats, spans, histograms)
+//! share one timeline — that is what lets a Chrome trace line worker
+//! ranges up against store commits. `tools/ci.sh` grep-lints raw
+//! `Instant::now()` out of the hot-path crates; this module is the one
+//! allowed call site.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the first call in this process.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds elapsed since an earlier [`now_ns`] reading.
+#[inline]
+pub fn since_ns(t0: u64) -> u64 {
+    now_ns().saturating_sub(t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_ticks() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(since_ns(a) >= 2_000_000);
+    }
+
+    #[test]
+    fn shared_epoch_across_threads() {
+        let t0 = now_ns();
+        let t1 = std::thread::spawn(now_ns).join().unwrap();
+        // Same epoch: a later reading from another thread is later.
+        assert!(t1 >= t0);
+    }
+}

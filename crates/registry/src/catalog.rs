@@ -52,6 +52,45 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
+    /// String and numeric fields in presentation order — the single source
+    /// both [`RunRecord::to_json`] and the CLI's pretty `runs show` iterate,
+    /// so the two surfaces cannot drift.
+    #[allow(clippy::type_complexity)]
+    pub fn fields(&self) -> (Vec<(&'static str, String)>, Vec<(&'static str, f64)>) {
+        (
+            vec![
+                ("run_id", self.run_id.clone()),
+                ("source_version", self.source_version.clone()),
+                ("store_root", self.store_root.display().to_string()),
+            ],
+            vec![
+                ("generation", self.generation as f64),
+                ("iterations", self.iterations as f64),
+                ("checkpoints", self.checkpoints as f64),
+                ("raw_bytes", self.raw_bytes as f64),
+                ("stored_bytes", self.stored_bytes as f64),
+                ("record_overhead", self.record_overhead),
+                ("scaling_c", self.scaling_c),
+            ],
+        )
+    }
+
+    /// Serializes through the shared [`flor_obs::json::JsonWriter`] — the
+    /// payload of `flor runs show --json`.
+    pub fn to_json(&self) -> String {
+        let mut w = flor_obs::json::JsonWriter::new();
+        w.begin_obj();
+        let (strings, nums) = self.fields();
+        for (name, v) in &strings {
+            w.field_str(name, v);
+        }
+        for (name, v) in &nums {
+            w.field_f64(name, *v);
+        }
+        w.end_obj();
+        w.finish()
+    }
+
     fn to_payload(&self) -> String {
         format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",

@@ -69,6 +69,12 @@ pub struct JobProgress {
     pub steals: u64,
     /// Record-order log entries streamed out so far.
     pub entries_streamed: u64,
+    /// Time until the job's replay emitted its first record-order entry,
+    /// ns from job start (0 until the first chunk lands).
+    pub stream_first_entry_ns: u64,
+    /// Wall time the job has been executing, ns: live (updated on every
+    /// streamed event) while running, final on completion.
+    pub wall_ns: u64,
 }
 
 /// Entry in the priority queue. Ordering: priority desc, then submission
@@ -146,9 +152,9 @@ impl ReplayScheduler {
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..pool_workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, i))
             })
             .collect();
         ReplayScheduler { shared, workers }
@@ -265,7 +271,11 @@ impl Drop for ReplayScheduler {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
+    flor_obs::set_lane(
+        flor_obs::trace::LANE_SCHEDULER_BASE + worker as u32,
+        &format!("scheduler-{worker}"),
+    );
     loop {
         let (id, job) = {
             let mut state = shared.state.lock().unwrap();
@@ -289,12 +299,22 @@ fn worker_loop(shared: &Shared) {
             }
         };
         // Stream the query so pollers see live progress (iterations done,
-        // steals, entries emitted) while the replay workers run.
+        // steals, entries emitted, elapsed wall time) while the replay
+        // workers run.
+        let mut span = flor_obs::span(flor_obs::Category::Job, "job");
+        span.set_args(id, job.workers as u64);
+        let t0 = flor_obs::clock::now_ns();
         let mut on_event = |ev: QueryEvent| {
             let mut state = shared.state.lock().unwrap();
             let p = state.progress.entry(id).or_default();
+            p.wall_ns = flor_obs::clock::since_ns(t0);
             match ev {
-                QueryEvent::Entries(chunk) => p.entries_streamed += chunk.len() as u64,
+                QueryEvent::Entries(chunk) => {
+                    if p.entries_streamed == 0 && !chunk.is_empty() {
+                        p.stream_first_entry_ns = p.wall_ns;
+                    }
+                    p.entries_streamed += chunk.len() as u64;
+                }
                 QueryEvent::Progress {
                     iterations_done,
                     iterations_total,
@@ -313,11 +333,24 @@ fn worker_loop(shared: &Shared) {
             job.workers,
             &mut on_event,
         );
-        let terminal = match outcome {
-            Ok(result) => JobState::Completed(result),
+        let wall_ns = flor_obs::clock::since_ns(t0);
+        drop(span);
+        flor_obs::histogram!("scheduler.job_ns").observe(wall_ns);
+        let terminal = match &outcome {
+            Ok(result) => {
+                // The replay's own first-entry clock (measured from replay
+                // start, after queueing) supersedes the observer's estimate.
+                if result.stream_first_entry_ns > 0 {
+                    let mut state = shared.state.lock().unwrap();
+                    state.progress.entry(id).or_default().stream_first_entry_ns =
+                        result.stream_first_entry_ns;
+                }
+                JobState::Completed(result.clone())
+            }
             Err(e) => JobState::Failed(e.to_string()),
         };
         let mut state = shared.state.lock().unwrap();
+        state.progress.entry(id).or_default().wall_ns = wall_ns;
         state.jobs.insert(id, terminal);
         state.outstanding -= 1;
         drop(state);

@@ -309,10 +309,12 @@ impl Registry {
         workers: usize,
         mut observer: Option<&mut dyn FnMut(QueryEvent)>,
     ) -> Result<QueryOutcome, RegistryError> {
+        flor_obs::counter!("registry.queries").inc();
         let rec = self.run(run_id)?;
         let key = query_key(run_id, rec.generation, &rec.source_version, probed_source);
         let cached_outcome =
             |hit: CachedResult, observer: &mut Option<&mut dyn FnMut(QueryEvent)>| {
+                flor_obs::counter!("registry.cache_hits").inc();
                 if let Some(on_event) = observer {
                     let total = log_iterations(&hit.log);
                     on_event(QueryEvent::Entries(hit.log.clone()));
@@ -409,6 +411,8 @@ impl Registry {
         // Only clean materializations are worth addressing by content:
         // anomalous replays should re-run (and re-warn) every time.
         if outcome.anomalies.is_empty() {
+            let mut span = flor_obs::span(flor_obs::Category::Commit, "cache_commit");
+            span.set_args(outcome.log.len() as u64, 0);
             self.cache.put(
                 key,
                 &CachedResult {
@@ -442,6 +446,14 @@ impl Registry {
     /// Number of pooled open store handles.
     pub fn open_store_handles(&self) -> usize {
         self.stores.lock().len()
+    }
+
+    /// Point-in-time snapshot of every process-wide observability metric
+    /// (query/cache counters, store commit/restore/compact latencies,
+    /// record submit latencies, …) — the payload behind `flor serve`'s
+    /// `metrics` verb.
+    pub fn metrics_snapshot(&self) -> flor_obs::MetricSnapshot {
+        flor_obs::metrics::snapshot()
     }
 
     // ---- storage-engine surface -------------------------------------------

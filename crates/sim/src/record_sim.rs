@@ -39,6 +39,8 @@ impl RecordSim {
 /// Simulates recording `workload` with tolerance `epsilon` (the paper uses
 /// 1/15) and adaptivity on or off.
 pub fn simulate_record(workload: &Workload, epsilon: f64, adaptive: bool) -> RecordSim {
+    let mut span = flor_obs::span(flor_obs::Category::Sim, "simulate_record");
+    span.set_args(workload.epochs, 0);
     let mut controller = AdaptiveController::new(epsilon);
     if !adaptive {
         controller = controller.with_adaptivity_disabled();

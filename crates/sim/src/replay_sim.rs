@@ -72,6 +72,8 @@ pub fn simulate_replay(
     gpus: usize,
     init_mode: InitMode,
 ) -> ReplaySim {
+    let mut span = flor_obs::span(flor_obs::Category::Sim, "simulate_replay");
+    span.set_args(workload.epochs, gpus as u64);
     let n = workload.epochs;
     let anchors: BTreeSet<u64> = {
         // An epoch boundary g is an anchor iff epoch g-1 is checkpointed.

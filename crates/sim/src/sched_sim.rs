@@ -100,6 +100,8 @@ pub fn static_makespan(costs: &[f64], workers: usize) -> f64 {
 /// otherwise uniform micro-ranges model a run recorded before cost
 /// profiling existed. Returns `(makespan_secs, steals)`.
 pub fn stealing_makespan(costs: &[f64], workers: usize, profiled: bool) -> (f64, u64) {
+    let mut span = flor_obs::span(flor_obs::Category::Sim, "stealing_makespan");
+    span.set_args(costs.len() as u64, workers as u64);
     let n = costs.len() as u64;
     if n == 0 || workers == 0 {
         return (0.0, 0);

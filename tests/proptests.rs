@@ -432,7 +432,7 @@ proptest! {
             order.swap(i, (x as usize) % (i + 1));
         }
         let mut streamed = Vec::new();
-        let mut merger = StreamingMerger::new(&[], std::time::Instant::now(), |ev| {
+        let mut merger = StreamingMerger::new(&[], flor_obs::clock::now_ns(), |ev| {
             if let flor_core::stream::StreamEvent::Entries(chunk) = ev {
                 streamed.extend(chunk.iter().cloned());
             }

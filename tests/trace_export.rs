@@ -1,0 +1,264 @@
+//! Integration tests for the observability layer: a traced work-stealing
+//! hindsight query must produce per-worker lanes, the full span-category
+//! vocabulary, well-nested spans, and a Chrome `trace_event` JSON export
+//! that parses back with the workspace's own parser.
+
+use flor_core::profile::COST_PROFILE_ARTIFACT;
+use flor_obs::json::{self, Json};
+use flor_obs::trace::{EventKind, LANE_DRIVER};
+use flor_obs::{Category, TraceSession};
+use flor_registry::{QueryEvent, Registry};
+use std::path::PathBuf;
+
+/// 16 epochs × 64 batches = 1024 main-loop iterations; the last three
+/// epochs run `busy(8)` per batch — the tail-heavy skew that makes
+/// uniform range seeds unbalanced and forces steals.
+const SKEWED_1K_SRC: &str = "\
+import flor
+data = synth_data(n=320, dim=6, classes=2, seed=7)
+loader = dataloader(data, batch_size=5, seed=7)
+net = mlp(input=6, hidden=8, classes=2, depth=1, seed=7)
+optimizer = sgd(net, lr=0.1)
+criterion = cross_entropy()
+avg = meter()
+for epoch in flor.partition(range(16)):
+    units = 1
+    if epoch > 12:
+        units = 8
+    avg.reset()
+    for batch in loader.epoch():
+        w = busy(units)
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flor-trace-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn inner_probed(src: &str) -> String {
+    let probed = src.replace(
+        "        optimizer.step()\n",
+        "        optimizer.step()\n        log(\"probe_gnorm\", net.grad_norm())\n",
+    );
+    assert_ne!(probed, src);
+    probed
+}
+
+#[test]
+fn traced_stolen_range_query_has_worker_lanes_and_full_category_vocabulary() {
+    let reg_root = tmp_dir("lanes");
+    let registry = Registry::open(&reg_root).unwrap();
+    let (_, rec) = registry
+        .record_run("skewed-1k", SKEWED_1K_SRC, |o| o.adaptive = false)
+        .unwrap();
+    // Drop the recorded cost profile: the splitter falls back to uniform
+    // micro-ranges, which the tail skew unbalances — steals are certain,
+    // so the Steal category must appear in the trace.
+    std::fs::remove_file(rec.store_root.join("artifacts").join(COST_PROFILE_ARTIFACT)).unwrap();
+    let probed = inner_probed(SKEWED_1K_SRC);
+
+    let session = TraceSession::start();
+    let outcome = registry
+        .query_streaming("skewed-1k", &probed, 4, &mut |ev| {
+            if let QueryEvent::Anomaly(a) = ev {
+                panic!("unexpected anomaly: {a}");
+            }
+        })
+        .unwrap();
+    let trace = session.finish();
+    assert!(!outcome.cached);
+    assert_eq!(trace.dropped, 0, "16k-slot rings must not overflow here");
+
+    // Distinct per-worker lanes (pids 0..4) plus the merge driver's lane.
+    let lanes = trace.lanes();
+    for pid in 0u32..4 {
+        assert!(
+            lanes.contains(&pid) && !trace.lane_events(pid).is_empty(),
+            "worker lane {pid} missing from {lanes:?}"
+        );
+    }
+    assert!(lanes.contains(&LANE_DRIVER), "driver lane missing");
+    assert!(
+        trace
+            .lane_names
+            .iter()
+            .any(|(l, n)| *l == LANE_DRIVER && n == "driver"),
+        "driver lane must be named for the viewer"
+    );
+
+    // The acceptance vocabulary: record (re-executed probed blocks),
+    // commit (query-cache fill), restore-chain, range-exec, steal,
+    // stream-merge.
+    let cats = trace.categories();
+    for want in [
+        Category::Record,
+        Category::Commit,
+        Category::RestoreChain,
+        Category::RangeExec,
+        Category::Steal,
+        Category::StreamMerge,
+    ] {
+        assert!(cats.contains(&want), "category {want:?} missing: {cats:?}");
+    }
+    assert!(cats.len() >= 6, "expected ≥6 categories, got {cats:?}");
+
+    // Nesting invariant: every nested span is contained in some shallower
+    // span on its own lane (spans never straddle their parents).
+    for ev in trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Complete)
+    {
+        if ev.depth == 0 {
+            continue;
+        }
+        let contained = trace.events.iter().any(|p| {
+            p.kind == EventKind::Complete
+                && p.lane == ev.lane
+                && p.depth < ev.depth
+                && p.start_ns <= ev.start_ns
+                && p.start_ns + p.dur_ns >= ev.start_ns + ev.dur_ns
+        });
+        assert!(
+            contained,
+            "span {:?}/{} at depth {} on lane {} has no enclosing parent",
+            ev.cat, ev.name, ev.depth, ev.lane
+        );
+    }
+
+    // Steal instants ride on worker lanes and carry the stolen range.
+    let steal = trace
+        .events
+        .iter()
+        .find(|e| e.cat == Category::Steal)
+        .expect("steal instant");
+    assert_eq!(steal.kind, EventKind::Instant);
+    assert!(steal.lane < 4, "steals happen on worker lanes");
+    assert!(steal.args[1] > steal.args[0], "steal args are [start, end)");
+
+    // Chrome export of the same trace parses back with the workspace
+    // parser, keeps every span as a ph:"X" event with a duration, and
+    // names the lanes via thread_name metadata.
+    let chrome = trace.to_chrome_json();
+    let doc = json::parse(&chrome).expect("chrome export must be valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap().to_string();
+    let complete = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Complete)
+        .count();
+    assert_eq!(events.iter().filter(|e| ph(e) == "X").count(), complete);
+    assert_eq!(
+        events.iter().filter(|e| ph(e) == "i").count(),
+        trace.events.len() - complete
+    );
+    assert!(events.iter().filter(|e| ph(e) == "M").any(|e| e
+        .get("args")
+        .and_then(|a| a.get("name"))
+        .and_then(Json::as_str)
+        == Some("driver")));
+    for ev in events.iter().filter(|e| ph(e) == "X") {
+        assert!(ev.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(ev.get("tid").and_then(Json::as_u64).is_some());
+    }
+    assert_eq!(doc.get("droppedEvents").and_then(Json::as_u64), Some(0));
+
+    // The folded flamegraph view carries the same lanes, one stack per
+    // line with a positive self-time count.
+    let folded = trace.to_folded();
+    assert!(
+        folded.lines().any(|l| l.starts_with("worker-0;")),
+        "{folded}"
+    );
+    for line in folded.lines() {
+        let (_, count) = line.rsplit_once(' ').expect("stack <space> count");
+        assert!(
+            count.parse::<u64>().unwrap() > 0,
+            "bad folded line {line:?}"
+        );
+    }
+}
+
+#[test]
+fn cli_query_trace_flag_writes_a_parseable_chrome_trace() {
+    let dir = tmp_dir("cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let small = SKEWED_1K_SRC
+        .replace("range(16)", "range(6)")
+        .replace("n=320", "n=40");
+    let script = dir.join("train.flr");
+    std::fs::write(&script, &small).unwrap();
+    let registry = dir.join("registry");
+    let raw: Vec<String> = [
+        "record",
+        script.to_str().unwrap(),
+        "--registry",
+        registry.to_str().unwrap(),
+        "--run-id",
+        "cli-trace",
+        "--no-adaptive",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    flor_cli::run_cli(&raw).unwrap();
+
+    let probed = dir.join("probed.flr");
+    std::fs::write(&probed, inner_probed(&small)).unwrap();
+    let trace_path = dir.join("trace.json");
+    let raw: Vec<String> = [
+        "query",
+        "cli-trace",
+        probed.to_str().unwrap(),
+        "--registry",
+        registry.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = flor_cli::run_cli(&raw).unwrap();
+    assert!(out.contains("# trace:"), "{out}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = json::parse(&text).expect("--trace output must parse");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    assert!(!events.is_empty());
+    let mut lanes = std::collections::BTreeSet::new();
+    let mut cats = std::collections::BTreeSet::new();
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("X") | Some("i") => {
+                lanes.extend(ev.get("tid").and_then(Json::as_u64));
+                cats.extend(ev.get("cat").and_then(Json::as_str).map(String::from));
+            }
+            Some("M") => {}
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+    assert!(
+        lanes.len() >= 2,
+        "want ≥2 lanes (workers + driver): {lanes:?}"
+    );
+    assert!(
+        cats.contains("range-exec") && cats.contains("stream-merge"),
+        "{cats:?}"
+    );
+}
