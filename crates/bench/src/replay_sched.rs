@@ -119,6 +119,7 @@ impl SchedFixture {
             workers,
             init_mode: flor_core::InitMode::Strong,
             steal,
+            ..Default::default()
         };
         let mut runs: Vec<SchedMeasurement> = (0..reps.max(1))
             .map(|_| {

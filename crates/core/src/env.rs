@@ -21,17 +21,18 @@ impl Env {
         self.vars.insert(name.into(), value);
     }
 
-    /// Looks up a name.
-    pub fn get(&self, name: &str) -> Result<Value, FlorError> {
+    /// Looks up a name. Returns a borrow — callers that need ownership
+    /// clone at the call site, so cheap inspections (type checks, size
+    /// estimates, identity probes) stop paying for a deep `Value` clone.
+    pub fn get(&self, name: &str) -> Result<&Value, FlorError> {
         self.vars
             .get(name)
-            .cloned()
             .ok_or_else(|| rt(format!("name {name:?} is not defined")))
     }
 
-    /// Looks up a name without erroring.
-    pub fn try_get(&self, name: &str) -> Option<Value> {
-        self.vars.get(name).cloned()
+    /// Looks up a name without erroring. Borrowing, like [`Env::get`].
+    pub fn try_get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
     }
 
     /// True if the name is bound.

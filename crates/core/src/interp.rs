@@ -182,6 +182,29 @@ pub enum Mode {
     Replay(Box<ReplayCtx>),
 }
 
+/// A main-loop body, abstracted over the executor: the tree-walker
+/// re-walks the statement list per iteration; the VM re-enters a
+/// compiled instruction range at an iteration boundary (which is what
+/// lets stolen ranges resume from checkpoint-restored slots).
+pub(crate) enum LoopBody<'a> {
+    /// Walk the AST statements.
+    Tree {
+        /// Loop variable name.
+        var: &'a str,
+        /// Body statements.
+        body: &'a [Stmt],
+    },
+    /// Execute a compiled instruction range on the VM.
+    Vm {
+        /// Loop-variable frame slot.
+        var_slot: u16,
+        /// First instruction of the body.
+        start: usize,
+        /// One past the last instruction of the body.
+        end: usize,
+    },
+}
+
 /// The interpreter.
 pub struct Interp {
     /// Global variable bindings.
@@ -193,6 +216,10 @@ pub struct Interp {
     /// Counter deriving default seeds for constructors without an explicit
     /// `seed=` kwarg (deterministic across runs).
     ctor_counter: u64,
+    /// Live VM frame when executing compiled bytecode (`None` under the
+    /// tree-walker). Boxed so the tree-walking fast path pays one
+    /// pointer.
+    pub(crate) vm: Option<Box<crate::vm::VmFrame>>,
 }
 
 impl Interp {
@@ -203,6 +230,7 @@ impl Interp {
             log: LogStream::new(),
             mode,
             ctor_counter: 0,
+            vm: None,
         }
     }
 
@@ -262,23 +290,52 @@ impl Interp {
     }
 
     fn eval_to_items(&mut self, iter: &Expr) -> Result<Vec<Value>, FlorError> {
-        match self.eval(iter)? {
-            Value::List(l) => Ok(l.borrow().clone()),
-            Value::Tuple(t) => Ok(t),
-            other => Err(rt(format!("cannot iterate over {}", other.kind()))),
-        }
+        let v = self.eval(iter)?;
+        items_of(v)
     }
 
     /// Executes the partition-wrapped main loop (paper Figures 8 & 9).
     fn exec_main_loop(&mut self, var: &str, inner: &Expr, body: &[Stmt]) -> Result<(), FlorError> {
         let items = self.eval_to_items(inner)?;
+        self.exec_main_loop_impl(&LoopBody::Tree { var, body }, items)
+    }
+
+    /// Runs one main-loop iteration: section/iter bookkeeping, bind the
+    /// loop variable, execute the body — on whichever executor `lb`
+    /// names (tree-walker or VM bytecode range).
+    fn run_loop_iter(&mut self, lb: &LoopBody<'_>, g: u64, item: Value) -> Result<(), FlorError> {
+        self.enter_iter(g);
+        match lb {
+            LoopBody::Tree { var, body } => {
+                self.env.set(var.to_string(), item);
+                self.exec_body(body)
+            }
+            LoopBody::Vm {
+                var_slot,
+                start,
+                end,
+            } => {
+                self.vm_set_slot(*var_slot, item);
+                self.vm_run_range(*start, *end)
+            }
+        }
+    }
+
+    /// The mode dispatch behind [`Self::exec_main_loop`], shared by the
+    /// tree-walker and the VM's `MainLoop` op: the four replay shapes
+    /// (sequential, sampled, work-stealing, static partition) are
+    /// executor-agnostic once iteration execution is behind
+    /// [`LoopBody`].
+    pub(crate) fn exec_main_loop_impl(
+        &mut self,
+        lb: &LoopBody<'_>,
+        items: Vec<Value>,
+    ) -> Result<(), FlorError> {
         let n = items.len() as u64;
         match &mut self.mode {
             Mode::Vanilla | Mode::Record(_) => {
                 for g in 0..n {
-                    self.enter_iter(g);
-                    self.env.set(var.to_string(), items[g as usize].clone());
-                    self.exec_body(body)?;
+                    self.run_loop_iter(lb, g, items[g as usize].clone())?;
                 }
                 self.exit_main_loop();
                 Ok(())
@@ -322,17 +379,13 @@ impl Interp {
                     }
                     self.log.set_suppressed(true);
                     for j in init_from..g {
-                        self.enter_iter(j);
-                        self.env.set(var.to_string(), items[j as usize].clone());
-                        self.exec_body(body)?;
+                        self.run_loop_iter(lb, j, items[j as usize].clone())?;
                     }
                     self.log.set_suppressed(false);
                     if let Mode::Replay(ctx) = &mut self.mode {
                         ctx.phase = Phase::Work;
                     }
-                    self.enter_iter(g);
-                    self.env.set(var.to_string(), items[g as usize].clone());
-                    self.exec_body(body)?;
+                    self.run_loop_iter(lb, g, items[g as usize].clone())?;
                     state_at = g + 1;
                     first = false;
                 }
@@ -346,7 +399,7 @@ impl Interp {
             }
             Mode::Replay(ctx) if ctx.runtime.is_some() => {
                 let runtime = ctx.runtime.clone().expect("guarded");
-                self.exec_main_loop_ranges(var, &items, body, n, &runtime)
+                self.exec_main_loop_ranges(lb, &items, n, &runtime)
             }
             Mode::Replay(ctx) => {
                 // Build this worker's plan. Weak init restricts partition
@@ -401,9 +454,7 @@ impl Interp {
                     }
                     self.log.set_suppressed(true);
                     for g in plan.init_iters() {
-                        self.enter_iter(g);
-                        self.env.set(var.to_string(), items[g as usize].clone());
-                        self.exec_body(body)?;
+                        self.run_loop_iter(lb, g, items[g as usize].clone())?;
                     }
                     self.log.set_suppressed(false);
                 }
@@ -412,9 +463,7 @@ impl Interp {
                     ctx.phase = Phase::Work;
                 }
                 for g in plan.work_iters() {
-                    self.enter_iter(g);
-                    self.env.set(var.to_string(), items[g as usize].clone());
-                    self.exec_body(body)?;
+                    self.run_loop_iter(lb, g, items[g as usize].clone())?;
                 }
                 self.exit_main_loop();
                 // Only the worker owning the final segment has the true
@@ -442,9 +491,8 @@ impl Interp {
     /// the incremental merger immediately.
     fn exec_main_loop_ranges(
         &mut self,
-        var: &str,
+        lb: &LoopBody<'_>,
         items: &[Value],
-        body: &[Stmt],
         n: u64,
         runtime: &Arc<crate::replay::ReplayRuntime>,
     ) -> Result<(), FlorError> {
@@ -457,11 +505,20 @@ impl Interp {
             let deques = || runtime.seed_ranges(ctx, n);
             runtime.queue.seed_once(n, deques)
         };
-        let (pid, init_mode, sink) = {
+        let (pid, init_mode, rewind_ok, sink) = {
             let Mode::Replay(ctx) = &mut self.mode else {
                 unreachable!()
             };
-            (ctx.pid, ctx.init_mode, ctx.sink.clone())
+            // Rewinding (taking a range behind the current state) rebuilds
+            // earlier state by checkpoint restores in the init phase;
+            // poisoned reuse re-executes instead, so a rewound prefix
+            // would run from already-advanced state and corrupt it.
+            (
+                ctx.pid,
+                ctx.init_mode,
+                !ctx.force_execute_all,
+                ctx.sink.clone(),
+            )
         };
         // Replay workers trace on their own lane, keyed by pid.
         flor_obs::set_lane(pid as u32, &format!("worker-{pid}"));
@@ -486,7 +543,7 @@ impl Interp {
         // churn), a discontinuity or overrun re-targets it.
         let mut prefetched_to = 0u64;
         let seeded_end = runtime.queue.seeded_span(pid).map(|s| s.end).unwrap_or(0);
-        while let Some(next) = runtime.queue.next(pid, state_at) {
+        while let Some(next) = runtime.queue.next(pid, state_at, rewind_ok) {
             let range = next.range;
             // Initialization segment for this range. A seed pop continues
             // where the previous range ended (no init); a steal rolls
@@ -559,9 +616,7 @@ impl Interp {
                 }
                 self.log.set_suppressed(true);
                 for j in init_from..range.start {
-                    self.enter_iter(j);
-                    self.env.set(var.to_string(), items[j as usize].clone());
-                    self.exec_body(body)?;
+                    self.run_loop_iter(lb, j, items[j as usize].clone())?;
                 }
                 self.log.set_suppressed(false);
             }
@@ -571,10 +626,23 @@ impl Interp {
             if let Mode::Replay(ctx) = &mut self.mode {
                 ctx.phase = Phase::Work;
             }
+            // Bytecode execution of a work range is the hot path this
+            // whole layer exists for: give it its own nested span and
+            // latency histogram.
+            let vm_span = match lb {
+                LoopBody::Vm { .. } => {
+                    let mut s = flor_obs::span(flor_obs::Category::VmExec, "vm-range");
+                    s.set_args(range.start, range.end);
+                    Some((s, flor_obs::clock::now_ns()))
+                }
+                LoopBody::Tree { .. } => None,
+            };
             for g in range.iters() {
-                self.enter_iter(g);
-                self.env.set(var.to_string(), items[g as usize].clone());
-                self.exec_body(body)?;
+                self.run_loop_iter(lb, g, items[g as usize].clone())?;
+            }
+            if let Some((s, t0)) = vm_span {
+                flor_obs::histogram!("vm.exec_ns").observe(flor_obs::clock::since_ns(t0));
+                drop(s);
             }
             drop(span);
             state_at = range.end;
@@ -654,24 +722,7 @@ impl Interp {
         if targets.len() == 1 {
             return self.assign_one(&targets[0], value);
         }
-        let items = match value {
-            Value::Tuple(t) => t,
-            Value::List(l) => l.borrow().clone(),
-            other => {
-                return Err(rt(format!(
-                    "cannot unpack {} into {} targets",
-                    other.kind(),
-                    targets.len()
-                )))
-            }
-        };
-        if items.len() != targets.len() {
-            return Err(rt(format!(
-                "unpack mismatch: {} values into {} targets",
-                items.len(),
-                targets.len()
-            )));
-        }
+        let items = unpack_values(value, targets.len())?;
         for (t, v) in targets.iter().zip(items) {
             self.assign_one(t, v)?;
         }
@@ -686,43 +737,12 @@ impl Interp {
             }
             Expr::Attr { obj, name } => {
                 let recv = self.eval(obj)?;
-                match recv {
-                    Value::Obj(rc) => {
-                        let mut o = rc.borrow_mut();
-                        match (&mut *o, name.as_str()) {
-                            (Obj::Optim { inner, .. }, "lr") => {
-                                inner.set_lr(value.as_f64()? as f32);
-                                Ok(())
-                            }
-                            (Obj::Optim { inner, .. }, "weight_decay") => {
-                                inner.set_weight_decay(value.as_f64()? as f32);
-                                Ok(())
-                            }
-                            (o, attr) => Err(rt(format!(
-                                "cannot assign attribute {attr:?} on {}",
-                                o.kind()
-                            ))),
-                        }
-                    }
-                    other => Err(rt(format!("cannot assign attribute on {}", other.kind()))),
-                }
+                store_attr_value(recv, name, value)
             }
             Expr::Subscript { obj, index } => {
                 let recv = self.eval(obj)?;
-                let idx = self.eval(index)?.as_i64()?;
-                match recv {
-                    Value::List(l) => {
-                        let mut items = l.borrow_mut();
-                        let len = items.len() as i64;
-                        let i = if idx < 0 { idx + len } else { idx };
-                        if i < 0 || i >= len {
-                            return Err(rt(format!("list index {idx} out of range")));
-                        }
-                        items[i as usize] = value;
-                        Ok(())
-                    }
-                    other => Err(rt(format!("cannot index-assign {}", other.kind()))),
-                }
+                let idx = self.eval(index)?;
+                store_index_value(recv, idx, value)
             }
             other => Err(rt(format!("invalid assignment target {other}"))),
         }
@@ -745,7 +765,7 @@ impl Interp {
                     // their call sites.
                     return Ok(Value::Str("<module flor>".into()));
                 }
-                self.env.get(n)
+                self.env.get(n).cloned()
             }
             Expr::List(items) => Ok(Value::list(
                 items
@@ -761,38 +781,13 @@ impl Interp {
             )),
             Expr::Unary { op, expr } => {
                 let v = self.eval(expr)?;
-                match op {
-                    UnaryOp::Neg => match v {
-                        Value::Int(i) => Ok(Value::Int(-i)),
-                        Value::Float(x) => Ok(Value::Float(-x)),
-                        other => Err(rt(format!("cannot negate {}", other.kind()))),
-                    },
-                    UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
-                }
+                unary_op_value(*op, v)
             }
             Expr::Bin { op, lhs, rhs } => self.eval_bin(*op, lhs, rhs),
             Expr::Subscript { obj, index } => {
                 let recv = self.eval(obj)?;
-                let idx = self.eval(index)?.as_i64()?;
-                match recv {
-                    Value::List(l) => {
-                        let items = l.borrow();
-                        let len = items.len() as i64;
-                        let i = if idx < 0 { idx + len } else { idx };
-                        items
-                            .get(i as usize)
-                            .cloned()
-                            .ok_or_else(|| rt(format!("list index {idx} out of range")))
-                    }
-                    Value::Tuple(t) => {
-                        let len = t.len() as i64;
-                        let i = if idx < 0 { idx + len } else { idx };
-                        t.get(i as usize)
-                            .cloned()
-                            .ok_or_else(|| rt(format!("tuple index {idx} out of range")))
-                    }
-                    other => Err(rt(format!("cannot index {}", other.kind()))),
-                }
+                let idx = self.eval(index)?;
+                index_value(recv, idx)
             }
             Expr::Attr { obj, name } => {
                 let recv = self.eval(obj)?;
@@ -817,72 +812,10 @@ impl Interp {
         }
         let l = self.eval(lhs)?;
         let r = self.eval(rhs)?;
-        // String concatenation.
-        if op == BinOp::Add {
-            if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
-                return Ok(Value::Str(format!("{a}{b}")));
-            }
-        }
-        // Integer arithmetic stays integral.
-        if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
-            let (a, b) = (*a, *b);
-            return Ok(match op {
-                BinOp::Add => Value::Int(a + b),
-                BinOp::Sub => Value::Int(a - b),
-                BinOp::Mul => Value::Int(a * b),
-                BinOp::Div => {
-                    if b == 0 {
-                        return Err(rt("division by zero"));
-                    }
-                    Value::Float(a as f64 / b as f64)
-                }
-                BinOp::Mod => {
-                    if b == 0 {
-                        return Err(rt("modulo by zero"));
-                    }
-                    Value::Int(a.rem_euclid(b))
-                }
-                BinOp::Eq => Value::Bool(a == b),
-                BinOp::Ne => Value::Bool(a != b),
-                BinOp::Lt => Value::Bool(a < b),
-                BinOp::Le => Value::Bool(a <= b),
-                BinOp::Gt => Value::Bool(a > b),
-                BinOp::Ge => Value::Bool(a >= b),
-                BinOp::And | BinOp::Or => unreachable!(),
-            });
-        }
-        // String equality.
-        if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
-            match op {
-                BinOp::Eq => return Ok(Value::Bool(a == b)),
-                BinOp::Ne => return Ok(Value::Bool(a != b)),
-                _ => {}
-            }
-        }
-        let a = l.as_f64()?;
-        let b = r.as_f64()?;
-        Ok(match op {
-            BinOp::Add => Value::Float(a + b),
-            BinOp::Sub => Value::Float(a - b),
-            BinOp::Mul => Value::Float(a * b),
-            BinOp::Div => {
-                if b == 0.0 {
-                    return Err(rt("division by zero"));
-                }
-                Value::Float(a / b)
-            }
-            BinOp::Mod => Value::Float(a % b),
-            BinOp::Eq => Value::Bool(a == b),
-            BinOp::Ne => Value::Bool(a != b),
-            BinOp::Lt => Value::Bool(a < b),
-            BinOp::Le => Value::Bool(a <= b),
-            BinOp::Gt => Value::Bool(a > b),
-            BinOp::Ge => Value::Bool(a >= b),
-            BinOp::And | BinOp::Or => unreachable!(),
-        })
+        bin_op_values(op, l, r)
     }
 
-    fn read_attr(&mut self, recv: Value, name: &str) -> Result<Value, FlorError> {
+    pub(crate) fn read_attr(&mut self, recv: Value, name: &str) -> Result<Value, FlorError> {
         match recv {
             Value::Obj(rc) => {
                 let o = rc.borrow();
@@ -929,17 +862,27 @@ impl Interp {
     }
 
     fn call_log(&mut self, args: &[Arg]) -> Result<Value, FlorError> {
-        if args.is_empty() {
-            return Err(rt("log() requires a key argument"));
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(&a.value)?);
         }
-        let key = match self.eval(&args[0].value)? {
+        self.log_values(vals)
+    }
+
+    /// Emits one log entry from already-evaluated `log(...)` arguments:
+    /// first value is the key (strings pass through, everything else
+    /// displays), the rest join with spaces. Keyword names are ignored.
+    /// Shared by the tree-walker and the VM's `CallLog` op.
+    pub(crate) fn log_values(&mut self, vals: Vec<Value>) -> Result<Value, FlorError> {
+        let mut it = vals.into_iter();
+        let Some(first) = it.next() else {
+            return Err(rt("log() requires a key argument"));
+        };
+        let key = match first {
             Value::Str(s) => s,
             other => other.display(),
         };
-        let vals: Vec<String> = args[1..]
-            .iter()
-            .map(|a| self.eval(&a.value).map(|v| v.display()))
-            .collect::<Result<_, _>>()?;
+        let vals: Vec<String> = it.map(|v| v.display()).collect();
         self.log.log(key, vals.join(" "));
         Ok(Value::None)
     }
@@ -964,7 +907,7 @@ impl Interp {
 
     // ---- builtins -----------------------------------------------------------
 
-    fn call_builtin(&mut self, name: &str, mut a: CallArgs) -> Result<Value, FlorError> {
+    pub(crate) fn call_builtin(&mut self, name: &str, mut a: CallArgs) -> Result<Value, FlorError> {
         match name {
             "range" => {
                 let (lo, hi) = match a.pos.len() {
@@ -1220,7 +1163,7 @@ impl Interp {
 
     // ---- methods -------------------------------------------------------------
 
-    fn call_method(
+    pub(crate) fn call_method(
         &mut self,
         recv: Value,
         name: &str,
@@ -1498,13 +1441,243 @@ impl Interp {
     }
 }
 
-/// Evaluated call arguments.
+// ---- shared executor semantics ---------------------------------------------
+//
+// The tree-walker and the bytecode VM must agree byte-for-byte on values
+// and error strings (the VM is differentially tested against the
+// tree-walker); these helpers are the single home for value-level
+// semantics so the two executors cannot drift.
+
+/// Snapshot of an iterable's items (lists are cloned before the loop
+/// body runs, so mutation during iteration is invisible — both
+/// executors).
+pub(crate) fn items_of(v: Value) -> Result<Vec<Value>, FlorError> {
+    match v {
+        Value::List(l) => Ok(l.borrow().clone()),
+        Value::Tuple(t) => Ok(t),
+        other => Err(rt(format!("cannot iterate over {}", other.kind()))),
+    }
+}
+
+/// Splits a multi-assignment RHS into exactly `n` values.
+pub(crate) fn unpack_values(value: Value, n: usize) -> Result<Vec<Value>, FlorError> {
+    let items = match value {
+        Value::Tuple(t) => t,
+        Value::List(l) => l.borrow().clone(),
+        other => {
+            return Err(rt(format!(
+                "cannot unpack {} into {n} targets",
+                other.kind()
+            )))
+        }
+    };
+    if items.len() != n {
+        return Err(rt(format!(
+            "unpack mismatch: {} values into {n} targets",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Applies a unary operator to an evaluated operand.
+#[inline]
+pub(crate) fn unary_op_value(op: UnaryOp, v: Value) -> Result<Value, FlorError> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(rt(format!("cannot negate {}", other.kind()))),
+        },
+        UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+    }
+}
+
+/// Numeric fast path shared by both executors: `Some(result)` for
+/// int∘int and float∘float operands, `None` when the pair needs the
+/// general path in [`bin_op_values`] (string ops, int/float promotion,
+/// division/modulo-by-zero errors, type errors). Borrows its operands
+/// so the VM's fused ops can evaluate straight out of frame slots and
+/// the constant pool without cloning.
+#[inline(always)]
+pub(crate) fn bin_op_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+    match (l, r) {
+        // Integer arithmetic stays integral.
+        (Value::Int(a), Value::Int(b)) => {
+            let (a, b) = (*a, *b);
+            Some(match op {
+                BinOp::Add => Value::Int(a + b),
+                BinOp::Sub => Value::Int(a - b),
+                BinOp::Mul => Value::Int(a * b),
+                BinOp::Div if b != 0 => Value::Float(a as f64 / b as f64),
+                BinOp::Mod if b != 0 => Value::Int(a.rem_euclid(b)),
+                BinOp::Eq => Value::Bool(a == b),
+                BinOp::Ne => Value::Bool(a != b),
+                BinOp::Lt => Value::Bool(a < b),
+                BinOp::Le => Value::Bool(a <= b),
+                BinOp::Gt => Value::Bool(a > b),
+                BinOp::Ge => Value::Bool(a >= b),
+                // Division/modulo by zero error on the general path;
+                // And/Or never reach a binary op.
+                _ => return None,
+            })
+        }
+        (Value::Float(a), Value::Float(b)) => {
+            let (a, b) = (*a, *b);
+            Some(match op {
+                BinOp::Add => Value::Float(a + b),
+                BinOp::Sub => Value::Float(a - b),
+                BinOp::Mul => Value::Float(a * b),
+                BinOp::Div if b != 0.0 => Value::Float(a / b),
+                BinOp::Mod => Value::Float(a % b),
+                BinOp::Eq => Value::Bool(a == b),
+                BinOp::Ne => Value::Bool(a != b),
+                BinOp::Lt => Value::Bool(a < b),
+                BinOp::Le => Value::Bool(a <= b),
+                BinOp::Gt => Value::Bool(a > b),
+                BinOp::Ge => Value::Bool(a >= b),
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Applies a non-short-circuit binary operator to evaluated operands
+/// (`and`/`or` are control flow in both executors and never reach
+/// here).
+#[inline]
+pub(crate) fn bin_op_values(op: BinOp, l: Value, r: Value) -> Result<Value, FlorError> {
+    if let Some(v) = bin_op_fast(op, &l, &r) {
+        return Ok(v);
+    }
+    // String concatenation.
+    if op == BinOp::Add {
+        if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+    }
+    // Same-type integer pairs only fall through for the zero-divisor
+    // errors — the fast path handled every other combination.
+    if let (Value::Int(_), Value::Int(b)) = (&l, &r) {
+        match op {
+            BinOp::Div if *b == 0 => return Err(rt("division by zero")),
+            BinOp::Mod if *b == 0 => return Err(rt("modulo by zero")),
+            _ => {}
+        }
+    }
+    // String equality.
+    if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+        match op {
+            BinOp::Eq => return Ok(Value::Bool(a == b)),
+            BinOp::Ne => return Ok(Value::Bool(a != b)),
+            _ => {}
+        }
+    }
+    let a = l.as_f64()?;
+    let b = r.as_f64()?;
+    Ok(match op {
+        BinOp::Add => Value::Float(a + b),
+        BinOp::Sub => Value::Float(a - b),
+        BinOp::Mul => Value::Float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(rt("division by zero"));
+            }
+            Value::Float(a / b)
+        }
+        BinOp::Mod => Value::Float(a % b),
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt => Value::Bool(a < b),
+        BinOp::Le => Value::Bool(a <= b),
+        BinOp::Gt => Value::Bool(a > b),
+        BinOp::Ge => Value::Bool(a >= b),
+        BinOp::And | BinOp::Or => unreachable!(),
+    })
+}
+
+/// Subscript load on evaluated receiver and index.
+#[inline]
+pub(crate) fn index_value(recv: Value, index: Value) -> Result<Value, FlorError> {
+    let idx = index.as_i64()?;
+    match recv {
+        Value::List(l) => {
+            let items = l.borrow();
+            let len = items.len() as i64;
+            let i = if idx < 0 { idx + len } else { idx };
+            items
+                .get(i as usize)
+                .cloned()
+                .ok_or_else(|| rt(format!("list index {idx} out of range")))
+        }
+        Value::Tuple(t) => {
+            let len = t.len() as i64;
+            let i = if idx < 0 { idx + len } else { idx };
+            t.get(i as usize)
+                .cloned()
+                .ok_or_else(|| rt(format!("tuple index {idx} out of range")))
+        }
+        other => Err(rt(format!("cannot index {}", other.kind()))),
+    }
+}
+
+/// Subscript store on evaluated receiver, index, and value.
+pub(crate) fn store_index_value(recv: Value, index: Value, value: Value) -> Result<(), FlorError> {
+    let idx = index.as_i64()?;
+    match recv {
+        Value::List(l) => {
+            let mut items = l.borrow_mut();
+            let len = items.len() as i64;
+            let i = if idx < 0 { idx + len } else { idx };
+            if i < 0 || i >= len {
+                return Err(rt(format!("list index {idx} out of range")));
+            }
+            items[i as usize] = value;
+            Ok(())
+        }
+        other => Err(rt(format!("cannot index-assign {}", other.kind()))),
+    }
+}
+
+/// Attribute store on an evaluated receiver (only optimizer
+/// hyperparameters are assignable, mirroring the paper's API surface).
+pub(crate) fn store_attr_value(recv: Value, name: &str, value: Value) -> Result<(), FlorError> {
+    match recv {
+        Value::Obj(rc) => {
+            let mut o = rc.borrow_mut();
+            match (&mut *o, name) {
+                (Obj::Optim { inner, .. }, "lr") => {
+                    inner.set_lr(value.as_f64()? as f32);
+                    Ok(())
+                }
+                (Obj::Optim { inner, .. }, "weight_decay") => {
+                    inner.set_weight_decay(value.as_f64()? as f32);
+                    Ok(())
+                }
+                (o, attr) => Err(rt(format!(
+                    "cannot assign attribute {attr:?} on {}",
+                    o.kind()
+                ))),
+            }
+        }
+        other => Err(rt(format!("cannot assign attribute on {}", other.kind()))),
+    }
+}
+
+/// Evaluated call arguments: the positional/keyword split.
 pub struct CallArgs {
     pos: Vec<Value>,
     kw: Vec<(String, Value)>,
 }
 
 impl CallArgs {
+    /// Builds from an already-evaluated positional/keyword split (the
+    /// VM's call ops rebuild this from the operand stack).
+    pub(crate) fn new(pos: Vec<Value>, kw: Vec<(String, Value)>) -> Self {
+        CallArgs { pos, kw }
+    }
+
     fn req(&mut self, i: usize, func: &str) -> Result<Value, FlorError> {
         self.pos
             .get(i)

@@ -50,6 +50,9 @@
 //!   blocking on the last worker.
 //! - [`oracle`]: runtime changeset augmentation over the live object graph
 //!   (§5.2.1 step 3).
+//! - [`vm`]: the bytecode replay VM — executes `flor-lang`'s compiled
+//!   modules with slot-resolved variables and a compiled-module cache,
+//!   keeping the tree-walker as fallback and differential oracle.
 
 #![warn(missing_docs)]
 
@@ -70,6 +73,7 @@ pub mod skipblock;
 pub mod stream;
 pub mod value;
 pub mod versions;
+pub mod vm;
 
 pub use adaptive::AdaptiveController;
 pub use error::FlorError;
@@ -79,3 +83,4 @@ pub use profile::CostProfile;
 pub use record::{record, RecordOptions, RecordReport};
 pub use replay::{replay, ReplayOptions, ReplayReport};
 pub use stream::StreamEvent;
+pub use vm::{compile_program, ModuleCache};

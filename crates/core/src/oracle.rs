@@ -33,7 +33,7 @@ impl<'a> EnvOracle<'a> {
         names.sort_unstable(); // deterministic resolution
         for name in names {
             if let Some(Value::Obj(rc)) = self.env.try_get(name) {
-                if Rc::ptr_eq(&rc, target) {
+                if Rc::ptr_eq(rc, target) {
                     return Some(name.to_string());
                 }
             }

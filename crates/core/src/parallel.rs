@@ -469,7 +469,17 @@ impl RangeQueue {
     /// stealing enabled, the back of the most-loaded victim — preferring
     /// forward ranges and never the final range. `None` means the replay's
     /// range pool is exhausted for this worker.
-    pub fn next(&self, pid: usize, state_at: u64) -> Option<NextRange> {
+    ///
+    /// `rewind_ok` says whether this worker can take a range *behind* its
+    /// current state: rewinding means re-initializing from iteration 0 on
+    /// the strength of checkpoint restores, so it is only sound while
+    /// checkpoints are reusable. Poisoned reuse (`force_execute_all`) must
+    /// pass `false` — the init phase then re-executes for real, and
+    /// re-executing a prefix from an already-advanced program state
+    /// corrupts it. Forward-only workers may retire while victims still
+    /// hold backward work; owners always drain their own deques in order,
+    /// so no range is orphaned.
+    pub fn next(&self, pid: usize, state_at: u64, rewind_ok: bool) -> Option<NextRange> {
         let mut state = self.state.lock();
         if let Some(r) = state.deques.get_mut(pid).and_then(|d| d.pop_front()) {
             return Some(NextRange {
@@ -500,7 +510,8 @@ impl RangeQueue {
         // thief will retire holding the final program state. A backward
         // steal of a range starting at 0 is never allowed for a worker
         // already past it: there is no checkpoint before iteration 0 to
-        // rewind to.
+        // rewind to. With `rewind_ok` false, *no* backward steal is — the
+        // worker cannot rebuild earlier state at all.
         for (forward_only, allow_final) in [(true, false), (false, false), (false, true)] {
             for &vid in &victims {
                 let deque = &mut state.deques[vid];
@@ -513,7 +524,7 @@ impl RangeQueue {
                     .find(|(_, r)| {
                         (allow_final || r.end != n)
                             && (!forward_only || r.start >= state_at)
-                            && !(r.start == 0 && state_at > 0)
+                            && ((rewind_ok && r.start > 0) || r.start >= state_at)
                     })
                     .map(|(i, _)| i);
                 if let Some(i) = idx {
@@ -954,14 +965,14 @@ mod tests {
             )
         });
         assert_eq!(
-            q.next(0, 0),
+            q.next(0, 0, true),
             Some(NextRange {
                 range: MicroRange { start: 0, end: 2 },
                 stolen: false
             })
         );
-        assert_eq!(q.next(0, 2), None, "stealing disabled");
-        assert!(q.next(1, 0).is_some());
+        assert_eq!(q.next(0, 2, true), None, "stealing disabled");
+        assert!(q.next(1, 0, true).is_some());
         assert_eq!(q.steals(), 0);
     }
 
@@ -981,22 +992,22 @@ mod tests {
                 Vec::new(),
             )
         });
-        let own = q.next(0, 0).unwrap();
+        let own = q.next(0, 0, true).unwrap();
         assert!(!own.stolen);
         // Worker 0 drained: steals from worker 1's back, skipping the
         // pinned final range (5..8).
-        let stolen = q.next(0, 1).unwrap();
+        let stolen = q.next(0, 1, true).unwrap();
         assert!(stolen.stolen);
         assert_eq!(stolen.range, MicroRange { start: 3, end: 5 });
         assert_eq!(q.steals(), 1);
         // The final range stays with its owner.
-        let r1 = q.next(1, 0).unwrap();
+        let r1 = q.next(1, 0, true).unwrap();
         assert_eq!(r1.range, MicroRange { start: 1, end: 3 });
-        let r2 = q.next(1, 3).unwrap();
+        let r2 = q.next(1, 3, true).unwrap();
         assert_eq!(r2.range, MicroRange { start: 5, end: 8 });
         assert!(!r2.stolen);
         // Nothing left for the thief: the final range is not stealable.
-        assert_eq!(q.next(0, 5), None);
+        assert_eq!(q.next(0, 5, true), None);
     }
 
     #[test]
@@ -1015,12 +1026,44 @@ mod tests {
         // Worker 2 takes its own (final) range first, then sits at state 9;
         // both remaining ranges are behind it — the backward pass still
         // serves one rather than idling the worker.
-        assert!(!q.next(2, 0).unwrap().stolen);
-        let behind = q.next(2, 9).unwrap();
+        assert!(!q.next(2, 0, true).unwrap().stolen);
+        let behind = q.next(2, 9, true).unwrap();
         assert!(behind.stolen);
         // Worker 0 at state 0: 3..6 is ahead, preferred over nothing.
-        let ahead = q.next(0, 0);
+        let ahead = q.next(0, 0, true);
         let _ = ahead; // whichever range remains, it must be servable
+    }
+
+    #[test]
+    fn no_backward_steals_without_rewind() {
+        // With rewinds impossible (poisoned reuse: init re-executes instead
+        // of restoring), a worker past a range must never be handed it.
+        let q = RangeQueue::new(3, true);
+        q.seed_once(9, || {
+            (
+                vec![
+                    vec![MicroRange { start: 0, end: 3 }],
+                    vec![
+                        MicroRange { start: 3, end: 6 },
+                        MicroRange { start: 6, end: 9 },
+                    ],
+                    vec![],
+                ],
+                Vec::new(),
+            )
+        });
+        // Worker 2 (empty deque) steals forward work.
+        let s = q.next(2, 0, false).unwrap();
+        assert!(s.stolen);
+        assert_eq!(s.range, MicroRange { start: 3, end: 6 });
+        // At state 6 the only forward range is the final one: served as
+        // last resort.
+        let f = q.next(2, 6, false).unwrap();
+        assert_eq!(f.range, MicroRange { start: 6, end: 9 });
+        // At state 9 the remaining range 0..3 is behind — forward-only
+        // returns None and the owner keeps its work.
+        assert_eq!(q.next(2, 9, false), None);
+        assert!(!q.next(0, 0, false).unwrap().stolen);
     }
 
     #[test]
@@ -1038,19 +1081,19 @@ mod tests {
                 Vec::new(),
             )
         });
-        assert!(!q.next(0, 0).unwrap().stolen);
+        assert!(!q.next(0, 0, true).unwrap().stolen);
         // Non-final work is preferred even though the final range sits at
         // the victim's back.
-        let s1 = q.next(0, 2).unwrap();
+        let s1 = q.next(0, 2, true).unwrap();
         assert_eq!(s1.range, MicroRange { start: 2, end: 4 });
         assert!(s1.stolen);
         // Nothing else left anywhere: the final range is handed out so an
         // idle worker can absorb a heavy tail (its thief retires with the
         // final program state).
-        let s2 = q.next(0, 4).unwrap();
+        let s2 = q.next(0, 4, true).unwrap();
         assert_eq!(s2.range, MicroRange { start: 4, end: 6 });
         assert!(s2.stolen);
-        assert_eq!(q.next(1, 0), None, "owner finds its deque emptied");
+        assert_eq!(q.next(1, 0, true), None, "owner finds its deque emptied");
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub struct ReplayOptions {
     /// sized by the run's recorded cost profile, and drained workers steal
     /// off stragglers.
     pub steal: bool,
+    /// Execute on the bytecode VM (default). Off, the tree-walking
+    /// interpreter runs instead — the fallback and differential oracle;
+    /// both executors produce byte-identical logs and final state.
+    pub vm: bool,
+    /// Compiled-module cache shared across replay jobs, keyed by
+    /// `source_version`. None compiles fresh per job (still once, shared
+    /// by all workers of the job).
+    pub module_cache: Option<Arc<crate::vm::ModuleCache>>,
 }
 
 impl Default for ReplayOptions {
@@ -57,6 +65,8 @@ impl Default for ReplayOptions {
             workers: 1,
             init_mode: InitMode::Strong,
             steal: false,
+            vm: true,
+            module_cache: None,
         }
     }
 }
@@ -272,6 +282,29 @@ pub fn replay_streaming(
         .collect();
     let force_execute_all = !diff.is_pure_hindsight();
     let main_blocks = main_loop_blocks(&inst.program);
+    // Poisoned reuse re-executes every iteration: weak init's anchor jump
+    // is a checkpoint restore, which poisoning disables, so the only sound
+    // worker initialization is strong rolling re-execution from 0.
+    let init_mode = if force_execute_all {
+        InitMode::Strong
+    } else {
+        opts.init_mode
+    };
+
+    // Lower the instrumented program to bytecode once per replay job —
+    // every worker executes the same shared module. When the caller
+    // provides a module cache (the registry does), the compiled module is
+    // reused across jobs keyed by the probed source's version, so repeat
+    // hindsight queries over one source version skip the pass entirely.
+    let module = if opts.vm {
+        let key = crate::record::source_version(new_src);
+        Some(match &opts.module_cache {
+            Some(cache) => cache.get_or_compile(&key, &inst.program)?,
+            None => crate::vm::compile_program(&inst.program)?,
+        })
+    } else {
+        None
+    };
 
     // The record log (for the incremental deferred check) and the cost
     // profile (for micro-range sizing) are loaded before workers start.
@@ -298,10 +331,10 @@ pub fn replay_streaming(
     let mut handles = Vec::with_capacity(workers);
     for pid in 0..workers {
         let prog = inst.program.clone();
+        let module = module.clone();
         let store = store.clone();
         let probed_blocks = probed_blocks.clone();
         let main_blocks = main_blocks.clone();
-        let init_mode = opts.init_mode;
         let runtime = runtime.clone();
         let sink = RangeSink::new(tx.clone());
         handles.push(std::thread::spawn(
@@ -326,7 +359,10 @@ pub fn replay_streaming(
                     sink: Some(sink.clone()),
                 };
                 let mut interp = Interp::new(Mode::Replay(Box::new(ctx)));
-                interp.run(&prog)?;
+                match &module {
+                    Some(m) => interp.run_vm(m)?,
+                    None => interp.run(&prog)?,
+                }
                 let Mode::Replay(ctx) = interp.mode else {
                     unreachable!()
                 };
@@ -629,6 +665,7 @@ log(\"accuracy\", acc)
                 workers: 3,
                 init_mode: InitMode::Weak,
                 steal: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -654,6 +691,24 @@ log(\"accuracy\", acc)
             steal.anomalies
         );
         assert_eq!(steal.stats.restored, 0);
+        // Weak init anchors on checkpoint restores, which poisoning
+        // disables — replay must fall back to strong rolling
+        // re-execution and still match, static or stealing.
+        for steal_on in [false, true] {
+            let weak = replay(
+                &edited,
+                &root,
+                &ReplayOptions {
+                    workers: 3,
+                    init_mode: InitMode::Weak,
+                    steal: steal_on,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(weak.log, stat.log, "weak+poisoned steal={steal_on}");
+            assert_eq!(weak.stats.restored, 0);
+        }
     }
 
     #[test]

@@ -66,10 +66,50 @@ impl SerializeSnapshot for CValSnapshot {
     }
 }
 
+/// A skipblock body, abstracted over the executor (tree statements or a
+/// compiled VM instruction range), mirroring `interp::LoopBody`.
+pub(crate) enum BlockBody<'a> {
+    /// Walk the AST statements.
+    Tree(&'a [Stmt]),
+    /// Execute a compiled instruction range on the VM.
+    Vm {
+        /// First instruction of the body.
+        start: usize,
+        /// One past the last instruction of the body.
+        end: usize,
+    },
+}
+
+fn exec_block_body(interp: &mut Interp, body: &BlockBody<'_>) -> Result<(), FlorError> {
+    match body {
+        BlockBody::Tree(b) => interp.exec_body(b),
+        BlockBody::Vm { start, end } => interp.vm_run_range(*start, *end),
+    }
+}
+
 /// Executes a `skipblock "id":` statement in the interpreter's current mode.
 pub fn exec_skipblock(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+    exec_skipblock_impl(interp, id, &BlockBody::Tree(body))
+}
+
+/// VM entry point: executes the skipblock whose compiled body is
+/// `ops[start..end]` in the interpreter's current mode.
+pub(crate) fn exec_skipblock_vm(
+    interp: &mut Interp,
+    id: &str,
+    start: usize,
+    end: usize,
+) -> Result<(), FlorError> {
+    exec_skipblock_impl(interp, id, &BlockBody::Vm { start, end })
+}
+
+fn exec_skipblock_impl(
+    interp: &mut Interp,
+    id: &str,
+    body: &BlockBody<'_>,
+) -> Result<(), FlorError> {
     match &interp.mode {
-        Mode::Vanilla => interp.exec_body(body),
+        Mode::Vanilla => exec_block_body(interp, body),
         Mode::Record(_) => exec_record(interp, id, body),
         Mode::Replay(_) => exec_replay(interp, id, body),
     }
@@ -102,11 +142,11 @@ fn next_seq(
     }
 }
 
-fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+fn exec_record(interp: &mut Interp, id: &str, body: &BlockBody<'_>) -> Result<(), FlorError> {
     let mut span = flor_obs::span(flor_obs::Category::Record, "record_block");
     // 1. Execute the enclosed loop, timing its compute (C_i).
     let t0 = flor_obs::clock::now_ns();
-    interp.exec_body(body)?;
+    exec_block_body(interp, body)?;
     let compute_ns = flor_obs::clock::since_ns(t0);
     flor_obs::histogram!("record.compute_ns").observe(compute_ns);
 
@@ -172,7 +212,7 @@ fn exec_record(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
     Ok(())
 }
 
-fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorError> {
+fn exec_replay(interp: &mut Interp, id: &str, body: &BlockBody<'_>) -> Result<(), FlorError> {
     // Decide while holding the replay context.
     let (do_execute, seq) = {
         let Mode::Replay(ctx) = &mut interp.mode else {
@@ -202,7 +242,7 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
         // hindsight logging's deferred record work, so cat = Record.
         let mut span = flor_obs::span(flor_obs::Category::Record, "exec_block");
         span.set_args(seq, 0);
-        interp.exec_body(body)?;
+        exec_block_body(interp, body)?;
         if let Mode::Replay(ctx) = &mut interp.mode {
             ctx.stats.executed += 1;
         }
@@ -245,10 +285,15 @@ fn exec_replay(interp: &mut Interp, id: &str, body: &[Stmt]) -> Result<(), FlorE
             "checkpoint {id:?}.{seq} has a malformed payload"
         )));
     };
+    // Restored names bind through the interpreter's name boundary: with
+    // a VM frame live they land in the compiled module's slots (where
+    // the instruction stream reads them); otherwise in the `Env`. Object
+    // restores mutate in place through the `Rc`, so an allocation
+    // aliased by both a slot and the env stays consistent either way.
     for (name, snap) in &pairs {
-        let existing = interp.env.try_get(name);
-        let restored = Value::restore(snap, existing.as_ref())?;
-        interp.env.set(name.clone(), restored);
+        let existing = interp.lookup_name(name);
+        let restored = Value::restore(snap, existing)?;
+        interp.bind_name(name, restored);
     }
     if let Mode::Replay(ctx) = &mut interp.mode {
         let restore_ns = flor_obs::clock::since_ns(t0);

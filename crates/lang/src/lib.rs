@@ -30,12 +30,16 @@
 //! - [`differ`]: structural AST diff that classifies changes into *probes*
 //!   (added log statements, keyed by enclosing SkipBlock) versus *other
 //!   changes* (which invalidate checkpoint reuse),
+//! - [`compile`]: bytecode compiler lowering a program to the flat
+//!   instruction stream `flor-core`'s replay VM executes (constant pool,
+//!   slot-resolved variables, jump-based control flow),
 //! - [`textdiff`]: a plain line diff used for human-readable reports and by
 //!   Flor's deferred correctness checks over log streams.
 
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod differ;
 pub mod lexer;
 pub mod parser;
@@ -43,6 +47,7 @@ pub mod printer;
 pub mod textdiff;
 
 pub use ast::{Arg, BinOp, Expr, Program, Stmt, UnaryOp};
+pub use compile::{compile, CompileError, Module, Op};
 pub use differ::{diff_programs, DiffReport, ProbeSite};
 pub use parser::{parse, ParseError};
 pub use printer::print_program;

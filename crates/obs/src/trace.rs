@@ -61,11 +61,15 @@ pub enum Category {
     Job,
     /// The discrete-event simulator's phases.
     Sim,
+    /// Lowering a program to bytecode (one span per compiled module).
+    Compile,
+    /// Bytecode VM executing a range of instructions.
+    VmExec,
 }
 
 impl Category {
     /// All categories, for exporters and tests.
-    pub const ALL: [Category; 10] = [
+    pub const ALL: [Category; 12] = [
         Category::Record,
         Category::Commit,
         Category::RestoreChain,
@@ -76,6 +80,8 @@ impl Category {
         Category::Compact,
         Category::Job,
         Category::Sim,
+        Category::Compile,
+        Category::VmExec,
     ];
 
     /// Stable name used in exports (`cat` in Chrome traces).
@@ -91,6 +97,8 @@ impl Category {
             Category::Compact => "compact",
             Category::Job => "job",
             Category::Sim => "sim",
+            Category::Compile => "compile",
+            Category::VmExec => "vm-exec",
         }
     }
 }

@@ -96,6 +96,13 @@ pub struct Registry {
     /// Single-flight gates: one lock per in-flight query key, so N users
     /// posing the same query trigger one replay and N−1 cache hits.
     inflight: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Compiled-module cache shared by every query this registry serves,
+    /// keyed by the probed source's version — repeat queries over one
+    /// source version (even against different runs) skip the compile pass.
+    module_cache: Arc<flor_core::ModuleCache>,
+    /// Execute queries on the bytecode VM (default). Cleared, the
+    /// tree-walking interpreter replays instead (`flor query --no-vm`).
+    vm: std::sync::atomic::AtomicBool,
 }
 
 impl Registry {
@@ -111,7 +118,15 @@ impl Registry {
             cache,
             stores: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
+            module_cache: Arc::new(flor_core::ModuleCache::new()),
+            vm: std::sync::atomic::AtomicBool::new(true),
         })
+    }
+
+    /// Selects the replay executor for subsequent queries: `true` (the
+    /// default) runs the bytecode VM, `false` the tree-walking fallback.
+    pub fn set_vm(&self, on: bool) {
+        self.vm.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Registry root directory.
@@ -376,6 +391,8 @@ impl Registry {
             workers: workers.max(1),
             init_mode: InitMode::Strong,
             steal: true,
+            vm: self.vm.load(std::sync::atomic::Ordering::Relaxed),
+            module_cache: Some(self.module_cache.clone()),
         };
         let report = replay_streaming(probed_source, store, &opts, |ev| {
             let Some(on_event) = observer.as_deref_mut() else {

@@ -1,0 +1,96 @@
+//! Compiled-module caching across registry queries.
+//!
+//! This file is its own test binary on purpose: the `vm.compile` /
+//! `vm.module_cache_hits` counters are process-wide, and the assertions
+//! here are exact deltas — sharing a process with other query tests
+//! would race them.
+
+use flor_registry::Registry;
+use std::path::PathBuf;
+
+fn tmproot(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flor-registry-vm-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SRC: &str = "\
+import flor
+data = synth_data(n=40, dim=8, classes=2, seed=5)
+loader = dataloader(data, batch_size=20, seed=5)
+net = mlp(input=8, hidden=8, classes=2, depth=1, seed=5)
+optimizer = sgd(net, lr=0.1)
+criterion = cross_entropy()
+avg = meter()
+for epoch in range(4):
+    avg.reset()
+    for batch in loader.epoch():
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+";
+
+#[test]
+fn second_query_reuses_compiled_module_without_compiling() {
+    let root = tmproot("module-cache");
+    let reg = Registry::open(&root).unwrap();
+    // Two runs of the same source: queries against them share a probed
+    // source version but have distinct query-cache keys, so the second
+    // query replays fresh — the compiled module is the only thing shared.
+    reg.record_run("run-a", SRC, |o| o.adaptive = false)
+        .unwrap();
+    reg.record_run("run-b", SRC, |o| o.adaptive = false)
+        .unwrap();
+    let probed = SRC.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"hindsight_wnorm\", net.weight_norm())\n",
+    );
+    assert_ne!(probed, SRC);
+
+    let compiles = || flor_obs::metrics::counter("vm.compile").get();
+    let hits = || flor_obs::metrics::counter("vm.module_cache_hits").get();
+
+    let c0 = compiles();
+    let a = reg.query("run-a", &probed, 2).unwrap();
+    assert!(!a.cached);
+    let c1 = compiles();
+    assert_eq!(c1 - c0, 1, "first query compiles the probed source once");
+
+    let h1 = hits();
+    let b = reg.query("run-b", &probed, 2).unwrap();
+    assert!(
+        !b.cached,
+        "distinct run => fresh replay, not a result-cache hit"
+    );
+    let c2 = compiles();
+    let h2 = hits();
+    assert_eq!(c2 - c1, 0, "second query must reuse the compiled module");
+    assert_eq!(h2 - h1, 1, "…via exactly one module-cache hit");
+
+    // Same hindsight answer from both runs.
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.probes, 1);
+
+    // Tree-walk fallback: never compiles, never touches the module
+    // cache, still answers. (Same test function — these assertions share
+    // the process-wide counters with the ones above.)
+    reg.set_vm(false);
+    let probed2 = SRC.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"hindsight_gn\", net.grad_norm())\n",
+    );
+    let c3 = compiles();
+    let out = reg.query("run-a", &probed2, 2).unwrap();
+    assert_eq!(compiles() - c3, 0, "tree-walk queries never compile");
+    assert_eq!(out.probes, 1);
+    assert!(out.anomalies.is_empty(), "{:?}", out.anomalies);
+}

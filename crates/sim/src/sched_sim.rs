@@ -120,7 +120,8 @@ pub fn stealing_makespan(costs: &[f64], workers: usize, profiled: bool) -> (f64,
         .filter(|&w| alive[w])
         .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
     {
-        let Some(next) = queue.next(pid, state[pid]) else {
+        // The simulator models reusable checkpoints (rewinds allowed).
+        let Some(next) = queue.next(pid, state[pid], true) else {
             alive[pid] = false;
             continue;
         };

@@ -311,6 +311,61 @@ fn arb_stmt_src() -> impl Strategy<Value = String> {
 }
 
 // ---------------------------------------------------------------------------
+// Bytecode VM ≡ tree-walking interpreter
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Differential oracle over random programs: the bytecode VM and the
+    /// tree-walking interpreter must agree on the complete outcome —
+    /// identical error strings on failure; identical log streams and
+    /// final environments on success. The generators skew heavily toward
+    /// runtime errors (unbound names, bad calls, type mismatches), so
+    /// this exercises the error paths as hard as the happy ones.
+    #[test]
+    fn vm_outcome_matches_tree_walker(stmts in proptest::collection::vec(arb_stmt_src(), 1..10)) {
+        use flor_core::interp::{Interp, Mode};
+
+        let src: String = stmts.concat();
+        let prog = match parse(&src) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("gen produced invalid source: {e}\n{src}"))),
+        };
+
+        let mut tree = Interp::new(Mode::Vanilla);
+        let tree_res = tree.run(&prog);
+        let module = flor_core::compile_program(&prog).expect("compile");
+        let mut vm = Interp::new(Mode::Vanilla);
+        let vm_res = vm.run_vm(&module);
+
+        match (&tree_res, &vm_res) {
+            (Ok(()), Ok(())) => {
+                let mut tree_names: Vec<&str> = tree.env.names().collect();
+                let mut vm_names: Vec<&str> = vm.env.names().collect();
+                tree_names.sort_unstable();
+                vm_names.sort_unstable();
+                prop_assert_eq!(&tree_names, &vm_names, "bound names diverged:\n{}", src);
+                for n in tree_names {
+                    prop_assert_eq!(
+                        tree.env.get(n).unwrap().display(),
+                        vm.env.get(n).unwrap().display(),
+                        "value of {:?} diverged:\n{}", n, src
+                    );
+                }
+            }
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.to_string(), b.to_string(), "error strings diverged:\n{}", src);
+            }
+            _ => {
+                return Err(TestCaseError::fail(format!(
+                    "outcome diverged: tree {tree_res:?} vs vm {vm_res:?}\n{src}"
+                )));
+            }
+        }
+        prop_assert_eq!(tree.log.entries(), vm.log.entries(), "log streams diverged:\n{}", src);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Partition planner
 // ---------------------------------------------------------------------------
 

@@ -101,7 +101,8 @@ fn traced_stolen_range_query_has_worker_lanes_and_full_category_vocabulary() {
 
     // The acceptance vocabulary: record (re-executed probed blocks),
     // commit (query-cache fill), restore-chain, range-exec, steal,
-    // stream-merge.
+    // stream-merge, plus the VM columns — compile (the driver's one
+    // lowering pass) and vm-exec (per-range bytecode execution).
     let cats = trace.categories();
     for want in [
         Category::Record,
@@ -110,10 +111,32 @@ fn traced_stolen_range_query_has_worker_lanes_and_full_category_vocabulary() {
         Category::RangeExec,
         Category::Steal,
         Category::StreamMerge,
+        Category::Compile,
+        Category::VmExec,
     ] {
         assert!(cats.contains(&want), "category {want:?} missing: {cats:?}");
     }
-    assert!(cats.len() >= 6, "expected ≥6 categories, got {cats:?}");
+    assert!(cats.len() >= 8, "expected ≥8 categories, got {cats:?}");
+
+    // vm-exec spans nest inside the range-exec span of the same range on
+    // a worker lane; the compile span runs once, before any execution.
+    let vm_exec = trace
+        .events
+        .iter()
+        .find(|e| e.cat == Category::VmExec)
+        .expect("vm-exec span");
+    assert_eq!(vm_exec.kind, EventKind::Complete);
+    assert!(vm_exec.lane < 4, "vm-exec happens on worker lanes");
+    let compiles: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.cat == Category::Compile)
+        .collect();
+    assert_eq!(compiles.len(), 1, "one lowering pass per query");
+    assert!(
+        compiles[0].start_ns <= vm_exec.start_ns,
+        "compilation precedes bytecode execution"
+    );
 
     // Nesting invariant: every nested span is contained in some shallower
     // span on its own lane (spans never straddle their parents).
@@ -260,5 +283,9 @@ fn cli_query_trace_flag_writes_a_parseable_chrome_trace() {
     assert!(
         cats.contains("range-exec") && cats.contains("stream-merge"),
         "{cats:?}"
+    );
+    assert!(
+        cats.contains("compile") && cats.contains("vm-exec"),
+        "VM compile/exec categories must reach the exported trace: {cats:?}"
     );
 }

@@ -4,7 +4,7 @@
 #   ./tools/bench.sh            # full run: criterion benches + BENCH_*.json
 #   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
 #
-# Emits four committed artifacts at the repo root so future PRs can be
+# Emits five committed artifacts at the repo root so future PRs can be
 # held to the trajectory:
 #   BENCH_record.json       — caller-thread submit latency per materialization
 #                             strategy (zero-copy vs pre-refactor eager copies)
@@ -15,6 +15,9 @@
 #   BENCH_compress.json     — checkpoint bytes on disk + record submit
 #                             throughput (delta chains + parallel compression
 #                             vs the pre-delta full-slab compressor)
+#   BENCH_interp.json       — replay interpreter: tree-walking AST executor vs
+#                             the bytecode VM, plus cold-compile vs
+#                             cached-module fetch costs
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,16 +49,19 @@ RECORD_OUT=BENCH_record.json
 REPLAY_OUT=BENCH_replay.json
 SCHED_OUT=BENCH_replay_sched.json
 COMPRESS_OUT=BENCH_compress.json
+INTERP_OUT=BENCH_interp.json
 if [[ "$QUICK" == "1" ]]; then
     RECORD_OUT=target/BENCH_record.quick.json
     REPLAY_OUT=target/BENCH_replay.quick.json
     SCHED_OUT=target/BENCH_replay_sched.quick.json
     COMPRESS_OUT=target/BENCH_compress.quick.json
+    INTERP_OUT=target/BENCH_interp.quick.json
 fi
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$RECORD_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_json -- "$REPLAY_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_sched -- "$SCHED_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_compress_json -- "$COMPRESS_OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_interp -- "$INTERP_OUT"
 
 echo
-echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT written)"
+echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT written)"

@@ -35,6 +35,11 @@ if grep -rn "Instant::now" \
 fi
 echo "clock lint: OK"
 
+# Opcode-coverage gate: every VM opcode the compiler can emit must be
+# exercised by the lowering corpus in crates/lang (a new Op variant
+# without a corpus program fails there, not in production replay).
+run cargo test -q -p flor-lang opcode_coverage
+
 # Record-hot-path smoke bench: quick criterion pass + quick submit-latency
 # JSON (written under target/, never dirties the committed artifact).
 run ./tools/bench.sh --quick
@@ -56,6 +61,12 @@ run cargo run --release -q -p flor-bench --bin bench_check -- \
 run cargo run --release -q -p flor-bench --bin bench_check -- \
     BENCH_replay_sched.json target/BENCH_replay_sched.quick.json \
     sim_paper_scale.improvement=higher sim_paper_scale.profile_bound=higher
+# The VM must stay ≥3× over the tree-walker on the interpreter-bound
+# fixture; vm_speedup is a ratio of same-run walls, so it is
+# scale-invariant between the quick and full fixtures.
+run cargo run --release -q -p flor-bench --bin bench_check -- \
+    BENCH_interp.json target/BENCH_interp.quick.json \
+    vm_speedup=higher
 # BENCH_record's speedup columns are ratios of µs-scale submit costs
 # (O(1) handle pushes) — too noisy for a 20% band; its own regression
 # test (`bench_record_json` pins zero-copy ≤ eager) guards it instead.
