@@ -25,6 +25,10 @@
 //!    `skipblock "sb_<n>":` constructs (paper §4.2); the main loop is left
 //!    unwrapped but its iterator is wrapped in `flor.partition(...)` for
 //!    hindsight parallelism (paper Figure 8).
+//! 6. **Slicing** ([`slice`]): at replay time, a backward slice over the
+//!    instrumented program computes the dependency cone of the log
+//!    statements so everything outside it can be elided from execution
+//!    (checkpoint restores cut the slice at unprobed block boundaries).
 
 #![warn(missing_docs)]
 
@@ -33,8 +37,10 @@ pub mod changeset;
 pub mod instrument;
 pub mod rules;
 pub mod scope;
+pub mod slice;
 
 pub use augment::{augment_changeset, TypeOracle};
 pub use changeset::{analyze_loop, LoopAnalysis, RefusalReason};
 pub use instrument::{instrument, BlockPlan, InstrumentReport};
 pub use rules::{match_rule, RuleApplication, RuleId};
+pub use slice::{outer_carried_state, slice_program, SlicePlan};

@@ -21,7 +21,7 @@ usage:
   flor record   <script.flr> --store <dir> [--epsilon F] [--no-adaptive]
                 [--registry <dir>] [--run-id <id>] [--delta-keyframe K]
   flor replay   <script.flr> --store <dir> [--workers N] [--weak] [--steal]
-                [--no-vm]
+                [--no-vm] [--no-slice]
   flor sample   <script.flr> --store <dir> --iters 3,7,12
   flor inspect  <script.flr>
   flor log      --store <dir>
@@ -31,7 +31,7 @@ usage:
   flor runs     show <run-id> --registry <dir> [--json]
   flor runs     prune <run-id> --registry <dir> [--keep N]
   flor query    <run-id> <probed.flr> --registry <dir> [--workers N] [--stream]
-                [--no-vm] [--trace <out.json>]
+                [--no-vm] [--no-slice] [--trace <out.json>]
   flor serve    --registry <dir> [--workers N]";
 
 /// CLI failure modes.
@@ -331,6 +331,7 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
         },
         steal: args.flag("steal"),
         vm: !args.flag("no-vm"),
+        slice: !args.flag("no-slice"),
         module_cache: None,
     };
     let report = replay(&src, store, &opts)?;
@@ -350,6 +351,12 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
         out,
         "# interpreter: {}",
         if opts.vm { "vm" } else { "tree-walk" }
+    );
+    let _ = writeln!(
+        out,
+        "# slice: {} statement(s) elided, {:.1}% of program live",
+        report.stats.statements_elided,
+        report.stats.slice_fraction() * 100.0
     );
     let _ = writeln!(
         out,
@@ -721,6 +728,7 @@ fn cmd_runs(args: &Args) -> Result<String, CliError> {
 fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let registry = args.registry()?;
     registry.set_vm(!args.flag("no-vm"));
+    registry.set_slice(!args.flag("no-slice"));
     let run_id = args
         .positional
         .get(1)
@@ -803,6 +811,11 @@ fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
         outcome.restored,
         outcome.executed,
         outcome.steals
+    )?;
+    writeln!(
+        out,
+        "# slice: {} statement(s) elided ({} permille live), {} slice-cache hit(s)",
+        outcome.statements_elided, outcome.slice_permille, outcome.slice_cache_hits
     )?;
     if let (Some(path), Some(session)) = (trace_path, session) {
         let trace = session.finish();
@@ -937,15 +950,28 @@ pub fn serve_io(
                     }
                     Some(JobState::Running) => {
                         let p = scheduler.progress(id).unwrap_or_default();
+                        // Prose over the same `(name, value)` list
+                        // `JobProgress::fields` exposes — a counter
+                        // renamed or dropped there panics here instead
+                        // of silently drifting between surfaces.
+                        let fields = p.fields();
+                        let f = |name: &str| -> u64 {
+                            fields
+                                .iter()
+                                .find(|(n, _)| *n == name)
+                                .map(|(_, v)| *v)
+                                .unwrap_or_else(|| panic!("JobProgress::fields lost {name:?}"))
+                        };
                         writeln!(
                             out,
                             "job {id}: running ({}/{} iterations, {} steal(s), \
-                             {} entries streamed, {:.1}ms elapsed)",
-                            p.iterations_done,
-                            p.iterations_total,
-                            p.steals,
-                            p.entries_streamed,
-                            p.wall_ns as f64 / 1e6
+                             {} entries streamed, {} stmt(s) elided, {:.1}ms elapsed)",
+                            f("iterations_done"),
+                            f("iterations_total"),
+                            f("steals"),
+                            f("entries_streamed"),
+                            f("statements_elided"),
+                            f("wall_ns") as f64 / 1e6
                         )?
                     }
                     Some(s) => writeln!(out, "job {id}: {s:?}")?,

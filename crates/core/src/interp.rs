@@ -100,6 +100,27 @@ pub struct ReplayStats {
     /// Delta links decoded across those restores (≈ `delta_restores` when
     /// the store's restore cache rides sequential partitions).
     pub chain_links: u64,
+    /// Statement nodes the dependency slicer elided from execution
+    /// (0 when slicing was off, refused, or found nothing dead).
+    pub statements_elided: u64,
+    /// Live fraction of the sliceable region in permille; 1000 means the
+    /// full program ran (slicing off or nothing elidable).
+    pub slice_permille: u32,
+    /// Queries answered from the content-addressed slice cache instead
+    /// of replaying (registry-level, attributed to the query's stats).
+    pub slice_cache_hits: u64,
+}
+
+impl ReplayStats {
+    /// Live region fraction as a ratio in `[0, 1]`, treating an unset
+    /// (zero) permille as "nothing elided".
+    pub fn slice_fraction(&self) -> f64 {
+        if self.slice_permille == 0 {
+            1.0
+        } else {
+            f64::from(self.slice_permille) / 1000.0
+        }
+    }
 }
 
 /// Replay-mode state for one worker.
@@ -116,6 +137,11 @@ pub struct ReplayCtx {
     pub probed_blocks: HashSet<String>,
     /// Non-hindsight source changes detected: no checkpoint may be reused.
     pub force_execute_all: bool,
+    /// The main loop carries state across iterations outside every
+    /// skipblock (`analysis::outer_carried_state`): a rewound prefix
+    /// would roll it forward from already-advanced values, so backward
+    /// steals are disabled.
+    pub outer_carried: bool,
     /// SkipBlock ids that live inside the main loop (participate in
     /// anchor-based weak-init planning).
     pub main_blocks: Vec<String>,
@@ -512,11 +538,14 @@ impl Interp {
             // Rewinding (taking a range behind the current state) rebuilds
             // earlier state by checkpoint restores in the init phase;
             // poisoned reuse re-executes instead, so a rewound prefix
-            // would run from already-advanced state and corrupt it.
+            // would run from already-advanced state and corrupt it. The
+            // same applies to loop-carried state living outside every
+            // skipblock changeset: no restore repairs it, so a rewound
+            // prefix would roll it forward from advanced values.
             (
                 ctx.pid,
                 ctx.init_mode,
-                !ctx.force_execute_all,
+                !ctx.force_execute_all && !ctx.outer_carried,
                 ctx.sink.clone(),
             )
         };

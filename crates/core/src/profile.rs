@@ -25,6 +25,15 @@ pub const COST_PROFILE_ARTIFACT: &str = "cost_profile.txt";
 /// allowed to drive an arbitrarily large allocation.
 pub const MAX_PROFILED_ITERATIONS: u64 = 1 << 24;
 
+/// Slice-adjusted estimate of one *executed* iteration's replay cost:
+/// the recorded compute cost scaled by the slice's live statement
+/// fraction (in permille). Recorded profiles measure the full loop
+/// body; when dead-statement elision drops part of it, pricing seeded
+/// ranges at full cost would skew work-stealing balance.
+pub fn sliced_cost(cost_ns: u64, live_permille: u32) -> u64 {
+    ((cost_ns as u128 * u128::from(live_permille.min(1000))) / 1000).max(1) as u64
+}
+
 /// Measured costs of one main-loop iteration at record time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IterCost {
@@ -116,6 +125,13 @@ impl CostProfile {
                 }
             })
             .collect()
+    }
+
+    /// True when every profiled iteration left a full set of block
+    /// checkpoints — the precondition for the slicer's checkpoint cuts
+    /// (an unprobed block provably restores instead of executing).
+    pub fn dense_checkpoints(&self) -> bool {
+        !self.iters.is_empty() && self.iters.iter().all(|it| it.fully_checkpointed())
     }
 
     /// Serializes to the artifact text format (one iteration per line).

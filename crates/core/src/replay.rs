@@ -57,6 +57,12 @@ pub struct ReplayOptions {
     /// `source_version`. None compiles fresh per job (still once, shared
     /// by all workers of the job).
     pub module_cache: Option<Arc<crate::vm::ModuleCache>>,
+    /// Dependency-aware slicing (default on): statements outside the
+    /// backward slice of the log statements are elided from execution —
+    /// both executors run the same pruned program. Off (or when the
+    /// slicer refuses: aliasing it can't track, rule-5 calls, impure
+    /// hindsight diffs), the full program runs.
+    pub slice: bool,
 }
 
 impl Default for ReplayOptions {
@@ -67,6 +73,7 @@ impl Default for ReplayOptions {
             steal: false,
             vm: true,
             module_cache: None,
+            slice: true,
         }
     }
 }
@@ -103,6 +110,11 @@ pub struct ReplayRuntime {
     /// Whether stealing is enabled (mirrors [`RangeQueue`]'s flag; kept for
     /// seeding decisions).
     pub steal: bool,
+    /// Live statement fraction of the slice being executed, in permille
+    /// (1000 = unsliced). Prices executed iterations in cost seeding:
+    /// the recorded profile measured the full body, but elision shrinks
+    /// the work roughly proportionally.
+    pub live_permille: u32,
 }
 
 impl ReplayRuntime {
@@ -113,6 +125,7 @@ impl ReplayRuntime {
             profile,
             workers,
             steal,
+            live_permille: 1000,
         }
     }
 
@@ -151,11 +164,18 @@ impl ReplayRuntime {
                 .main_blocks
                 .iter()
                 .any(|b| ctx.probed_blocks.contains(b));
-        let costs: Vec<u64> = self
+        let mut costs: Vec<u64> = self
             .profile
             .as_ref()
             .map(|p| p.replay_costs(n, executes))
             .unwrap_or_default();
+        if executes && self.live_permille < 1000 {
+            // Executed iterations run the slice, not the full recorded
+            // body — price them accordingly so stealing stays balanced.
+            for c in &mut costs {
+                *c = crate::profile::sliced_cost(*c, self.live_permille);
+            }
+        }
         let anchors = match ctx.init_mode {
             InitMode::Strong => None,
             InitMode::Weak => Some(ctx.anchors(n)),
@@ -282,6 +302,13 @@ pub fn replay_streaming(
         .collect();
     let force_execute_all = !diff.is_pure_hindsight();
     let main_blocks = main_loop_blocks(&inst.program);
+    // Loop-carried state outside every skipblock changeset (e.g.
+    // `carry = carry + boost` in the outer body) is repaired by no
+    // checkpoint restore: a backward steal's rewound prefix would roll
+    // it forward from the worker's already-advanced value and diverge
+    // from the record. Detect it statically and keep steals
+    // forward-only when present.
+    let outer_carried = flor_analysis::outer_carried_state(&inst.program, &inst.blocks).is_some();
     // Poisoned reuse re-executes every iteration: weak init's anchor jump
     // is a checkpoint restore, which poisoning disables, so the only sound
     // worker initialization is strong rolling re-execution from 0.
@@ -291,23 +318,9 @@ pub fn replay_streaming(
         opts.init_mode
     };
 
-    // Lower the instrumented program to bytecode once per replay job —
-    // every worker executes the same shared module. When the caller
-    // provides a module cache (the registry does), the compiled module is
-    // reused across jobs keyed by the probed source's version, so repeat
-    // hindsight queries over one source version skip the pass entirely.
-    let module = if opts.vm {
-        let key = crate::record::source_version(new_src);
-        Some(match &opts.module_cache {
-            Some(cache) => cache.get_or_compile(&key, &inst.program)?,
-            None => crate::vm::compile_program(&inst.program)?,
-        })
-    } else {
-        None
-    };
-
     // The record log (for the incremental deferred check) and the cost
-    // profile (for micro-range sizing) are loaded before workers start.
+    // profile (for micro-range sizing and the slicer's checkpoint-cut
+    // precondition) are loaded before workers start.
     let record_log = LogStream::parse_text(
         &String::from_utf8(store.get_artifact("record_log.txt")?)
             .map_err(|_| crate::error::rt("record log is not valid UTF-8"))?,
@@ -318,6 +331,65 @@ pub fn replay_streaming(
         .and_then(|bytes| String::from_utf8(bytes).ok())
         .and_then(|text| CostProfile::parse_text(&text));
 
+    // Dependency-aware slicing: compute the backward slice of the log
+    // statements and elide everything outside it. Skipped when the
+    // caller opted out or the diff isn't pure hindsight (a poisoned
+    // replay re-executes everything, including non-cone statements
+    // whose effects checkpoints would otherwise supersede); inert when
+    // the slicer refuses (fallback) or finds nothing dead.
+    let slice_plan = if opts.slice && !force_execute_all {
+        let mut span = flor_obs::span(flor_obs::Category::Slice, "slice");
+        let ts = flor_obs::clock::now_ns();
+        let plan = flor_analysis::slice_program(
+            &inst.program,
+            &probed_blocks,
+            &inst.blocks,
+            checkpoint_cuts_provable(profile.as_ref(), &main_blocks, &store),
+        );
+        flor_obs::counter!("slice.compile_ns").add(flor_obs::clock::since_ns(ts));
+        span.set_args(u64::from(plan.elided_stmts), u64::from(plan.region_stmts));
+        Some(plan)
+    } else {
+        None
+    };
+    let (exec_prog, slice_suffix, statements_elided, live_permille) = match &slice_plan {
+        Some(plan) if plan.is_active() => {
+            let pruned = flor_lang::prune_program(&inst.program, &plan.dead);
+            let hash = crate::record::fnv1a64(flor_lang::print_program(&pruned).as_bytes());
+            (
+                pruned,
+                Some(format!("+s{hash:016x}")),
+                u64::from(plan.elided_stmts),
+                plan.live_permille(),
+            )
+        }
+        _ => (inst.program.clone(), None, 0, 1000),
+    };
+
+    // Lower the instrumented program to bytecode once per replay job —
+    // every worker executes the same shared module. When the caller
+    // provides a module cache (the registry does), the compiled module is
+    // reused across jobs keyed by the probed source's version (plus the
+    // slice's content hash when one applies), so repeat hindsight queries
+    // over one source version skip the pass entirely.
+    let module = if opts.vm {
+        let mut key = crate::record::source_version(new_src);
+        if let Some(sfx) = &slice_suffix {
+            key.push_str(sfx);
+        }
+        let dead = slice_plan
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| p.dead.clone())
+            .unwrap_or_default();
+        Some(match &opts.module_cache {
+            Some(cache) => cache.get_or_compile_sliced(&key, &inst.program, &dead)?,
+            None => crate::vm::compile_program_sliced(&inst.program, &dead)?,
+        })
+    } else {
+        None
+    };
+
     // Run the workers. Interpreter values are Rc-based (single-threaded by
     // design, like CPython); each worker owns a fresh interpreter inside
     // its thread — workers share nothing but the store and the range
@@ -326,11 +398,13 @@ pub fn replay_streaming(
     let t0 = flor_obs::clock::now_ns();
     let delta_counters_before = store.delta_read_counters();
     let workers = opts.workers.max(1);
-    let runtime = Arc::new(ReplayRuntime::new(workers, opts.steal, profile));
+    let mut runtime = ReplayRuntime::new(workers, opts.steal, profile);
+    runtime.live_permille = live_permille;
+    let runtime = Arc::new(runtime);
     let (tx, rx) = std::sync::mpsc::channel::<StreamMsg>();
     let mut handles = Vec::with_capacity(workers);
     for pid in 0..workers {
-        let prog = inst.program.clone();
+        let prog = exec_prog.clone();
         let module = module.clone();
         let store = store.clone();
         let probed_blocks = probed_blocks.clone();
@@ -346,6 +420,7 @@ pub fn replay_streaming(
                     init_mode,
                     probed_blocks,
                     force_execute_all,
+                    outer_carried,
                     main_blocks,
                     phase: Phase::Work,
                     main_iter: None,
@@ -404,6 +479,15 @@ pub fn replay_streaming(
     let (merged, mut anomalies, first_entry_ns) = merger.finish();
     stats.steals = runtime.queue.steals();
     stats.stream_first_entry_ns = first_entry_ns;
+    stats.statements_elided = statements_elided;
+    // 0 is the "no slice applied" sentinel (`slice_fraction` reads it as
+    // 1.0); the runtime's cost math keeps the literal 1000 instead so a
+    // full-cost iteration never collapses to the 1 ns floor.
+    stats.slice_permille = if statements_elided > 0 {
+        live_permille
+    } else {
+        0
+    };
     // Attribute this replay's chain-resolution work (pooled store handles
     // carry counts from earlier replays; the diff is ours).
     let delta_counters_after = store.delta_read_counters();
@@ -435,6 +519,75 @@ pub fn replay_streaming(
         wall_ns,
         worker_plans,
     })
+}
+
+/// The slicer's checkpoint-cut precondition, verified against the live
+/// store: the recorded profile must claim every iteration fully
+/// checkpointed *and* the store must still hold every main-loop block's
+/// checkpoint at every profiled iteration. The profile only records what
+/// record intended — a checkpoint lost since (manual pruning, GC of a
+/// corrupt entry) silently re-executes its block at replay time, and a
+/// cut computed under the restore assumption would have elided
+/// statements that re-execution needs.
+fn checkpoint_cuts_provable(
+    profile: Option<&CostProfile>,
+    main_blocks: &[String],
+    store: &CheckpointStore,
+) -> bool {
+    profile.is_some_and(|p| {
+        p.dense_checkpoints()
+            && main_blocks
+                .iter()
+                .all(|b| (0..p.len() as u64).all(|g| store.contains(b, g)))
+    })
+}
+
+/// Content fingerprint of the *semantic* replay a probed source induces
+/// over a recorded source: the FNV hash of the canonical print of the
+/// sliced (falling back to the full) instrumented program. Textually
+/// different queries that parse, instrument, and slice to the same live
+/// cone share a fingerprint — the registry keys its cross-query slice
+/// cache with it, so a re-query pays parse+slice (microseconds) instead
+/// of a replay. The checkpoint-cut precondition is re-derived against
+/// `store` so the fingerprint names the plan replay itself would use.
+/// Returns `None` when a source fails to parse or the diff is not pure
+/// hindsight (poisoned replays are never memoized).
+pub fn slice_fingerprint(
+    recorded_src: &str,
+    new_src: &str,
+    store: &CheckpointStore,
+    slice: bool,
+) -> Option<u64> {
+    let recorded_prog = parse(recorded_src).ok()?;
+    let new_prog = parse(new_src).ok()?;
+    let inst = instrument(&new_prog);
+    let diff = diff_programs(&recorded_prog, &inst.program);
+    if !diff.is_pure_hindsight() {
+        return None;
+    }
+    let probed: HashSet<String> = diff
+        .probes
+        .iter()
+        .filter_map(|p| p.skipblock_id.clone())
+        .collect();
+    let canonical = if slice {
+        let profile = store
+            .get_artifact(COST_PROFILE_ARTIFACT)
+            .ok()
+            .and_then(|bytes| String::from_utf8(bytes).ok())
+            .and_then(|text| CostProfile::parse_text(&text));
+        let dense =
+            checkpoint_cuts_provable(profile.as_ref(), &main_loop_blocks(&inst.program), store);
+        let plan = flor_analysis::slice_program(&inst.program, &probed, &inst.blocks, dense);
+        if plan.is_active() {
+            flor_lang::print_program(&flor_lang::prune_program(&inst.program, &plan.dead))
+        } else {
+            flor_lang::print_program(&inst.program)
+        }
+    } else {
+        flor_lang::print_program(&inst.program)
+    };
+    Some(crate::record::fnv1a64(canonical.as_bytes()))
 }
 
 /// The deferred correctness check (paper §5.2.2): "at the end of replay, we

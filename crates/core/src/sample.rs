@@ -62,6 +62,9 @@ pub fn replay_sample(
         init_mode: InitMode::Weak,
         probed_blocks,
         force_execute_all,
+        // Sampling replays are single-worker with no range queue — no
+        // steals, so rewind soundness never comes up.
+        outer_carried: false,
         main_blocks,
         phase: Phase::Work,
         main_iter: None,

@@ -347,6 +347,7 @@ mod tests {
             init_mode: InitMode::Strong,
             probed_blocks: probed.iter().map(|s| s.to_string()).collect(),
             force_execute_all: false,
+            outer_carried: false,
             main_blocks: vec!["sb_0".into()],
             phase: Phase::Work,
             main_iter: None,

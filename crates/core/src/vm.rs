@@ -39,8 +39,8 @@ use crate::interp::{
 use crate::skipblock;
 use crate::value::Value;
 use flor_lang::ast::{Program, UnaryOp};
-use flor_lang::compile::{compile, Const, Module, Op};
-use std::collections::HashMap;
+use flor_lang::compile::{compile_sliced, Const, Module, Op, StmtPath};
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// One snapshot-iterating loop in flight (a plain `for`, not the
@@ -78,12 +78,25 @@ fn const_value(c: &Const) -> Value {
 /// Compiles a program to a shareable module, tracing the pass
 /// (`compile` span) and counting it (`vm.compile`, `vm.compile_ns`).
 pub fn compile_program(prog: &Program) -> Result<Arc<Module>, FlorError> {
+    compile_program_sliced(prog, &HashSet::new())
+}
+
+/// Compiles a program with dead-statement elision: statements whose
+/// paths are in `dead` (the slicer's output) lower to nothing. Elided
+/// statement counts feed `vm.elided_ops`.
+pub fn compile_program_sliced(
+    prog: &Program,
+    dead: &HashSet<StmtPath>,
+) -> Result<Arc<Module>, FlorError> {
     let mut span = flor_obs::span(flor_obs::Category::Compile, "compile");
     let t0 = flor_obs::clock::now_ns();
-    let module = compile(prog).map_err(|e| rt(e.to_string()))?;
+    let (module, elided) = compile_sliced(prog, dead).map_err(|e| rt(e.to_string()))?;
     let ns = flor_obs::clock::since_ns(t0);
     flor_obs::counter!("vm.compile").inc();
     flor_obs::counter!("vm.compile_ns").add(ns);
+    if elided > 0 {
+        flor_obs::counter!("vm.elided_ops").add(u64::from(elided));
+    }
     span.set_args(module.ops.len() as u64, module.slot_count() as u64);
     Ok(Arc::new(module))
 }
@@ -124,6 +137,33 @@ impl ModuleCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(source_version.to_string(), module.clone());
+        Ok(module)
+    }
+
+    /// Sliced-compile variant of [`ModuleCache::get_or_compile`]. The
+    /// caller keys by `source_version` *plus* the slice's content hash
+    /// (`<version>+s<hash>`), so a full module and differently-sliced
+    /// modules of the same source coexist.
+    pub fn get_or_compile_sliced(
+        &self,
+        key: &str,
+        prog: &Program,
+        dead: &HashSet<StmtPath>,
+    ) -> Result<Arc<Module>, FlorError> {
+        if let Some(m) = self
+            .modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
+            flor_obs::counter!("vm.module_cache_hits").inc();
+            return Ok(m.clone());
+        }
+        let module = compile_program_sliced(prog, dead)?;
+        self.modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key.to_string(), module.clone());
         Ok(module)
     }
 

@@ -26,8 +26,92 @@
 //! the same AST nodes ([`Op::Fail`]).
 
 use crate::ast::{Arg, BinOp, Expr, Program, Stmt, UnaryOp};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Address of one statement in a program: one packed [`path_step`] per
+/// nesting level, root first. The slot halves are fixed per container —
+/// `For`/`SkipBlock` bodies and `If` then-branches are slot 0, `If`
+/// else-branches slot 1, and the top-level program body slot 0 — so a
+/// path identifies the same statement to the AST pruner
+/// ([`prune_program`]), the elision compiler ([`compile_sliced`]), and
+/// the slicer in `flor-analysis` that produces the dead set.
+pub type StmtPath = Vec<u64>;
+
+/// Packs one [`StmtPath`] step: which body of the parent statement
+/// (`slot`) and the statement's index within that body.
+pub fn path_step(slot: u32, idx: usize) -> u64 {
+    ((slot as u64) << 32) | idx as u64
+}
+
+/// Number of statement nodes in a subtree — the unit of the slicer's
+/// elision accounting (a dead `if` counts itself plus both branches).
+pub fn stmt_count(stmt: &Stmt) -> u32 {
+    match stmt {
+        Stmt::For { body, .. } | Stmt::SkipBlock { body, .. } => {
+            1 + body.iter().map(stmt_count).sum::<u32>()
+        }
+        Stmt::If { then, orelse, .. } => {
+            1 + then.iter().map(stmt_count).sum::<u32>()
+                + orelse.iter().map(stmt_count).sum::<u32>()
+        }
+        _ => 1,
+    }
+}
+
+/// Removes every statement whose [`StmtPath`] is in `dead`, recursively.
+/// This is the tree-walking interpreter's view of the slice: it executes
+/// the pruned program directly, while the VM executes
+/// [`compile_sliced`]'s module — both derive from the same dead set, and
+/// `compile_sliced(prog, dead) == compile(prune_program(prog, dead))` by
+/// construction (a bodies-emptied `pass` lowers to no instructions).
+pub fn prune_program(prog: &Program, dead: &HashSet<StmtPath>) -> Program {
+    let mut path = StmtPath::new();
+    Program::new(prune_body(&prog.body, 0, &mut path, dead))
+}
+
+fn prune_body(
+    body: &[Stmt],
+    slot: u32,
+    path: &mut StmtPath,
+    dead: &HashSet<StmtPath>,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(body.len());
+    for (i, s) in body.iter().enumerate() {
+        path.push(path_step(slot, i));
+        if !dead.contains(path) {
+            out.push(prune_stmt(s, path, dead));
+        }
+        path.pop();
+    }
+    if out.is_empty() && !body.is_empty() {
+        // Keep emptied bodies printable and re-parseable; `pass` lowers
+        // to no instructions, preserving module equality with in-place
+        // elision.
+        out.push(Stmt::Pass);
+    }
+    out
+}
+
+fn prune_stmt(stmt: &Stmt, path: &mut StmtPath, dead: &HashSet<StmtPath>) -> Stmt {
+    match stmt {
+        Stmt::For { var, iter, body } => Stmt::For {
+            var: var.clone(),
+            iter: iter.clone(),
+            body: prune_body(body, 0, path, dead),
+        },
+        Stmt::If { cond, then, orelse } => Stmt::If {
+            cond: cond.clone(),
+            then: prune_body(then, 0, path, dead),
+            orelse: prune_body(orelse, 1, path, dead),
+        },
+        Stmt::SkipBlock { id, body } => Stmt::SkipBlock {
+            id: id.clone(),
+            body: prune_body(body, 0, path, dead),
+        },
+        other => other.clone(),
+    }
+}
 
 /// A compile-time constant in the module's pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -344,20 +428,39 @@ impl std::error::Error for CompileError {}
 
 /// Compiles a program to a [`Module`].
 pub fn compile(prog: &Program) -> Result<Module, CompileError> {
-    let mut c = Compiler::default();
-    for stmt in &prog.body {
-        c.stmt(stmt)?;
-    }
-    Ok(Module {
-        ops: c.ops,
-        consts: c.consts,
-        names: c.names,
-        calls: c.calls,
-        slot_names: c.slot_names,
-        slot_of: c.slot_of,
-        loops: c.loops,
-        blocks: c.blocks,
-    })
+    compile_sliced(prog, &HashSet::new()).map(|(m, _)| m)
+}
+
+/// Compiles a program with dead-statement elision: statements whose
+/// [`StmtPath`] is in `dead` (and their subtrees) lower to nothing.
+/// Returns the module and the number of statement nodes elided.
+///
+/// Produces exactly the module `compile(&prune_program(prog, dead))`
+/// would — the differential unit test below pins this — so the VM and
+/// the tree-walker execute the same slice.
+pub fn compile_sliced(
+    prog: &Program,
+    dead: &HashSet<StmtPath>,
+) -> Result<(Module, u32), CompileError> {
+    let mut c = Compiler {
+        dead: dead.clone(),
+        ..Compiler::default()
+    };
+    c.body(&prog.body, 0)?;
+    let elided = c.elided;
+    Ok((
+        Module {
+            ops: c.ops,
+            consts: c.consts,
+            names: c.names,
+            calls: c.calls,
+            slot_names: c.slot_names,
+            slot_of: c.slot_of,
+            loops: c.loops,
+            blocks: c.blocks,
+        },
+        elided,
+    ))
 }
 
 /// Constant-pool dedup key (floats keyed by bit pattern).
@@ -382,6 +485,9 @@ struct Compiler {
     slot_of: HashMap<String, u16>,
     loops: Vec<LoopInfo>,
     blocks: Vec<BlockInfo>,
+    path: StmtPath,
+    dead: HashSet<StmtPath>,
+    elided: u32,
 }
 
 impl Compiler {
@@ -467,9 +573,15 @@ impl Compiler {
         Ok(id)
     }
 
-    fn body(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
-        for s in body {
-            self.stmt(s)?;
+    fn body(&mut self, body: &[Stmt], slot: u32) -> Result<(), CompileError> {
+        for (i, s) in body.iter().enumerate() {
+            self.path.push(path_step(slot, i));
+            if self.dead.contains(&self.path) {
+                self.elided += stmt_count(s);
+            } else {
+                self.stmt(s)?;
+            }
+            self.path.pop();
         }
         Ok(())
     }
@@ -499,11 +611,11 @@ impl Compiler {
             Stmt::If { cond, then, orelse } => {
                 self.expr(cond)?;
                 let jf = self.emit(Op::JumpIfFalse(u32::MAX));
-                self.body(then)?;
+                self.body(then, 0)?;
                 let j = self.emit(Op::Jump(u32::MAX));
                 let else_at = self.here()?;
                 self.patch(jf, else_at);
-                self.body(orelse)?;
+                self.body(orelse, 1)?;
                 let end = self.here()?;
                 self.patch(j, end);
                 Ok(())
@@ -519,7 +631,7 @@ impl Compiler {
                     .map_err(|_| CompileError("more than 2^16 skipblocks".into()))?;
                 self.emit(Op::SkipBlock(bi16));
                 self.blocks[bi].body_start = self.ops.len();
-                self.body(body)?;
+                self.body(body, 0)?;
                 self.blocks[bi].body_end = self.ops.len();
                 Ok(())
             }
@@ -541,7 +653,7 @@ impl Compiler {
                     slot,
                     exit: u32::MAX,
                 });
-                self.body(body)?;
+                self.body(body, 0)?;
                 self.emit(Op::Jump(head));
                 let exit = self.here()?;
                 self.patch(fi, exit);
@@ -563,7 +675,7 @@ impl Compiler {
             u16::try_from(li).map_err(|_| CompileError("more than 2^16 main loops".into()))?;
         self.emit(Op::MainLoop(li16));
         self.loops[li].body_start = self.ops.len();
-        self.body(body)?;
+        self.body(body, 0)?;
         self.loops[li].body_end = self.ops.len();
         Ok(())
     }
@@ -1060,5 +1172,66 @@ mod tests {
         let a = compile_src(src);
         let b = compile_src(src);
         assert_eq!(a, b);
+    }
+
+    const SLICE_SRC: &str = "import flor\n\
+        base = 1\n\
+        for epoch in flor.partition(range(4)):\n\
+        \x20   waste = busy(3)\n\
+        \x20   x = base + epoch\n\
+        \x20   if epoch > 2:\n\
+        \x20       extra = busy(1)\n\
+        \x20   log(\"x\", x)\n\
+        done = x\n";
+
+    // Paths of `waste = busy(3)` and the whole `if epoch > 2:` subtree.
+    fn slice_dead() -> HashSet<StmtPath> {
+        let for_path = path_step(0, 2);
+        let mut dead = HashSet::new();
+        dead.insert(vec![for_path, path_step(0, 0)]);
+        dead.insert(vec![for_path, path_step(0, 2)]);
+        dead
+    }
+
+    #[test]
+    fn compile_sliced_matches_compiling_the_pruned_tree() {
+        let prog = parse(SLICE_SRC).expect("parse");
+        let dead = slice_dead();
+        let (sliced, elided) = compile_sliced(&prog, &dead).expect("compile_sliced");
+        assert_eq!(elided, 3, "waste + if + its body");
+        let pruned = prune_program(&prog, &dead);
+        assert_eq!(sliced, compile(&pruned).expect("compile pruned"));
+        let full = compile(&prog).expect("compile full");
+        assert!(sliced.ops.len() < full.ops.len());
+        assert!(
+            !sliced.slot_of.contains_key("waste"),
+            "dead slots not interned"
+        );
+    }
+
+    #[test]
+    fn compile_sliced_with_empty_dead_set_is_plain_compile() {
+        let prog = parse(SLICE_SRC).expect("parse");
+        let (m, elided) = compile_sliced(&prog, &HashSet::new()).expect("compile_sliced");
+        assert_eq!(elided, 0);
+        assert_eq!(m, compile(&prog).expect("compile"));
+    }
+
+    #[test]
+    fn prune_keeps_emptied_bodies_printable() {
+        let prog = parse("if x > 1:\n    y = 2\nelse:\n    z = 3\n").expect("parse");
+        let mut dead = HashSet::new();
+        dead.insert(vec![path_step(0, 0), path_step(0, 0)]); // then body
+        let pruned = prune_program(&prog, &dead);
+        let printed = crate::print_program(&pruned);
+        assert!(
+            printed.contains("pass"),
+            "emptied branch prints as pass: {printed}"
+        );
+        // pass lowers to nothing: module equality with in-place elision.
+        let (sliced, _) = compile_sliced(&prog, &dead).expect("compile_sliced");
+        assert_eq!(sliced, compile(&pruned).expect("compile pruned"));
+        // Round-trips through the parser.
+        crate::parse(&printed).expect("pruned program re-parses");
     }
 }

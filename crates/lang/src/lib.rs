@@ -47,7 +47,10 @@ pub mod printer;
 pub mod textdiff;
 
 pub use ast::{Arg, BinOp, Expr, Program, Stmt, UnaryOp};
-pub use compile::{compile, CompileError, Module, Op};
+pub use compile::{
+    compile, compile_sliced, path_step, prune_program, stmt_count, CompileError, Module, Op,
+    StmtPath,
+};
 pub use differ::{diff_programs, DiffReport, ProbeSite};
 pub use parser::{parse, ParseError};
 pub use printer::print_program;

@@ -65,11 +65,14 @@ pub enum Category {
     Compile,
     /// Bytecode VM executing a range of instructions.
     VmExec,
+    /// Backward program slicing: computing the dependency cone of the
+    /// query's log statements before lowering.
+    Slice,
 }
 
 impl Category {
     /// All categories, for exporters and tests.
-    pub const ALL: [Category; 12] = [
+    pub const ALL: [Category; 13] = [
         Category::Record,
         Category::Commit,
         Category::RestoreChain,
@@ -82,6 +85,7 @@ impl Category {
         Category::Sim,
         Category::Compile,
         Category::VmExec,
+        Category::Slice,
     ];
 
     /// Stable name used in exports (`cat` in Chrome traces).
@@ -99,6 +103,7 @@ impl Category {
             Category::Sim => "sim",
             Category::Compile => "compile",
             Category::VmExec => "vm-exec",
+            Category::Slice => "slice",
         }
     }
 }

@@ -46,6 +46,28 @@ pub fn query_key(
     format!("{:016x}", flor_core::record::fnv1a64(&buf))
 }
 
+/// Content address of a *slice class* of queries: `(run_id, generation,
+/// source_version, slice fingerprint)` → `"s"` + 16 hex digits. The
+/// fingerprint ([`flor_core::replay::slice_fingerprint`]) hashes the
+/// canonical print of the probed source's sliced instrumented program, so
+/// textually different probes that slice to the same live cone share one
+/// entry — the cross-query memo behind incremental replay. The `"s"`
+/// prefix keeps these keys disjoint from the 16-hex raw-text keys of
+/// [`query_key`] inside one cache directory.
+pub fn slice_key(run_id: &str, generation: u64, source_version: &str, fingerprint: u64) -> String {
+    let mut buf = Vec::with_capacity(64);
+    for part in [
+        run_id,
+        &generation.to_string(),
+        source_version,
+        &format!("{fingerprint:016x}"),
+    ] {
+        buf.extend_from_slice(part.as_bytes());
+        buf.push(0x1f);
+    }
+    format!("s{:016x}", flor_core::record::fnv1a64(&buf))
+}
+
 /// On-disk query-result cache rooted at one directory.
 pub struct QueryCache {
     root: PathBuf,
@@ -204,6 +226,17 @@ mod tests {
         assert_ne!(base, query_key("alice", 0, "v1", "src2"));
         // Field boundaries matter: ("ab","c") != ("a","bc").
         assert_ne!(query_key("ab", 0, "c", "d"), query_key("a", 0, "bc", "d"));
+    }
+
+    #[test]
+    fn slice_keys_are_disjoint_from_raw_keys() {
+        let s = slice_key("alice", 0, "v1", 0xDEAD_BEEF);
+        assert!(s.starts_with('s') && s.len() == 17, "{s}");
+        assert_ne!(s, slice_key("alice", 0, "v1", 0xDEAD_BEE0));
+        assert_ne!(s, slice_key("alice", 1, "v1", 0xDEAD_BEEF));
+        assert_ne!(s, slice_key("bob", 0, "v1", 0xDEAD_BEEF));
+        // Raw keys are exactly 16 hex chars — the "s" prefix cannot collide.
+        assert_eq!(query_key("alice", 0, "v1", "src").len(), 16);
     }
 
     #[test]

@@ -75,6 +75,32 @@ pub struct JobProgress {
     /// Wall time the job has been executing, ns: live (updated on every
     /// streamed event) while running, final on completion.
     pub wall_ns: u64,
+    /// Statements the backward slicer elided from the job's replay
+    /// (final on completion; 0 while running or unsliced).
+    pub statements_elided: u64,
+    /// Live fraction of the sliced program in permille (0 = unsliced).
+    pub slice_permille: u32,
+    /// 1 when the job was answered from the cross-query slice cache.
+    pub slice_cache_hits: u64,
+}
+
+impl JobProgress {
+    /// Every counter as a `(name, value)` list — the single source both
+    /// the prose status line and any JSON surface render from, so a field
+    /// added here cannot silently drift between the two.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("iterations_done", self.iterations_done),
+            ("iterations_total", self.iterations_total),
+            ("steals", self.steals),
+            ("entries_streamed", self.entries_streamed),
+            ("stream_first_entry_ns", self.stream_first_entry_ns),
+            ("wall_ns", self.wall_ns),
+            ("statements_elided", self.statements_elided),
+            ("slice_permille", u64::from(self.slice_permille)),
+            ("slice_cache_hits", self.slice_cache_hits),
+        ]
+    }
 }
 
 /// Entry in the priority queue. Ordering: priority desc, then submission
@@ -338,13 +364,17 @@ fn worker_loop(shared: &Shared, worker: usize) {
         flor_obs::histogram!("scheduler.job_ns").observe(wall_ns);
         let terminal = match &outcome {
             Ok(result) => {
+                let mut state = shared.state.lock().unwrap();
+                let p = state.progress.entry(id).or_default();
                 // The replay's own first-entry clock (measured from replay
                 // start, after queueing) supersedes the observer's estimate.
                 if result.stream_first_entry_ns > 0 {
-                    let mut state = shared.state.lock().unwrap();
-                    state.progress.entry(id).or_default().stream_first_entry_ns =
-                        result.stream_first_entry_ns;
+                    p.stream_first_entry_ns = result.stream_first_entry_ns;
                 }
+                p.statements_elided = result.statements_elided;
+                p.slice_permille = result.slice_permille;
+                p.slice_cache_hits = result.slice_cache_hits;
+                drop(state);
                 JobState::Completed(result.clone())
             }
             Err(e) => JobState::Failed(e.to_string()),

@@ -65,6 +65,16 @@ pub struct QueryOutcome {
     /// entry, ns from replay start (0 for cache hits — the whole result
     /// was available at once).
     pub stream_first_entry_ns: u64,
+    /// Statements the backward slicer elided from re-executed bodies
+    /// (0 for cache hits and unsliced replays).
+    pub statements_elided: u64,
+    /// Live fraction of the instrumented program after slicing, in
+    /// permille (0 when no slice was applied — a full replay).
+    pub slice_permille: u32,
+    /// 1 when this answer was served from the cross-query slice cache
+    /// (a textually different probe had already materialized the same
+    /// live cone), 0 otherwise.
+    pub slice_cache_hits: u64,
 }
 
 /// One streaming-query event, delivered while the replay is still running.
@@ -103,6 +113,11 @@ pub struct Registry {
     /// Execute queries on the bytecode VM (default). Cleared, the
     /// tree-walking interpreter replays instead (`flor query --no-vm`).
     vm: std::sync::atomic::AtomicBool,
+    /// Slice replays down to the dependency cone of their logging
+    /// statements (default). Cleared (`flor query --no-slice`), every
+    /// re-executed body runs in full and the cross-query slice cache is
+    /// bypassed.
+    slice: std::sync::atomic::AtomicBool,
 }
 
 impl Registry {
@@ -120,6 +135,7 @@ impl Registry {
             inflight: Mutex::new(HashMap::new()),
             module_cache: Arc::new(flor_core::ModuleCache::new()),
             vm: std::sync::atomic::AtomicBool::new(true),
+            slice: std::sync::atomic::AtomicBool::new(true),
         })
     }
 
@@ -127,6 +143,12 @@ impl Registry {
     /// default) runs the bytecode VM, `false` the tree-walking fallback.
     pub fn set_vm(&self, on: bool) {
         self.vm.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Enables (`true`, the default) or disables dependency slicing and
+    /// the cross-query slice cache for subsequent queries.
+    pub fn set_slice(&self, on: bool) {
+        self.slice.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Registry root directory.
@@ -327,34 +349,8 @@ impl Registry {
         flor_obs::counter!("registry.queries").inc();
         let rec = self.run(run_id)?;
         let key = query_key(run_id, rec.generation, &rec.source_version, probed_source);
-        let cached_outcome =
-            |hit: CachedResult, observer: &mut Option<&mut dyn FnMut(QueryEvent)>| {
-                flor_obs::counter!("registry.cache_hits").inc();
-                if let Some(on_event) = observer {
-                    let total = log_iterations(&hit.log);
-                    on_event(QueryEvent::Entries(hit.log.clone()));
-                    on_event(QueryEvent::Progress {
-                        iterations_done: total,
-                        iterations_total: total,
-                        steals: 0,
-                    });
-                }
-                QueryOutcome {
-                    run_id: run_id.to_string(),
-                    key: key.clone(),
-                    cached: true,
-                    log: hit.log,
-                    probes: hit.probes,
-                    anomalies: Vec::new(),
-                    restored: 0,
-                    executed: 0,
-                    wall_ns: 0,
-                    steals: 0,
-                    stream_first_entry_ns: 0,
-                }
-            };
         if let Some(hit) = self.cache.get(&key) {
-            return Ok(cached_outcome(hit, &mut observer));
+            return Ok(self.cached_outcome(run_id, &key, hit, false, &mut observer));
         }
         // Single-flight: identical concurrent queries wait for the first
         // one's replay and then read its cached result.
@@ -362,7 +358,7 @@ impl Registry {
         let result = {
             let _in_flight = gate.lock();
             if let Some(hit) = self.cache.get(&key) {
-                Ok(cached_outcome(hit, &mut observer))
+                Ok(self.cached_outcome(run_id, &key, hit, false, &mut observer))
             } else {
                 self.replay_query(run_id, &rec, probed_source, workers, &key, observer)
             }
@@ -372,6 +368,74 @@ impl Registry {
         // the Arc proceed unaffected; late arrivals hit the cache.
         self.inflight.lock().remove(&key);
         result
+    }
+
+    /// Materializes a cache hit into a [`QueryOutcome`], delivering the
+    /// streaming events a fresh replay would have (one chunk, full
+    /// progress). `slice_hit` marks answers served by slice-fingerprint
+    /// rather than by raw query text.
+    fn cached_outcome(
+        &self,
+        run_id: &str,
+        key: &str,
+        hit: CachedResult,
+        slice_hit: bool,
+        observer: &mut Option<&mut dyn FnMut(QueryEvent)>,
+    ) -> QueryOutcome {
+        flor_obs::counter!("registry.cache_hits").inc();
+        if slice_hit {
+            flor_obs::counter!("cache.slice_hits").inc();
+        }
+        if let Some(on_event) = observer {
+            let total = log_iterations(&hit.log);
+            on_event(QueryEvent::Entries(hit.log.clone()));
+            on_event(QueryEvent::Progress {
+                iterations_done: total,
+                iterations_total: total,
+                steals: 0,
+            });
+        }
+        QueryOutcome {
+            run_id: run_id.to_string(),
+            key: key.to_string(),
+            cached: true,
+            log: hit.log,
+            probes: hit.probes,
+            anomalies: Vec::new(),
+            restored: 0,
+            executed: 0,
+            wall_ns: 0,
+            steals: 0,
+            stream_first_entry_ns: 0,
+            statements_elided: 0,
+            slice_permille: 0,
+            slice_cache_hits: u64::from(slice_hit),
+        }
+    }
+
+    /// Slice-class cache key for a probed query, or `None` when the memo
+    /// does not apply (slicing disabled, unreadable recorded source, a
+    /// non-parsing probe, or an impure diff that poisons replay reuse).
+    fn slice_cache_key(
+        &self,
+        rec: &RunRecord,
+        probed_source: &str,
+        store: &CheckpointStore,
+    ) -> Option<String> {
+        if !self.slice.load(std::sync::atomic::Ordering::Relaxed) {
+            return None;
+        }
+        // The raw `source.flr` artifact (instrumented, exactly what replay
+        // itself diffs against) — not the de-instrumented pretty print,
+        // which would diff as a structural change and poison the memo.
+        let recorded = String::from_utf8(store.get_artifact("source.flr").ok()?).ok()?;
+        let fp = flor_core::replay::slice_fingerprint(&recorded, probed_source, store, true)?;
+        Some(crate::cache::slice_key(
+            &rec.run_id,
+            rec.generation,
+            &rec.source_version,
+            fp,
+        ))
     }
 
     fn replay_query(
@@ -384,6 +448,18 @@ impl Registry {
         mut observer: Option<&mut dyn FnMut(QueryEvent)>,
     ) -> Result<QueryOutcome, RegistryError> {
         let store = self.store_handle_at(run_id, &rec.store_root)?;
+        // Cross-query slice memo: a textually different probe that parses,
+        // instruments, and slices to the same live cone has already
+        // materialized this exact log — serve it for the cost of a
+        // parse+slice, and backfill the raw-text key so the next identical
+        // query short-circuits before reaching this point.
+        let slice_key = self.slice_cache_key(rec, probed_source, &store);
+        if let Some(sk) = &slice_key {
+            if let Some(hit) = self.cache.get(sk) {
+                self.cache.put(key, &hit)?;
+                return Ok(self.cached_outcome(run_id, key, hit, true, &mut observer));
+            }
+        }
         // Fresh replays run on the work-stealing executor: the run's cost
         // profile sizes micro-ranges, stragglers get robbed, and results
         // stream out in record order.
@@ -392,6 +468,7 @@ impl Registry {
             init_mode: InitMode::Strong,
             steal: true,
             vm: self.vm.load(std::sync::atomic::Ordering::Relaxed),
+            slice: self.slice.load(std::sync::atomic::Ordering::Relaxed),
             module_cache: Some(self.module_cache.clone()),
         };
         let report = replay_streaming(probed_source, store, &opts, |ev| {
@@ -423,20 +500,27 @@ impl Registry {
             wall_ns: report.wall_ns,
             steals: report.stats.steals,
             stream_first_entry_ns: report.stats.stream_first_entry_ns,
+            statements_elided: report.stats.statements_elided,
+            slice_permille: report.stats.slice_permille,
+            slice_cache_hits: 0,
             log: report.log,
         };
         // Only clean materializations are worth addressing by content:
-        // anomalous replays should re-run (and re-warn) every time.
+        // anomalous replays should re-run (and re-warn) every time. The
+        // result lands under both the raw-text key and (when the slicer
+        // produced a fingerprint) the slice-class key, so later textual
+        // variants of the same live cone replay nothing.
         if outcome.anomalies.is_empty() {
             let mut span = flor_obs::span(flor_obs::Category::Commit, "cache_commit");
             span.set_args(outcome.log.len() as u64, 0);
-            self.cache.put(
-                key,
-                &CachedResult {
-                    probes: outcome.probes,
-                    log: outcome.log.clone(),
-                },
-            )?;
+            let result = CachedResult {
+                probes: outcome.probes,
+                log: outcome.log.clone(),
+            };
+            self.cache.put(key, &result)?;
+            if let Some(sk) = &slice_key {
+                self.cache.put(sk, &result)?;
+            }
         }
         Ok(outcome)
     }

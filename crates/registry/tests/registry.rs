@@ -131,6 +131,70 @@ fn second_identical_query_is_served_from_cache() {
 }
 
 #[test]
+fn textual_variant_of_same_probe_hits_slice_cache() {
+    let reg = Registry::open(tmproot("slice-memo")).unwrap();
+    let src = train_src(4, 0.1);
+    reg.record_run("alice-cv", &src, no_adaptive).unwrap();
+    let q = probed(&src);
+
+    let first = reg.query("alice-cv", &q, 2).unwrap();
+    assert!(!first.cached);
+    assert_eq!(first.slice_cache_hits, 0);
+
+    // A blank line changes the raw query text (so the raw-text key
+    // misses) but parses, instruments, and slices to the same live cone.
+    let variant = q.replace("import flor\n", "import flor\n\n");
+    assert_ne!(variant, q);
+    let second = reg.query("alice-cv", &variant, 2).unwrap();
+    assert!(
+        second.cached,
+        "slice fingerprint must dedup textual variants"
+    );
+    assert_eq!(second.slice_cache_hits, 1);
+    assert_eq!(second.log, first.log, "memoized answer is byte-identical");
+    assert_eq!(
+        second.restored + second.executed,
+        0,
+        "slice-cache hit replays nothing"
+    );
+
+    // The hit backfilled the raw-text key: the same variant now
+    // short-circuits on the raw cache (no slice-cache involvement).
+    let third = reg.query("alice-cv", &variant, 2).unwrap();
+    assert!(third.cached);
+    assert_eq!(third.slice_cache_hits, 0);
+
+    // A probe with a different live cone misses the slice cache.
+    let other = src.replace(
+        "    log(\"loss\", avg.mean())\n",
+        "    log(\"loss\", avg.mean())\n    log(\"hindsight_gnorm\", net.grad_norm())\n",
+    );
+    let fresh = reg.query("alice-cv", &other, 2).unwrap();
+    assert!(!fresh.cached);
+    assert_eq!(fresh.slice_cache_hits, 0);
+}
+
+#[test]
+fn slice_disabled_registry_bypasses_slice_cache() {
+    let reg = Registry::open(tmproot("slice-off")).unwrap();
+    let src = train_src(3, 0.1);
+    reg.record_run("run", &src, no_adaptive).unwrap();
+    reg.set_slice(false);
+    let q = probed(&src);
+
+    let first = reg.query("run", &q, 1).unwrap();
+    assert!(!first.cached);
+    assert_eq!(first.statements_elided, 0, "--no-slice elides nothing");
+    assert_eq!(first.slice_permille, 0);
+
+    // A textual variant misses outright: no slice keys were written.
+    let variant = q.replace("import flor\n", "import flor\n\n");
+    let second = reg.query("run", &variant, 1).unwrap();
+    assert!(!second.cached, "slice memo must be off with slicing off");
+    assert_eq!(second.log, first.log, "unsliced replays still agree");
+}
+
+#[test]
 fn reregistration_invalidates_cached_answers() {
     let reg = Registry::open(tmproot("invalidate")).unwrap();
     let src_v1 = train_src(3, 0.1);

@@ -49,9 +49,12 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 fn inner_probed(src: &str) -> String {
+    // The second probe reads `w`: without a reader, `w = busy(units)` is
+    // dead (busy is a pure builtin) and the slicer would elide it — taking
+    // the tail-heavy skew, and the guaranteed steals, with it.
     let probed = src.replace(
         "        optimizer.step()\n",
-        "        optimizer.step()\n        log(\"probe_gnorm\", net.grad_norm())\n",
+        "        optimizer.step()\n        log(\"probe_gnorm\", net.grad_norm())\n        log(\"probe_w\", w)\n",
     );
     assert_ne!(probed, src);
     probed
@@ -101,8 +104,9 @@ fn traced_stolen_range_query_has_worker_lanes_and_full_category_vocabulary() {
 
     // The acceptance vocabulary: record (re-executed probed blocks),
     // commit (query-cache fill), restore-chain, range-exec, steal,
-    // stream-merge, plus the VM columns — compile (the driver's one
-    // lowering pass) and vm-exec (per-range bytecode execution).
+    // stream-merge, the VM columns — compile (the driver's one lowering
+    // pass) and vm-exec (per-range bytecode execution) — and slice (the
+    // driver's backward-slice pass over the instrumented program).
     let cats = trace.categories();
     for want in [
         Category::Record,
@@ -113,10 +117,11 @@ fn traced_stolen_range_query_has_worker_lanes_and_full_category_vocabulary() {
         Category::StreamMerge,
         Category::Compile,
         Category::VmExec,
+        Category::Slice,
     ] {
         assert!(cats.contains(&want), "category {want:?} missing: {cats:?}");
     }
-    assert!(cats.len() >= 8, "expected ≥8 categories, got {cats:?}");
+    assert!(cats.len() >= 9, "expected ≥9 categories, got {cats:?}");
 
     // vm-exec spans nest inside the range-exec span of the same range on
     // a worker lane; the compile span runs once, before any execution.
@@ -287,5 +292,9 @@ fn cli_query_trace_flag_writes_a_parseable_chrome_trace() {
     assert!(
         cats.contains("compile") && cats.contains("vm-exec"),
         "VM compile/exec categories must reach the exported trace: {cats:?}"
+    );
+    assert!(
+        cats.contains("slice"),
+        "the slice pass must reach the exported trace: {cats:?}"
     );
 }

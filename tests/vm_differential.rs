@@ -46,6 +46,7 @@ fn opts(workers: usize, steal: bool, vm: bool) -> ReplayOptions {
         init_mode: InitMode::Strong,
         steal,
         vm,
+        slice: true,
         module_cache: None,
     }
 }
@@ -80,8 +81,17 @@ fn vm_and_tree_walker_replay_identically_across_stolen_ranges() {
     record(TRAIN_SRC, &ropts).unwrap();
 
     for probed in [inner_probed(), outer_probed()] {
-        // Sequential tree-walk replay is the oracle.
-        let oracle = replay(&probed, &root, &opts(1, false, false)).unwrap();
+        // Sequential, *unsliced* tree-walk replay is the oracle: every
+        // sliced configuration below must reproduce its log byte for byte.
+        let oracle = replay(
+            &probed,
+            &root,
+            &ReplayOptions {
+                slice: false,
+                ..opts(1, false, false)
+            },
+        )
+        .unwrap();
         assert!(oracle.anomalies.is_empty(), "{:?}", oracle.anomalies);
 
         for workers in [1usize, 2, 3] {

@@ -4,7 +4,7 @@
 #   ./tools/bench.sh            # full run: criterion benches + BENCH_*.json
 #   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
 #
-# Emits five committed artifacts at the repo root so future PRs can be
+# Emits six committed artifacts at the repo root so future PRs can be
 # held to the trajectory:
 #   BENCH_record.json       — caller-thread submit latency per materialization
 #                             strategy (zero-copy vs pre-refactor eager copies)
@@ -18,6 +18,10 @@
 #   BENCH_interp.json       — replay interpreter: tree-walking AST executor vs
 #                             the bytecode VM, plus cold-compile vs
 #                             cached-module fetch costs
+#   BENCH_slice.json        — dependency-aware incremental replay: VM replay
+#                             with backward slicing off vs on, plus the
+#                             cross-query slice memo (cold query vs a
+#                             textually different probe served from cache)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,18 +54,21 @@ REPLAY_OUT=BENCH_replay.json
 SCHED_OUT=BENCH_replay_sched.json
 COMPRESS_OUT=BENCH_compress.json
 INTERP_OUT=BENCH_interp.json
+SLICE_OUT=BENCH_slice.json
 if [[ "$QUICK" == "1" ]]; then
     RECORD_OUT=target/BENCH_record.quick.json
     REPLAY_OUT=target/BENCH_replay.quick.json
     SCHED_OUT=target/BENCH_replay_sched.quick.json
     COMPRESS_OUT=target/BENCH_compress.quick.json
     INTERP_OUT=target/BENCH_interp.quick.json
+    SLICE_OUT=target/BENCH_slice.quick.json
 fi
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$RECORD_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_json -- "$REPLAY_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_sched -- "$SCHED_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_compress_json -- "$COMPRESS_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_interp -- "$INTERP_OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_slice -- "$SLICE_OUT"
 
 echo
-echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT written)"
+echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT, $SLICE_OUT written)"

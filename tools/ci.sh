@@ -40,6 +40,18 @@ echo "clock lint: OK"
 # without a corpus program fails there, not in production replay).
 run cargo test -q -p flor-lang opcode_coverage
 
+# Slice-oracle gate: the differential suites must keep at least one
+# oracle replay with slicing explicitly disabled — otherwise a slicer
+# bug that mangles both sides identically could slip through with every
+# configuration sliced.
+echo
+echo "==> slice-oracle gate (unsliced oracle present in tests/)"
+if ! grep -rq "slice: false" tests/ --include='*.rs'; then
+    echo "slice-oracle gate: no test replays with 'slice: false' — the differential oracle must stay slice-free" >&2
+    exit 1
+fi
+echo "slice-oracle gate: OK"
+
 # Record-hot-path smoke bench: quick criterion pass + quick submit-latency
 # JSON (written under target/, never dirties the committed artifact).
 run ./tools/bench.sh --quick
@@ -61,12 +73,27 @@ run cargo run --release -q -p flor-bench --bin bench_check -- \
 run cargo run --release -q -p flor-bench --bin bench_check -- \
     BENCH_replay_sched.json target/BENCH_replay_sched.quick.json \
     sim_paper_scale.improvement=higher sim_paper_scale.profile_bound=higher
-# The VM must stay ≥3× over the tree-walker on the interpreter-bound
-# fixture; vm_speedup is a ratio of same-run walls, so it is
-# scale-invariant between the quick and full fixtures.
+# The VM must stay well over the tree-walker on the interpreter-bound
+# fixture. vm_speedup is a ratio of same-run walls and so scale-
+# invariant between quick and full fixtures — but the tree-walker's
+# wall is dominated by HashMap name traffic whose per-process hash
+# seeding swings it ~2× run to run, so this band is catastrophe-only
+# (a real VM regression is ≥2×; the committed full-scale number is the
+# precise record).
+(
+    export FLOR_BENCH_TOLERANCE=0.55
+    run cargo run --release -q -p flor-bench --bin bench_check -- \
+        BENCH_interp.json target/BENCH_interp.quick.json \
+        vm_speedup=higher
+)
+# Sliced replay must stay well over the ≥3× acceptance bar on the
+# sparse-dependency fixture. slice_speedup ≈ the dead/live busy ratio of
+# the fixture's inner loop, which quick and full modes share, so it is
+# scale-invariant; memo_speedup grows with fixture scale, so the bench
+# binary asserts its ≥10× floor internally instead of gating it here.
 run cargo run --release -q -p flor-bench --bin bench_check -- \
-    BENCH_interp.json target/BENCH_interp.quick.json \
-    vm_speedup=higher
+    BENCH_slice.json target/BENCH_slice.quick.json \
+    slice_speedup=higher
 # BENCH_record's speedup columns are ratios of µs-scale submit costs
 # (O(1) handle pushes) — too noisy for a 20% band; its own regression
 # test (`bench_record_json` pins zero-copy ≤ eager) guards it instead.
