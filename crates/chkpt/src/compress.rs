@@ -39,14 +39,34 @@ const WINDOW: usize = 1 << 16; // u16 offsets
 const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = MIN_MATCH + 254;
 const HASH_BITS: u32 = 15;
-/// Hash-chain candidates examined per position (newest first). Bounds the
-/// worst case on degenerate inputs (e.g. all-identical bytes hash every
-/// position into one chain, and f32 slabs put every exponent byte in a
-/// tiny alphabet — long chains of colliding-but-useless candidates).
+/// Hash-chain candidates examined per position (newest first) at the
+/// default effort level. Bounds the worst case on degenerate inputs
+/// (e.g. all-identical bytes hash every position into one chain, and f32
+/// slabs put every exponent byte in a tiny alphabet — long chains of
+/// colliding-but-useless candidates).
 pub const MAX_CHAIN: usize = 16;
-/// A match at least this long ends the chain walk ("good enough" — the
-/// marginal gain of a longer candidate almost never pays for the walk).
+/// A match at least this long ends the chain walk at the default effort
+/// level ("good enough" — the marginal gain of a longer candidate almost
+/// never pays for the walk).
 const GOOD_MATCH: usize = 64;
+/// Cheapest effort level: shallow chain walks, eager early-exit.
+pub const MIN_EFFORT: u8 = 1;
+/// Default effort level — the pre-knob encoder behavior, bit-for-bit.
+pub const DEFAULT_EFFORT: u8 = 2;
+/// Most thorough effort level: deep chain walks, reluctant early-exit.
+pub const MAX_EFFORT: u8 = 3;
+
+/// Match-finder parameters `(max_chain, good_match)` for an effort level.
+/// Level [`DEFAULT_EFFORT`] is exactly the historical constants; level 1
+/// quarters the chain walk for ε-pressured recorders, level 3 spends 4×
+/// the walk for sweep re-records with headroom.
+pub(crate) fn effort_params(effort: u8) -> (usize, usize) {
+    match effort.clamp(MIN_EFFORT, MAX_EFFORT) {
+        1 => (MAX_CHAIN / 4, GOOD_MATCH / 2),
+        2 => (MAX_CHAIN, GOOD_MATCH),
+        _ => (MAX_CHAIN * 4, GOOD_MATCH * 2),
+    }
+}
 /// After this many consecutive matchless positions the encoder starts
 /// stepping over input (LZ4-style acceleration): incompressible regions
 /// cost a bounded number of searches instead of one per byte.
@@ -176,8 +196,17 @@ impl TokenWriter {
     }
 }
 
-/// Compresses a byte slice with the hash-chain match finder.
+/// Compresses a byte slice with the hash-chain match finder at
+/// [`DEFAULT_EFFORT`].
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    compress_with_effort(input, DEFAULT_EFFORT)
+}
+
+/// Compresses with an explicit effort level (see [`effort_params`]):
+/// higher effort walks longer candidate chains and insists on longer
+/// matches before cutting the walk short — more CPU, smaller output.
+pub fn compress_with_effort(input: &[u8], effort: u8) -> Vec<u8> {
+    let (max_chain, good_match) = effort_params(effort);
     let mut w = TokenWriter::new(input.len() / 2 + 16);
     put_varint(&mut w.out, input.len() as u64);
     w.start_tokens();
@@ -200,7 +229,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             let h = hash4(&input[i..]);
             let mut cand = head[h];
             let mut walked = 0usize;
-            while cand != NO_POS && walked < MAX_CHAIN {
+            while cand != NO_POS && walked < max_chain {
                 let c = cand as usize;
                 // Staleness guards: ring entries older than one window (or
                 // overwritten by a newer position of the same residue) show
@@ -219,7 +248,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                     if len > best_len {
                         best_len = len;
                         best_pos = c;
-                        if len >= max_len || len >= GOOD_MATCH {
+                        if len >= max_len || len >= good_match {
                             break;
                         }
                     }
@@ -369,49 +398,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
 // Chunked parallel frames
 // ---------------------------------------------------------------------------
 
-/// Worker threads for one chunked compress/decompress call (bounded so a
-/// materializer worker fanning out a large keyframe can't oversubscribe
-/// the machine).
-fn chunk_threads(jobs: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-        .min(jobs)
-        .max(1)
-}
-
-/// Runs `f(0..jobs)` across a bounded scoped thread fan-out, preserving
-/// index order in the returned vec.
-fn parallel_map<T: Send>(jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = chunk_threads(jobs);
-    if threads <= 1 {
-        return (0..jobs).map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut produced: Vec<(usize, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs {
-                            return local;
-                        }
-                        local.push((i, f(i)));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("chunk worker panicked"))
-            .collect()
-    });
-    produced.sort_by_key(|(i, _)| *i);
-    produced.into_iter().map(|(_, t)| t).collect()
-}
+// Chunk fan-out runs on the store-wide persistent executor
+// ([`crate::exec`]) instead of a per-call `thread::scope`: parallel
+// compression no longer pays a thread spawn + join barrier per submit.
+use crate::exec::parallel_map;
 
 /// Compresses `input` as a chunked frame: fixed-size chunks, each an
 /// independent [`compress`] token stream (chunks that do not shrink are
@@ -420,11 +410,16 @@ fn parallel_map<T: Send>(jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
 /// raw_flag) | bodies…` (all varints), so a reader can locate — and
 /// decompress — any chunk independently of the others.
 pub fn compress_chunked(input: &[u8], chunk_size: usize) -> Vec<u8> {
+    compress_chunked_effort(input, chunk_size, DEFAULT_EFFORT)
+}
+
+/// [`compress_chunked`] with an explicit per-chunk effort level.
+pub fn compress_chunked_effort(input: &[u8], chunk_size: usize, effort: u8) -> Vec<u8> {
     let chunk_size = chunk_size.max(1);
     let chunks: Vec<&[u8]> = input.chunks(chunk_size).collect();
     let n = chunks.len();
     let bodies: Vec<(Vec<u8>, bool)> = parallel_map(n, |i| {
-        let c = compress(chunks[i]);
+        let c = compress_with_effort(chunks[i], effort);
         if c.len() >= chunks[i].len() {
             (chunks[i].to_vec(), true)
         } else {
@@ -516,10 +511,15 @@ pub fn decompress_chunked(data: &[u8]) -> Result<Vec<u8>, CompressError> {
 /// chunked frame past [`CHUNK_PARALLEL_MIN`], a single [`compress`] stream
 /// otherwise.
 pub fn compress_auto(input: &[u8]) -> Vec<u8> {
+    compress_auto_effort(input, DEFAULT_EFFORT)
+}
+
+/// [`compress_auto`] with an explicit effort level.
+pub fn compress_auto_effort(input: &[u8], effort: u8) -> Vec<u8> {
     if input.len() >= CHUNK_PARALLEL_MIN {
-        compress_chunked(input, CHUNK_BYTES)
+        compress_chunked_effort(input, CHUNK_BYTES, effort)
     } else {
-        compress(input)
+        compress_with_effort(input, effort)
     }
 }
 
@@ -693,6 +693,42 @@ mod tests {
             assert!(is_chunked(&c));
             assert_eq!(decompress_chunked(&c).expect("chunked roundtrip"), data);
         }
+    }
+
+    #[test]
+    fn effort_levels_roundtrip_and_default_matches_legacy() {
+        // Tensor-ish payload with structure at several scales.
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            let v = if i % 7 == 0 { 0.0f32 } else { (i % 97) as f32 };
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        for effort in [MIN_EFFORT, DEFAULT_EFFORT, MAX_EFFORT] {
+            let c = compress_with_effort(&data, effort);
+            assert_eq!(decompress(&c).unwrap(), data, "effort {effort}");
+            let ck = compress_chunked_effort(&data, 4096, effort);
+            assert_eq!(
+                decompress_any(&ck).unwrap(),
+                data,
+                "chunked effort {effort}"
+            );
+        }
+        // Level 2 is bit-for-bit the pre-knob encoder.
+        assert_eq!(compress_with_effort(&data, DEFAULT_EFFORT), compress(&data));
+        // Max effort never loses to min effort on structured data.
+        assert!(
+            compress_with_effort(&data, MAX_EFFORT).len()
+                <= compress_with_effort(&data, MIN_EFFORT).len()
+        );
+        // Out-of-range levels clamp instead of panicking.
+        assert_eq!(
+            compress_with_effort(&data, 0),
+            compress_with_effort(&data, MIN_EFFORT)
+        );
+        assert_eq!(
+            compress_with_effort(&data, 200),
+            compress_with_effort(&data, MAX_EFFORT)
+        );
     }
 
     #[test]

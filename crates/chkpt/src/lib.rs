@@ -36,15 +36,19 @@
 pub mod background;
 pub mod codec;
 pub mod compress;
+pub mod dedup;
 pub mod delta;
+pub mod exec;
+mod mmap;
 pub mod spool;
 pub mod store;
 
 pub use background::{Materializer, MaterializerStats, Payload, SerializeSnapshot, Strategy};
 pub use codec::{decode, encode, encode_into, ByteSource, CVal, CodecError, EncodePool, LazyBytes};
+pub use dedup::DedupIndex;
 pub use store::{
     CheckpointStore, CkptMeta, CompactionReport, Compressor, Durability, RecoveryReport,
-    StoreError, StoreFormat, StoreOptions, StoreStats, WriteBatch,
+    SegmentRead, StoreError, StoreFormat, StoreOptions, StoreStats, WriteBatch,
 };
 
 // Byte-buffer types used in the public API (`ByteSource::write_to`,

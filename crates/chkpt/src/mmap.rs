@@ -1,0 +1,238 @@
+//! Read-only memory mapping of sealed segment files, libc-free.
+//!
+//! Cold restores used to `fs::read` the whole segment into heap just to
+//! hand out one entry's slice. A [`MmapRegion`] maps the file instead:
+//! the kernel faults in only the pages a slice actually touches, the
+//! memory stays reclaimable page cache rather than pinned heap, and the
+//! existing zero-copy `Bytes` machinery slices straight out of the
+//! mapping. The workspace vendors every dependency, so the `mmap`/`munmap`
+//! syscalls are issued directly via `std::arch::asm!` on Linux
+//! (x86_64/aarch64); everywhere else [`MmapRegion::map`] reports
+//! unsupported and the store falls back to the whole-file read path.
+//!
+//! Safety contract with the store: segments are *immutable once sealed*
+//! and compaction replaces them by rename + unlink, never by truncate-in-
+//! place, so a live mapping can never observe shrinking backing storage
+//! (unlink keeps the inode alive until the last mapping drops). The
+//! active (still-growing) segment is only ever mapped at the length the
+//! manifest already covers.
+
+use std::fs::File;
+use std::io;
+
+/// A read-only, whole-file memory mapping. `AsRef<[u8]>`-compatible so it
+/// can back a zero-copy `Bytes` via `Bytes::from_file_backed_owner`.
+pub(crate) struct MmapRegion {
+    /// Mapping base (page-aligned, kernel-chosen). `0` iff `len == 0`.
+    ptr: usize,
+    len: usize,
+}
+
+// The mapping is PROT_READ and never aliased mutably; the raw pointer is
+// only a region handle, so shipping it across threads is sound.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    const PROT_READ: usize = 0x1;
+    const MAP_PRIVATE: usize = 0x2;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`. Returns the
+    /// mapping address, or a negated errno in `[-4095, -1]`.
+    ///
+    /// # Safety
+    /// `fd` must be a readable open file descriptor and `len` nonzero.
+    pub(super) unsafe fn mmap(len: usize, fd: i32) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret, // SYS_mmap
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") 0usize => ret, // addr hint -> result
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            in("x8") 222usize, // SYS_mmap
+            options(nostack)
+        );
+        ret
+    }
+
+    /// `munmap(addr, len)`. Returns 0 or a negated errno.
+    ///
+    /// # Safety
+    /// `(addr, len)` must be exactly a live mapping from [`mmap`].
+    pub(super) unsafe fn munmap(addr: usize, len: usize) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => ret, // SYS_munmap
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") addr => ret,
+            in("x1") len,
+            in("x8") 215usize, // SYS_munmap
+            options(nostack)
+        );
+        ret
+    }
+}
+
+impl MmapRegion {
+    /// Maps the first `len` bytes of `file` read-only. `Err` means the
+    /// caller should fall back to reading the file into heap (platform
+    /// without raw-syscall support, or the kernel refused the mapping) —
+    /// the store treats this as a soft miss, never a corruption signal.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    pub(crate) fn map(file: &File, len: usize) -> io::Result<MmapRegion> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            return Ok(MmapRegion { ptr: 0, len: 0 });
+        }
+        // SAFETY: `file` is open for reading and `len > 0`; errors are
+        // reported as negated errno values and checked below.
+        let ret = unsafe { sys::mmap(len, file.as_raw_fd()) };
+        if (-4095..0).contains(&ret) {
+            return Err(io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(MmapRegion {
+            ptr: ret as usize,
+            len,
+        })
+    }
+
+    /// Unsupported platform: always reports `Unsupported` so the store
+    /// takes the whole-file read fallback.
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    pub(crate) fn map(_file: &File, _len: usize) -> io::Result<MmapRegion> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap: no raw-syscall backend for this platform",
+        ))
+    }
+
+    /// Mapped length in bytes.
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl AsRef<[u8]> for MmapRegion {
+    fn as_ref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `(ptr, len)` is a live PROT_READ mapping owned by this
+        // region (unmapped only in Drop), and sealed segments never shrink
+        // under a mapping (see module docs), so the slice stays valid and
+        // never faults.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: exactly the mapping produced in `map`; after this the
+            // region is gone and no `as_ref` slice can be outstanding (they
+            // borrow `self`).
+            let _ = unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "flor-mmap-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_and_unmaps_on_drop() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let path = tmpfile("roundtrip", &data);
+        let f = File::open(&path).unwrap();
+        match MmapRegion::map(&f, data.len()) {
+            Ok(region) => {
+                assert_eq!(region.as_ref(), &data[..]);
+                // Partial-length mapping sees a prefix.
+                let head = MmapRegion::map(&f, 1024).unwrap();
+                assert_eq!(head.as_ref(), &data[..1024]);
+                drop(region);
+                drop(head);
+            }
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::Unsupported),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_len_maps_to_empty_slice() {
+        let path = tmpfile("empty", b"");
+        let f = File::open(&path).unwrap();
+        if let Ok(region) = MmapRegion::map(&f, 0) {
+            assert!(region.as_ref().is_empty());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapping_survives_unlink() {
+        // Compaction deletes replaced segments while readers may still
+        // hold mappings; the inode must outlive the unlink.
+        let data = vec![7u8; 4096 * 3];
+        let path = tmpfile("unlink", &data);
+        let f = File::open(&path).unwrap();
+        if let Ok(region) = MmapRegion::map(&f, data.len()) {
+            std::fs::remove_file(&path).unwrap();
+            drop(f);
+            assert_eq!(region.as_ref(), &data[..]);
+        } else {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

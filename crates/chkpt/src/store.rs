@@ -136,8 +136,12 @@
 //! checkpoint missing. Legacy v1 stores are migrated into segments by the
 //! same pass, which is the upgrade path for old-format data.
 
-use crate::compress::{compress_auto, decompress_any};
+use crate::compress::{
+    compress_auto_effort, decompress_any, DEFAULT_EFFORT, MAX_EFFORT, MIN_EFFORT,
+};
+use crate::dedup::{BlobMeta, DedupIndex, Interned};
 use crate::delta;
+use crate::mmap::MmapRegion;
 use bytes::{Buf, Bytes};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -146,7 +150,8 @@ use std::fs;
 use std::hash::{Hash, Hasher};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Store failure.
 #[derive(Debug)]
@@ -259,6 +264,21 @@ pub enum Compressor {
     Reference,
 }
 
+/// How a cold segment's bytes reach the in-memory buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentRead {
+    /// Memory-map the segment file (Linux raw-syscall backend); the kernel
+    /// faults in only the pages a read actually touches, and the buffer
+    /// stays reclaimable page cache instead of pinned heap. Falls back to
+    /// [`SegmentRead::WholeFile`] automatically on platforms without a
+    /// mapping backend.
+    #[default]
+    Mmap,
+    /// Read the whole segment file into heap (`fs::read`) — the pre-tier
+    /// engine's behavior, kept selectable for before/after benchmarks.
+    WholeFile,
+}
+
 /// Open-time knobs. [`StoreOptions::default`] is a segmented, buffered
 /// store with an 8 MiB segment roll target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,6 +310,8 @@ pub struct StoreOptions {
     pub delta_min_bytes: u64,
     /// LZ encoder for the plain (non-delta) stage path.
     pub compressor: Compressor,
+    /// How cold segment buffers are faulted into memory.
+    pub segment_read: SegmentRead,
 }
 
 impl Default for StoreOptions {
@@ -302,6 +324,7 @@ impl Default for StoreOptions {
             delta_keyframe_interval: DEFAULT_DELTA_KEYFRAME_INTERVAL,
             delta_min_bytes: DEFAULT_DELTA_MIN_BYTES,
             compressor: Compressor::default(),
+            segment_read: SegmentRead::default(),
         }
     }
 }
@@ -348,8 +371,19 @@ const FLAG_DELTA: u8 = 2;
 const SHARDS: usize = 16;
 /// Byte budget for cached whole-segment read buffers, per store handle
 /// (a count cap would scale with `segment_target_bytes` and let one
-/// handle pin arbitrarily much memory).
+/// handle pin arbitrarily much memory). Mmap buffers are charged at their
+/// mapped length too — the budget bounds address-space use, not just heap.
 const SEGMENT_CACHE_BUDGET_BYTES: u64 = 256 << 20;
+/// Keyframes below this stored size skip content-addressed dedup: the
+/// blob-file overhead plus the index entry would exceed the savings, and
+/// tiny payloads are exactly the ones delta/compression already handle.
+const DEDUP_MIN_BYTES: usize = 1024;
+/// Pointer file (store root) naming the shared dedup arena directory.
+const DEDUP_POINTER_FILE: &str = "DEDUP";
+/// Pointer file (store root) naming the cold-tier spool directory.
+const SPOOL_POINTER_FILE: &str = "SPOOL";
+/// Artifact persisting the auto-tuned compression effort across reopens.
+const EFFORT_ARTIFACT: &str = "compression_effort.txt";
 
 /// CRC32 (IEEE, reflected) — hand-rolled so corruption detection has no
 /// external dependency. Slicing-by-8: eight table lookups per 8 input
@@ -451,6 +485,16 @@ enum Location {
         /// `None`). Mutually exclusive with `raw_stored`.
         delta: Option<(u64, u32)>,
     },
+    /// A content-addressed reference into the shared dedup arena (MANIFEST
+    /// v4): the stored bytes live in a blob keyed by `hash`, shared with
+    /// every other run that checkpointed identical content.
+    Dup {
+        /// FNV-1a 64 content address of the stored representation.
+        hash: u64,
+        /// Same contract as [`Location::Segment::delta`]: the blob holds a
+        /// delta frame against the same block's `base_seq` version.
+        delta: Option<(u64, u32)>,
+    },
 }
 
 impl Location {
@@ -469,6 +513,10 @@ impl Location {
                 (false, Some((base, depth))) => format!("@{seg}:{offset}:{len}:d{base}:{depth}"),
                 (false, None) => format!("@{seg}:{offset}:{len}"),
             },
+            Location::Dup { hash, delta } => match delta {
+                Some((base, depth)) => format!("@dup:{hash:016x}:d{base}:{depth}"),
+                None => format!("@dup:{hash:016x}"),
+            },
         }
     }
 
@@ -478,6 +526,27 @@ impl Location {
     /// they can never parse as a segment slice). The delta suffix is a
     /// strict extension of the v2 grammar: v2 lines parse unchanged.
     fn parse(s: &str) -> Location {
+        if let Some(rest) = s.strip_prefix("@dup:") {
+            // MANIFEST v4: `@dup:<hash:016x>[:d<base>:<depth>]`. Malformed
+            // variants fall through to the legacy-file arm, same as every
+            // other grammar extension.
+            let parts: Vec<&str> = rest.split(':').collect();
+            let delta = match parts.as_slice() {
+                [_] => Some(None),
+                [_, d, depth] if d.starts_with('d') && d.len() > 1 => {
+                    match (d[1..].parse::<u64>(), depth.parse::<u32>()) {
+                        (Ok(base), Ok(depth)) => Some(Some((base, depth))),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(delta) = delta {
+                if let Ok(hash) = u64::from_str_radix(parts[0], 16) {
+                    return Location::Dup { hash, delta };
+                }
+            }
+        }
         if let Some(rest) = s.strip_prefix('@') {
             let parts: Vec<&str> = rest.split(':').collect();
             let delta = match parts.as_slice() {
@@ -511,7 +580,7 @@ impl Location {
     /// The delta chain link of this location, if any.
     fn delta_link(&self) -> Option<(u64, u32)> {
         match self {
-            Location::Segment { delta, .. } => *delta,
+            Location::Segment { delta, .. } | Location::Dup { delta, .. } => *delta,
             Location::File(_) => None,
         }
     }
@@ -742,6 +811,21 @@ pub struct StoreStats {
     /// Chain-base resolutions served by the per-block restore cache
     /// instead of a recursive decode.
     pub restore_cache_hits: u64,
+    /// Live checkpoints stored as `@dup` references into the shared arena.
+    pub dedup_entries: u64,
+    /// Stages that resolved to an already-present dedup blob.
+    pub dedup_hits: u64,
+    /// Segments resident in the spool (cold) tier.
+    pub tier_cold_segments: u64,
+    /// Segment faults served from the spool tier.
+    pub tier_cold_reads: u64,
+    /// Sealed segments whose local copy was dropped after a verified
+    /// spool copy existed.
+    pub tier_demotions: u64,
+    /// Segment buffers established via mmap (vs. whole-file heap reads).
+    pub mmap_faults: u64,
+    /// Current compression effort level (1–3).
+    pub compression_effort: u64,
 }
 
 impl StoreStats {
@@ -784,6 +868,13 @@ impl StoreStats {
             ("delta_reads", self.delta_reads),
             ("chain_links_resolved", self.chain_links_resolved),
             ("restore_cache_hits", self.restore_cache_hits),
+            ("dedup_entries", self.dedup_entries),
+            ("dedup_hits", self.dedup_hits),
+            ("tier_cold_segments", self.tier_cold_segments),
+            ("tier_cold_reads", self.tier_cold_reads),
+            ("tier_demotions", self.tier_demotions),
+            ("mmap_faults", self.mmap_faults),
+            ("compression_effort", self.compression_effort),
         ]
     }
 
@@ -838,12 +929,18 @@ pub struct CompactionReport {
 /// rename before the data blocks).
 pub fn write_atomic(dest: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = dest.parent().unwrap_or_else(|| Path::new("."));
+    // Unique per invocation, not just per process: concurrent writers of
+    // the same destination (e.g. a background spool ship racing an explicit
+    // demotion) must not share a temp sibling, or one rename steals the
+    // other's half-written file.
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
     let tmp = dir.join(format!(
-        ".{}.tmp.{}",
+        ".{}.tmp.{}.{}",
         dest.file_name()
             .map(|n| n.to_string_lossy())
             .unwrap_or_default(),
-        std::process::id()
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     {
         let mut f = fs::File::create(&tmp)?;
@@ -857,6 +954,23 @@ pub fn write_atomic(dest: &Path, bytes: &[u8]) -> std::io::Result<()> {
         let _ = d.sync_all();
     }
     Ok(())
+}
+
+/// Reads a tier pointer file (`DEDUP` / `SPOOL`): the trimmed contents
+/// name a directory, resolved against the store root when relative.
+fn read_pointer_file(path: &Path, root: &Path) -> Option<PathBuf> {
+    let text = fs::read_to_string(path).ok()?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let p = PathBuf::from(trimmed);
+    Some(if p.is_absolute() { p } else { root.join(p) })
+}
+
+/// Cold-tier path of one segment inside a spool directory.
+pub(crate) fn spool_segment_path(spool: &Path, seg: u64) -> PathBuf {
+    spool.join("segments").join(format!("{seg:08}.seg"))
 }
 
 /// block → seq → entry; one per shard.
@@ -874,6 +988,7 @@ fn arbitrate_stored(
     payload: &[u8],
     compressor: Compressor,
     raw_allowed: bool,
+    effort: u8,
 ) -> (Vec<u8>, bool, Option<(u64, u32)>) {
     match encoded {
         Some((frame, base_seq, depth)) if delta::is_clear_win(&frame, payload.len()) => {
@@ -881,7 +996,7 @@ fn arbitrate_stored(
         }
         other => {
             let compressed = match compressor {
-                Compressor::Pipeline => compress_auto(payload),
+                Compressor::Pipeline => compress_auto_effort(payload, effort),
                 Compressor::Reference => crate::compress::compress_reference(payload),
             };
             match other {
@@ -938,6 +1053,27 @@ struct CompactionCounters {
     reclaimed: AtomicU64,
 }
 
+/// One resident segment buffer plus its LRU stamp (bumped on every hit,
+/// compared under the cache's write lock when the budget forces eviction).
+struct SegBuffer {
+    bytes: Bytes,
+    last_use: AtomicU64,
+}
+
+/// Tiered-storage counters (all monotonic; surfaced via [`StoreStats`]).
+#[derive(Default)]
+struct TierCounters {
+    /// Segment reads served by faulting bytes back from the spool tier.
+    cold_reads: AtomicU64,
+    /// Sealed segments whose local copy was dropped after a verified
+    /// durable spool copy existed.
+    demotions: AtomicU64,
+    /// Segment buffers established via mmap (vs. whole-file heap reads).
+    mmap_faults: AtomicU64,
+    /// Stages that resolved to an existing dedup blob instead of new bytes.
+    dedup_hits: AtomicU64,
+}
+
 /// An on-disk checkpoint store (thread-safe; background materializer workers
 /// share it, and `flor-registry` pools one open handle per run — all clones
 /// of a pooled `Arc<CheckpointStore>` share the same manifest appender,
@@ -957,10 +1093,24 @@ pub struct CheckpointStore {
     /// compaction.
     writer: Mutex<WriterState>,
     next_seg: AtomicU64,
-    /// seg id → whole-file shared buffer (the zero-copy backing).
-    seg_cache: RwLock<HashMap<u64, Bytes>>,
+    /// seg id → whole-segment shared buffer (the zero-copy backing):
+    /// mmap-backed when the platform supports it, heap otherwise.
+    seg_cache: RwLock<HashMap<u64, SegBuffer>>,
     /// Total bytes resident in `seg_cache` (updated under its write lock).
     seg_cache_bytes: AtomicU64,
+    /// LRU clock for `seg_cache`: bumped per lookup, so eviction demotes
+    /// the least-recently-touched buffer instead of an arbitrary victim.
+    seg_cache_tick: AtomicU64,
+    /// Shared content-addressed keyframe arena, when a `DEDUP` pointer
+    /// file (written by the registry at claim time) names one.
+    dedup: RwLock<Option<Arc<DedupIndex>>>,
+    /// Cold-tier spool directory, when a `SPOOL` pointer file names one
+    /// (or [`CheckpointStore::attach_spool`] set it).
+    spool_dir: RwLock<Option<PathBuf>>,
+    /// Auto-tunable compression effort (clamped to
+    /// [`MIN_EFFORT`]..=[`MAX_EFFORT`](crate::compress::MAX_EFFORT)).
+    effort: AtomicU8,
+    tier: TierCounters,
     /// block → last committed payload: the delta base for the block's
     /// next version (write-path cache; see [`DeltaBase`]).
     delta_write: Mutex<HashMap<String, DeltaBase>>,
@@ -1044,6 +1194,11 @@ impl CheckpointStore {
             next_seg: AtomicU64::new(0),
             seg_cache: RwLock::new(HashMap::new()),
             seg_cache_bytes: AtomicU64::new(0),
+            seg_cache_tick: AtomicU64::new(0),
+            dedup: RwLock::new(None),
+            spool_dir: RwLock::new(None),
+            effort: AtomicU8::new(DEFAULT_EFFORT),
+            tier: TierCounters::default(),
             delta_write: Mutex::new(HashMap::new()),
             delta_write_bytes: AtomicU64::new(0),
             delta_rejects: Mutex::new(HashMap::new()),
@@ -1053,6 +1208,25 @@ impl CheckpointStore {
             gc: CompactionCounters::default(),
             recovery: RecoveryReport::default(),
         };
+        // Tier attachments must land before the manifest loads: spool
+        // presence decides whether a referenced-but-locally-absent segment
+        // is cold (readable) or missing (dropped), and dedup entries need
+        // their arena to restore at all. A named-but-unopenable arena is a
+        // loud failure — silently dropping it would turn every dup entry
+        // into read-time corruption.
+        if let Some(dir) = read_pointer_file(&store.root.join(SPOOL_POINTER_FILE), &store.root) {
+            *store.spool_dir.get_mut() = Some(dir);
+        }
+        if let Some(dir) = read_pointer_file(&store.root.join(DEDUP_POINTER_FILE), &store.root) {
+            *store.dedup.get_mut() = Some(DedupIndex::open(&dir)?);
+        }
+        if let Ok(text) = fs::read_to_string(store.root.join("artifacts").join(EFFORT_ARTIFACT)) {
+            if let Ok(e) = text.trim().parse::<u8>() {
+                store
+                    .effort
+                    .store(e.clamp(MIN_EFFORT, MAX_EFFORT), Ordering::Relaxed);
+            }
+        }
         let report = store.load_manifest()?;
         store.recovery = report;
         Ok(store)
@@ -1126,7 +1300,24 @@ impl CheckpointStore {
                 }
             }
         }
-        self.next_seg = AtomicU64::new(seg_sizes.keys().max().map(|m| m + 1).unwrap_or(0));
+        // Cold tier: segments shipped to the spool are present (readable
+        // via fault-back), just not local. One scan, same shape as `seg/`.
+        let mut spool_sizes: HashMap<u64, u64> = HashMap::new();
+        if let Some(spool) = self.spool_dir.read().clone() {
+            if let Ok(rd) = fs::read_dir(spool.join("segments")) {
+                for entry in rd.flatten() {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    if let Some(id) = name
+                        .strip_suffix(".seg")
+                        .and_then(|s| s.parse::<u64>().ok())
+                    {
+                        if let Ok(m) = entry.metadata() {
+                            spool_sizes.insert(id, m.len());
+                        }
+                    }
+                }
+            }
+        }
 
         let path = self.manifest_path();
         let mut parsed: Vec<((String, u64), IndexEntry)> = Vec::new();
@@ -1161,16 +1352,29 @@ impl CheckpointStore {
             .iter()
             .filter_map(|(_, e)| match &e.loc {
                 Location::Segment { seg, .. } => Some(*seg),
-                Location::File(_) => None,
+                Location::File(_) | Location::Dup { .. } => None,
             })
             .collect();
         let referenced_files: HashSet<String> = parsed
             .iter()
             .filter_map(|(_, e)| match &e.loc {
                 Location::File(f) => Some(f.clone()),
-                Location::Segment { .. } => None,
+                Location::Segment { .. } | Location::Dup { .. } => None,
             })
             .collect();
+
+        // A fresh writer session must never reuse a segment id that lives
+        // only in the spool (demoted) or only in the manifest (local copy
+        // lost) — colliding ids would splice two runs' payloads together.
+        self.next_seg = AtomicU64::new(
+            seg_sizes
+                .keys()
+                .chain(spool_sizes.keys())
+                .chain(referenced_segs.iter())
+                .max()
+                .map(|m| m + 1)
+                .unwrap_or(0),
+        );
 
         // Later manifest lines supersede earlier ones (re-puts): reduce to
         // the last-writer-wins entry per key *before* validating data
@@ -1196,7 +1400,7 @@ impl CheckpointStore {
         for ((block, seq), mut entry) in winners {
             match &entry.loc {
                 Location::Segment { seg, .. } => {
-                    if !seg_sizes.contains_key(seg) {
+                    if !seg_sizes.contains_key(seg) && !spool_sizes.contains_key(seg) {
                         report.missing_entries.push(MissingEntry {
                             block_id: block,
                             seq,
@@ -1205,9 +1409,18 @@ impl CheckpointStore {
                         dropped_missing = true;
                         continue;
                     }
-                    // An in-bounds check happens at read time: a too-short
-                    // segment is corruption and must fail loudly, not be
-                    // silently skipped.
+                    // A spool-only segment is cold, not missing: reads
+                    // fault it back through the buffer pool. An in-bounds
+                    // check happens at read time: a too-short segment is
+                    // corruption and must fail loudly, not be silently
+                    // skipped.
+                }
+                Location::Dup { .. } => {
+                    // Blob presence is the dedup arena's contract (blobs
+                    // are refcounted and synced before the manifest line
+                    // that references them); a missing blob is corruption
+                    // and fails loudly at read time, never a droppable
+                    // entry here.
                 }
                 Location::File(file) => {
                     // Legacy entries carry no stored size in the manifest;
@@ -1383,6 +1596,9 @@ impl CheckpointStore {
         let stored = match &loc {
             Location::Segment { len, .. } => *len as u64,
             Location::File(_) => 0, // statted by the caller (v1 compat)
+            // Dup bytes live in the shared arena, not this store: charging
+            // them here would double-count across every referencing run.
+            Location::Dup { .. } => 0,
         };
         Ok((
             (parts[0].to_string(), seq),
@@ -1519,6 +1735,18 @@ impl CheckpointStore {
         file.write_all(&encode_footer(&active.footer))?;
         if self.opts.durability == Durability::GroupCommit {
             file.sync_data()?;
+        }
+        // Cold tier: ship the freshly sealed segment in the background
+        // (copy, not move — dropping the local copy is a separate, explicit
+        // demotion step). Shipping is incremental: each seal ships exactly
+        // one segment, so spool residency tracks commit progress instead of
+        // arriving in one end-of-run burst.
+        if let Some(spool) = self.spool_dir.read().clone() {
+            let src = self.segment_path(active.id);
+            let id = active.id;
+            crate::exec::spawn(move || {
+                let _ = crate::spool::ship_segment_file(&spool, id, &src);
+            });
         }
         Ok(())
     }
@@ -1664,6 +1892,61 @@ impl CheckpointStore {
                     Ok(Bytes::from_vec(payload))
                 }
             }
+            Location::Dup { hash, .. } => {
+                let (stored, flags) = self.dedup_read(block_id, seq, *hash)?;
+                if flags & FLAG_RAW != 0 {
+                    if stored.len() as u64 != entry.raw || crc32(&stored) != entry.crc {
+                        return Err(corrupt("crc or length mismatch".into()));
+                    }
+                    Ok(Bytes::from_vec(stored))
+                } else {
+                    let payload = decompress_any(&stored).map_err(|e| corrupt(e.message))?;
+                    if payload.len() as u64 != entry.raw || crc32(&payload) != entry.crc {
+                        return Err(corrupt("crc or length mismatch".into()));
+                    }
+                    Ok(Bytes::from_vec(payload))
+                }
+            }
+        }
+    }
+
+    /// Reads a dup entry's stored bytes (and blob flags) from the shared
+    /// dedup arena. A missing arena or blob is loud per-entry corruption:
+    /// the arena refcounts blobs and syncs them before the manifest line
+    /// that references them, so absence here means real damage — never
+    /// something to skip silently.
+    fn dedup_read(&self, block_id: &str, seq: u64, hash: u64) -> Result<(Vec<u8>, u8), StoreError> {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            block_id: block_id.to_string(),
+            seq,
+            detail,
+        };
+        let idx =
+            self.dedup.read().clone().ok_or_else(|| {
+                corrupt(format!("dup entry {hash:016x} but no dedup arena attached"))
+            })?;
+        let (stored, flags, _raw_len, _payload_crc) = idx
+            .read_stored(hash)
+            .map_err(|e| corrupt(format!("dedup blob {hash:016x}: {e}")))?;
+        Ok((stored, flags))
+    }
+
+    /// The stored bytes of a delta-bearing entry (the delta frame itself),
+    /// wherever they live — a segment slice or a dedup blob.
+    fn delta_frame_bytes(
+        &self,
+        block_id: &str,
+        seq: u64,
+        entry: &IndexEntry,
+    ) -> Result<Bytes, StoreError> {
+        match &entry.loc {
+            Location::Segment {
+                seg, offset, len, ..
+            } => self.stored_slice(block_id, seq, *seg, *offset, *len),
+            Location::Dup { hash, .. } => {
+                Ok(Bytes::from_vec(self.dedup_read(block_id, seq, *hash)?.0))
+            }
+            Location::File(_) => unreachable!("delta entries are never legacy files"),
         }
     }
 
@@ -1710,13 +1993,7 @@ impl CheckpointStore {
                 // Keyframe reached: decode it plainly.
                 break self.read_keyframe_payload(block_id, cur_seq, &cur)?;
             };
-            let Location::Segment {
-                seg, offset, len, ..
-            } = &cur.loc
-            else {
-                unreachable!("delta entries are always segment-resident")
-            };
-            let frame = self.stored_slice(block_id, cur_seq, *seg, *offset, *len)?;
+            let frame = self.delta_frame_bytes(block_id, cur_seq, &cur)?;
             let h = delta::header(frame.as_ref())
                 .map_err(|e| corrupt(cur_seq, format!("delta frame: {}", e.message)))?;
             if h.base_seq != base_seq || h.raw_len != cur.raw {
@@ -1855,7 +2132,8 @@ impl CheckpointStore {
     pub fn export_stored(&self, block_id: &str, seq: u64) -> Result<(Vec<u8>, bool), StoreError> {
         if self.chain_info(block_id, seq).is_some() {
             let payload = self.get_bytes(block_id, seq)?;
-            let compressed = compress_auto(payload.as_ref());
+            let compressed =
+                compress_auto_effort(payload.as_ref(), self.effort.load(Ordering::Relaxed));
             let stored = if compressed.len() >= payload.len() {
                 payload.to_vec()
             } else {
@@ -1878,46 +2156,105 @@ impl CheckpointStore {
             } => Ok(self
                 .stored_slice(block_id, seq, *seg, *offset, *len)?
                 .to_vec()),
+            Location::Dup { hash, .. } => Ok(self.dedup_read(block_id, seq, *hash)?.0),
         })
     }
 
-    /// Returns the shared whole-file buffer for a segment, reading it at
-    /// most once per cache residency. `min_len` forces a re-read when a
-    /// cached buffer predates appends to the active segment.
+    /// Returns the shared whole-segment buffer, establishing it at most
+    /// once per cache residency. `min_len` forces a re-fault when a cached
+    /// buffer predates appends to the active segment.
     fn segment_bytes(&self, seg: u64, min_len: u64) -> Result<Bytes, StoreError> {
         {
             let cache = self.seg_cache.read();
             if let Some(b) = cache.get(&seg) {
-                if b.len() as u64 >= min_len {
+                if b.bytes.len() as u64 >= min_len {
+                    b.last_use.store(
+                        self.seg_cache_tick.fetch_add(1, Ordering::Relaxed) + 1,
+                        Ordering::Relaxed,
+                    );
                     self.reads.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(b.clone());
+                    return Ok(b.bytes.clone());
                 }
             }
         }
         self.reads.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let data = fs::read(self.segment_path(seg))?;
-        let b = Bytes::from_vec(data);
+        let b = self.fault_segment(seg)?;
         let incoming = b.len() as u64;
         let mut cache = self.seg_cache.write();
-        // Evict single arbitrary residents until the byte budget fits —
+        // Demote least-recently-used residents until the byte budget fits —
         // never the whole cache, which would periodically cold-start every
         // concurrent reader. (Evicted buffers stay alive for readers still
-        // holding slices of them; the budget bounds what the *cache* pins.)
+        // holding slices of them; the budget bounds what the *cache* pins —
+        // heap for whole-file reads, address space for mmaps.)
         while self.seg_cache_bytes.load(Ordering::Relaxed) + incoming > SEGMENT_CACHE_BUDGET_BYTES
             && !cache.is_empty()
         {
-            let victim = *cache.keys().next().expect("non-empty cache");
+            let victim = *cache
+                .iter()
+                .min_by_key(|(_, buf)| buf.last_use.load(Ordering::Relaxed))
+                .map(|(id, _)| id)
+                .expect("non-empty cache");
             if let Some(evicted) = cache.remove(&victim) {
                 self.seg_cache_bytes
-                    .fetch_sub(evicted.len() as u64, Ordering::Relaxed);
+                    .fetch_sub(evicted.bytes.len() as u64, Ordering::Relaxed);
             }
         }
-        if let Some(old) = cache.insert(seg, b.clone()) {
+        let stamped = SegBuffer {
+            bytes: b.clone(),
+            last_use: AtomicU64::new(self.seg_cache_tick.fetch_add(1, Ordering::Relaxed) + 1),
+        };
+        if let Some(old) = cache.insert(seg, stamped) {
             self.seg_cache_bytes
-                .fetch_sub(old.len() as u64, Ordering::Relaxed);
+                .fetch_sub(old.bytes.len() as u64, Ordering::Relaxed);
         }
         self.seg_cache_bytes.fetch_add(incoming, Ordering::Relaxed);
         Ok(b)
+    }
+
+    /// Establishes a segment's shared buffer: the local file first, then —
+    /// when the local copy was demoted — fault-back from the spool tier.
+    fn fault_segment(&self, seg: u64) -> Result<Bytes, StoreError> {
+        match self.read_segment_file(&self.segment_path(seg)) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let Some(spool) = self.spool_dir.read().clone() else {
+                    return Err(StoreError::Io(e));
+                };
+                match self.read_segment_file(&spool_segment_path(&spool, seg)) {
+                    Ok(b) => {
+                        self.tier.cold_reads.fetch_add(1, Ordering::Relaxed);
+                        flor_obs::counter!("store.tier_cold_reads").inc();
+                        Ok(b)
+                    }
+                    // Report the *canonical* location's NotFound: the
+                    // relocation-retry contract keys off it.
+                    Err(ce) if ce.kind() == std::io::ErrorKind::NotFound => Err(StoreError::Io(e)),
+                    Err(ce) => Err(StoreError::Io(ce)),
+                }
+            }
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// One segment file → shared buffer. Under [`SegmentRead::Mmap`] the
+    /// buffer is a file-backed mapping (the kernel faults in only the
+    /// pages reads touch; the memory stays reclaimable page cache), with a
+    /// transparent whole-file heap fallback when mapping is unsupported or
+    /// refused. `NotFound` from the open propagates untouched — both the
+    /// relocation retry and the spool fault-back depend on it.
+    fn read_segment_file(&self, path: &Path) -> std::io::Result<Bytes> {
+        if self.opts.segment_read == SegmentRead::Mmap {
+            let file = fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if let Ok(region) = MmapRegion::map(&file, len) {
+                self.tier.mmap_faults.fetch_add(1, Ordering::Relaxed);
+                flor_obs::counter!("store.mmap_faults").inc();
+                return Ok(Bytes::from_file_backed_owner(region));
+            }
+            // Soft miss (no platform backend, or the kernel refused the
+            // mapping): fall through to the heap read.
+        }
+        Ok(Bytes::from_vec(fs::read(path)?))
     }
 
     /// True if a checkpoint exists for `(block_id, seq)`.
@@ -2011,6 +2348,16 @@ impl CheckpointStore {
                                 s.keyframe_entries += 1;
                             }
                         }
+                        Location::Dup { delta, .. } => {
+                            s.dedup_entries += 1;
+                            let depth = delta.map_or(0, |(_, d)| d) as usize;
+                            s.chain_depth_hist[depth.min(CHAIN_DEPTH_BUCKETS - 1)] += 1;
+                            if delta.is_some() {
+                                s.delta_entries += 1;
+                            } else {
+                                s.keyframe_entries += 1;
+                            }
+                        }
                         Location::File(_) => {
                             s.legacy_entries += 1;
                             s.keyframe_entries += 1;
@@ -2041,6 +2388,12 @@ impl CheckpointStore {
         s.dead_segment_bytes = s
             .segment_disk_bytes
             .saturating_sub(s.live_segment_bytes + live_overhead);
+        s.dedup_hits = self.tier.dedup_hits.load(Ordering::Relaxed);
+        s.tier_cold_reads = self.tier.cold_reads.load(Ordering::Relaxed);
+        s.tier_demotions = self.tier.demotions.load(Ordering::Relaxed);
+        s.mmap_faults = self.tier.mmap_faults.load(Ordering::Relaxed);
+        s.compression_effort = u64::from(self.effort.load(Ordering::Relaxed));
+        s.tier_cold_segments = self.cold_segment_ids().len() as u64;
         s
     }
 
@@ -2157,6 +2510,12 @@ impl CheckpointStore {
                 Location::File(file) => {
                     legacy.push((block.clone(), *seq, file.clone(), e.raw, e.crc));
                 }
+                Location::Dup { .. } => {
+                    // Dup bytes live in the shared arena, not in any local
+                    // segment: there is nothing to rewrite, and touching
+                    // the reference would disturb the arena refcount. The
+                    // entry survives the manifest swap as-is.
+                }
             }
         }
 
@@ -2262,7 +2621,15 @@ impl CheckpointStore {
         };
 
         for (seg_id, entries) in &by_seg {
-            let data = fs::read(self.segment_path(*seg_id))?;
+            // Through the buffer pool, not a bare `fs::read`: a demoted
+            // segment's bytes fault back from the spool tier here exactly
+            // like on the read path.
+            let need = entries
+                .iter()
+                .map(|(_, _, offset, len, ..)| offset + *len as u64)
+                .max()
+                .unwrap_or(0);
+            let data = self.segment_bytes(*seg_id, need)?;
             for (block, seq, offset, len, raw, crc, raw_stored) in entries {
                 let end = (offset + *len as u64) as usize;
                 if data.len() < end {
@@ -2280,7 +2647,7 @@ impl CheckpointStore {
                     *crc,
                     *raw_stored,
                     None,
-                    &data[*offset as usize..end],
+                    &data.as_ref()[*offset as usize..end],
                 )?;
                 report.rewritten_entries += 1;
             }
@@ -2310,10 +2677,29 @@ impl CheckpointStore {
         // GC for the entire store.
         let k = self.opts.delta_keyframe_interval;
         let min_bytes = self.opts.delta_min_bytes;
+        let effort = self.effort.load(Ordering::Relaxed);
         for (block, mut entries) in reencode {
             entries.sort_by_key(|(seq, _)| *seq);
             let mut prev: Option<DeltaBase> = None;
             for (seq, entry) in entries {
+                if let Location::Dup { .. } = &entry.loc {
+                    // Arena-resident: kept verbatim (see the partition
+                    // above), but its payload still serves as the chain
+                    // base for the block's later re-encoded entries.
+                    if k > 0 {
+                        if let Ok(payload) = self.read_payload(&block, seq, &entry) {
+                            if payload.len() as u64 >= min_bytes {
+                                prev = Some(DeltaBase {
+                                    seq,
+                                    depth: entry.loc.delta_link().map_or(0, |(_, d)| d),
+                                    crc: entry.crc,
+                                    payload,
+                                });
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let payload = match self.read_payload(&block, seq, &entry) {
                     Ok(p) => p,
                     Err(_) => {
@@ -2332,6 +2718,9 @@ impl CheckpointStore {
                             ),
                             Location::File(file) => {
                                 (fs::read(self.root.join("ckpt").join(file))?, false, None)
+                            }
+                            Location::Dup { .. } => {
+                                unreachable!("dup entries are skipped before the read")
                             }
                         };
                         rewriter.push(
@@ -2360,8 +2749,13 @@ impl CheckpointStore {
                         }
                     }
                 }
-                let (stored, raw_stored, delta_link) =
-                    arbitrate_stored(encoded, payload.as_ref(), self.opts.compressor, true);
+                let (stored, raw_stored, delta_link) = arbitrate_stored(
+                    encoded,
+                    payload.as_ref(),
+                    self.opts.compressor,
+                    true,
+                    effort,
+                );
                 let old_depth = entry.loc.delta_link().map_or(0, |(_, d)| d);
                 let new_depth = delta_link.map_or(0, |(_, d)| d);
                 if old_depth > 0 && new_depth == 0 {
@@ -2421,6 +2815,22 @@ impl CheckpointStore {
         for id in &old_segs {
             if fs::remove_file(self.segment_path(*id)).is_ok() {
                 report.segments_removed += 1;
+            }
+        }
+        // Every pre-compaction segment — including ones demoted to the
+        // spool — was either rewritten into a fresh local segment or dead,
+        // so no spool copy is referenced anymore.
+        if let Some(spool) = self.spool_dir.read().clone() {
+            if let Ok(rd) = fs::read_dir(spool.join("segments")) {
+                for entry in rd.flatten() {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    if name
+                        .strip_suffix(".seg")
+                        .is_some_and(|s| s.parse::<u64>().is_ok())
+                    {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
             }
         }
         for file in &migrated_legacy {
@@ -2505,6 +2915,175 @@ impl CheckpointStore {
     ) -> std::thread::JoinHandle<Result<CompactionReport, StoreError>> {
         let store = self.clone();
         std::thread::spawn(move || store.compact())
+    }
+
+    // ---- tiered storage ----------------------------------------------------
+
+    /// Attaches a cold-tier spool directory: freshly sealed segments ship
+    /// there in the background, [`CheckpointStore::demote_cold_segments`]
+    /// may drop local copies, and reads fault demoted segments back
+    /// through the buffer pool. Persisted via a `SPOOL` pointer file so
+    /// reopens resolve demoted segments transparently.
+    pub fn attach_spool(&self, dir: impl Into<PathBuf>) -> Result<(), StoreError> {
+        self.ensure_writable()?;
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("segments"))?;
+        fs::write(
+            self.root.join(SPOOL_POINTER_FILE),
+            format!("{}\n", dir.display()),
+        )?;
+        *self.spool_dir.write() = Some(dir);
+        Ok(())
+    }
+
+    /// Attaches a shared content-addressed dedup arena: subsequent
+    /// commits intern keyframe-sized stored payloads there and write
+    /// `@dup` reference entries on hits. Persisted via a `DEDUP` pointer
+    /// file so reopens (and read-only inspections) resolve references.
+    pub fn attach_dedup(&self, dir: impl Into<PathBuf>) -> Result<(), StoreError> {
+        self.ensure_writable()?;
+        let dir = dir.into();
+        let idx = DedupIndex::open(&dir)?;
+        fs::write(
+            self.root.join(DEDUP_POINTER_FILE),
+            format!("{}\n", dir.display()),
+        )?;
+        *self.dedup.write() = Some(idx);
+        Ok(())
+    }
+
+    /// The attached dedup arena, if any.
+    pub fn dedup_index(&self) -> Option<Arc<DedupIndex>> {
+        self.dedup.read().clone()
+    }
+
+    /// Content addresses of every live `@dup` reference in this store's
+    /// index (with multiplicity). Retention releases each against the
+    /// arena before deleting the store directory, so pruning this run can
+    /// never sever a surviving run's reference.
+    pub fn dedup_references(&self) -> Vec<u64> {
+        let mut hashes = Vec::new();
+        for shard in &self.shards {
+            let m = shard.read();
+            for seqs in m.values() {
+                for e in seqs.values() {
+                    if let Location::Dup { hash, .. } = &e.loc {
+                        hashes.push(*hash);
+                    }
+                }
+            }
+        }
+        hashes
+    }
+
+    /// Demotes sealed local segments to the spool tier until local
+    /// segment bytes fit `hot_budget_bytes`, oldest segment first. Each
+    /// victim's spool copy is made durable (shipped now if the background
+    /// ship hasn't landed) and length-verified *before* the local file is
+    /// deleted, so a crash at any point leaves every segment readable
+    /// from at least one tier. Returns the demoted segment ids.
+    pub fn demote_cold_segments(&self, hot_budget_bytes: u64) -> Result<Vec<u64>, StoreError> {
+        self.ensure_writable()?;
+        let Some(spool) = self.spool_dir.read().clone() else {
+            return Ok(Vec::new());
+        };
+        let mut span = flor_obs::span(flor_obs::Category::Tier, "demote_cold_segments");
+        // Writers park while segments move between tiers (same total
+        // order as compaction).
+        let w = self.writer.lock();
+        let active_id = w.active.as_ref().map(|a| a.id);
+        let mut local: Vec<(u64, u64)> = Vec::new();
+        if let Ok(rd) = fs::read_dir(self.seg_dir()) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with('.') {
+                    continue;
+                }
+                if let Some(id) = name
+                    .strip_suffix(".seg")
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    local.push((id, entry.metadata()?.len()));
+                }
+            }
+        }
+        local.sort_unstable();
+        let mut resident: u64 = local.iter().map(|(_, len)| len).sum();
+        let mut demoted = Vec::new();
+        for (id, len) in local {
+            if resident <= hot_budget_bytes {
+                break;
+            }
+            if Some(id) == active_id {
+                continue;
+            }
+            let path = self.segment_path(id);
+            // Only sealed (footer-bearing) segments demote: an unsealed
+            // one may belong to a crashed writer session and compaction
+            // owns its fate.
+            let Ok(Some(_)) = read_trailer_footer_len(&path, len) else {
+                continue;
+            };
+            let data = fs::read(&path)?;
+            let cold = spool_segment_path(&spool, id);
+            let durable = fs::metadata(&cold)
+                .map(|m| m.len() == data.len() as u64)
+                .unwrap_or(false);
+            if !durable {
+                fs::create_dir_all(spool.join("segments"))?;
+                write_atomic(&cold, &data)?;
+            }
+            fs::remove_file(&path)?;
+            resident -= len;
+            self.tier.demotions.fetch_add(1, Ordering::Relaxed);
+            flor_obs::counter!("store.tier_demotions").inc();
+            demoted.push(id);
+        }
+        drop(w);
+        span.set_args(demoted.len() as u64, resident);
+        Ok(demoted)
+    }
+
+    /// Segment ids resident in the spool tier (shipped copies, demoted or
+    /// not). Operator/introspection surface.
+    pub fn cold_segment_ids(&self) -> Vec<u64> {
+        let Some(spool) = self.spool_dir.read().clone() else {
+            return Vec::new();
+        };
+        let mut ids = Vec::new();
+        if let Ok(rd) = fs::read_dir(spool.join("segments")) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(id) = name
+                    .strip_suffix(".seg")
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Current compression effort for new stages (1 = fastest, 3 =
+    /// smallest; see [`crate::compress`]).
+    pub fn compression_effort(&self) -> u8 {
+        self.effort.load(Ordering::Relaxed)
+    }
+
+    /// Sets the compression effort (clamped), persisting it across
+    /// reopens. Best-effort on the artifact write and a no-op when
+    /// unchanged — the auto-tuner calls this every adaptivity epoch and
+    /// must never fail a record phase over a stats file.
+    pub fn set_compression_effort(&self, effort: u8) {
+        let e = effort.clamp(MIN_EFFORT, MAX_EFFORT);
+        if self.effort.swap(e, Ordering::Relaxed) != e && !self.opts.read_only {
+            let _ = fs::write(
+                self.root.join("artifacts").join(EFFORT_ARTIFACT),
+                format!("{e}\n"),
+            );
+        }
     }
 
     // ---- named artifacts ---------------------------------------------------
@@ -2598,6 +3177,11 @@ struct Staged {
     raw_stored: bool,
     /// `Some((base_seq, depth))` when `stored` is a delta frame.
     delta: Option<(u64, u32)>,
+    /// `Some((hash, meta))` when the stored bytes are a dedup candidate
+    /// (segmented store with an arena attached, above the size floor).
+    /// Commit interns it; on a verified hit the manifest gets a `@dup`
+    /// reference entry instead of duplicate segment bytes.
+    dup: Option<(u64, BlobMeta)>,
 }
 
 /// A group of checkpoints committed together.
@@ -2694,8 +3278,32 @@ impl WriteBatch<'_> {
                 *rejects.entry(block_id.to_string()).or_insert(0) += 1;
             }
         }
-        let (stored, raw_stored, delta) =
-            arbitrate_stored(encoded, payload, self.store.opts.compressor, segmented);
+        let (stored, raw_stored, delta) = arbitrate_stored(
+            encoded,
+            payload,
+            self.store.opts.compressor,
+            segmented,
+            self.store.effort.load(Ordering::Relaxed),
+        );
+        // Keying the *stored representation* (not the raw payload) lets an
+        // identically re-recorded run dedup its delta frames too, not just
+        // its keyframes — the same input stream arbitrates to the same
+        // bytes.
+        let dup = if segmented && stored.len() >= DEDUP_MIN_BYTES {
+            self.store.dedup.read().as_ref().map(|_| {
+                let hash = DedupIndex::hash_of(&stored);
+                let meta = BlobMeta {
+                    stored_len: stored.len() as u64,
+                    stored_crc: crc32(&stored),
+                    raw_len: payload.len() as u64,
+                    payload_crc: crc,
+                    flags: entry_flags(raw_stored, delta.is_some()),
+                };
+                (hash, meta)
+            })
+        } else {
+            None
+        };
         if probe || delta.is_some() {
             self.pending_bases.insert(
                 block_id.to_string(),
@@ -2715,6 +3323,7 @@ impl WriteBatch<'_> {
             stored,
             raw_stored,
             delta,
+            dup,
         });
     }
 
@@ -2804,7 +3413,41 @@ impl WriteBatch<'_> {
                 .sum(),
         );
         let mut recs: Vec<SegmentIndexEntry> = Vec::with_capacity(self.staged.len());
+        let dedup = store.dedup.read().clone();
+        let mut interned_any = false;
         for s in self.staged {
+            // Dedup candidates first: on a verified hit (or a fresh
+            // insert) the checkpoint becomes a `@dup` reference — no
+            // segment bytes at all. A collision or arena I/O failure just
+            // falls through to the private segment write (dedup is an
+            // optimization, never a correctness dependency).
+            if let (Some((hash, meta)), Some(idx)) = (&s.dup, dedup.as_ref()) {
+                match idx.intern(*hash, *meta, &s.stored) {
+                    Ok(outcome @ (Interned::Hit | Interned::Inserted)) => {
+                        if outcome == Interned::Hit {
+                            store.tier.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        interned_any = true;
+                        placed.push(PlacedMeta {
+                            block_id: s.block_id,
+                            seq: s.seq,
+                            raw_len: s.raw_len,
+                            crc: s.crc,
+                            // The shared arena owns the bytes; charging
+                            // them to this store would double-count across
+                            // every referencing run.
+                            stored_len: 0,
+                            chain_depth: s.delta.map_or(0, |(_, d)| d),
+                            loc: Location::Dup {
+                                hash: *hash,
+                                delta: s.delta,
+                            },
+                        });
+                        continue;
+                    }
+                    Ok(Interned::Collision) | Err(_) => {}
+                }
+            }
             // append_entry returns the payload offset within `buf`;
             // rebase it onto the segment file (the batch lands at the
             // current end of the active segment).
@@ -2889,6 +3532,14 @@ impl WriteBatch<'_> {
                 p.crc,
             ));
             lines.push('\n');
+        }
+        // Arena refcount ops must be durable before any manifest line that
+        // references them — a crash may then over-count (leak a blob),
+        // never leave a reference without its count.
+        if interned_any {
+            if let Some(idx) = dedup.as_ref() {
+                idx.sync()?;
+            }
         }
         store.append_manifest_text(&lines)?;
 
@@ -4328,5 +4979,196 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ---- tiered storage ----------------------------------------------------
+
+    #[test]
+    fn dup_location_render_parse_roundtrip() {
+        for loc in [
+            Location::Dup {
+                hash: 0xdead_beef_cafe_f00d,
+                delta: None,
+            },
+            Location::Dup {
+                hash: 1,
+                delta: Some((7, 3)),
+            },
+        ] {
+            assert_eq!(Location::parse(&loc.render()), loc);
+        }
+        // Malformed v4 variants degrade to legacy-file entries, like every
+        // other grammar extension.
+        for bad in ["@dup:", "@dup:xyz", "@dup:0123:d:2", "@dup:0123:x7:2"] {
+            assert_eq!(Location::parse(bad), Location::File(bad.to_string()));
+        }
+    }
+
+    #[test]
+    fn dedup_across_stores_is_byte_identical_and_single_blob() {
+        let arena_dir = tmpdir("dedup-arena");
+        let dir_a = tmpdir("dedup-a");
+        let dir_b = tmpdir("dedup-b");
+        let payload = incompressible(8192, 11);
+
+        let a = CheckpointStore::open(&dir_a).unwrap();
+        a.attach_dedup(&arena_dir).unwrap();
+        a.put("sb_0", 0, &payload).unwrap();
+        let sa = a.stats();
+        assert_eq!(sa.dedup_entries, 1, "{sa:?}");
+        assert_eq!(sa.dedup_hits, 0);
+
+        // A second run records the identical checkpoint: no new blob, a
+        // `@dup` reference only.
+        let b = CheckpointStore::open(&dir_b).unwrap();
+        b.attach_dedup(&arena_dir).unwrap();
+        b.put("sb_0", 0, &payload).unwrap();
+        let sb = b.stats();
+        assert_eq!(sb.dedup_entries, 1, "{sb:?}");
+        assert_eq!(sb.dedup_hits, 1);
+        assert_eq!(a.dedup_index().unwrap().entries(), 1);
+
+        assert_eq!(a.get("sb_0", 0).unwrap(), payload);
+        assert_eq!(b.get("sb_0", 0).unwrap(), payload);
+        assert_eq!(b.get_bytes("sb_0", 0).unwrap().as_ref(), &payload[..]);
+
+        // Reopen from disk: the DEDUP pointer file re-attaches the arena
+        // and the v4 manifest line resolves.
+        drop(b);
+        let b2 = CheckpointStore::open(&dir_b).unwrap();
+        assert_eq!(b2.get("sb_0", 0).unwrap(), payload);
+        assert_eq!(b2.dedup_references(), a.dedup_references());
+
+        // Refcounted retention: releasing one run's reference must not
+        // sever the other's.
+        let arena = a.dedup_index().unwrap();
+        let hash = a.dedup_references()[0];
+        assert_eq!(arena.refs(hash), 2);
+        for h in b2.dedup_references() {
+            arena.release(h).unwrap();
+        }
+        assert_eq!(arena.refs(hash), 1);
+        assert_eq!(a.get("sb_0", 0).unwrap(), payload);
+    }
+
+    #[test]
+    fn small_payloads_skip_dedup() {
+        let dir = tmpdir("dedup-small");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.attach_dedup(tmpdir("dedup-small-arena")).unwrap();
+        store
+            .put("sb_0", 0, &incompressible(DEDUP_MIN_BYTES / 4, 3))
+            .unwrap();
+        let s = store.stats();
+        assert_eq!(s.dedup_entries, 0, "{s:?}");
+        assert_eq!(s.segment_entries, 1);
+    }
+
+    #[test]
+    fn demoted_segments_fault_back_from_spool() {
+        let dir = tmpdir("tier-demote");
+        let spool = tmpdir("tier-demote-spool");
+        let opts = StoreOptions {
+            segment_target_bytes: 1, // seal after every commit
+            delta_keyframe_interval: 0,
+            ..StoreOptions::default()
+        };
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        store.attach_spool(&spool).unwrap();
+        let payload = |seq: u64| incompressible(4096, seq as u32 + 21);
+        for seq in 0..4u64 {
+            store.put("sb_0", seq, &payload(seq)).unwrap();
+        }
+        // Demote everything sealed; every payload must still read, served
+        // by fault-back from the cold tier.
+        let demoted = store.demote_cold_segments(0).unwrap();
+        assert!(demoted.len() >= 3, "{demoted:?}");
+        for id in &demoted {
+            assert!(!dir.join("seg").join(format!("{id:08}.seg")).exists());
+            assert!(spool.join("segments").join(format!("{id:08}.seg")).exists());
+        }
+        for seq in 0..4u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), payload(seq));
+        }
+        let s = store.stats();
+        assert!(s.tier_demotions >= 3, "{s:?}");
+        assert!(s.tier_cold_reads >= 1, "{s:?}");
+        assert!(s.tier_cold_segments >= 3, "{s:?}");
+
+        // Reopen: cold segments are resolvable (not "missing"), and reads
+        // still fault back.
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.recovery_report().missing_entries.is_empty());
+        for seq in 0..4u64 {
+            assert_eq!(store.get("sb_0", seq).unwrap(), payload(seq));
+        }
+    }
+
+    #[test]
+    fn demotion_never_leaves_a_segment_unreadable() {
+        // Simulate the crash window: a cold copy exists but the local file
+        // was not yet deleted (ship landed, crash before remove). Demote
+        // again — must verify, not re-ship, and still delete exactly once.
+        let dir = tmpdir("tier-crashwin");
+        let spool = tmpdir("tier-crashwin-spool");
+        let opts = StoreOptions {
+            segment_target_bytes: 1,
+            delta_keyframe_interval: 0,
+            ..StoreOptions::default()
+        };
+        let store = CheckpointStore::open_opts(&dir, opts).unwrap();
+        store.attach_spool(&spool).unwrap();
+        store.put("sb_0", 0, &incompressible(4096, 5)).unwrap();
+        store.put("sb_0", 1, &incompressible(4096, 6)).unwrap();
+        // Corrupt (truncate) a pre-existing cold copy: demotion must
+        // detect the length mismatch and re-ship before deleting local.
+        let cold0 = spool.join("segments").join("00000000.seg");
+        // Wait for any background ship of segment 0, then truncate it.
+        for _ in 0..200 {
+            if cold0.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        if cold0.exists() {
+            let data = fs::read(&cold0).unwrap();
+            fs::write(&cold0, &data[..data.len() / 2]).unwrap();
+        }
+        let demoted = store.demote_cold_segments(0).unwrap();
+        assert!(demoted.contains(&0), "{demoted:?}");
+        assert_eq!(store.get("sb_0", 0).unwrap(), incompressible(4096, 5));
+    }
+
+    #[test]
+    fn compression_effort_persists_across_reopen() {
+        let dir = tmpdir("effort-persist");
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            assert_eq!(store.compression_effort(), crate::compress::DEFAULT_EFFORT);
+            store.set_compression_effort(crate::compress::MAX_EFFORT);
+            store.set_compression_effort(99); // clamps
+            assert_eq!(store.compression_effort(), crate::compress::MAX_EFFORT);
+        }
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.compression_effort(), crate::compress::MAX_EFFORT);
+        store.put("sb_0", 0, &incompressible(2048, 9)).unwrap();
+        assert_eq!(store.get("sb_0", 0).unwrap(), incompressible(2048, 9));
+        assert_eq!(
+            store.stats().compression_effort,
+            u64::from(crate::compress::MAX_EFFORT)
+        );
+    }
+
+    #[test]
+    fn segment_buffer_pool_reuses_mapped_segments() {
+        let dir = tmpdir("segcache-lru");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.put("sb_0", 0, &incompressible(4096, 31)).unwrap();
+        let a = store.get_bytes("sb_0", 0).unwrap();
+        let before = store.stats().segment_cache_hits;
+        let b = store.get_bytes("sb_0", 0).unwrap();
+        assert_eq!(a.as_ref(), b.as_ref());
+        assert!(store.stats().segment_cache_hits > before);
     }
 }

@@ -528,6 +528,22 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
             f("compactions"),
             f("compaction_reclaimed_bytes")
         );
+        let _ = writeln!(
+            out,
+            "tiering:      {} cold segment(s), {} cold reads, {} demotions, {} mmap faults",
+            f("tier_cold_segments"),
+            f("tier_cold_reads"),
+            f("tier_demotions"),
+            f("mmap_faults")
+        );
+        let _ = writeln!(
+            out,
+            "dedup:        {} arena-backed entr{}, {} hits",
+            f("dedup_entries"),
+            if f("dedup_entries") == 1 { "y" } else { "ies" },
+            f("dedup_hits")
+        );
+        let _ = writeln!(out, "effort:       level {}", f("compression_effort"));
         out
     };
     match sub {
@@ -1153,6 +1169,9 @@ for epoch in range(4):
         assert!(out.contains("compression:"), "{out}");
         assert!(out.contains("delta chains:"), "{out}");
         assert!(out.contains("chain depths: 0:"), "{out}");
+        assert!(out.contains("tiering:"), "{out}");
+        assert!(out.contains("dedup:"), "{out}");
+        assert!(out.contains("effort:       level"), "{out}");
         assert!(out.contains("recovery:     clean"), "{out}");
 
         let out = cli(&["store", "compact", "--store", store.to_str().unwrap()]).unwrap();

@@ -125,6 +125,11 @@ impl AdaptiveController {
         self.epsilon
     }
 
+    /// Whether adaptivity is enabled (false in the Figure 7 ablation).
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
     /// The current restore/materialize scaling factor `c`.
     pub fn c(&self) -> f64 {
         self.c

@@ -226,6 +226,19 @@ impl Session {
                         flor_obs::clock::since_ns(t1).max(1),
                         bytes,
                     );
+                    // Same ε-driven effort tuning as the interpreter path
+                    // (see `skipblock::exec_record`).
+                    if self.controller.is_adaptive() {
+                        let overhead = self.controller.record_overhead();
+                        let eps = self.controller.epsilon();
+                        let effort = self.store.compression_effort();
+                        if overhead > eps && effort > flor_chkpt::compress::MIN_EFFORT {
+                            self.store.set_compression_effort(effort - 1);
+                        } else if overhead < 0.5 * eps && effort < flor_chkpt::compress::MAX_EFFORT
+                        {
+                            self.store.set_compression_effort(effort + 1);
+                        }
+                    }
                 }
                 self.executed += 1;
                 Ok(true)

@@ -24,10 +24,13 @@
 //! buffers are refcounted [`Bytes`] slices of shared segment buffers, and
 //! outstanding (fetched, not yet consumed) memory is capped so a worker
 //! far behind its prefetcher can't balloon memory. The cap charges each
-//! distinct *backing allocation* once at its full size
+//! distinct *heap* backing allocation once at its full size
 //! ([`Bytes::backing_len`]) — a tiny zero-copy slice pins its entire
 //! segment buffer, so charging slice lengths would undercount retained
-//! memory by orders of magnitude on fragmented stores.
+//! memory by orders of magnitude on fragmented stores. File-backed
+//! (mmap'd) backings are the exception: their pages are clean page cache
+//! the kernel can drop, so each slice charges only its own length
+//! ([`Bytes::backing_is_file`]).
 
 use flor_chkpt::{Bytes, CheckpointStore};
 use parking_lot::Mutex;
@@ -117,13 +120,25 @@ impl Prefetcher {
                     }
                     {
                         let mut charged = worker.charged.lock();
-                        let slot = charged
-                            .entry(bytes.backing_id())
-                            .or_insert((0, bytes.backing_len() as u64));
-                        if slot.0 == 0 {
-                            worker.outstanding.fetch_add(slot.1, Ordering::AcqRel);
-                        }
+                        let slot = charged.entry(bytes.backing_id()).or_insert((0, 0));
+                        // File-backed (mmap'd segment) slices charge their
+                        // own length: the backing pages are clean page
+                        // cache the kernel can reclaim, not anonymous heap
+                        // pinned by the slice. Heap backings still charge
+                        // the full allocation once — a tiny slice pins the
+                        // whole buffer.
+                        let add = if bytes.backing_is_file() {
+                            bytes.len() as u64
+                        } else if slot.0 == 0 {
+                            bytes.backing_len() as u64
+                        } else {
+                            0
+                        };
                         slot.0 += 1;
+                        slot.1 += add;
+                        if add > 0 {
+                            worker.outstanding.fetch_add(add, Ordering::AcqRel);
+                        }
                     }
                     worker.fetched.fetch_add(1, Ordering::Relaxed);
                     worker
@@ -152,12 +167,23 @@ impl Prefetcher {
         let mut charged = self.shared.charged.lock();
         if let Some(slot) = charged.get_mut(&bytes.backing_id()) {
             slot.0 -= 1;
+            let sub = if bytes.backing_is_file() {
+                (bytes.len() as u64).min(slot.1)
+            } else if slot.0 == 0 {
+                slot.1
+            } else {
+                0
+            };
+            slot.1 -= sub;
             if slot.0 == 0 {
-                let released = slot.1;
-                charged.remove(&bytes.backing_id());
+                // Any residue (e.g. rounding of per-slice file charges)
+                // releases with the last slice.
                 self.shared
                     .outstanding
-                    .fetch_sub(released, Ordering::AcqRel);
+                    .fetch_sub(sub + slot.1, Ordering::AcqRel);
+                charged.remove(&bytes.backing_id());
+            } else if sub > 0 {
+                self.shared.outstanding.fetch_sub(sub, Ordering::AcqRel);
             }
         }
         Some(bytes)
@@ -289,7 +315,24 @@ mod tests {
 
     #[test]
     fn budget_charges_shared_backings_once_and_releases_on_last_take() {
-        let store = tmpstore("backing");
+        // Heap-backed reads (SegmentRead::WholeFile) pin the whole segment
+        // buffer per slice, so the backing is charged once at full size.
+        let dir = std::env::temp_dir().join(format!(
+            "flor-prefetch-test-backing-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(
+            CheckpointStore::open_opts(
+                dir,
+                flor_chkpt::StoreOptions {
+                    segment_read: flor_chkpt::SegmentRead::WholeFile,
+                    ..flor_chkpt::StoreOptions::default()
+                },
+            )
+            .unwrap(),
+        );
         // Distinct incompressible payloads land raw-stored in one segment:
         // every fetched slice shares that segment's backing buffer.
         // (Distinct, not repeated — identical payloads would delta-chain
@@ -331,6 +374,42 @@ mod tests {
             0,
             "last take releases the backing"
         );
+    }
+
+    #[test]
+    fn file_backed_slices_charge_their_own_length() {
+        // Default (mmap) reads: slices of a mapped segment charge slice
+        // length, release incrementally, and never pin the whole mapping's
+        // size against the budget.
+        let store = tmpstore("backing-mmap");
+        let payload = |seq: u64| -> Vec<u8> {
+            let mut x = 0x9E37_79B9u32 ^ ((seq as u32 + 1) << 8);
+            (0..2048)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    x as u8
+                })
+                .collect()
+        };
+        for seq in 0..4u64 {
+            store.put("sb_0", seq, &payload(seq)).unwrap();
+        }
+        let keys: Vec<_> = (0..4u64).map(|s| ("sb_0".to_string(), s)).collect();
+        let mut p = Prefetcher::spawn(store.clone(), keys);
+        p.join();
+        let first = p.take("sb_0", 0).unwrap();
+        if !first.backing_is_file() {
+            return; // mmap unavailable on this platform: heap fallback
+        }
+        let before = p.outstanding_backing_bytes();
+        p.take("sb_0", 1).unwrap();
+        let after = p.outstanding_backing_bytes();
+        assert!(after < before, "per-slice release: {before} -> {after}");
+        p.take("sb_0", 2).unwrap();
+        p.take("sb_0", 3).unwrap();
+        assert_eq!(p.outstanding_backing_bytes(), 0);
     }
 
     #[test]

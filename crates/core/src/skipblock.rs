@@ -203,6 +203,22 @@ fn exec_record(interp: &mut Interp, id: &str, body: &BlockBody<'_>) -> Result<()
         let main_ns = flor_obs::clock::since_ns(t1);
         ctx.controller
             .observe_materialize(id, main_ns.max(1), est_bytes as u64);
+        // Auto-tune the store's compression effort from the same ε budget
+        // that gates materialization: overhead well under budget buys
+        // smaller checkpoints (higher effort); overhead over budget sheds
+        // compression cost first, before the controller starts dropping
+        // checkpoints outright. `set_compression_effort` is a no-op when
+        // the level is unchanged.
+        if ctx.controller.is_adaptive() {
+            let overhead = ctx.controller.record_overhead();
+            let eps = ctx.controller.epsilon();
+            let effort = ctx.store.compression_effort();
+            if overhead > eps && effort > flor_chkpt::compress::MIN_EFFORT {
+                ctx.store.set_compression_effort(effort - 1);
+            } else if overhead < 0.5 * eps && effort < flor_chkpt::compress::MAX_EFFORT {
+                ctx.store.set_compression_effort(effort + 1);
+            }
+        }
         if let Some(g) = ctx.main_iter {
             ctx.profile.observe(g, compute_ns, Some(main_ns.max(1)));
         }

@@ -68,11 +68,14 @@ pub enum Category {
     /// Backward program slicing: computing the dependency cone of the
     /// query's log statements before lowering.
     Slice,
+    /// Tiered-storage movement: cold-tier demotions, spool shipping, and
+    /// spool fault-backs.
+    Tier,
 }
 
 impl Category {
     /// All categories, for exporters and tests.
-    pub const ALL: [Category; 13] = [
+    pub const ALL: [Category; 14] = [
         Category::Record,
         Category::Commit,
         Category::RestoreChain,
@@ -86,6 +89,7 @@ impl Category {
         Category::Compile,
         Category::VmExec,
         Category::Slice,
+        Category::Tier,
     ];
 
     /// Stable name used in exports (`cat` in Chrome traces).
@@ -104,6 +108,7 @@ impl Category {
             Category::Compile => "compile",
             Category::VmExec => "vm-exec",
             Category::Slice => "slice",
+            Category::Tier => "tier",
         }
     }
 }

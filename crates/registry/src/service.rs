@@ -211,10 +211,37 @@ impl Registry {
         loop {
             let candidate = base.join(format!("g{gen}"));
             match std::fs::create_dir(&candidate) {
-                Ok(()) => return Ok(candidate),
+                Ok(()) => {
+                    // Every registry-managed store shares one
+                    // content-addressed keyframe arena: re-records of the
+                    // same script dedup their unchanged checkpoints across
+                    // generations (and across runs). The pointer file is
+                    // read at store open, so `record` needs no plumbing.
+                    std::fs::write(
+                        candidate.join("DEDUP"),
+                        format!("{}\n", self.dedup_arena_dir().display()),
+                    )?;
+                    return Ok(candidate);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => gen += 1,
                 Err(e) => return Err(e.into()),
             }
+        }
+    }
+
+    /// The registry-wide content-addressed dedup arena directory. Always
+    /// absolute: the `DEDUP` pointer files written from it are resolved
+    /// against each *store's* root at open, so a relative registry root
+    /// (`--registry ./reg`) would otherwise fracture the shared arena
+    /// into one private copy per generation directory.
+    pub fn dedup_arena_dir(&self) -> PathBuf {
+        let dir = self.root.join("dedup");
+        if dir.is_absolute() {
+            return dir;
+        }
+        match std::env::current_dir() {
+            Ok(cwd) => cwd.join(dir),
+            Err(_) => dir,
         }
     }
 
@@ -617,6 +644,20 @@ impl Registry {
                     .is_some_and(|h| h.root() == rec.store_root)
                 {
                     stores.remove(run_id);
+                }
+            }
+            // Release this generation's arena references before the store
+            // directory goes away: pruning one run must never sever a
+            // surviving run's `@dup` entries, and the refcount is what
+            // guarantees that. Failing open is tolerated (the refs leak
+            // toward over-retention, never toward data loss); failing a
+            // release is not — deleting the store after a half-applied
+            // release would make a retry impossible.
+            if let Ok(store) = flor_chkpt::CheckpointStore::open_read_only(&rec.store_root) {
+                if let Some(arena) = store.dedup_index() {
+                    for hash in store.dedup_references() {
+                        arena.release(hash).map_err(flor_chkpt::StoreError::from)?;
+                    }
                 }
             }
             std::fs::remove_dir_all(&rec.store_root)?;

@@ -435,8 +435,15 @@ fn store_stats_and_compaction_surface_through_the_registry() {
     let read = reg.store_stats("carol-cv").unwrap();
     assert!(read.reads >= 4, "{read:?}");
 
+    // Registry stores record through the shared dedup arena, so
+    // arena-backed entries carry no segment bytes and compaction
+    // rewrites only the rest.
     let report = reg.compact_run("carol-cv").unwrap();
-    assert_eq!(report.rewritten_entries, before.entries);
+    assert_eq!(
+        report.rewritten_entries + before.dedup_entries,
+        before.entries,
+        "{report:?} vs {before:?}"
+    );
     let after = reg.store_stats("carol-cv").unwrap();
     assert_eq!(after.compactions, 1);
     assert_eq!(after.dead_segment_bytes, 0, "{after:?}");
@@ -496,4 +503,40 @@ fn retention_prunes_old_generation_stores_but_keeps_history() {
     let src = train_src(3, 0.025);
     let out = reg.query("dave-cv", &probed(&src), 1).unwrap();
     assert_eq!(out.restored, 3);
+}
+
+#[test]
+fn identical_rerecords_dedup_across_generations_and_retention_is_refcounted() {
+    use flor_registry::RetentionPolicy;
+    let root = tmproot("dedup-gens");
+    let reg = Registry::open(&root).unwrap();
+    // The same deterministic script twice: every checkpoint of generation
+    // 1 is byte-identical to generation 0's, so its keyframe-sized stored
+    // payloads land as `@dup` references into the registry-wide arena.
+    let src = train_src(4, 0.1).replace("hidden=8", "hidden=64");
+    reg.record_run("erin-cv", &src, no_adaptive).unwrap();
+    reg.record_run("erin-cv", &src, no_adaptive).unwrap();
+
+    let stats = reg.store_stats("erin-cv").unwrap();
+    assert!(
+        stats.dedup_entries > 0,
+        "re-recorded checkpoints should dedup: {stats:?}"
+    );
+    let arena = flor_chkpt::DedupIndex::open(&reg.dedup_arena_dir()).unwrap();
+    let arena_entries = arena.entries();
+    assert!(arena_entries > 0);
+
+    // Pruning generation 0 releases its references; generation 1's `@dup`
+    // entries survive (refcount ≥ 1) and still restore.
+    let pruned = reg
+        .apply_retention("erin-cv", &RetentionPolicy { keep_latest: 1 })
+        .unwrap();
+    assert_eq!(pruned.len(), 1);
+    assert!(!pruned[0].store_root.exists());
+    let out = reg.query("erin-cv", &probed(&src), 1).unwrap();
+    assert_eq!(out.restored, 4);
+    assert!(out.anomalies.is_empty(), "{:?}", out.anomalies);
+    // The shared blobs are still in the arena (the survivor holds refs).
+    assert!(arena.entries() > 0, "retention must not sever shared blobs");
+    assert!(arena.entries() <= arena_entries);
 }

@@ -105,6 +105,7 @@ pub struct Bytes {
     owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
     start: usize,
     end: usize,
+    file_backed: bool,
 }
 
 impl Bytes {
@@ -120,6 +121,7 @@ impl Bytes {
             owner: Arc::new(data),
             start: 0,
             end,
+            file_backed: false,
         }
     }
 
@@ -134,7 +136,23 @@ impl Bytes {
             owner: Arc::new(owner),
             start: 0,
             end,
+            file_backed: false,
         }
+    }
+
+    /// Like [`Bytes::from_owner`], but marks the backing as *file-backed*
+    /// (a memory mapping whose pages are reclaimable page cache rather
+    /// than pinned heap). Memory accounting that would normally charge
+    /// [`Bytes::backing_len`] for a slice (because a heap slice pins the
+    /// whole allocation) should charge only the slice length for these —
+    /// see [`Bytes::backing_is_file`].
+    pub fn from_file_backed_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let mut b = Bytes::from_owner(owner);
+        b.file_backed = true;
+        b
     }
 
     /// Remaining bytes as an owned `Vec`.
@@ -165,6 +183,13 @@ impl Bytes {
     pub fn backing_id(&self) -> usize {
         (*self.owner).as_ref().as_ptr() as usize
     }
+
+    /// True when the backing came from [`Bytes::from_file_backed_owner`]:
+    /// its memory is file pages the kernel can reclaim, not pinned heap,
+    /// so holding a slice of it does not cost `backing_len()` of RAM.
+    pub fn backing_is_file(&self) -> bool {
+        self.file_backed
+    }
 }
 
 impl Default for Bytes {
@@ -194,6 +219,7 @@ impl Buf for Bytes {
             owner: self.owner.clone(),
             start: self.start,
             end: self.start + len,
+            file_backed: self.file_backed,
         };
         self.start += len;
         out
@@ -396,6 +422,23 @@ mod tests {
         assert!(w.capacity() >= 64);
         w.put_slice(b"world");
         assert_eq!(w.freeze().to_vec(), b"world");
+    }
+
+    #[test]
+    fn file_backed_flag_propagates_to_slices() {
+        struct Mapped(Vec<u8>);
+        impl AsRef<[u8]> for Mapped {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let mut m = Bytes::from_file_backed_owner(Mapped((0u8..50).collect()));
+        assert!(m.backing_is_file());
+        m.advance(10);
+        let s = m.copy_to_bytes(5);
+        assert!(s.backing_is_file(), "zero-copy slice keeps the marker");
+        assert_eq!(s.to_vec(), vec![10, 11, 12, 13, 14]);
+        assert!(!Bytes::from_vec(vec![1]).backing_is_file());
     }
 
     #[test]

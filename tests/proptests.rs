@@ -661,3 +661,56 @@ proptest! {
         prop_assert_eq!(compress::decompress_chunked(&framed).expect("roundtrip"), data);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A store recording through a shared dedup arena restores every
+    /// version byte-identically to a plain (undedup'd) store fed the same
+    /// trajectory — duplicates, near-duplicates, delta chains and all.
+    #[test]
+    fn deduped_store_restores_byte_identical_to_plain(
+        floats in 300usize..800,
+        versions in 3usize..8,
+        seed in 1u64..u64::MAX,
+        stride in 2usize..50,
+        dupes in 1usize..4,
+    ) {
+        use flor_chkpt::CheckpointStore;
+        let base = std::env::temp_dir().join(format!(
+            "flor-prop-dedup-{}-{:?}-{seed}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        // Trajectory with forced exact duplicates: every `dupes`-th
+        // version re-records its predecessor's bytes (the dedup hit path),
+        // the rest drift (the delta/arbitration paths).
+        let mut traj = drift_trajectory(floats, versions, seed, stride, 1e-3);
+        for v in 1..traj.len() {
+            if v % (dupes + 1) == 0 {
+                traj[v] = traj[v - 1].clone();
+            }
+        }
+        let plain = CheckpointStore::open(base.join("plain")).unwrap();
+        let deduped = CheckpointStore::open(base.join("deduped")).unwrap();
+        deduped.attach_dedup(base.join("arena")).unwrap();
+        for (v, payload) in traj.iter().enumerate() {
+            plain.put("sb_0", v as u64, payload).unwrap();
+            deduped.put("sb_0", v as u64, payload).unwrap();
+        }
+        for (v, payload) in traj.iter().enumerate().rev() {
+            let p = plain.get("sb_0", v as u64).unwrap();
+            let d = deduped.get("sb_0", v as u64).unwrap();
+            prop_assert_eq!(&p, payload, "plain diverged at {}", v);
+            prop_assert_eq!(&d, payload, "deduped diverged at {}", v);
+        }
+        // Across a reopen, the arena-backed entries still resolve.
+        drop(deduped);
+        let reopened = CheckpointStore::open(base.join("deduped")).unwrap();
+        for (v, payload) in traj.iter().enumerate() {
+            prop_assert_eq!(&reopened.get("sb_0", v as u64).unwrap(), payload);
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -1,0 +1,277 @@
+//! Crash injection for the tiered, deduplicated storage engine.
+//!
+//! Three crash surfaces the tentpole added, each swept exhaustively:
+//!
+//! - **MANIFEST over `@dup` lines**: a v4 manifest truncated at every byte
+//!   offset must reopen into a store whose surviving entries all read back
+//!   byte-identical (the torn tail is dropped, never misparsed into a
+//!   different location).
+//! - **DEDUPLOG**: the arena's refcount log truncated at every offset must
+//!   replay into an arena that serves every still-known blob exactly, and
+//!   fails loudly (never silently differently) for blobs the lost suffix
+//!   forgot. The commit ordering (arena sync *before* manifest append)
+//!   means a real crash can only over-count references — blobs leak toward
+//!   retention, never toward data loss.
+//! - **Mid-demotion states**: every intermediate state of the ship → verify
+//!   → delete-local sequence leaves the segment readable from at least one
+//!   tier, across a reopen.
+
+use flor_chkpt::{CheckpointStore, DedupIndex, StoreOptions};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn base_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "flor-tier-inject-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Incompressible payload, distinct per (seed); large enough to clear the
+/// dedup size floor even after arbitration.
+fn payload(seed: u32) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..4096)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x as u8
+        })
+        .collect()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Builds the reference fixture: two stores sharing one arena, the second
+/// consisting purely of `@dup` reference entries (every payload re-records
+/// the first store's bytes).
+fn dedup_fixture(base: &Path) -> (PathBuf, PathBuf, PathBuf, usize) {
+    let arena = base.join("arena");
+    let first = base.join("first");
+    let second = base.join("second");
+    let versions = 4usize;
+    let a = CheckpointStore::open_opts(
+        &first,
+        StoreOptions {
+            delta_keyframe_interval: 0,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    a.attach_dedup(&arena).unwrap();
+    for v in 0..versions {
+        a.put("sb_0", v as u64, &payload(v as u32 + 7)).unwrap();
+    }
+    let b = CheckpointStore::open_opts(
+        &second,
+        StoreOptions {
+            delta_keyframe_interval: 0,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    b.attach_dedup(&arena).unwrap();
+    for v in 0..versions {
+        b.put("sb_0", v as u64, &payload(v as u32 + 7)).unwrap();
+    }
+    let sb = b.stats();
+    assert_eq!(sb.dedup_entries as usize, versions, "{sb:?}");
+    assert_eq!(sb.dedup_hits as usize, versions, "{sb:?}");
+    (arena, first, second, versions)
+}
+
+#[test]
+fn manifest_truncated_at_every_offset_over_dup_lines_never_lies() {
+    let base = base_dir("manifest");
+    let (_arena, _first, second, versions) = dedup_fixture(&base);
+    let manifest = fs::read(second.join("MANIFEST")).unwrap();
+    assert!(
+        String::from_utf8_lossy(&manifest).contains("@dup:"),
+        "fixture must exercise v4 lines"
+    );
+
+    let victim = base.join("victim");
+    for cut in 0..=manifest.len() {
+        let _ = fs::remove_dir_all(&victim);
+        copy_dir(&second, &victim);
+        fs::write(victim.join("MANIFEST"), &manifest[..cut]).unwrap();
+        // Open never panics; complete surviving lines read back exactly.
+        let store = match CheckpointStore::open(&victim) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        for v in 0..versions {
+            if let Ok(bytes) = store.get("sb_0", v as u64) {
+                assert_eq!(
+                    bytes,
+                    payload(v as u32 + 7),
+                    "cut {cut}: version {v} silently altered"
+                );
+            }
+        }
+        // A complete-prefix cut (line boundary) keeps exactly the prefix.
+        if cut == manifest.len() {
+            assert_eq!(store.entries().len(), versions);
+        }
+    }
+}
+
+#[test]
+fn dedup_log_truncated_at_every_offset_is_exact_or_loud() {
+    let base = base_dir("deduplog");
+    let (arena, _first, second, versions) = dedup_fixture(&base);
+    let log = fs::read(arena.join("DEDUPLOG")).unwrap();
+    assert!(!log.is_empty());
+
+    for cut in 0..=log.len() {
+        // Fresh directories per cut: `DedupIndex::open` shares live
+        // instances per absolute path, and the point here is the *disk
+        // replay* of a torn log.
+        let victim_arena = base.join(format!("varena-{cut}"));
+        let victim = base.join(format!("victim-{cut}"));
+        copy_dir(&arena, &victim_arena);
+        fs::write(victim_arena.join("DEDUPLOG"), &log[..cut]).unwrap();
+        copy_dir(&second, &victim);
+        fs::write(
+            victim.join("DEDUP"),
+            format!("{}\n", victim_arena.display()),
+        )
+        .unwrap();
+        // Open may fail loudly (arena refuses interior corruption); it
+        // must never misread.
+        let store = match CheckpointStore::open(&victim) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        for v in 0..versions {
+            if let Ok(bytes) = store.get("sb_0", v as u64) {
+                assert_eq!(
+                    bytes,
+                    payload(v as u32 + 7),
+                    "cut {cut}: version {v} silently altered"
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&victim_arena);
+        let _ = fs::remove_dir_all(&victim);
+    }
+
+    // The refcount invariant behind crash-safe retention: a torn *tail*
+    // (the only state a real crash can produce after the pre-manifest
+    // sync) replays to refcounts ≥ the true reference count, so releasing
+    // one store's references can never free a blob another store needs.
+    let fresh = base.join("tail-arena");
+    copy_dir(&arena, &fresh);
+    let tail_cut = log.len() - 1; // torn final record
+    fs::write(fresh.join("DEDUPLOG"), &log[..tail_cut]).unwrap();
+    let replayed = DedupIndex::open(&fresh).unwrap();
+    let original = DedupIndex::open(&arena).unwrap();
+    assert!(replayed.entries() >= original.entries().saturating_sub(1));
+}
+
+#[test]
+fn every_mid_demotion_crash_state_keeps_segments_readable() {
+    let base = base_dir("demotion");
+    let seal_opts = StoreOptions {
+        segment_target_bytes: 1, // seal after every commit
+        delta_keyframe_interval: 0,
+        ..StoreOptions::default()
+    };
+    // Build one reference store per crash state (cheap: two puts each).
+    let build = |tag: &str| -> (PathBuf, PathBuf) {
+        let root = base.join(tag);
+        let spool = base.join(format!("{tag}-spool"));
+        let store = CheckpointStore::open_opts(&root, seal_opts).unwrap();
+        store.attach_spool(&spool).unwrap();
+        store.put("sb_0", 0, &payload(91)).unwrap();
+        store.put("sb_0", 1, &payload(92)).unwrap();
+        (root, spool)
+    };
+
+    // State 1 — crash before the cold copy's rename: a temp sibling in the
+    // spool, no durable cold copy, local file intact.
+    {
+        let (root, spool) = build("pre-rename");
+        fs::write(
+            spool.join("segments").join(".00000000.seg.tmp.999.0"),
+            b"gar",
+        )
+        .unwrap();
+        let store = CheckpointStore::open(&root).unwrap();
+        assert_eq!(store.get("sb_0", 0).unwrap(), payload(91));
+        // A later demotion ships a fresh, complete copy.
+        store.demote_cold_segments(0).unwrap();
+        assert_eq!(store.get("sb_0", 0).unwrap(), payload(91));
+    }
+
+    // State 2 — crash after the rename, before the local delete: both
+    // copies durable. Reads prefer local; re-demotion verifies the cold
+    // copy instead of re-shipping, then deletes local.
+    {
+        let (root, spool) = build("post-rename");
+        let local = root.join("seg").join("00000000.seg");
+        let cold = spool.join("segments").join("00000000.seg");
+        fs::copy(&local, &cold).unwrap();
+        let store = CheckpointStore::open(&root).unwrap();
+        let demoted = store.demote_cold_segments(0).unwrap();
+        assert!(demoted.contains(&0), "{demoted:?}");
+        assert!(!local.exists());
+        assert_eq!(store.get("sb_0", 0).unwrap(), payload(91));
+    }
+
+    // State 3 — crash after the local delete: cold copy only. A reopen
+    // resolves the manifest's segment reference against the spool (cold,
+    // not missing) and reads fault back.
+    {
+        let (root, spool) = build("post-delete");
+        let local = root.join("seg").join("00000000.seg");
+        let cold = spool.join("segments").join("00000000.seg");
+        fs::copy(&local, &cold).unwrap();
+        fs::remove_file(&local).unwrap();
+        let store = CheckpointStore::open(&root).unwrap();
+        assert!(
+            store.recovery_report().missing_entries.is_empty(),
+            "cold segments are not missing: {:?}",
+            store.recovery_report()
+        );
+        assert_eq!(store.get("sb_0", 0).unwrap(), payload(91));
+        assert_eq!(store.get("sb_0", 1).unwrap(), payload(92));
+        assert!(store.stats().tier_cold_reads >= 1);
+    }
+
+    // State 4 — torn cold copy next to a live local one (crash mid-ship
+    // with a pre-unique-temp layout, or fs corruption): demotion must
+    // detect the length mismatch, re-ship, and stay readable.
+    {
+        let (root, spool) = build("torn-cold");
+        let local = root.join("seg").join("00000000.seg");
+        let cold = spool.join("segments").join("00000000.seg");
+        let bytes = fs::read(&local).unwrap();
+        fs::write(&cold, &bytes[..bytes.len() / 2]).unwrap();
+        let store = CheckpointStore::open(&root).unwrap();
+        let demoted = store.demote_cold_segments(0).unwrap();
+        assert!(demoted.contains(&0), "{demoted:?}");
+        assert_eq!(
+            fs::read(&cold).unwrap().len(),
+            bytes.len(),
+            "torn cold copy must be re-shipped whole before local delete"
+        );
+        assert_eq!(store.get("sb_0", 0).unwrap(), payload(91));
+    }
+}

@@ -4,7 +4,7 @@
 #   ./tools/bench.sh            # full run: criterion benches + BENCH_*.json
 #   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
 #
-# Emits six committed artifacts at the repo root so future PRs can be
+# Emits seven committed artifacts at the repo root so future PRs can be
 # held to the trajectory:
 #   BENCH_record.json       — caller-thread submit latency per materialization
 #                             strategy (zero-copy vs pre-refactor eager copies)
@@ -22,6 +22,10 @@
 #                             with backward slicing off vs on, plus the
 #                             cross-query slice memo (cold query vs a
 #                             textually different probe served from cache)
+#   BENCH_store_tier.json   — tiered storage engine: cold sparse restore via
+#                             mmap segment reads vs the pre-tier whole-file
+#                             engine, plus the dedup arena's bytes-on-disk
+#                             ratio across an identical-record sweep
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,6 +59,7 @@ SCHED_OUT=BENCH_replay_sched.json
 COMPRESS_OUT=BENCH_compress.json
 INTERP_OUT=BENCH_interp.json
 SLICE_OUT=BENCH_slice.json
+STORE_TIER_OUT=BENCH_store_tier.json
 if [[ "$QUICK" == "1" ]]; then
     RECORD_OUT=target/BENCH_record.quick.json
     REPLAY_OUT=target/BENCH_replay.quick.json
@@ -62,6 +67,7 @@ if [[ "$QUICK" == "1" ]]; then
     COMPRESS_OUT=target/BENCH_compress.quick.json
     INTERP_OUT=target/BENCH_interp.quick.json
     SLICE_OUT=target/BENCH_slice.quick.json
+    STORE_TIER_OUT=target/BENCH_store_tier.quick.json
 fi
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$RECORD_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_json -- "$REPLAY_OUT"
@@ -69,6 +75,7 @@ FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_repl
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_compress_json -- "$COMPRESS_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_interp -- "$INTERP_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_slice -- "$SLICE_OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_store_tier -- "$STORE_TIER_OUT"
 
 echo
-echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT, $SLICE_OUT written)"
+echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT, $SLICE_OUT, $STORE_TIER_OUT written)"
