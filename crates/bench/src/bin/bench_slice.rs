@@ -107,6 +107,7 @@ fn main() {
         vm: true,
         slice,
         module_cache: None,
+        cancel: None,
     };
 
     eprintln!("replaying probed query unsliced × {reps} rep(s)…");

@@ -9,7 +9,10 @@ use flor_core::replay::{replay, ReplayOptions};
 use flor_core::sample::replay_sample;
 use flor_core::InitMode;
 use flor_lang::{parse, print_program};
-use flor_registry::{JobState, QueryJob, Registry, ReplayScheduler};
+use flor_net::{ClientConn, Endpoint};
+use flor_registry::{
+    Registry, ReplayScheduler, ServeSession, Server, ServerConfig, SessionControl,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -32,7 +35,12 @@ usage:
   flor runs     prune <run-id> --registry <dir> [--keep N]
   flor query    <run-id> <probed.flr> --registry <dir> [--workers N] [--stream]
                 [--no-vm] [--no-slice] [--trace <out.json>]
-  flor serve    --registry <dir> [--workers N]";
+  flor serve    --registry <dir> [--workers N] [--listen <endpoint>]...
+                [--queue-limit N] [--tenant-jobs N] [--tenant-burst N]
+                [--tenant-refill PER-SEC] [--max-backlog-ms MS]
+  flor connect  <endpoint>
+
+endpoints are tcp:<ip>:<port>, <ip>:<port>, or unix:<path>";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -95,6 +103,12 @@ impl<'a> Args<'a> {
                     "keep",
                     "delta-keyframe",
                     "trace",
+                    "listen",
+                    "queue-limit",
+                    "tenant-jobs",
+                    "tenant-burst",
+                    "tenant-refill",
+                    "max-backlog-ms",
                 ]
                 .contains(&name);
                 if takes_value {
@@ -124,6 +138,26 @@ impl<'a> Args<'a> {
             .iter()
             .find(|(n, _)| *n == name)
             .and_then(|(_, v)| *v)
+    }
+
+    /// Every occurrence of a repeatable value flag (`--listen` …).
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .filter_map(|(_, v)| *v)
+            .collect()
+    }
+
+    /// A numeric flag with a default when absent.
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        self.value(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --{name} {v:?}")))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
     }
 
     fn store(&self) -> Result<PathBuf, CliError> {
@@ -187,7 +221,8 @@ pub fn run_cli_to(raw: &[String], out: &mut dyn std::io::Write) -> Result<(), Cl
         "store" => cmd_store(&args),
         "runs" => cmd_runs(&args),
         "query" => return cmd_query(&args, out),
-        "serve" => cmd_serve(&args),
+        "serve" => return cmd_serve(&args, out),
+        "connect" => return cmd_connect(&args, out),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }?;
     out.write_all(text.as_bytes())?;
@@ -333,6 +368,7 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
         vm: !args.flag("no-vm"),
         slice: !args.flag("no-slice"),
         module_cache: None,
+        cancel: None,
     };
     let report = replay(&src, store, &opts)?;
     let mut out = String::new();
@@ -849,15 +885,20 @@ fn cmd_query(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
     Ok(())
 }
 
-/// The `serve` loop over explicit I/O (unit-testable; `cmd_serve` wires it
-/// to stdin/stdout). Protocol: one command per line —
+/// The `serve` loop over explicit I/O — a thin, byte-compatible adapter
+/// over [`flor_registry::ServeSession`] (the same state machine the epoll
+/// socket server runs; `cmd_serve` wires this one to stdin/stdout, or to
+/// listening sockets with `--listen`). Protocol: one command per line —
 ///
 /// ```text
 /// query <run-id> <probed.flr path> [priority]   enqueue a hindsight query
+/// stream <run-id> <probed.flr path> [priority]  enqueue + stream +entry/+done lines
+/// watch <job-id>                                stream +progress/+done for a job
 /// status <job-id>                               poll a job
-/// cancel <job-id>                               cancel a queued job
+/// cancel <job-id>                               cancel a queued or running job
+/// tenant <name>                                 tag later submissions for quotas
 /// runs                                          list cataloged runs
-/// metrics                                       process metrics as one JSON line
+/// metrics [tenant]                              metrics as one JSON line
 /// drain                                         report all finished jobs
 /// quit                                          drain and exit (EOF works too)
 /// ```
@@ -868,166 +909,109 @@ pub fn serve_io(
     mut out: impl std::io::Write,
 ) -> Result<(), CliError> {
     let registry = Arc::new(Registry::open(registry_root)?);
-    let scheduler = ReplayScheduler::new(registry.clone(), pool_workers);
+    let scheduler = Arc::new(ReplayScheduler::new(registry.clone(), pool_workers));
     writeln!(
         out,
-        "# serving registry {} with {} replay workers",
-        registry_root.display(),
-        scheduler.pool_size()
+        "{}",
+        flor_registry::session::banner(registry_root, scheduler.pool_size())
     )?;
-    let mut submitted: Vec<flor_registry::JobId> = Vec::new();
-    let mut reported = 0usize;
-
-    let report_finished = |out: &mut dyn std::io::Write,
-                           scheduler: &ReplayScheduler,
-                           submitted: &[flor_registry::JobId],
-                           reported: &mut usize|
-     -> Result<(), CliError> {
-        while *reported < submitted.len() {
-            let id = submitted[*reported];
-            match scheduler.wait(id)? {
-                JobState::Completed(o) => writeln!(
-                    out,
-                    "job {id} done: run {:?} {} ({}), {} entries, {} anomalies",
-                    o.run_id,
-                    o.key,
-                    if o.cached { "cached" } else { "fresh" },
-                    o.log.len(),
-                    o.anomalies.len()
-                )?,
-                JobState::Failed(e) => writeln!(out, "job {id} FAILED: {e}")?,
-                JobState::Cancelled => writeln!(out, "job {id} cancelled")?,
-                JobState::Queued | JobState::Running => unreachable!("wait returns terminal"),
-            }
-            *reported += 1;
-        }
-        Ok(())
-    };
-
+    let admission = Arc::new(flor_registry::AdmissionController::new(
+        flor_registry::AdmissionPolicy::unlimited(),
+    ));
+    let mut session = ServeSession::new(registry, scheduler, admission, true, 1024, || {});
+    let mut lines: Vec<String> = Vec::new();
     for line in input.lines() {
         let line = line?;
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        match parts.as_slice() {
-            [] => {}
-            ["quit"] | ["exit"] => break,
-            ["runs"] => {
-                for r in registry.runs() {
-                    writeln!(
-                        out,
-                        "run {:?} gen {} iters {} ckpts {}",
-                        r.run_id, r.generation, r.iterations, r.checkpoints
-                    )?;
-                }
-            }
-            // Malformed commands report and keep serving: a typo from one
-            // user must not kill a server with other users' jobs queued.
-            ["query", run_id, path, rest @ ..] => {
-                let priority: i32 = match rest {
-                    [] => 0,
-                    [p] => match p.parse() {
-                        Ok(p) => p,
-                        Err(_) => {
-                            writeln!(out, "bad priority {p:?}")?;
-                            continue;
-                        }
-                    },
-                    _ => {
-                        writeln!(out, "query takes at most 3 arguments")?;
-                        continue;
-                    }
-                };
-                let probed_source = match std::fs::read_to_string(path) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        writeln!(out, "cannot read {path}: {e}")?;
-                        continue;
-                    }
-                };
-                let id = scheduler.submit(QueryJob {
-                    run_id: run_id.to_string(),
-                    probed_source,
-                    workers: 1,
-                    priority,
-                })?;
-                submitted.push(id);
-                writeln!(out, "queued job {id}: run {run_id:?} priority {priority}")?;
-            }
-            ["metrics"] => {
-                // One JSON line: counters and latency histograms for every
-                // instrumented subsystem, via the shared serializer.
-                writeln!(out, "{}", registry.metrics_snapshot().to_json())?;
-            }
-            ["status", id] => match id.parse::<flor_registry::JobId>() {
-                Err(_) => writeln!(out, "bad job id {id:?}")?,
-                Ok(id) => match scheduler.status(id) {
-                    None => writeln!(out, "job {id}: unknown")?,
-                    Some(JobState::Completed(o)) => {
-                        writeln!(out, "job {id}: completed ({} entries)", o.log.len())?
-                    }
-                    Some(JobState::Running) => {
-                        let p = scheduler.progress(id).unwrap_or_default();
-                        // Prose over the same `(name, value)` list
-                        // `JobProgress::fields` exposes — a counter
-                        // renamed or dropped there panics here instead
-                        // of silently drifting between surfaces.
-                        let fields = p.fields();
-                        let f = |name: &str| -> u64 {
-                            fields
-                                .iter()
-                                .find(|(n, _)| *n == name)
-                                .map(|(_, v)| *v)
-                                .unwrap_or_else(|| panic!("JobProgress::fields lost {name:?}"))
-                        };
-                        writeln!(
-                            out,
-                            "job {id}: running ({}/{} iterations, {} steal(s), \
-                             {} entries streamed, {} stmt(s) elided, {:.1}ms elapsed)",
-                            f("iterations_done"),
-                            f("iterations_total"),
-                            f("steals"),
-                            f("entries_streamed"),
-                            f("statements_elided"),
-                            f("wall_ns") as f64 / 1e6
-                        )?
-                    }
-                    Some(s) => writeln!(out, "job {id}: {s:?}")?,
-                },
-            },
-            ["cancel", id] => match id.parse::<flor_registry::JobId>() {
-                Err(_) => writeln!(out, "bad job id {id:?}")?,
-                Ok(id) => writeln!(
-                    out,
-                    "job {id}: {}",
-                    if scheduler.cancel(id) {
-                        "cancelled"
-                    } else {
-                        "not cancellable"
-                    }
-                )?,
-            },
-            ["drain"] => {
-                scheduler.drain();
-                report_finished(&mut out, &scheduler, &submitted, &mut reported)?;
-            }
-            other => writeln!(out, "unknown command {:?}", other.join(" "))?,
+        lines.clear();
+        let ctl = session.handle_line(&line, &mut lines)?;
+        for l in &lines {
+            writeln!(out, "{l}")?;
+        }
+        if ctl == SessionControl::Quit {
+            return Ok(());
         }
     }
-    scheduler.drain();
-    report_finished(&mut out, &scheduler, &submitted, &mut reported)?;
-    writeln!(out, "# served {} job(s)", submitted.len())?;
+    lines.clear();
+    session.finish(&mut lines)?;
+    for l in &lines {
+        writeln!(out, "{l}")?;
+    }
     Ok(())
 }
 
-fn cmd_serve(args: &Args) -> Result<String, CliError> {
+fn parse_endpoints(specs: &[&str]) -> Result<Vec<Endpoint>, CliError> {
+    specs
+        .iter()
+        .map(|s| {
+            Endpoint::parse(s).map_err(|e| CliError::Usage(format!("bad --listen {s:?}: {e}")))
+        })
+        .collect()
+}
+
+fn cmd_serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let root = args
         .value("registry")
         .map(PathBuf::from)
         .ok_or_else(|| CliError::Usage("missing --registry <dir>".into()))?;
     let workers = args.workers(2)?;
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    serve_io(&root, workers, stdin.lock(), stdout.lock())?;
-    Ok(String::new())
+    let listens = args.values("listen");
+    if listens.is_empty() {
+        // Stdin mode: the original single-client protocol, byte-for-byte.
+        let stdin = std::io::stdin();
+        return serve_io(&root, workers, stdin.lock(), out);
+    }
+    let config = ServerConfig {
+        endpoints: parse_endpoints(&listens)?,
+        pool_workers: workers,
+        queue_limit: args.num("queue-limit", 0usize)?,
+        admission: flor_registry::AdmissionPolicy {
+            max_queue_depth: args.num("queue-limit", 0usize)?,
+            max_tenant_jobs: args.num("tenant-jobs", 0usize)?,
+            tenant_burst: args.num("tenant-burst", 0u64)?,
+            tenant_refill_per_sec: args.num("tenant-refill", 0.0f64)?,
+            max_backlog_ms: args.num("max-backlog-ms", 0u64)?,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::new(Registry::open(&root)?), config)?;
+    for ep in handle.local_endpoints() {
+        writeln!(out, "# listening on {ep}")?;
+    }
+    out.flush()?;
+    // Serve until the process is killed (ctrl-C); the handle's Drop then
+    // aborts connections and drains the scheduler.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `flor connect <endpoint>`: bridges stdin/stdout to a serve socket —
+/// the interactive client for `flor serve --listen`. Lines typed on
+/// stdin go to the server; everything the server sends (including async
+/// `+entry`/`+done` stream lines) is printed as it arrives. EOF on stdin
+/// half-closes the socket, and the session's final report drains before
+/// exit.
+fn cmd_connect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let spec = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("missing endpoint".into()))?;
+    let ep = Endpoint::parse(spec).map_err(|e| CliError::Usage(format!("bad endpoint: {e}")))?;
+    let conn = Arc::new(
+        ClientConn::connect(&ep).map_err(|e| CliError::Failed(format!("connect {ep}: {e}")))?,
+    );
+    let writer = {
+        let conn = conn.clone();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let _ = std::io::copy(&mut stdin.lock(), &mut &*conn);
+            let _ = conn.shutdown_write();
+        })
+    };
+    let mut sock = std::io::BufReader::new(&*conn);
+    std::io::copy(&mut sock, out)?;
+    let _ = writer.join();
+    Ok(())
 }
 
 #[cfg(test)]

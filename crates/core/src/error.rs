@@ -16,6 +16,8 @@ pub enum FlorError {
     Codec(flor_chkpt::CodecError),
     /// Replay configuration or state problem.
     Replay(String),
+    /// Replay stopped early because its cancellation token fired.
+    Cancelled,
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -28,6 +30,7 @@ impl fmt::Display for FlorError {
             FlorError::Store(e) => write!(f, "{e}"),
             FlorError::Codec(e) => write!(f, "{e}"),
             FlorError::Replay(m) => write!(f, "replay error: {m}"),
+            FlorError::Cancelled => write!(f, "replay cancelled"),
             FlorError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -573,6 +573,9 @@ impl Interp {
         let mut prefetched_to = 0u64;
         let seeded_end = runtime.queue.seeded_span(pid).map(|s| s.end).unwrap_or(0);
         while let Some(next) = runtime.queue.next(pid, state_at, rewind_ok) {
+            if runtime.cancelled() {
+                return Err(FlorError::Cancelled);
+            }
             let range = next.range;
             // Initialization segment for this range. A seed pop continues
             // where the previous range ended (no init); a steal rolls
@@ -667,6 +670,9 @@ impl Interp {
                 LoopBody::Tree { .. } => None,
             };
             for g in range.iters() {
+                if runtime.cancelled() {
+                    return Err(FlorError::Cancelled);
+                }
                 self.run_loop_iter(lb, g, items[g as usize].clone())?;
             }
             if let Some((s, t0)) = vm_span {

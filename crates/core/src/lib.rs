@@ -78,7 +78,7 @@ pub mod vm;
 pub use adaptive::AdaptiveController;
 pub use error::FlorError;
 pub use logstream::{LogEntry, LogStream, Section};
-pub use parallel::InitMode;
+pub use parallel::{CancelToken, InitMode};
 pub use profile::CostProfile;
 pub use record::{record, RecordOptions, RecordReport};
 pub use replay::{replay, ReplayOptions, ReplayReport};

@@ -553,6 +553,33 @@ impl RangeQueue {
     }
 }
 
+/// Cooperative cancellation flag shared between a replay's driver and its
+/// workers. Workers poll it at range-pull and per-iteration boundaries and
+/// bail out with [`crate::FlorError::Cancelled`]; setting it never blocks,
+/// so it is safe to fire from an event loop or signal-adjacent context.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; wakes nothing by itself —
+    /// workers notice at their next poll point.
+    pub fn cancel(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,10 @@ pub struct ReplayOptions {
     /// slicer refuses: aliasing it can't track, rule-5 calls, impure
     /// hindsight diffs), the full program runs.
     pub slice: bool,
+    /// Cooperative cancellation. When set, workers poll the token at
+    /// range-pull and per-iteration boundaries and the replay fails fast
+    /// with [`FlorError::Cancelled`] instead of running to completion.
+    pub cancel: Option<crate::parallel::CancelToken>,
 }
 
 impl Default for ReplayOptions {
@@ -74,6 +78,7 @@ impl Default for ReplayOptions {
             vm: true,
             module_cache: None,
             slice: true,
+            cancel: None,
         }
     }
 }
@@ -115,6 +120,8 @@ pub struct ReplayRuntime {
     /// the recorded profile measured the full body, but elision shrinks
     /// the work roughly proportionally.
     pub live_permille: u32,
+    /// Cancellation token for this replay, if the caller wants one.
+    pub cancel: Option<crate::parallel::CancelToken>,
 }
 
 impl ReplayRuntime {
@@ -126,7 +133,13 @@ impl ReplayRuntime {
             workers,
             steal,
             live_permille: 1000,
+            cancel: None,
         }
+    }
+
+    /// True once this replay's cancellation token (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
     /// Computes the seed deques for an `n`-iteration main loop — called
@@ -400,6 +413,7 @@ pub fn replay_streaming(
     let workers = opts.workers.max(1);
     let mut runtime = ReplayRuntime::new(workers, opts.steal, profile);
     runtime.live_permille = live_permille;
+    runtime.cancel = opts.cancel.clone();
     let runtime = Arc::new(runtime);
     let (tx, rx) = std::sync::mpsc::channel::<StreamMsg>();
     let mut handles = Vec::with_capacity(workers);

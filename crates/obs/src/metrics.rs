@@ -179,6 +179,34 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         .or_insert_with(|| Box::leak(Box::default()))
 }
 
+/// Like [`counter`] but for names built at runtime (per-tenant metrics:
+/// `tenant.<name>.queries`). The name is leaked once per distinct string —
+/// bounded by the set of tenants a server process ever sees, the same
+/// order of magnitude as its connection count.
+pub fn counter_named(name: &str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(c) = reg.counters.get(name) {
+        return c;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    reg.counters
+        .entry(leaked)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Like [`histogram`] but for names built at runtime (see
+/// [`counter_named`] for the leak bound).
+pub fn histogram_named(name: &str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(h) = reg.histograms.get(name) {
+        return h;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    reg.histograms
+        .entry(leaked)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
 /// Point-in-time copy of every registered metric, name-sorted.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricSnapshot {
@@ -190,14 +218,30 @@ pub struct MetricSnapshot {
 
 /// Snapshots the whole registry.
 pub fn snapshot() -> MetricSnapshot {
+    snapshot_filtered(|_| true)
+}
+
+/// Snapshots only the metrics whose name starts with `prefix` — the
+/// per-tenant `metrics <tenant>` view (`prefix = "tenant.<name>."`).
+pub fn snapshot_prefixed(prefix: &str) -> MetricSnapshot {
+    snapshot_filtered(|name| name.starts_with(prefix))
+}
+
+fn snapshot_filtered(keep: impl Fn(&str) -> bool) -> MetricSnapshot {
     let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     MetricSnapshot {
         counters: reg
             .counters
             .iter()
+            .filter(|(n, _)| keep(n))
             .map(|(n, c)| (n.to_string(), c.get()))
             .collect(),
-        histograms: reg.histograms.iter().map(|(n, h)| h.snapshot(n)).collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .filter(|(n, _)| keep(n))
+            .map(|(n, h)| h.snapshot(n))
+            .collect(),
     }
 }
 
@@ -302,6 +346,22 @@ mod tests {
         let s = h.snapshot("edge");
         assert_eq!(s.count, 2);
         assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn named_metrics_register_once_and_filter_by_prefix() {
+        let tenant = "tenant.acme-metrics-test.";
+        let a = counter_named(&format!("{tenant}queries")) as *const Counter;
+        let b = counter_named(&format!("{tenant}queries")) as *const Counter;
+        assert_eq!(a, b, "dynamic names must not re-leak per lookup");
+        counter_named(&format!("{tenant}queries")).add(3);
+        histogram_named(&format!("{tenant}job_ns")).observe(42);
+        counter("test.metrics.other_tenant_noise").inc();
+        let snap = snapshot_prefixed(tenant);
+        assert_eq!(snap.counters.len(), 1);
+        assert!(snap.counters[0].0.ends_with("queries") && snap.counters[0].1 >= 3);
+        assert_eq!(snap.histograms.len(), 1);
+        assert!(snap.histograms[0].count >= 1);
     }
 
     #[test]

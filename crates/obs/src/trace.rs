@@ -71,11 +71,14 @@ pub enum Category {
     /// Tiered-storage movement: cold-tier demotions, spool shipping, and
     /// spool fault-backs.
     Tier,
+    /// Query-service event loop: connection accepts, socket reads,
+    /// protocol dispatch, and backpressured writes.
+    Serve,
 }
 
 impl Category {
     /// All categories, for exporters and tests.
-    pub const ALL: [Category; 14] = [
+    pub const ALL: [Category; 15] = [
         Category::Record,
         Category::Commit,
         Category::RestoreChain,
@@ -90,6 +93,7 @@ impl Category {
         Category::VmExec,
         Category::Slice,
         Category::Tier,
+        Category::Serve,
     ];
 
     /// Stable name used in exports (`cat` in Chrome traces).
@@ -109,6 +113,7 @@ impl Category {
             Category::VmExec => "vm-exec",
             Category::Slice => "slice",
             Category::Tier => "tier",
+            Category::Serve => "serve",
         }
     }
 }

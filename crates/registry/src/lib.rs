@@ -14,19 +14,34 @@
 //!   cache behind one query API.
 //! - [`scheduler`]: bounded worker pool dispatching queued queries with
 //!   per-job priority, cancellation, and a status API.
+//! - [`admission`]: multi-tenant admission control — token quotas,
+//!   concurrent-job limits, and latency-aware queue shedding.
+//! - [`session`]: the serve protocol state machine, shared by the stdin
+//!   adapter and the socket server.
+//! - [`server`]: epoll event loop serving the protocol over TCP and Unix
+//!   sockets with per-connection backpressure (vendored `flor-net`
+//!   syscalls; no tokio, no libc).
 //! - [`error`]: [`RegistryError`], composing with `?` across the
 //!   workspace's error types.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod scheduler;
+pub mod server;
 pub mod service;
+pub mod session;
 
+pub use admission::{AdmissionController, AdmissionPolicy};
 pub use cache::{query_key, CachedResult, QueryCache};
 pub use catalog::{RetentionPolicy, RunCatalog, RunRecord};
 pub use error::RegistryError;
-pub use scheduler::{JobId, JobProgress, JobState, QueryJob, ReplayScheduler};
+pub use scheduler::{
+    CancelResult, JobEvent, JobId, JobProgress, JobSink, JobState, QueryJob, ReplayScheduler,
+};
+pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{QueryEvent, QueryOutcome, Registry};
+pub use session::{ServeSession, SessionControl};

@@ -10,7 +10,9 @@
 
 use crate::error::RegistryError;
 use crate::service::{QueryEvent, QueryOutcome, Registry};
-use std::collections::{BinaryHeap, HashMap};
+use flor_core::logstream::LogEntry;
+use flor_core::CancelToken;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -19,7 +21,7 @@ use std::thread::JoinHandle;
 pub type JobId = u64;
 
 /// A queued hindsight query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryJob {
     /// Target run id.
     pub run_id: String,
@@ -29,6 +31,10 @@ pub struct QueryJob {
     pub workers: usize,
     /// Scheduling priority: higher runs first.
     pub priority: i32,
+    /// Submitting tenant ("" for anonymous/local callers). Tags the
+    /// per-tenant `tenant.<name>.*` metrics and scopes admission-control
+    /// quotas in the serving layer.
+    pub tenant: String,
 }
 
 /// Where a job is in its lifecycle.
@@ -103,6 +109,127 @@ impl JobProgress {
     }
 }
 
+/// What [`ReplayScheduler::cancel_job`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelResult {
+    /// The job was still queued; it is now terminal `Cancelled`.
+    Cancelled,
+    /// The job was running; its cancellation token fired and the replay
+    /// workers stop at their next iteration boundary. The terminal
+    /// `Cancelled` state lands asynchronously (watch via `wait`/sink).
+    CancelRequested,
+    /// Unknown id or already terminal.
+    NotCancellable,
+}
+
+/// One event pushed into a job's [`JobSink`].
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// A record-order chunk of streamed log entries.
+    Entries(Vec<LogEntry>),
+    /// Updated progress counters (coalesced: a sink holds at most one
+    /// pending progress event at its tail).
+    Progress(JobProgress),
+    /// A deferred-check anomaly.
+    Anomaly(String),
+    /// The job reached this terminal state. Always the sink's last event.
+    Done(JobState),
+}
+
+/// Bounded, job-scoped event queue decoupling replay workers from slow
+/// network readers: the scheduler's worker pushes (never blocking — full
+/// sinks drop entry chunks, the connection catches up from the completed
+/// outcome's log), and the serving event loop drains at its own pace.
+/// `wake` fires after every push so an epoll loop can sleep between
+/// events.
+pub struct JobSink {
+    inner: Mutex<SinkInner>,
+    want_entries: bool,
+    cap: usize,
+    wake: Box<dyn Fn() + Send + Sync>,
+}
+
+struct SinkInner {
+    queue: VecDeque<JobEvent>,
+    dropped_entries: u64,
+    done: bool,
+}
+
+impl JobSink {
+    /// A sink holding at most `cap` queued events. `want_entries: false`
+    /// skips log chunks entirely (status-only watchers); the terminal
+    /// event always fits regardless of `cap`.
+    pub fn new(want_entries: bool, cap: usize, wake: impl Fn() + Send + Sync + 'static) -> JobSink {
+        JobSink {
+            inner: Mutex::new(SinkInner {
+                queue: VecDeque::new(),
+                dropped_entries: 0,
+                done: false,
+            }),
+            want_entries,
+            cap: cap.max(1),
+            wake: Box::new(wake),
+        }
+    }
+
+    pub(crate) fn push(&self, ev: JobEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        match ev {
+            JobEvent::Done(_) => {
+                inner.done = true;
+                inner.queue.push_back(ev);
+            }
+            JobEvent::Entries(chunk) => {
+                if !self.want_entries || inner.queue.len() >= self.cap {
+                    inner.dropped_entries += chunk.len() as u64;
+                } else {
+                    inner.queue.push_back(JobEvent::Entries(chunk));
+                }
+            }
+            JobEvent::Progress(p) => {
+                // Coalesce: a reader that can't keep up sees the latest
+                // counters, not a backlog of stale ones.
+                if matches!(inner.queue.back(), Some(JobEvent::Progress(_))) {
+                    inner.queue.pop_back();
+                }
+                inner.queue.push_back(JobEvent::Progress(p));
+            }
+            JobEvent::Anomaly(_) => inner.queue.push_back(ev),
+        }
+        drop(inner);
+        (self.wake)();
+    }
+
+    /// Takes every queued event (FIFO).
+    pub fn drain(&self) -> Vec<JobEvent> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.queue.drain(..).collect()
+    }
+
+    /// True once the terminal event has been pushed (it may still be
+    /// waiting in the queue for a drain).
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().unwrap().done
+    }
+
+    /// Entry chunks dropped because the sink was full (or entries were
+    /// not wanted); the completed outcome's log makes readers whole.
+    pub fn dropped_entries(&self) -> u64 {
+        self.inner.lock().unwrap().dropped_entries
+    }
+}
+
+impl std::fmt::Debug for JobSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("JobSink")
+            .field("queued", &inner.queue.len())
+            .field("done", &inner.done)
+            .field("dropped_entries", &inner.dropped_entries)
+            .finish()
+    }
+}
+
 /// Entry in the priority queue. Ordering: priority desc, then submission
 /// order asc (BinaryHeap is a max-heap, so `seq` is compared reversed).
 struct QueuedJob {
@@ -140,6 +267,13 @@ struct SchedState {
     next_seq: u64,
     /// Jobs submitted but not yet terminal (queued or running).
     outstanding: usize,
+    /// Jobs waiting in the queue (excludes running; stale heap entries
+    /// for already-cancelled jobs are not counted).
+    queued: usize,
+    /// Cancellation tokens of running jobs.
+    cancels: HashMap<JobId, CancelToken>,
+    /// Event sinks of jobs submitted with one.
+    sinks: HashMap<JobId, Arc<JobSink>>,
 }
 
 struct Shared {
@@ -150,6 +284,8 @@ struct Shared {
     /// Signaled whenever a job reaches a terminal state.
     job_done: Condvar,
     shutdown: AtomicBool,
+    /// Maximum queued (not yet running) jobs; 0 = unbounded.
+    queue_limit: usize,
 }
 
 /// Bounded worker pool executing [`QueryJob`]s against a shared
@@ -161,8 +297,19 @@ pub struct ReplayScheduler {
 
 impl ReplayScheduler {
     /// Starts a pool of `pool_workers` threads (at least 1) serving
-    /// queries from `registry`.
+    /// queries from `registry`, with an unbounded queue.
     pub fn new(registry: Arc<Registry>, pool_workers: usize) -> Self {
+        Self::with_queue_limit(registry, pool_workers, 0)
+    }
+
+    /// [`ReplayScheduler::new`] with a bound on queued (not yet running)
+    /// jobs: submissions past `queue_limit` fail fast with a scheduler
+    /// error instead of growing the backlog (0 = unbounded).
+    pub fn with_queue_limit(
+        registry: Arc<Registry>,
+        pool_workers: usize,
+        queue_limit: usize,
+    ) -> Self {
         let shared = Arc::new(Shared {
             registry,
             state: Mutex::new(SchedState {
@@ -172,10 +319,14 @@ impl ReplayScheduler {
                 next_id: 1,
                 next_seq: 0,
                 outstanding: 0,
+                queued: 0,
+                cancels: HashMap::new(),
+                sinks: HashMap::new(),
             }),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            queue_limit,
         });
         let workers = (0..pool_workers.max(1))
             .map(|i| {
@@ -193,16 +344,46 @@ impl ReplayScheduler {
 
     /// Enqueues a job; returns its id immediately.
     pub fn submit(&self, job: QueryJob) -> Result<JobId, RegistryError> {
+        self.submit_inner(job, None)
+    }
+
+    /// Enqueues a job with an event sink: the executing worker pushes
+    /// streamed log chunks, progress, anomalies, and finally the terminal
+    /// state into `sink` — the push side of the serving layer's
+    /// backpressured live streaming.
+    pub fn submit_with_sink(
+        &self,
+        job: QueryJob,
+        sink: Arc<JobSink>,
+    ) -> Result<JobId, RegistryError> {
+        self.submit_inner(job, Some(sink))
+    }
+
+    fn submit_inner(
+        &self,
+        job: QueryJob,
+        sink: Option<Arc<JobSink>>,
+    ) -> Result<JobId, RegistryError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(RegistryError::Scheduler("scheduler is shut down".into()));
         }
         let mut state = self.shared.state.lock().unwrap();
+        if self.shared.queue_limit > 0 && state.queued >= self.shared.queue_limit {
+            return Err(RegistryError::Scheduler(format!(
+                "queue full ({} queued jobs)",
+                state.queued
+            )));
+        }
         let id = state.next_id;
         state.next_id += 1;
         let seq = state.next_seq;
         state.next_seq += 1;
         state.jobs.insert(id, JobState::Queued);
         state.outstanding += 1;
+        state.queued += 1;
+        if let Some(sink) = sink {
+            state.sinks.insert(id, sink);
+        }
         state.queue.push(QueuedJob {
             priority: job.priority,
             seq,
@@ -227,19 +408,57 @@ impl ReplayScheduler {
     }
 
     /// Cancels a job if it is still queued. Returns `true` on success;
-    /// running or finished jobs are not interrupted.
+    /// running or finished jobs are not interrupted (use
+    /// [`ReplayScheduler::cancel_job`] for cooperative mid-flight
+    /// cancellation).
     pub fn cancel(&self, id: JobId) -> bool {
         let mut state = self.shared.state.lock().unwrap();
         match state.jobs.get(&id) {
             Some(JobState::Queued) => {
-                state.jobs.insert(id, JobState::Cancelled);
-                state.outstanding -= 1;
-                // The queue entry stays; workers skip ids no longer Queued.
+                Self::cancel_queued_locked(&mut state, id);
                 drop(state);
                 self.shared.job_done.notify_all();
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Cancels a job wherever it is in its lifecycle: queued jobs become
+    /// terminal `Cancelled` immediately; running jobs get their
+    /// cancellation token fired, and the replay's workers bail out at the
+    /// next iteration boundary (the replay errors with `Cancelled`, the
+    /// result is never cached, and the job slot frees).
+    pub fn cancel_job(&self, id: JobId) -> CancelResult {
+        let mut state = self.shared.state.lock().unwrap();
+        match state.jobs.get(&id) {
+            Some(JobState::Queued) => {
+                Self::cancel_queued_locked(&mut state, id);
+                drop(state);
+                self.shared.job_done.notify_all();
+                CancelResult::Cancelled
+            }
+            Some(JobState::Running) => {
+                if let Some(token) = state.cancels.get(&id) {
+                    token.cancel();
+                }
+                // `outstanding` is untouched: the worker observes the
+                // token, finishes with `Cancelled`, and decrements.
+                CancelResult::CancelRequested
+            }
+            _ => CancelResult::NotCancellable,
+        }
+    }
+
+    /// Marks a queued job Cancelled under the state lock: terminal state,
+    /// slot bookkeeping, and the sink's Done event (the heap entry stays;
+    /// workers skip ids no longer Queued).
+    fn cancel_queued_locked(state: &mut SchedState, id: JobId) {
+        state.jobs.insert(id, JobState::Cancelled);
+        state.outstanding -= 1;
+        state.queued = state.queued.saturating_sub(1);
+        if let Some(sink) = state.sinks.remove(&id) {
+            sink.push(JobEvent::Done(JobState::Cancelled));
         }
     }
 
@@ -271,6 +490,12 @@ impl ReplayScheduler {
     pub fn outstanding(&self) -> usize {
         self.shared.state.lock().unwrap().outstanding
     }
+
+    /// Jobs waiting in the queue (not yet picked up by a worker) — the
+    /// depth admission control sheds on.
+    pub fn queued_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queued
+    }
 }
 
 impl Drop for ReplayScheduler {
@@ -289,8 +514,7 @@ impl Drop for ReplayScheduler {
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
-            state.jobs.insert(id, JobState::Cancelled);
-            state.outstanding -= 1;
+            Self::cancel_queued_locked(&mut state, id);
         }
         drop(state);
         self.shared.job_done.notify_all();
@@ -303,7 +527,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
         &format!("scheduler-{worker}"),
     );
     loop {
-        let (id, job) = {
+        let (id, job, cancel, sink) = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -314,7 +538,11 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     Some(q) => {
                         if matches!(state.jobs.get(&q.id), Some(JobState::Queued)) {
                             state.jobs.insert(q.id, JobState::Running);
-                            break (q.id, q.job);
+                            state.queued = state.queued.saturating_sub(1);
+                            let cancel = CancelToken::new();
+                            state.cancels.insert(q.id, cancel.clone());
+                            let sink = state.sinks.get(&q.id).cloned();
+                            break (q.id, q.job, cancel, sink);
                         }
                         // else: stale entry for a cancelled job — drop it.
                     }
@@ -334,12 +562,13 @@ fn worker_loop(shared: &Shared, worker: usize) {
             let mut state = shared.state.lock().unwrap();
             let p = state.progress.entry(id).or_default();
             p.wall_ns = flor_obs::clock::since_ns(t0);
-            match ev {
+            let forwarded = match ev {
                 QueryEvent::Entries(chunk) => {
                     if p.entries_streamed == 0 && !chunk.is_empty() {
                         p.stream_first_entry_ns = p.wall_ns;
                     }
                     p.entries_streamed += chunk.len() as u64;
+                    JobEvent::Entries(chunk)
                 }
                 QueryEvent::Progress {
                     iterations_done,
@@ -349,19 +578,29 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     p.iterations_done = iterations_done;
                     p.iterations_total = iterations_total;
                     p.steals = steals;
+                    JobEvent::Progress(*p)
                 }
-                QueryEvent::Anomaly(_) => {}
+                QueryEvent::Anomaly(a) => JobEvent::Anomaly(a),
+            };
+            drop(state);
+            if let Some(sink) = &sink {
+                sink.push(forwarded);
             }
         };
-        let outcome = shared.registry.query_streaming(
+        let outcome = shared.registry.query_streaming_cancellable(
             &job.run_id,
             &job.probed_source,
             job.workers,
+            Some(cancel),
             &mut on_event,
         );
         let wall_ns = flor_obs::clock::since_ns(t0);
         drop(span);
         flor_obs::histogram!("scheduler.job_ns").observe(wall_ns);
+        if !job.tenant.is_empty() {
+            flor_obs::metrics::histogram_named(&format!("tenant.{}.job_ns", job.tenant))
+                .observe(wall_ns);
+        }
         let terminal = match &outcome {
             Ok(result) => {
                 let mut state = shared.state.lock().unwrap();
@@ -377,13 +616,19 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 drop(state);
                 JobState::Completed(result.clone())
             }
+            Err(RegistryError::Engine(flor_core::FlorError::Cancelled)) => JobState::Cancelled,
             Err(e) => JobState::Failed(e.to_string()),
         };
         let mut state = shared.state.lock().unwrap();
         state.progress.entry(id).or_default().wall_ns = wall_ns;
-        state.jobs.insert(id, terminal);
+        state.jobs.insert(id, terminal.clone());
         state.outstanding -= 1;
+        state.cancels.remove(&id);
+        let sink = state.sinks.remove(&id);
         drop(state);
+        if let Some(sink) = sink {
+            sink.push(JobEvent::Done(terminal));
+        }
         shared.job_done.notify_all();
     }
 }

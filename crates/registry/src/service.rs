@@ -344,7 +344,7 @@ impl Registry {
         probed_source: &str,
         workers: usize,
     ) -> Result<QueryOutcome, RegistryError> {
-        self.query_impl(run_id, probed_source, workers, None)
+        self.query_impl(run_id, probed_source, workers, None, None)
     }
 
     /// [`Registry::query`] with a streaming observer: `on_event` receives
@@ -360,7 +360,24 @@ impl Registry {
         workers: usize,
         on_event: &mut dyn FnMut(QueryEvent),
     ) -> Result<QueryOutcome, RegistryError> {
-        self.query_impl(run_id, probed_source, workers, Some(on_event))
+        self.query_impl(run_id, probed_source, workers, Some(on_event), None)
+    }
+
+    /// [`Registry::query_streaming`] with a cooperative cancellation
+    /// token: once it fires, the replay's workers stop at their next
+    /// iteration boundary and the query fails with
+    /// `FlorError::Cancelled`. Cancelled replays are never cached, so a
+    /// re-issued identical query replays fresh (or joins another
+    /// in-flight replay via single-flight).
+    pub fn query_streaming_cancellable(
+        &self,
+        run_id: &str,
+        probed_source: &str,
+        workers: usize,
+        cancel: Option<flor_core::CancelToken>,
+        on_event: &mut dyn FnMut(QueryEvent),
+    ) -> Result<QueryOutcome, RegistryError> {
+        self.query_impl(run_id, probed_source, workers, Some(on_event), cancel)
     }
 
     /// Shared body of [`Registry::query`] / [`Registry::query_streaming`].
@@ -372,6 +389,7 @@ impl Registry {
         probed_source: &str,
         workers: usize,
         mut observer: Option<&mut dyn FnMut(QueryEvent)>,
+        cancel: Option<flor_core::CancelToken>,
     ) -> Result<QueryOutcome, RegistryError> {
         flor_obs::counter!("registry.queries").inc();
         let rec = self.run(run_id)?;
@@ -387,7 +405,7 @@ impl Registry {
             if let Some(hit) = self.cache.get(&key) {
                 Ok(self.cached_outcome(run_id, &key, hit, false, &mut observer))
             } else {
-                self.replay_query(run_id, &rec, probed_source, workers, &key, observer)
+                self.replay_query(run_id, &rec, probed_source, workers, &key, observer, cancel)
             }
         };
         // Drop the gate's map entry so a long-lived service doesn't grow
@@ -465,6 +483,7 @@ impl Registry {
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn replay_query(
         &self,
         run_id: &str,
@@ -473,6 +492,7 @@ impl Registry {
         workers: usize,
         key: &str,
         mut observer: Option<&mut dyn FnMut(QueryEvent)>,
+        cancel: Option<flor_core::CancelToken>,
     ) -> Result<QueryOutcome, RegistryError> {
         let store = self.store_handle_at(run_id, &rec.store_root)?;
         // Cross-query slice memo: a textually different probe that parses,
@@ -497,6 +517,7 @@ impl Registry {
             vm: self.vm.load(std::sync::atomic::Ordering::Relaxed),
             slice: self.slice.load(std::sync::atomic::Ordering::Relaxed),
             module_cache: Some(self.module_cache.clone()),
+            cancel,
         };
         let report = replay_streaming(probed_source, store, &opts, |ev| {
             let Some(on_event) = observer.as_deref_mut() else {
@@ -582,6 +603,13 @@ impl Registry {
     /// `metrics` verb.
     pub fn metrics_snapshot(&self) -> flor_obs::MetricSnapshot {
         flor_obs::metrics::snapshot()
+    }
+
+    /// Per-tenant slice of the metrics registry: only the
+    /// `tenant.<name>.*` counters and histograms the serving layer tags —
+    /// the payload behind `flor serve`'s `metrics <tenant>` verb.
+    pub fn tenant_metrics_snapshot(&self, tenant: &str) -> flor_obs::MetricSnapshot {
+        flor_obs::metrics::snapshot_prefixed(&format!("tenant.{tenant}."))
     }
 
     // ---- storage-engine surface -------------------------------------------

@@ -2,9 +2,10 @@
 //! them, serve hindsight queries through the cache and the scheduler.
 
 use flor_core::record::{record, RecordOptions};
-use flor_registry::{JobState, QueryJob, Registry, ReplayScheduler};
+use flor_registry::{CancelResult, JobState, QueryJob, Registry, ReplayScheduler};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn tmproot(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -297,6 +298,7 @@ fn scheduler_completes_queued_queries_across_runs() {
                     probed_source: q,
                     workers: 2,
                     priority,
+                    tenant: String::new(),
                 })
                 .unwrap(),
         );
@@ -356,6 +358,7 @@ fn scheduler_priority_orders_queued_work() {
             probed_source: mk("head"),
             workers: 1,
             priority: 0,
+            tenant: String::new(),
         })
         .unwrap();
     let low = sched
@@ -364,6 +367,7 @@ fn scheduler_priority_orders_queued_work() {
             probed_source: mk("low"),
             workers: 1,
             priority: -1,
+            tenant: String::new(),
         })
         .unwrap();
     let high = sched
@@ -372,6 +376,7 @@ fn scheduler_priority_orders_queued_work() {
             probed_source: mk("high"),
             workers: 1,
             priority: 9,
+            tenant: String::new(),
         })
         .unwrap();
     // `high` must complete no later than `low` despite being submitted
@@ -398,6 +403,7 @@ fn scheduler_cancel_while_queued() {
             probed_source: probed(&src),
             workers: 1,
             priority: 0,
+            tenant: String::new(),
         })
         .unwrap();
     let victim = sched
@@ -406,6 +412,7 @@ fn scheduler_cancel_while_queued() {
             probed_source: src.replace("avg.mean()", "avg.mean() * 1.0"),
             workers: 1,
             priority: -5,
+            tenant: String::new(),
         })
         .unwrap();
     assert!(sched.cancel(victim), "queued job is cancellable");
@@ -413,6 +420,115 @@ fn scheduler_cancel_while_queued() {
     sched.wait(head).unwrap();
     sched.drain();
     assert!(!sched.cancel(head), "finished job is not cancellable");
+}
+
+#[test]
+fn cancel_mid_replay_plateaus_frees_the_slot_and_never_poisons_the_cache() {
+    // A big dataset and a probe whose logged value needs a full-dataset
+    // evaluation per batch step: the probe is live (its result is logged)
+    // and depends on per-batch optimizer state, so slicing cannot elide
+    // it and the hindsight replay runs long enough to cancel mid-flight
+    // even on a loaded single-core host.
+    let src = "\
+import flor
+data = synth_data(n=800, dim=8, classes=2, seed=5)
+loader = dataloader(data, batch_size=40, seed=5)
+net = mlp(input=8, hidden=32, classes=2, depth=1, seed=5)
+optimizer = sgd(net, lr=0.1)
+criterion = cross_entropy()
+avg = meter()
+for epoch in range(16):
+    avg.reset()
+    for batch in loader.epoch():
+        optimizer.zero_grad()
+        preds = net.forward(batch)
+        loss = criterion.forward(preds, batch)
+        grad = criterion.backward()
+        net.backward(grad)
+        optimizer.step()
+        avg.update(loss)
+    log(\"loss\", avg.mean())
+";
+    let reg = Arc::new(Registry::open(tmproot("cancel-mid")).unwrap());
+    reg.record_run("r", src, no_adaptive).unwrap();
+    let q = src.replace(
+        "        optimizer.step()\n",
+        "        optimizer.step()\n        log(\"probe_acc\", evaluate(net, data))\n",
+    );
+    assert_ne!(q, src);
+    let sched = ReplayScheduler::new(reg.clone(), 1);
+    let victim = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: q.clone(),
+            workers: 1,
+            priority: 0,
+            tenant: String::new(),
+        })
+        .unwrap();
+
+    // Wait until the replay is demonstrably mid-flight (≥1 iteration in),
+    // then fire the cooperative token.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "job never progressed");
+        let running = matches!(sched.status(victim), Some(JobState::Running));
+        if running
+            && sched
+                .progress(victim)
+                .is_some_and(|p| p.iterations_done >= 1)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(sched.cancel_job(victim), CancelResult::CancelRequested);
+    {
+        let st = sched.wait(victim).unwrap();
+        assert!(matches!(st, JobState::Cancelled), "got {:?}", st);
+    }
+
+    // The iteration counter plateaued: the token stopped the replay before
+    // the remaining epochs ran, and it stays put after termination.
+    let at_cancel = sched.progress(victim).unwrap();
+    assert!(
+        at_cancel.iterations_done < at_cancel.iterations_total,
+        "cancelled mid-flight: {}/{}",
+        at_cancel.iterations_done,
+        at_cancel.iterations_total
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        sched.progress(victim).unwrap().iterations_done,
+        at_cancel.iterations_done,
+        "no iterations after cancellation"
+    );
+
+    // The worker slot is free: the next job on the same 1-worker pool
+    // completes (a cancelled job that pinned its slot would hang this).
+    let follow = sched
+        .submit(QueryJob {
+            run_id: "r".into(),
+            probed_source: src.to_string(),
+            workers: 1,
+            priority: 0,
+            tenant: String::new(),
+        })
+        .unwrap();
+    assert!(matches!(
+        sched.wait(follow).unwrap(),
+        JobState::Completed(_)
+    ));
+
+    // The aborted replay was never cached: re-issuing the identical query
+    // replays fresh, and only its *completed* answer populates the cache.
+    let first = reg.query("r", &q, 1).unwrap();
+    assert!(!first.cached, "a cancelled replay must not seed the cache");
+    assert!(first.anomalies.is_empty(), "{:?}", first.anomalies);
+    let second = reg.query("r", &q, 1).unwrap();
+    assert!(second.cached);
+    assert_eq!(second.log, first.log, "byte-identical via the cache");
+    sched.drain();
 }
 
 #[test]

@@ -212,6 +212,7 @@ fn scheduler_exposes_streaming_progress() {
             probed_source: inner_probed(),
             workers: 4,
             priority: 0,
+            tenant: String::new(),
         })
         .unwrap();
     let state = scheduler.wait(id).unwrap();

@@ -28,6 +28,7 @@ fn opts(workers: usize, steal: bool, vm: bool, slice: bool) -> ReplayOptions {
         vm,
         slice,
         module_cache: None,
+        cancel: None,
     }
 }
 

@@ -300,6 +300,69 @@ fn cli_query_trace_flag_writes_a_parseable_chrome_trace() {
 }
 
 #[test]
+fn socket_service_emits_serve_category_spans() {
+    // The epoll query service wraps its event-loop stages in `serve`
+    // spans — accept, read (line parse + dispatch), dispatch (one per
+    // protocol command), write (flush) — so a trace of a serving
+    // process shows where connection time goes.
+    if !flor_net::supported() {
+        return;
+    }
+    let dir = tmp_dir("serve-cat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let small = SKEWED_1K_SRC
+        .replace("range(16)", "range(4)")
+        .replace("n=320", "n=40");
+    let registry = std::sync::Arc::new(Registry::open(dir.join("registry")).unwrap());
+    registry
+        .record_run("serve-cat", &small, |o| o.adaptive = false)
+        .unwrap();
+    let probed = dir.join("probed.flr");
+    std::fs::write(&probed, inner_probed(&small)).unwrap();
+
+    let session = TraceSession::start();
+    let handle =
+        flor_registry::Server::start(registry, flor_registry::ServerConfig::default()).unwrap();
+    let ep = handle.local_endpoints()[0].clone();
+    let conn = flor_net::ClientConn::connect(&ep).unwrap();
+    use std::io::{BufRead, Write};
+    (&conn)
+        .write_all(format!("query serve-cat {}\ndrain\nquit\n", probed.display()).as_bytes())
+        .unwrap();
+    let mut lines = Vec::new();
+    let mut rd = std::io::BufReader::new(&conn);
+    loop {
+        let mut s = String::new();
+        if rd.read_line(&mut s).unwrap() == 0 {
+            break;
+        }
+        lines.push(s.trim_end_matches('\n').to_string());
+    }
+    drop(handle); // shut the server down before sampling the trace
+    let trace = session.finish();
+
+    assert!(
+        lines.iter().any(|l| l.starts_with("job 1 done:")),
+        "{lines:?}"
+    );
+    assert!(
+        trace.categories().contains(&Category::Serve),
+        "serve category missing: {:?}",
+        trace.categories()
+    );
+    for stage in ["accept", "read", "dispatch", "write"] {
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.cat == Category::Serve && e.name == stage),
+            "serve span {stage:?} missing"
+        );
+    }
+    assert_eq!(Category::Serve.as_str(), "serve");
+}
+
+#[test]
 fn tier_demotion_emits_tier_category_spans() {
     // The tiered-storage movement path (demote → ship → delete local) runs
     // under a `tier` span, so storage-operations traces show where cold

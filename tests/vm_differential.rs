@@ -48,6 +48,7 @@ fn opts(workers: usize, steal: bool, vm: bool) -> ReplayOptions {
         vm,
         slice: true,
         module_cache: None,
+        cancel: None,
     }
 }
 

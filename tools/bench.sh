@@ -4,7 +4,7 @@
 #   ./tools/bench.sh            # full run: criterion benches + BENCH_*.json
 #   ./tools/bench.sh --quick    # CI smoke: quick criterion pass + quick JSON
 #
-# Emits seven committed artifacts at the repo root so future PRs can be
+# Emits eight committed artifacts at the repo root so future PRs can be
 # held to the trajectory:
 #   BENCH_record.json       — caller-thread submit latency per materialization
 #                             strategy (zero-copy vs pre-refactor eager copies)
@@ -26,6 +26,10 @@
 #                             mmap segment reads vs the pre-tier whole-file
 #                             engine, plus the dedup arena's bytes-on-disk
 #                             ratio across an identical-record sweep
+#   BENCH_serve.json        — async query service over real sockets: 1 vs 16
+#                             closed-loop clients under an emulated 2ms RTT,
+#                             admission-control overhead and shedding, and
+#                             fresh-replay TTFE beside a jammed slow reader
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,6 +64,7 @@ COMPRESS_OUT=BENCH_compress.json
 INTERP_OUT=BENCH_interp.json
 SLICE_OUT=BENCH_slice.json
 STORE_TIER_OUT=BENCH_store_tier.json
+SERVE_OUT=BENCH_serve.json
 if [[ "$QUICK" == "1" ]]; then
     RECORD_OUT=target/BENCH_record.quick.json
     REPLAY_OUT=target/BENCH_replay.quick.json
@@ -68,6 +73,7 @@ if [[ "$QUICK" == "1" ]]; then
     INTERP_OUT=target/BENCH_interp.quick.json
     SLICE_OUT=target/BENCH_slice.quick.json
     STORE_TIER_OUT=target/BENCH_store_tier.quick.json
+    SERVE_OUT=target/BENCH_serve.quick.json
 fi
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_record_json -- "$RECORD_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_replay_json -- "$REPLAY_OUT"
@@ -76,6 +82,7 @@ FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_comp
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_interp -- "$INTERP_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_slice -- "$SLICE_OUT"
 FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_store_tier -- "$STORE_TIER_OUT"
+FLOR_BENCH_QUICK="$QUICK" run cargo run --release -p flor-bench --bin bench_serve -- "$SERVE_OUT"
 
 echo
-echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT, $SLICE_OUT, $STORE_TIER_OUT written)"
+echo "bench: OK ($RECORD_OUT, $REPLAY_OUT, $SCHED_OUT, $COMPRESS_OUT, $INTERP_OUT, $SLICE_OUT, $STORE_TIER_OUT, $SERVE_OUT written)"
