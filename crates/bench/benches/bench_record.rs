@@ -24,7 +24,9 @@ fn bench_record(c: &mut Criterion) {
             let dir = std::env::temp_dir()
                 .join(format!("flor-bench-record-{}-{run}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
-            record(scripts::CV_TRAIN, &RecordOptions::new(dir)).unwrap()
+            let out = record(scripts::CV_TRAIN, &RecordOptions::new(dir.clone())).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            out
         })
     });
     group.finish();
@@ -45,7 +47,7 @@ fn bench_submit(c: &mut Criterion) {
                 std::process::id()
             ));
             let _ = std::fs::remove_dir_all(&dir);
-            let store = Arc::new(CheckpointStore::open(dir).unwrap());
+            let store = Arc::new(CheckpointStore::open(dir.clone()).unwrap());
             let mat = Materializer::new(store, strategy, 2);
             group.bench_with_input(
                 BenchmarkId::new(format!("{strategy:?}"), mode.label()),
@@ -58,6 +60,10 @@ fn bench_submit(c: &mut Criterion) {
                 },
             );
             mat.flush();
+            // Each fixture store grows to multiple GiB; leaking it fills
+            // /tmp after a handful of CI runs.
+            drop(mat);
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
     group.finish();

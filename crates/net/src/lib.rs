@@ -99,6 +99,7 @@ fn sockaddr_in(ip: Ipv4Addr, port: u16) -> Vec<u8> {
 
 /// Encodes a `sockaddr_un` for a pathname socket (family + NUL-terminated
 /// path). Errors when the path exceeds the kernel's 107-byte limit.
+#[cfg(unix)]
 fn sockaddr_un(path: &std::path::Path) -> io::Result<Vec<u8>> {
     use std::os::unix::ffi::OsStrExt;
     let bytes = path.as_os_str().as_bytes();
@@ -395,10 +396,12 @@ pub struct PollEvent {
     pub hangup: bool,
 }
 
-/// Level-triggered epoll instance. Registrations always watch for input
-/// and peer hangup; write interest is toggled on only while a connection
-/// has buffered output (the standard level-triggered discipline, avoiding
-/// a busy loop on permanently-writable sockets).
+/// Level-triggered epoll instance. Registrations start out watching for
+/// input and peer hangup; write interest is toggled on only while a
+/// connection has buffered output, and read interest is toggled off once
+/// the peer half-closes (the standard level-triggered discipline — a
+/// permanently-writable socket or a permanently-readable EOF would
+/// otherwise busy-loop the poller).
 #[derive(Debug)]
 pub struct Poller {
     epfd: Fd,
@@ -414,18 +417,22 @@ impl Poller {
         Ok(Poller { epfd: Fd(epfd) })
     }
 
-    fn interest(want_write: bool) -> u32 {
-        let mut ev = sys::EPOLLIN | sys::EPOLLRDHUP;
+    fn interest(want_read: bool, want_write: bool) -> u32 {
+        let mut ev = 0;
+        if want_read {
+            ev |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
         if want_write {
             ev |= sys::EPOLLOUT;
         }
         ev
     }
 
-    /// Registers `fd` under `token`.
+    /// Registers `fd` under `token`, watching for input and peer hangup
+    /// (plus writability when `want_write`).
     pub fn add(&self, fd: i32, token: u64, want_write: bool) -> io::Result<()> {
         let ev = sys::EpollEvent {
-            events: Self::interest(want_write),
+            events: Self::interest(true, want_write),
             data: token,
         };
         sys::check(sys::epoll_ctl(
@@ -437,10 +444,28 @@ impl Poller {
         .map(|_| ())
     }
 
-    /// Toggles write interest for an already-registered descriptor.
+    /// Toggles write interest for an already-registered descriptor
+    /// (read/hangup interest stays on).
     pub fn set_write_interest(&self, fd: i32, token: u64, want_write: bool) -> io::Result<()> {
+        self.set_interest(fd, token, true, want_write)
+    }
+
+    /// Replaces both interests for an already-registered descriptor.
+    /// Dropping read interest also drops `EPOLLRDHUP`: under level
+    /// triggering a half-closed peer keeps both conditions asserted
+    /// forever, so a connection that has seen EOF must stop watching them
+    /// or every `wait` returns immediately. `EPOLLHUP`/`EPOLLERR` are
+    /// still reported (the kernel always delivers those), so a fully
+    /// closed or errored peer is not missed.
+    pub fn set_interest(
+        &self,
+        fd: i32,
+        token: u64,
+        want_read: bool,
+        want_write: bool,
+    ) -> io::Result<()> {
         let ev = sys::EpollEvent {
-            events: Self::interest(want_write),
+            events: Self::interest(want_read, want_write),
             data: token,
         };
         sys::check(sys::epoll_ctl(
@@ -648,6 +673,56 @@ mod tests {
             return;
         }
         echo_roundtrip(&Endpoint::Tcp(Ipv4Addr::LOCALHOST, 0));
+    }
+
+    /// A half-closed peer keeps `EPOLLIN|EPOLLRDHUP` asserted forever
+    /// under level triggering; dropping read interest via `set_interest`
+    /// must silence it so an event loop can idle while it finishes
+    /// streaming to the still-open write side.
+    #[test]
+    fn set_interest_silences_a_half_closed_peer() {
+        if !supported() {
+            return;
+        }
+        let listener = Listener::bind(&Endpoint::Tcp(Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let client = ClientConn::connect(listener.local_endpoint()).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.raw_fd(), 1, false).unwrap();
+        let mut events = Vec::new();
+        let mut conn = None;
+        for _ in 0..200 {
+            poller.wait(&mut events, 50).unwrap();
+            if let Some(c) = listener.accept().unwrap() {
+                conn = Some(c);
+                break;
+            }
+        }
+        let conn = conn.expect("client never accepted");
+        poller.add(conn.raw_fd(), 2, false).unwrap();
+        client.shutdown_write().unwrap();
+
+        // The EOF becomes visible as a read-ready event…
+        let mut saw_eof = false;
+        for _ in 0..200 {
+            poller.wait(&mut events, 50).unwrap();
+            if events.iter().any(|e| e.token == 2) {
+                let mut buf = [0u8; 16];
+                assert_eq!(conn.try_read(&mut buf).unwrap(), Some(0));
+                saw_eof = true;
+                break;
+            }
+        }
+        assert!(saw_eof, "poller never reported the half-close");
+        // …and stays asserted: a zero-timeout wait still reports the fd.
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().any(|e| e.token == 2), "{events:?}");
+
+        // Dropping read interest silences it (EPOLLHUP/ERR would still
+        // report a full close).
+        poller.set_interest(conn.raw_fd(), 2, false, false).unwrap();
+        poller.wait(&mut events, 100).unwrap();
+        assert!(events.iter().all(|e| e.token != 2), "{events:?}");
+        drop(client);
     }
 
     #[test]

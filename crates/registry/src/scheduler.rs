@@ -142,6 +142,12 @@ pub enum JobEvent {
 /// outcome's log), and the serving event loop drains at its own pace.
 /// `wake` fires after every push so an epoll loop can sleep between
 /// events.
+///
+/// Drops are *sticky*: once one entry chunk is dropped, every later one
+/// is dropped too (until the terminal event). The delivered entries are
+/// therefore always a contiguous prefix of the job's final log — the
+/// invariant the connection's completion catch-up relies on to resume at
+/// its emitted-entry count without gaps, duplicates, or reordering.
 pub struct JobSink {
     inner: Mutex<SinkInner>,
     want_entries: bool,
@@ -152,6 +158,9 @@ pub struct JobSink {
 struct SinkInner {
     queue: VecDeque<JobEvent>,
     dropped_entries: u64,
+    /// An entry chunk was dropped: reject all later ones (see the
+    /// stickiness note on [`JobSink`]).
+    dropping: bool,
     done: bool,
 }
 
@@ -164,6 +173,7 @@ impl JobSink {
             inner: Mutex::new(SinkInner {
                 queue: VecDeque::new(),
                 dropped_entries: 0,
+                dropping: false,
                 done: false,
             }),
             want_entries,
@@ -180,8 +190,16 @@ impl JobSink {
                 inner.queue.push_back(ev);
             }
             JobEvent::Entries(chunk) => {
-                if !self.want_entries || inner.queue.len() >= self.cap {
+                if !self.want_entries || inner.dropping || inner.queue.len() >= self.cap {
+                    // Sticky drop: delivering a later chunk after a gap
+                    // would corrupt the stream (the reader resumes from
+                    // its emitted-entry count at completion).
+                    inner.dropping = true;
                     inner.dropped_entries += chunk.len() as u64;
+                    if self.want_entries {
+                        flor_obs::metrics::counter("scheduler.sink_dropped_entries")
+                            .add(chunk.len() as u64);
+                    }
                 } else {
                     inner.queue.push_back(JobEvent::Entries(chunk));
                 }
@@ -212,8 +230,9 @@ impl JobSink {
         self.inner.lock().unwrap().done
     }
 
-    /// Entry chunks dropped because the sink was full (or entries were
-    /// not wanted); the completed outcome's log makes readers whole.
+    /// Entries dropped because the sink was full, a drop already made the
+    /// tail sticky, or entries were not wanted; the completed outcome's
+    /// log makes readers whole (they extend their contiguous prefix).
     pub fn dropped_entries(&self) -> u64 {
         self.inner.lock().unwrap().dropped_entries
     }
@@ -630,5 +649,53 @@ fn worker_loop(shared: &Shared, worker: usize) {
             sink.push(JobEvent::Done(terminal));
         }
         shared.job_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flor_core::logstream::Section;
+
+    fn entry(i: u64) -> LogEntry {
+        LogEntry {
+            key: "loss".into(),
+            value: i.to_string(),
+            section: Section::Iter(i),
+        }
+    }
+
+    /// Once the bounded sink drops a chunk, every later chunk must drop
+    /// too — otherwise the reader's completion catch-up (which resumes at
+    /// its emitted-entry count) would deliver gaps and duplicates.
+    #[test]
+    fn sink_drops_are_sticky_so_delivered_entries_stay_a_contiguous_prefix() {
+        let sink = JobSink::new(true, 2, || {});
+        sink.push(JobEvent::Entries(vec![entry(0)]));
+        sink.push(JobEvent::Entries(vec![entry(1)]));
+        // Queue full (cap 2): dropped.
+        sink.push(JobEvent::Entries(vec![entry(2), entry(3)]));
+        assert_eq!(sink.dropped_entries(), 2);
+
+        // The reader drains, freeing queue space…
+        let delivered: Vec<LogEntry> = sink
+            .drain()
+            .into_iter()
+            .flat_map(|ev| match ev {
+                JobEvent::Entries(c) => c,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(delivered, vec![entry(0), entry(1)]);
+
+        // …but a post-drop chunk still drops: queueing entry 4 after the
+        // lost 2..=3 would corrupt the stream.
+        sink.push(JobEvent::Entries(vec![entry(4)]));
+        assert_eq!(sink.dropped_entries(), 3);
+        assert!(sink.drain().is_empty());
+
+        // The terminal event always lands.
+        sink.push(JobEvent::Done(JobState::Cancelled));
+        assert!(sink.is_done());
     }
 }

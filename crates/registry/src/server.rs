@@ -8,8 +8,10 @@
 //! through an eventfd, so a slow reader stalls only its own stream:
 //!
 //! - its write buffer fills to the high-water mark → the loop stops
-//!   draining its sinks (events coalesce/overflow in the bounded sink,
-//!   entries catch up from the stored outcome at completion);
+//!   draining its sinks (events coalesce/overflow in the bounded sink;
+//!   entry drops are sticky, so what was delivered stays a contiguous
+//!   log prefix and the rest catches up from the stored outcome at
+//!   completion);
 //! - if the peer accepts no bytes for `write_stall_timeout_ms`, the
 //!   connection is dropped and its jobs cancelled — workers never wait.
 //!
@@ -178,6 +180,10 @@ struct ConnState {
     wr_pos: usize,
     /// Current epoll write-interest, to avoid redundant EPOLL_CTL_MOD.
     want_write: bool,
+    /// Current epoll read-interest: dropped after EOF so a half-closed
+    /// socket (level-triggered readable + RDHUP forever) stops waking the
+    /// loop while the session's jobs finish streaming.
+    want_read: bool,
     /// The session decided to quit: flush, then close.
     closing: bool,
     /// Peer saw progress (wrote bytes, or buffer empty) at this clock.
@@ -238,7 +244,9 @@ impl EventLoop {
                             dead.push(t);
                             continue;
                         }
-                        if (ev.readable || ev.hangup) && !Self::read_conn(cs) {
+                        // Past EOF there is nothing left to read (and the
+                        // fd stays level-triggered readable forever).
+                        if (ev.readable || ev.hangup) && !cs.read_eof && !Self::read_conn(cs) {
                             dead.push(t);
                             continue;
                         }
@@ -294,6 +302,7 @@ impl EventLoop {
                         wrbuf: Vec::new(),
                         wr_pos: 0,
                         want_write: false,
+                        want_read: true,
                         closing: false,
                         last_progress_ns: flor_obs::clock::now_ns(),
                         read_eof: false,
@@ -443,17 +452,23 @@ impl EventLoop {
                 dead.push((token, true));
                 continue;
             }
-            let want = cs.pending() > 0;
-            if want != cs.want_write {
+            let want_write = cs.pending() > 0;
+            // A half-closed socket stays EPOLLIN|EPOLLRDHUP-ready forever
+            // under level triggering; keep watching only for writability
+            // (EPOLLHUP/EPOLLERR still report) or the loop busy-spins
+            // until the session's jobs complete.
+            let want_read = !cs.read_eof;
+            if want_write != cs.want_write || want_read != cs.want_read {
                 if self
                     .poller
-                    .set_write_interest(cs.conn.raw_fd(), token, want)
+                    .set_interest(cs.conn.raw_fd(), token, want_read, want_write)
                     .is_err()
                 {
                     dead.push((token, true));
                     continue;
                 }
-                cs.want_write = want;
+                cs.want_write = want_write;
+                cs.want_read = want_read;
             }
         }
         for (t, aborted) in dead {

@@ -23,6 +23,17 @@
 //!   line
 //! - `drain` — block (stdin mode) or report-as-they-finish (socket mode)
 //! - `quit` / EOF — drain, report, `# served N job(s)`, close
+//!
+//! # Trust model
+//!
+//! The protocol has no authentication and `query`/`stream` name probed
+//! sources by *server-side filesystem path* — any peer that can connect
+//! can submit work and learn whether a path it names is readable. The
+//! service is built for analysts on the machine that holds the registry:
+//! bind Unix sockets or loopback TCP (the defaults) and front anything
+//! wider with an authenticating proxy. As a guard against a mistyped (or
+//! hostile) path tying up the single dispatch thread, probed sources
+//! larger than [`MAX_PROBED_SOURCE_BYTES`] are refused without reading.
 
 use crate::admission::AdmissionController;
 use crate::error::RegistryError;
@@ -32,6 +43,13 @@ use crate::scheduler::{
 use crate::service::{QueryOutcome, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Largest probed-source file `query`/`stream` will read. Probed training
+/// scripts are kilobytes; the cap exists so a path pointing at a huge
+/// file (datasets live next to registries) cannot stall the dispatch
+/// thread or balloon server memory. Reads happen inline on the event
+/// loop, so this bound is also the bound on dispatch latency.
+pub const MAX_PROBED_SOURCE_BYTES: u64 = 1 << 20;
 
 /// What the transport should do after a session call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -279,6 +297,17 @@ impl ServeSession {
                 return Ok(());
             }
         };
+        match std::fs::metadata(path) {
+            Ok(m) if m.len() > MAX_PROBED_SOURCE_BYTES => {
+                out.push(format!(
+                    "cannot read {path}: {} bytes exceeds the {} byte probed-source limit",
+                    m.len(),
+                    MAX_PROBED_SOURCE_BYTES
+                ));
+                return Ok(());
+            }
+            _ => {} // missing/unreadable paths error uniformly below
+        }
         let probed_source = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {

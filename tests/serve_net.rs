@@ -359,6 +359,82 @@ fn torn_lines_and_oversized_garbage_never_kill_the_server() {
     assert!(tail.last().unwrap().starts_with("# served 1"), "{tail:?}");
 }
 
+/// A `flor connect`-shaped client: submits a streamed query, half-closes
+/// (stdin EOF), then lags before draining the stream. This pins down two
+/// server invariants at once:
+///
+/// - the lag jams the connection's write buffer past the high-water mark
+///   with a tiny sink cap, so the bounded `JobSink` drops chunks
+///   mid-stream — the delivered `+entry` lines must still be the job's
+///   full log, in order, without gaps or duplicates (sticky drops + the
+///   completion catch-up);
+/// - after EOF the half-closed socket stays level-triggered readable
+///   forever — the loop must keep serving (not spin or drop the peer)
+///   until the stream finishes, then close cleanly.
+#[test]
+fn half_close_with_lagging_reader_still_delivers_a_gapless_stream() {
+    if !flor_net::supported() {
+        return;
+    }
+    let (registry, dir, _fast_q, slow_q) = fixture("halfclose");
+    let config = ServerConfig {
+        endpoints: vec![Endpoint::Unix(dir.join("halfclose.sock"))],
+        // Unix socket + minimal SO_SNDBUF: in-flight bytes charge to the
+        // server, so the lagging reader jams it within one stream.
+        sndbuf: 1,
+        wrbuf_high_water: 2 * 1024,
+        // A sink this small overflows as soon as the write buffer jams.
+        entry_queue_cap: 2,
+        write_stall_timeout_ms: 0, // lag is the scenario, not a fault
+        ..ServerConfig::default()
+    };
+    let (handle, ep) = start(registry.clone(), config);
+    let drops_before = flor_obs::metrics::counter("scheduler.sink_dropped_entries").get();
+
+    let mut c = Client::connect(&ep);
+    c.send(&format!("stream slow {}", slow_q.display()));
+    assert!(c.read_line().starts_with("queued job 1:"));
+    // stdin EOF while the replay is still running.
+    c.conn.shutdown_write().unwrap();
+    // Lag until the whole replay has run against the jammed connection:
+    // the write buffer tops out at the high-water mark, the 2-chunk sink
+    // overflows behind it, and most of the log must arrive via the
+    // completion catch-up.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !handle
+        .scheduler()
+        .status(1)
+        .is_some_and(|s| s.is_terminal())
+    {
+        assert!(Instant::now() < deadline, "job 1 never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        flor_obs::metrics::counter("scheduler.sink_dropped_entries").get() > drops_before,
+        "scenario never overflowed the sink (nothing to catch up)"
+    );
+
+    let lines = c.read_until(|l| l.starts_with("# served"));
+    assert_eq!(lines.last().unwrap(), "# served 1 job(s)");
+
+    // Ground truth: the same query again is a cache hit on the log the
+    // streamed job materialized. The `+entry` lines must be exactly that
+    // log — gaps, duplicates, or reordering from the drop-then-recover
+    // cycle all break sequence equality (the log legitimately repeats
+    // identical lines, so set-based checks would miss corruption).
+    let probed = std::fs::read_to_string(&slow_q).unwrap();
+    let truth = registry.query("slow", &probed, 1).unwrap();
+    assert!(truth.cached, "expected the streamed job's cached log");
+    let expected: Vec<String> = truth.log.iter().map(|e| format!("+entry 1 {e}")).collect();
+    let streamed: Vec<String> = lines
+        .iter()
+        .filter(|l| l.starts_with("+entry 1 "))
+        .cloned()
+        .collect();
+    assert!(!expected.is_empty());
+    assert_eq!(streamed, expected);
+}
+
 #[test]
 fn slow_reader_is_dropped_on_stall_without_blocking_other_connections() {
     if !flor_net::supported() {
